@@ -1,0 +1,43 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test test-short race bench tables figures coverage clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/core/ ./internal/detail/ ./internal/global/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the paper's tables on the fast subset (use CIRCUITS=all for
+# the full 14-circuit suite; that takes ~15 minutes).
+CIRCUITS ?= small
+tables:
+	$(GO) run ./cmd/tablegen -circuits $(CIRCUITS)
+
+figures:
+	$(GO) run ./cmd/layoutviz -circuit S38417 -out fig15.svg
+	$(GO) run ./cmd/layoutviz -fig16 -circuit S9234 -out fig16
+	$(GO) run ./examples/rasterdefect
+
+coverage:
+	$(GO) test -short -coverprofile=cover.out ./internal/...
+	$(GO) tool cover -func=cover.out | tail -1
+
+clean:
+	rm -f fig15.svg fig16a.svg fig16b.svg cover.out

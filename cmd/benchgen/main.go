@@ -1,0 +1,97 @@
+// Command benchgen lists the benchmark suite (Tables I–II) and optionally
+// dumps a generated circuit's netlist as text for inspection.
+//
+// Usage:
+//
+//	benchgen -list
+//	benchgen -circuit S9234 [-dump]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"stitchroute/internal/bench"
+	"stitchroute/internal/experiments"
+	"stitchroute/internal/nlio"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchgen: ")
+	var (
+		list    = flag.Bool("list", false, "print Tables I and II (benchmark statistics)")
+		circuit = flag.String("circuit", "", "generate the named circuit and print summary stats")
+		dump    = flag.Bool("dump", false, "with -circuit: dump every net and pin")
+		stats   = flag.Bool("stats", false, "with -circuit: print netlist shape statistics")
+		outDir  = flag.String("write", "", "write every benchmark circuit as an nlio file into this directory")
+	)
+	flag.Parse()
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		for _, spec := range bench.All() {
+			c := bench.Generate(spec)
+			path := filepath.Join(*outDir, spec.Name+".nl")
+			f, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := nlio.Write(f, c); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(w, "wrote %s (%d nets)\n", path, len(c.Nets))
+		}
+		return
+	}
+
+	if *list || *circuit == "" {
+		fmt.Fprintln(w, "Table I — MCNC benchmark circuits")
+		experiments.FprintTable12(w, bench.MCNC())
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "Table II — Faraday benchmark circuits")
+		experiments.FprintTable12(w, bench.Faraday())
+		return
+	}
+
+	spec, err := bench.ByName(*circuit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := bench.Generate(spec)
+	if err := c.Validate(); err != nil {
+		log.Fatalf("generated circuit invalid: %v", err)
+	}
+	fmt.Fprintf(w, "%s: fabric %dx%d tracks, %d layers, %d tiles, %d nets, %d pins, %d pin via violations\n",
+		c.Name, c.Fabric.XTracks, c.Fabric.YTracks, c.Fabric.Layers,
+		c.Fabric.TilesX()*c.Fabric.TilesY(), len(c.Nets), c.NumPins(), c.PinViaViolations())
+	if *stats {
+		st := bench.Measure(c)
+		fmt.Fprintf(w, "degree: min %d, mean %.2f, max %d\n", st.MinDegree, st.MeanDegree, st.MaxDegree)
+		fmt.Fprintf(w, "HPWL: mean %.1f, max %d tracks\n", st.MeanHPWL, st.MaxHPWL)
+		fmt.Fprintf(w, "pin density: %.3f pins per layer-1 cell\n", st.PinDensity)
+		fmt.Fprintf(w, "tile-local nets: %.1f%%\n", 100*st.LocalFrac)
+		fmt.Fprintf(w, "pins on stitching lines: %d\n", st.StitchPins)
+	}
+	if *dump {
+		for _, n := range c.Nets {
+			fmt.Fprintf(w, "net %d %s:", n.ID, n.Name)
+			for _, p := range n.Pins {
+				fmt.Fprintf(w, " (%d,%d,L%d)", p.X, p.Y, p.Layer)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Command layoutviz renders the paper's layout figures as SVG files:
+// the full-chip routed view of Fig. 15 and the zoomed with/without
+// comparison of Fig. 16.
+//
+// Usage:
+//
+//	layoutviz -circuit S38417 -out fig15.svg          # Fig. 15
+//	layoutviz -fig16 -circuit S9234 -out fig16        # writes fig16a.svg, fig16b.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"stitchroute/internal/core"
+	"stitchroute/internal/experiments"
+	"stitchroute/internal/gds"
+	"stitchroute/internal/viz"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("layoutviz: ")
+	var (
+		circuit = flag.String("circuit", "S38417", "benchmark circuit")
+		fig16   = flag.Bool("fig16", false, "render the Fig. 16 local comparison instead of Fig. 15")
+		heat    = flag.Bool("heatmap", false, "render a tile congestion heatmap instead of the layout")
+		gdsOut  = flag.String("gds", "", "also export the routed geometry as a GDSII file")
+		out     = flag.String("out", "fig15.svg", "output file (Fig. 16 appends a.svg/b.svg)")
+	)
+	flag.Parse()
+
+	if *heat {
+		c, res, err := experiments.RouteCircuit(*circuit, core.StitchAware())
+		check(err)
+		f, err := os.Create(*out)
+		check(err)
+		defer f.Close()
+		check(viz.WriteHeatmap(f, c.Fabric, res.Routes,
+			fmt.Sprintf("%s tile congestion", *circuit)))
+		for _, u := range viz.Utilizations(c.Fabric, res.Routes) {
+			fmt.Printf("layer %d: %.1f%% of tracks used\n", u.Layer, 100*u.Fill())
+		}
+		fmt.Printf("wrote %s\n", *out)
+		return
+	}
+
+	if *fig16 {
+		fa, err := os.Create(*out + "a.svg")
+		check(err)
+		defer fa.Close()
+		fb, err := os.Create(*out + "b.svg")
+		check(err)
+		defer fb.Close()
+		spWithout, spWith, err := experiments.Fig16(fa, fb, *circuit)
+		check(err)
+		fmt.Printf("Fig. 16 on %s: %d short polygons without stitch awareness, %d with\n",
+			*circuit, spWithout, spWith)
+		fmt.Printf("wrote %sa.svg and %sb.svg\n", *out, *out)
+		return
+	}
+
+	c, res, err := experiments.RouteCircuit(*circuit, core.StitchAware())
+	check(err)
+	f, err := os.Create(*out)
+	check(err)
+	defer f.Close()
+	check(viz.WriteSVG(f, c.Fabric, res.Routes, viz.Options{
+		Scale: 1.4,
+		Title: fmt.Sprintf("Fig. 15 - stitch-aware routing of %s (%.2f%% routed, %d short polygons)",
+			*circuit, res.Report.Routability(), res.Report.ShortPolygons),
+	}))
+	fmt.Printf("wrote %s\n", *out)
+	if *gdsOut != "" {
+		g, err := os.Create(*gdsOut)
+		check(err)
+		defer g.Close()
+		check(gds.Write(g, res.Routes, gds.Options{LibName: "STITCHROUTE", CellName: *circuit}))
+		fmt.Printf("wrote %s\n", *gdsOut)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,204 @@
+// Command meblroute routes one benchmark circuit with the stitch-aware
+// framework (or the conventional baseline) and prints the Table III-style
+// summary row: routability, via violations, short polygons, and CPU time.
+//
+// Usage:
+//
+//	meblroute -circuit S9234 [-mode stitch|baseline] [-track graph|ilp|conventional] [-v]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"stitchroute/internal/bench"
+	"stitchroute/internal/core"
+	"stitchroute/internal/drc"
+	"stitchroute/internal/geom"
+	"stitchroute/internal/netlist"
+	"stitchroute/internal/nlio"
+	"stitchroute/internal/place"
+	"stitchroute/internal/track"
+	"stitchroute/internal/viz"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("meblroute: ")
+	var (
+		circuit = flag.String("circuit", "S9234", "benchmark circuit name (see cmd/benchgen -list)")
+		inFile  = flag.String("in", "", "route a circuit from an nlio text file instead of a benchmark")
+		doPlace = flag.Bool("place", false, "run stitch-aware placement refinement before routing")
+		mode    = flag.String("mode", "stitch", "router mode: stitch or baseline")
+		trk     = flag.String("track", "", "override track assignment: conventional, ilp, or graph")
+		verbose = flag.Bool("v", false, "print per-stage detail")
+		outFile = flag.String("routes", "", "write the routed geometry to this file (nlio routes format)")
+		jsonOut = flag.Bool("json", false, "print the result summary as JSON (machine-readable)")
+		svgOut  = flag.String("svg", "", "write the routed layout as SVG to this file")
+		checkIn = flag.String("check", "", "skip routing: DRC-check this routes file against the circuit")
+	)
+	flag.Parse()
+	cfg := core.StitchAware()
+	if *mode == "baseline" {
+		cfg = core.Baseline()
+	} else if *mode != "stitch" {
+		log.Fatalf("unknown mode %q", *mode)
+	}
+	switch *trk {
+	case "":
+	case "conventional":
+		cfg.TrackAlgo = track.Conventional
+	case "ilp":
+		cfg.TrackAlgo = track.ILPBased
+	case "graph":
+		cfg.TrackAlgo = track.GraphBased
+	default:
+		log.Fatalf("unknown track algorithm %q", *trk)
+	}
+
+	var c *netlist.Circuit
+	if *inFile != "" {
+		f, err := os.Open(*inFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c, err = nlio.Read(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		spec, err := bench.ByName(*circuit)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c = bench.Generate(spec)
+	}
+	if *doPlace {
+		var st place.Stats
+		c, st = place.Refine(c)
+		fmt.Printf("placement refinement: %d stitch-column pins, %d moved, %d stuck\n",
+			st.OnStitch, st.Moved, st.Stuck)
+	}
+	fmt.Printf("%s: %d nets, %d pins, %d layers, grid %dx%d (%dx%d tiles)\n",
+		c.Name, len(c.Nets), c.NumPins(), c.Fabric.Layers,
+		c.Fabric.XTracks, c.Fabric.YTracks,
+		c.Fabric.TilesX(), c.Fabric.TilesY())
+
+	if *checkIn != "" {
+		f, err := os.Open(*checkIn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		routes, err := nlio.ReadRoutes(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep := drc.Check(c, routes)
+		fmt.Printf("Rout. %.2f%%  #VV %d (off-pin %d)  #SP %d  vert-violations %d  WL %d  vias %d\n",
+			rep.Routability(), rep.ViaViolations, rep.ViaViolationsOffPin,
+			rep.ShortPolygons, rep.VertRouteViolations, rep.Wirelength, rep.Vias)
+		if shorts := drc.CheckShorts(routes); shorts > 0 {
+			fmt.Printf("cross-net shorts: %d\n", shorts)
+			os.Exit(1)
+		}
+		if bad := drc.CheckConnectivity(c, routes); bad > 0 {
+			fmt.Printf("disconnected routed nets: %d\n", bad)
+			os.Exit(1)
+		}
+		if rep.VertRouteViolations > 0 || rep.ViaViolationsOffPin > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	res, err := core.Route(c, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := res.Report
+	if *jsonOut {
+		summary := map[string]any{
+			"circuit":             c.Name,
+			"nets":                len(c.Nets),
+			"pins":                c.NumPins(),
+			"routability":         rep.Routability(),
+			"routedNets":          rep.RoutedNets,
+			"viaViolations":       rep.ViaViolations,
+			"viaViolationsOffPin": rep.ViaViolationsOffPin,
+			"vertRouteViolations": rep.VertRouteViolations,
+			"shortPolygons":       rep.ShortPolygons,
+			"wirelength":          rep.Wirelength,
+			"tvof":                res.TVOF,
+			"mvof":                res.MVOF,
+			"badEnds":             res.TrackStats.BadEnds,
+			"rippedNets":          res.RippedNets,
+			"failedNets":          res.FailedNets,
+			"cpuSeconds":          res.Times.Total().Seconds(),
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(summary); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Printf("Rout. %.2f%%  #VV %d  #SP %d  WL %d  CPU %.2fs\n",
+		rep.Routability(), rep.ViaViolations, rep.ShortPolygons, rep.Wirelength,
+		res.Times.Total().Seconds())
+	if *verbose {
+		fmt.Printf("  global:  %8.2fs  WL %d  TVOF %d  MVOF %d  edge-overflow %d\n",
+			res.Times.Global.Seconds(), res.GlobalWL, res.TVOF, res.MVOF, res.EdgeOverflow)
+		fmt.Printf("  layer:   %8.2fs\n", res.Times.Layer.Seconds())
+		fmt.Printf("  track:   %8.2fs  bad-ends %d  ripped %d  doglegs %d\n",
+			res.Times.Track.Seconds(), res.TrackStats.BadEnds, res.TrackStats.Ripped, res.TrackStats.Doglegs)
+		fmt.Printf("  detail:  %8.2fs  ripped-nets %d  failed %d  searches %d  expansions %d\n",
+			res.Times.Detail.Seconds(), res.RippedNets, res.FailedNets,
+			res.DetailConnects, res.DetailExpansions)
+		fmt.Printf("  checks:  vert-violations %d  off-pin VV %d\n",
+			rep.VertRouteViolations, rep.ViaViolationsOffPin)
+	}
+	if *svgOut != "" {
+		f, err := os.Create(*svgOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var pins []geom.Point
+		for _, n := range c.Nets {
+			for _, p := range n.Pins {
+				pins = append(pins, p.Point)
+			}
+		}
+		err = viz.WriteSVG(f, c.Fabric, res.Routes, viz.Options{
+			Scale: 4, ShowSUR: true, Pins: pins,
+			Title: fmt.Sprintf("%s — %s", c.Name, *mode),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *svgOut)
+	}
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := nlio.WriteRoutes(f, res.Routes); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *outFile)
+	}
+	if rep.VertRouteViolations > 0 || rep.ViaViolationsOffPin > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,149 @@
+// Command tablegen regenerates the paper's evaluation tables (§IV).
+//
+// Usage:
+//
+//	tablegen                  # all tables on the fast circuit subset
+//	tablegen -table 3         # one table
+//	tablegen -circuits all    # full 14-circuit suite (minutes of CPU)
+//	tablegen -circuits S9234,DMA
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"stitchroute/internal/bench"
+	"stitchroute/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tablegen: ")
+	var (
+		table    = flag.Int("table", 0, "table number 1-8 (0 = all)")
+		circuits = flag.String("circuits", "small", `"small", "all", "hard", or a comma-separated list`)
+		ablation = flag.String("ablation", "", "run the design-choice ablation on the named circuit instead of tables")
+		physical = flag.String("physical", "", "run the rasterization-level validation on the named circuit")
+		sweep    = flag.String("sweep", "", "run the β/γ cost-weight sweep on the named circuit")
+		variance = flag.String("variance", "", "run the seed-variance robustness study on the named circuit")
+		seeds    = flag.Int("seeds", 5, "number of independent instances for -variance")
+	)
+	flag.Parse()
+
+	names := pickCircuits(*circuits)
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	run := func(n int) {
+		switch n {
+		case 1:
+			fmt.Fprintln(w, "Table I — MCNC benchmark circuits")
+			experiments.FprintTable12(w, bench.MCNC())
+		case 2:
+			fmt.Fprintln(w, "Table II — Faraday benchmark circuits")
+			experiments.FprintTable12(w, bench.Faraday())
+		case 3:
+			fmt.Fprintln(w, "Table III — stitch-aware framework vs baseline router")
+			rows, err := experiments.Table3(names)
+			check(err)
+			experiments.FprintTable3(w, rows)
+		case 4:
+			fmt.Fprintln(w, "Table IV — global routing w/o vs w/ line-end consideration (hard circuits)")
+			rows, err := experiments.Table4(experiments.HardCircuits())
+			check(err)
+			experiments.FprintTable4(w, rows)
+		case 5:
+			fmt.Fprintln(w, "Table V — layer assignment instance characteristics")
+			experiments.FprintTable5(w, experiments.DefaultInstanceSet().Table5())
+		case 6:
+			fmt.Fprintln(w, "Table VI — layer assignment: max spanning tree [4] vs ours")
+			experiments.FprintTable6(w, experiments.DefaultInstanceSet().Table6())
+			fmt.Fprintln(w)
+			fmt.Fprintln(w, "Optimality gap on small instances (extension; exact branch-and-bound)")
+			experiments.FprintTable6Gap(w, experiments.DefaultTable6Gap())
+		case 7:
+			fmt.Fprintln(w, "Table VII — track assignment algorithms")
+			rows, err := experiments.Table7(names)
+			check(err)
+			experiments.FprintTable7(w, rows)
+		case 8:
+			fmt.Fprintln(w, "Table VIII — detailed routing w/o vs w/ stitch consideration")
+			rows, err := experiments.Table8(names)
+			check(err)
+			experiments.FprintTable8(w, rows)
+		default:
+			log.Fatalf("unknown table %d", n)
+		}
+		fmt.Fprintln(w)
+		w.Flush()
+	}
+
+	if *variance != "" {
+		sum, err := experiments.Variance(*variance, *seeds)
+		check(err)
+		experiments.FprintVariance(w, *variance, sum)
+		return
+	}
+	if *sweep != "" {
+		betas, gammas := experiments.DefaultSweep()
+		rows, err := experiments.SweepBetaGamma(*sweep, betas, gammas)
+		check(err)
+		experiments.FprintSweep(w, *sweep, rows)
+		return
+	}
+	if *physical != "" {
+		base, ours, err := experiments.Physical(*physical)
+		check(err)
+		experiments.FprintPhysical(w, *physical, base, ours)
+		return
+	}
+	if *ablation != "" {
+		rows, err := experiments.Ablations(*ablation)
+		check(err)
+		experiments.FprintAblations(w, *ablation, rows)
+		return
+	}
+	if *table != 0 {
+		run(*table)
+		return
+	}
+	for n := 1; n <= 8; n++ {
+		run(n)
+	}
+}
+
+func pickCircuits(arg string) []string {
+	switch arg {
+	case "small":
+		return experiments.SmallCircuits()
+	case "all":
+		return experiments.AllCircuits()
+	case "hard":
+		return experiments.HardCircuits()
+	}
+	var names []string
+	for _, n := range strings.Split(arg, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		if _, err := bench.ByName(n); err != nil {
+			log.Fatal(err)
+		}
+		names = append(names, n)
+	}
+	if len(names) == 0 {
+		log.Fatal("no circuits selected")
+	}
+	return names
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

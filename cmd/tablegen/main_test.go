@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestPickCircuits(t *testing.T) {
+	if got := pickCircuits("small"); len(got) == 0 {
+		t.Error("small set empty")
+	}
+	if got := pickCircuits("all"); len(got) != 14 {
+		t.Errorf("all = %d circuits, want 14", len(got))
+	}
+	if got := pickCircuits("hard"); len(got) != 6 {
+		t.Errorf("hard = %d circuits, want 6", len(got))
+	}
+	got := pickCircuits("S9234, DMA")
+	if len(got) != 2 || got[0] != "S9234" || got[1] != "DMA" {
+		t.Errorf("explicit list = %v", got)
+	}
+}

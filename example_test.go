@@ -1,0 +1,67 @@
+package stitchroute_test
+
+import (
+	"fmt"
+
+	"stitchroute"
+)
+
+// ExampleRoute routes a two-net circuit across a stitching line and
+// prints the DRC summary.
+func ExampleRoute() {
+	fabric := stitchroute.NewFabric(60, 45, 3) // stitching lines at x = 0, 15, 30, 45
+	pin := func(x, y int) stitchroute.Pin {
+		return stitchroute.Pin{Point: stitchroute.Point{X: x, Y: y}, Layer: 1}
+	}
+	circuit := &stitchroute.Circuit{
+		Name:   "example",
+		Fabric: fabric,
+		Nets: []*stitchroute.Net{
+			{ID: 0, Name: "a", Pins: []stitchroute.Pin{pin(8, 10), pin(25, 12)}},
+			{ID: 1, Name: "b", Pins: []stitchroute.Pin{pin(5, 30), pin(40, 35)}},
+		},
+	}
+	result, err := stitchroute.Route(circuit, stitchroute.StitchAware())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("routed %d/%d nets\n", result.Report.RoutedNets, result.Report.TotalNets)
+	fmt.Printf("short polygons: %d\n", result.Report.ShortPolygons)
+	fmt.Printf("vertical-routing violations: %d\n", result.Report.VertRouteViolations)
+	// Output:
+	// routed 2/2 nets
+	// short polygons: 0
+	// vertical-routing violations: 0
+}
+
+// ExampleGenerate builds one of the paper's benchmark circuits.
+func ExampleGenerate() {
+	spec, _ := stitchroute.BenchmarkByName("S9234")
+	circuit := stitchroute.Generate(spec)
+	fmt.Printf("%s: %d nets, %d pins\n", circuit.Name, len(circuit.Nets), circuit.NumPins())
+	// Output:
+	// S9234: 1486 nets, 4260 pins
+}
+
+// ExampleRefinePlacement removes the via violations forced by pins that
+// sit on stitching lines (the paper's proposed future work).
+func ExampleRefinePlacement() {
+	fabric := stitchroute.NewFabric(60, 45, 3)
+	circuit := &stitchroute.Circuit{
+		Name:   "p",
+		Fabric: fabric,
+		Nets: []*stitchroute.Net{{
+			ID: 0, Name: "n",
+			Pins: []stitchroute.Pin{
+				{Point: stitchroute.Point{X: 15, Y: 10}, Layer: 1}, // on a stitching line
+				{Point: stitchroute.Point{X: 40, Y: 20}, Layer: 1},
+			},
+		}},
+	}
+	refined, stats := stitchroute.RefinePlacement(circuit)
+	fmt.Printf("moved %d of %d stitch-column pins\n", stats.Moved, stats.OnStitch)
+	fmt.Printf("remaining pin via violations: %d\n", refined.PinViaViolations())
+	// Output:
+	// moved 1 of 1 stitch-column pins
+	// remaining pin via violations: 0
+}

@@ -1,0 +1,52 @@
+// Stripewrite simulates the MEBL writing process on real routed geometry:
+// it routes a small custom circuit, writes the die as stripes with
+// per-beam overlay error (Fig. 1), and prints the ideal vs
+// written-and-dithered bitmaps with the defect score — showing why the
+// router keeps critical patterns away from stitching lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stitchroute"
+	"stitchroute/internal/raster"
+)
+
+func main() {
+	fabric := stitchroute.NewFabric(60, 45, 3)
+	pin := func(x, y int) stitchroute.Pin {
+		return stitchroute.Pin{Point: stitchroute.Point{X: x, Y: y}, Layer: 1}
+	}
+	circuit := &stitchroute.Circuit{
+		Name:   "stripe-demo",
+		Fabric: fabric,
+		Nets: []*stitchroute.Net{
+			{ID: 0, Name: "a", Pins: []stitchroute.Pin{pin(8, 10), pin(25, 10)}},  // crosses x=15
+			{ID: 1, Name: "b", Pins: []stitchroute.Pin{pin(5, 20), pin(28, 30)}},  // crosses with a bend
+			{ID: 2, Name: "c", Pins: []stitchroute.Pin{pin(18, 38), pin(27, 38)}}, // inside stripe 2
+		},
+	}
+	res, err := stitchroute.Route(circuit, stitchroute.StitchAware())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("routed %d/%d nets, %d short polygons\n\n",
+		res.Report.RoutedNets, res.Report.TotalNets, res.Report.ShortPolygons)
+
+	var geo []stitchroute.Segment
+	for i := range res.Routes {
+		geo = append(geo, res.Routes[i].Wires...)
+	}
+	writer := raster.NewStripeWriter(fabric.StitchCols(), 1, 0.45, 42)
+	wPix, hPix := fabric.XTracks+2, fabric.YTracks+2
+
+	ideal := writer.Ideal(geo, wPix, hPix)
+	written := raster.Dither(writer.Write(geo, wPix, hPix))
+	fmt.Println("ideal pattern (all layers projected):")
+	fmt.Print(ideal.String())
+	fmt.Println("\nwritten by misaligned beams, after dithering:")
+	fmt.Print(written.String())
+	fmt.Printf("\nwindow defect score: %.4f of feature pixels flipped\n",
+		raster.DefectScore(ideal, written))
+}

@@ -1,0 +1,3 @@
+module stitchroute
+
+go 1.22

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"stitchroute/internal/geom"
+	"stitchroute/internal/grid"
+	"stitchroute/internal/layer"
+	"stitchroute/internal/netlist"
+	"stitchroute/internal/plan"
+	"stitchroute/internal/track"
+)
+
+func sixLayerCircuit() *netlist.Circuit {
+	return &netlist.Circuit{Name: "t", Fabric: grid.New(90, 90, 6)}
+}
+
+func TestAssignLayersMultiLayer(t *testing.T) {
+	c := sixLayerCircuit()
+	// Six overlapping vertical segments in panel 1 must spread over the
+	// three vertical layers (2, 4, 6).
+	var plans []*plan.NetPlan
+	for i := 0; i < 6; i++ {
+		seg := &plan.GSeg{NetID: i, Dir: geom.Vertical, Panel: 1, Span: geom.Interval{Lo: 0, Hi: 4}}
+		plans = append(plans, &plan.NetPlan{NetID: i, Segs: []*plan.GSeg{seg}})
+	}
+	AssignLayers(c, plans, layer.KColorableSubset)
+	seen := map[int]int{}
+	for _, p := range plans {
+		l := p.Segs[0].Layer
+		if l != 2 && l != 4 && l != 6 {
+			t.Fatalf("vertical segment on layer %d", l)
+		}
+		seen[l]++
+	}
+	if len(seen) < 2 {
+		t.Errorf("six conflicting segments packed onto %d layer(s): %v", len(seen), seen)
+	}
+}
+
+func TestAssignLayersHorizontalAvoidsLayer1(t *testing.T) {
+	c := sixLayerCircuit()
+	var plans []*plan.NetPlan
+	for i := 0; i < 4; i++ {
+		seg := &plan.GSeg{NetID: i, Dir: geom.Horizontal, Panel: 2, Span: geom.Interval{Lo: 0, Hi: 3}}
+		plans = append(plans, &plan.NetPlan{NetID: i, Segs: []*plan.GSeg{seg}})
+	}
+	AssignLayers(c, plans, layer.MaxSpanningTree)
+	for _, p := range plans {
+		l := p.Segs[0].Layer
+		if l == 1 {
+			t.Error("horizontal segment planned on the pin layer")
+		}
+		if l != 3 && l != 5 {
+			t.Errorf("horizontal segment on layer %d", l)
+		}
+	}
+}
+
+func TestAssignLayersSingleLayerDirection(t *testing.T) {
+	c := &netlist.Circuit{Name: "t", Fabric: grid.New(90, 90, 3)}
+	seg := &plan.GSeg{NetID: 0, Dir: geom.Vertical, Panel: 0, Span: geom.Interval{Lo: 0, Hi: 2}}
+	plans := []*plan.NetPlan{{NetID: 0, Segs: []*plan.GSeg{seg}}}
+	AssignLayers(c, plans, layer.KColorableSubset)
+	if seg.Layer != 2 {
+		t.Errorf("only vertical layer is 2, got %d", seg.Layer)
+	}
+}
+
+func TestAssignTracksRollsUpBadEnds(t *testing.T) {
+	c := &netlist.Circuit{Name: "t", Fabric: grid.New(90, 90, 3)}
+	// A segment forced into a bad end: crossing left with the panel full
+	// except SUR track 1.
+	segs := []*plan.GSeg{}
+	var plans []*plan.NetPlan
+	for i := 0; i < 14; i++ {
+		s := &plan.GSeg{NetID: i, Dir: geom.Vertical, Panel: 1, Span: geom.Interval{Lo: 0, Hi: 3}, Layer: 2}
+		s.LoCrossL = true
+		segs = append(segs, s)
+		plans = append(plans, &plan.NetPlan{NetID: i, Segs: []*plan.GSeg{s}})
+	}
+	stats, _ := AssignTracks(c, plans, track.GraphBased)
+	// 14 overlapping crossing segments over 14 usable tracks: at least one
+	// must take the SUR track -> bad end, and it must be rolled up to the
+	// net plan for detailed-routing priority.
+	if stats.BadEnds == 0 && stats.Ripped == 0 {
+		t.Fatal("expected pressure to produce bad ends or rips")
+	}
+	total := 0
+	for _, p := range plans {
+		total += p.BadEnds
+	}
+	if total != stats.BadEnds {
+		t.Errorf("plan bad ends %d != stats %d", total, stats.BadEnds)
+	}
+}
+
+func TestHConnIndexEndLayer(t *testing.T) {
+	h := &plan.GSeg{NetID: 7, Dir: geom.Horizontal, Panel: 4, Span: geom.Interval{Lo: 1, Hi: 5}, Layer: 3}
+	plans := []*plan.NetPlan{{NetID: 7, Segs: []*plan.GSeg{h}}}
+	idx := buildHConnIndex(plans)
+	v := &plan.GSeg{NetID: 7, Dir: geom.Vertical, Panel: 3, Span: geom.Interval{Lo: 4, Hi: 9}}
+	// Low end at row 4: connects to the h-seg (panel 4 covers column 3).
+	if got := idx.endLayer(v, 4); got != 3 {
+		t.Errorf("endLayer(low) = %d, want 3", got)
+	}
+	// High end at row 9: no h-seg there -> pin layer 1.
+	if got := idx.endLayer(v, 9); got != 1 {
+		t.Errorf("endLayer(high) = %d, want 1", got)
+	}
+	// Via cost on layer 2: |2-3| + |2-1| = 2; on layer 6: |6-3|+|6-1| = 8.
+	if c := idx.viaCost(v, 2); c != 2 {
+		t.Errorf("viaCost(2) = %d", c)
+	}
+	if c := idx.viaCost(v, 6); c != 8 {
+		t.Errorf("viaCost(6) = %d", c)
+	}
+	// A different net's h-seg must not match.
+	v2 := &plan.GSeg{NetID: 8, Dir: geom.Vertical, Panel: 3, Span: geom.Interval{Lo: 4, Hi: 9}}
+	if got := idx.endLayer(v2, 4); got != 1 {
+		t.Errorf("cross-net endLayer = %d, want 1", got)
+	}
+}

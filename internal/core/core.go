@@ -1,0 +1,417 @@
+// Package core orchestrates the two-pass bottom-up multilevel stitch-aware
+// routing framework (Fig. 6 of the paper):
+//
+//  1. First bottom-up pass — stitch-aware global routing, local nets first
+//     (internal/global).
+//  2. Intermediate stage — stitch-aware layer assignment (internal/layer)
+//     followed by short-polygon-avoiding track assignment (internal/track).
+//  3. Second bottom-up pass — stitch-aware detailed routing with failed-net
+//     rip-up and rerouting (internal/detail).
+//
+// Every stage can be switched between its stitch-aware algorithm and the
+// conventional baseline, which is how the paper's ablation tables
+// (Tables IV, VI, VII, VIII) are produced.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"stitchroute/internal/detail"
+	"stitchroute/internal/drc"
+	"stitchroute/internal/geom"
+	"stitchroute/internal/global"
+	"stitchroute/internal/layer"
+	"stitchroute/internal/matching"
+	"stitchroute/internal/netlist"
+	"stitchroute/internal/plan"
+	"stitchroute/internal/track"
+)
+
+// Config selects the algorithm for every stage.
+type Config struct {
+	Global    global.Config
+	LayerAlgo layer.Algo
+	TrackAlgo track.Algo
+	Detail    detail.Config
+	// RefinePasses is the number of global rip-up/reroute refinement
+	// passes after the first bottom-up pass.
+	RefinePasses int
+}
+
+// StitchAware returns the full stitch-aware framework configuration with
+// the paper's parameters (α=1, β=10, γ=5).
+func StitchAware() Config {
+	return Config{
+		Global:       global.StitchAware(),
+		LayerAlgo:    layer.KColorableSubset,
+		TrackAlgo:    track.GraphBased,
+		Detail:       detail.DefaultConfig(true),
+		RefinePasses: defaultRefinePasses,
+	}
+}
+
+// Baseline returns the conventional router: congestion-only global routing
+// (the NTUgr stand-in), spanning-tree layer assignment, stitch-oblivious
+// track assignment, and conventional detailed routing. Hard constraints
+// (no vertical routing or vias on stitching lines) still hold, exactly as
+// the paper defines its baseline.
+func Baseline() Config {
+	return Config{
+		Global:       global.Baseline(),
+		LayerAlgo:    layer.MaxSpanningTree,
+		TrackAlgo:    track.Conventional,
+		Detail:       detail.DefaultConfig(false),
+		RefinePasses: defaultRefinePasses,
+	}
+}
+
+// defaultRefinePasses is the default number of rip-up/reroute refinement
+// passes after the first bottom-up global pass.
+const defaultRefinePasses = 4
+
+// StageTimes records the CPU spent per routing stage.
+type StageTimes struct {
+	Global, Layer, Track, Detail time.Duration
+}
+
+// Total returns the summed stage time.
+func (s StageTimes) Total() time.Duration { return s.Global + s.Layer + s.Track + s.Detail }
+
+// Result is the complete routing outcome.
+type Result struct {
+	Report drc.Report
+	Routes []plan.NetRoute
+	Plans  []*plan.NetPlan
+
+	// Global routing quality (Table IV).
+	TVOF, MVOF   int
+	GlobalWL     int
+	EdgeOverflow int
+
+	// Track assignment summary (Table VII inputs).
+	TrackStats track.Stats
+	RowRipped  int
+
+	// Detailed routing summary.
+	RippedNets, FailedNets int
+	DetailConnects         int
+	DetailExpansions       int64
+
+	Times StageTimes
+}
+
+// Route runs the full framework on the circuit.
+func Route(c *netlist.Circuit, cfg Config) (*Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	f := c.Fabric
+	res := &Result{}
+
+	// Stage 1: global routing (first bottom-up pass).
+	t0 := time.Now()
+	gr := global.NewRouter(f, cfg.Global)
+	res.Plans = gr.RouteAll(c)
+	gr.Refine(c, res.Plans, cfg.RefinePasses)
+	res.TVOF, res.MVOF = gr.Overflow()
+	res.GlobalWL = gr.Wirelength()
+	res.EdgeOverflow = gr.EdgeOverflow()
+	res.Times.Global = time.Since(t0)
+
+	// Stage 2a: layer assignment.
+	t0 = time.Now()
+	AssignLayers(c, res.Plans, cfg.LayerAlgo)
+	res.Times.Layer = time.Since(t0)
+
+	// Stage 2b: track assignment.
+	t0 = time.Now()
+	res.TrackStats, res.RowRipped = AssignTracks(c, res.Plans, cfg.TrackAlgo)
+	res.Times.Track = time.Since(t0)
+
+	// Stage 3: detailed routing (second bottom-up pass).
+	t0 = time.Now()
+	dr := detail.NewRouter(f, cfg.Detail)
+	dres := dr.Run(c, res.Plans)
+	res.Routes = dres.Routes
+	res.RippedNets = dres.Ripped
+	res.FailedNets = dres.Failed
+	res.DetailConnects = dres.Connects
+	res.DetailExpansions = dres.Expansions
+	res.Times.Detail = time.Since(t0)
+
+	res.Report = drc.Check(c, res.Routes)
+	return res, nil
+}
+
+// layersByDir returns the 1-based layer numbers with the given preferred
+// direction, ascending. Layer 1 carries the pins and is kept out of the
+// horizontal assignment set when other horizontal layers exist: planned
+// segments on the pin layer strand pins inside walled pockets, so layer 1
+// is left to the detailed router for pin access and short local hops.
+func layersByDir(c *netlist.Circuit, dir geom.Orientation) []int {
+	var out []int
+	for l := 1; l <= c.Fabric.Layers; l++ {
+		if c.Fabric.LayerDir(l) == dir {
+			out = append(out, l)
+		}
+	}
+	if dir == geom.Horizontal && len(out) > 1 && out[0] == 1 {
+		out = out[1:]
+	}
+	return out
+}
+
+// AssignLayers distributes every panel's global segments over the
+// same-direction layers (§III-B), writing GSeg.Layer.
+func AssignLayers(c *netlist.Circuit, plans []*plan.NetPlan, algo layer.Algo) {
+	vLayers := layersByDir(c, geom.Vertical)
+	hLayers := layersByDir(c, geom.Horizontal)
+
+	byPanel := map[[2]int][]*plan.GSeg{} // {dirBit, panel}
+	var keys [][2]int
+	for _, p := range plans {
+		if p == nil {
+			continue
+		}
+		for _, s := range p.Segs {
+			dirBit := 0
+			if s.Dir == geom.Vertical {
+				dirBit = 1
+			}
+			k := [2]int{dirBit, s.Panel}
+			if _, ok := byPanel[k]; !ok {
+				keys = append(keys, k)
+			}
+			byPanel[k] = append(byPanel[k], s)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	// Two phases: horizontal panels first, so the vertical phase can map
+	// its color groups to layers by via-stack cost against the now-known
+	// horizontal layers ([4]'s via-minimizing group-to-layer assignment).
+	// Panels within a phase are independent and solved in parallel; each
+	// goroutine writes only its own panel's segments.
+	runPhase := func(dirBit int, conn *hConnIndex) {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		for _, k := range keys {
+			if k[0] != dirBit {
+				continue
+			}
+			wg.Add(1)
+			go func(k [2]int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				if dirBit == 0 {
+					assignPanelLayers(byPanel[k], hLayers, algo, nil)
+				} else {
+					assignPanelLayers(byPanel[k], vLayers, algo, conn)
+				}
+			}(k)
+		}
+		wg.Wait()
+	}
+	runPhase(0, nil)
+	runPhase(1, buildHConnIndex(plans))
+}
+
+// hConnIndex locates, for a vertical segment end, the horizontal segment
+// it connects to, so the via-stack cost of a candidate vertical layer can
+// be computed. Read-only during the vertical phase.
+type hConnIndex struct {
+	// byNet[netID] lists the net's horizontal segments.
+	byNet map[int][]*plan.GSeg
+}
+
+func buildHConnIndex(plans []*plan.NetPlan) *hConnIndex {
+	idx := &hConnIndex{byNet: map[int][]*plan.GSeg{}}
+	for _, p := range plans {
+		if p == nil {
+			continue
+		}
+		for _, s := range p.Segs {
+			if s.Dir == geom.Horizontal {
+				idx.byNet[s.NetID] = append(idx.byNet[s.NetID], s)
+			}
+		}
+	}
+	return idx
+}
+
+// endLayer returns the layer of the horizontal segment that the vertical
+// segment's end at (panel, row) connects to, or 1 (the pin layer) when
+// the end terminates on a pin.
+func (idx *hConnIndex) endLayer(s *plan.GSeg, row int) int {
+	for _, h := range idx.byNet[s.NetID] {
+		if h.Layer > 0 && h.Panel == row && h.Span.Contains(s.Panel) {
+			return h.Layer
+		}
+	}
+	return 1
+}
+
+// viaCost estimates the via-stack cost of placing the segment on the
+// given vertical layer: the layer distance to each end's connection.
+func (idx *hConnIndex) viaCost(s *plan.GSeg, l int) int64 {
+	lo := idx.endLayer(s, s.Span.Lo)
+	hi := idx.endLayer(s, s.Span.Hi)
+	return int64(geom.Abs(l-lo) + geom.Abs(l-hi))
+}
+
+// assignPanelLayers colors one panel's segments and maps color groups to
+// layers. With a connection index (vertical panels), the group-to-layer
+// mapping minimizes the total via-stack cost with a min-cost perfect
+// matching, following [4]; without one (horizontal panels), larger groups
+// go to higher layers, keeping the pin layer's neighbours light.
+func assignPanelLayers(segs []*plan.GSeg, layers []int, algo layer.Algo, conn *hConnIndex) {
+	k := len(layers)
+	if k == 0 {
+		return
+	}
+	if k == 1 {
+		for _, s := range segs {
+			s.Layer = layers[0]
+		}
+		return
+	}
+	inst := layer.InstanceFromSegs(segs)
+	colors := layer.Assign(inst, k, algo)
+
+	colorToLayer := make([]int, k)
+	if conn != nil {
+		// Via-minimizing mapping: cost[color][rank] = total via-stack cost
+		// of putting that color group on layers[rank].
+		cost := make([][]int64, k)
+		for c := range cost {
+			cost[c] = make([]int64, k)
+		}
+		for i, s := range segs {
+			for rank, l := range layers {
+				cost[colors[i]][rank] += conn.viaCost(s, l)
+			}
+		}
+		assign, _ := matching.MinCostPerfect(cost)
+		for c, rank := range assign {
+			colorToLayer[c] = layers[rank]
+		}
+	} else {
+		// Order color groups by total span length, descending; largest to
+		// the highest layer.
+		totals := make([]int, k)
+		for i, s := range segs {
+			totals[colors[i]] += s.Span.Len()
+		}
+		order := make([]int, k)
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool { return totals[order[a]] > totals[order[b]] })
+		for rank, color := range order {
+			colorToLayer[color] = layers[k-1-rank]
+		}
+	}
+	for i, s := range segs {
+		s.Layer = colorToLayer[colors[i]]
+	}
+}
+
+// AssignTracks runs track assignment for every (panel, layer) group
+// (§III-C), writing GSeg.Tracks/BadEnds/Ripped and each plan's BadEnds.
+// It returns the aggregated column-panel stats and the number of ripped
+// row-panel segments.
+func AssignTracks(c *netlist.Circuit, plans []*plan.NetPlan, algo track.Algo) (track.Stats, int) {
+	f := c.Fabric
+	type key struct {
+		dirBit, panel, layer int
+	}
+	groups := map[key][]*plan.GSeg{}
+	var keys []key
+	for _, p := range plans {
+		if p == nil {
+			continue
+		}
+		for _, s := range p.Segs {
+			dirBit := 0
+			if s.Dir == geom.Vertical {
+				dirBit = 1
+			}
+			k := key{dirBit, s.Panel, s.Layer}
+			if _, ok := groups[k]; !ok {
+				keys = append(keys, k)
+			}
+			groups[k] = append(groups[k], s)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.dirBit != b.dirBit {
+			return a.dirBit < b.dirBit
+		}
+		if a.panel != b.panel {
+			return a.panel < b.panel
+		}
+		return a.layer < b.layer
+	})
+
+	// Panels are independent, so they are solved in parallel. Results are
+	// written only to each panel's own segments; the stats are merged
+	// after the barrier, keeping the outcome deterministic.
+	var agg track.Stats
+	rowRipped := 0
+	type result struct {
+		stats track.Stats
+		rows  int
+	}
+	results := make([]result, len(keys))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, k := range keys {
+		wg.Add(1)
+		go func(i int, k key) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			segs := groups[k]
+			if k.dirBit == 1 {
+				p := &track.Problem{
+					Width:          f.TileRect(k.panel, 0).W(),
+					HasRightStitch: (k.panel+1)*f.StitchPitch < f.XTracks,
+					SUREps:         f.SUREps,
+					Segs:           segs,
+				}
+				results[i].stats = track.Solve(p, algo)
+			} else {
+				results[i].rows = track.SolveRow(f.TileRect(0, k.panel).H(), segs)
+			}
+		}(i, k)
+	}
+	wg.Wait()
+	for _, r := range results {
+		agg.Ripped += r.stats.Ripped
+		agg.BadEnds += r.stats.BadEnds
+		agg.Doglegs += r.stats.Doglegs
+		agg.ILPNodes += r.stats.ILPNodes
+		rowRipped += r.rows
+	}
+	// Roll bad-end counts up to the nets for detailed-routing ordering.
+	for _, p := range plans {
+		if p == nil {
+			continue
+		}
+		p.BadEnds = 0
+		for _, s := range p.Segs {
+			p.BadEnds += s.BadEnds
+		}
+	}
+	return agg, rowRipped
+}

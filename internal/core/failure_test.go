@@ -1,0 +1,170 @@
+package core
+
+// Failure-injection tests: the framework must degrade gracefully, not
+// panic or mis-report, when circuits are hostile.
+
+import (
+	"math/rand"
+	"testing"
+
+	"stitchroute/internal/drc"
+	"stitchroute/internal/geom"
+	"stitchroute/internal/grid"
+	"stitchroute/internal/netlist"
+)
+
+func pin(x, y int) netlist.Pin {
+	return netlist.Pin{Point: geom.Point{X: x, Y: y}, Layer: 1}
+}
+
+func TestOverfullRowStillTerminates(t *testing.T) {
+	// More crossing nets than a single-layer row region can hold: some
+	// nets must fail, the run must terminate, and reporting must be
+	// consistent.
+	f := grid.New(45, 30, 1) // one horizontal layer only
+	var nets []*netlist.Net
+	for i := 0; i < 25; i++ {
+		nets = append(nets, &netlist.Net{ID: i, Name: "n", Pins: []netlist.Pin{
+			pin(1, i%28), pin(43, (i+3)%28),
+		}})
+	}
+	c := &netlist.Circuit{Name: "overfull", Fabric: f, Nets: nets}
+	res, err := Route(c, StitchAware())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report
+	if rep.RoutedNets+res.FailedNets != len(nets) {
+		t.Errorf("routed %d + failed %d != %d", rep.RoutedNets, res.FailedNets, len(nets))
+	}
+	if rep.VertRouteViolations != 0 || rep.ViaViolationsOffPin != 0 {
+		t.Errorf("hard violations under pressure: %+v", rep)
+	}
+	// Failed nets must have no geometry.
+	for i, rt := range res.Routes {
+		if !rt.Routed && (len(rt.Wires) > 0 || len(rt.Vias) > 0) {
+			t.Errorf("failed net %d left geometry", i)
+		}
+	}
+}
+
+func TestAllPinsOnStitchColumns(t *testing.T) {
+	// Hostile placement: every pin on a stitching line. Routing must
+	// succeed using pin vias / horizontal escapes only.
+	f := grid.New(90, 90, 3)
+	c := &netlist.Circuit{Name: "stitchpins", Fabric: f, Nets: []*netlist.Net{
+		{ID: 0, Name: "a", Pins: []netlist.Pin{pin(15, 10), pin(45, 60)}},
+		{ID: 1, Name: "b", Pins: []netlist.Pin{pin(30, 20), pin(60, 20)}},
+		{ID: 2, Name: "c", Pins: []netlist.Pin{pin(15, 70), pin(75, 5)}},
+	}}
+	res, err := Route(c, StitchAware())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.RoutedNets != 3 {
+		t.Fatalf("routed %d/3", res.Report.RoutedNets)
+	}
+	if res.Report.VertRouteViolations != 0 || res.Report.ViaViolationsOffPin != 0 {
+		t.Errorf("hard violations: %+v", res.Report)
+	}
+}
+
+func TestMinimalFabric(t *testing.T) {
+	// Smallest legal fabric: 2 tiles, a handful of nets.
+	f := grid.New(30, 30, 2)
+	c := &netlist.Circuit{Name: "tiny", Fabric: f, Nets: []*netlist.Net{
+		{ID: 0, Name: "a", Pins: []netlist.Pin{pin(1, 1), pin(28, 28)}},
+		{ID: 1, Name: "b", Pins: []netlist.Pin{pin(1, 28), pin(28, 1)}},
+	}}
+	for _, cfg := range []Config{StitchAware(), Baseline()} {
+		res, err := Route(c, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Report.RoutedNets != 2 {
+			t.Errorf("routed %d/2", res.Report.RoutedNets)
+		}
+	}
+}
+
+func TestManyCoincidentNets(t *testing.T) {
+	// Nets stacked between the same two tile regions exhaust the panel's
+	// tracks; track assignment must rip, not wedge.
+	f := grid.New(45, 90, 3)
+	var nets []*netlist.Net
+	for i := 0; i < 12; i++ {
+		nets = append(nets, &netlist.Net{ID: i, Name: "v", Pins: []netlist.Pin{
+			pin(16+i, 3+i%4), pin(16+i, 80-i%4),
+		}})
+	}
+	c := &netlist.Circuit{Name: "stack", Fabric: f, Nets: nets}
+	res, err := Route(c, StitchAware())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12 parallel wires fit the panel's 12 SUR-free tracks exactly.
+	if res.Report.Routability() < 90 {
+		t.Errorf("routability %.2f%% too low for a feasible stack", res.Report.Routability())
+	}
+	if res.Report.VertRouteViolations != 0 {
+		t.Errorf("vertical violations: %d", res.Report.VertRouteViolations)
+	}
+}
+
+func TestDuplicateNetPinsHandled(t *testing.T) {
+	// Two pins of the same net at one point: valid (trivially connected
+	// there) and must not confuse the router.
+	f := grid.New(60, 60, 3)
+	c := &netlist.Circuit{Name: "dup", Fabric: f, Nets: []*netlist.Net{
+		{ID: 0, Name: "a", Pins: []netlist.Pin{pin(5, 5), pin(5, 5), pin(40, 40)}},
+	}}
+	res, err := Route(c, StitchAware())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.RoutedNets != 1 {
+		t.Error("dup-pin net failed")
+	}
+}
+
+func TestRandomCircuitsFullInvariants(t *testing.T) {
+	// Randomized integration: small random circuits through both flows;
+	// every routed net must be connected, short-free of hard violations,
+	// and no two nets may share a cell.
+	rng := rand.New(rand.NewSource(2013))
+	for iter := 0; iter < 12; iter++ {
+		f := grid.New(90+15*(iter%3), 90, 3)
+		nNets := 6 + rng.Intn(10)
+		used := map[geom.Point]bool{}
+		var nets []*netlist.Net
+		for i := 0; i < nNets; i++ {
+			deg := 2 + rng.Intn(3)
+			n := &netlist.Net{ID: i, Name: "r"}
+			for len(n.Pins) < deg {
+				p := geom.Point{X: rng.Intn(f.XTracks), Y: rng.Intn(f.YTracks)}
+				if used[p] {
+					continue
+				}
+				used[p] = true
+				n.Pins = append(n.Pins, netlist.Pin{Point: p, Layer: 1})
+			}
+			nets = append(nets, n)
+		}
+		c := &netlist.Circuit{Name: "rand", Fabric: f, Nets: nets}
+		for _, cfg := range []Config{StitchAware(), Baseline()} {
+			res, err := Route(c, cfg)
+			if err != nil {
+				t.Fatalf("iter %d: %v", iter, err)
+			}
+			if bad := drc.CheckConnectivity(c, res.Routes); bad != 0 {
+				t.Fatalf("iter %d: %d disconnected routed nets", iter, bad)
+			}
+			if n := drc.CheckShorts(res.Routes); n != 0 {
+				t.Fatalf("iter %d: %d shorts", iter, n)
+			}
+			if res.Report.VertRouteViolations != 0 || res.Report.ViaViolationsOffPin != 0 {
+				t.Fatalf("iter %d: hard violations %+v", iter, res.Report)
+			}
+		}
+	}
+}

@@ -1,0 +1,315 @@
+package detail
+
+import "stitchroute/internal/geom"
+
+// connect runs the stitch-aware A* (eq. 10) from the source component to
+// the nearest target cell. It retries with growing search windows before
+// giving up.
+func (r *Router) connect(t *routeTask, src, targets []cell) ([]cell, bool) {
+	box := cellBBox(append(append([]cell(nil), src...), targets...))
+	for _, margin := range []int{8, 24, 64} {
+		win := box.Expand(margin).Intersect(r.f.Bounds())
+		if path, ok := r.astar(t, src, targets, win); ok {
+			return path, true
+		}
+		// If the window already covers the chip, a retry cannot help.
+		if win == r.f.Bounds() {
+			break
+		}
+	}
+	return nil, false
+}
+
+// rectDist is the Manhattan gap between two rectangles (0 if they touch).
+func rectDist(a, b geom.Rect) int {
+	dx, dy := 0, 0
+	if a.X1 < b.X0 {
+		dx = b.X0 - a.X1
+	} else if b.X1 < a.X0 {
+		dx = a.X0 - b.X1
+	}
+	if a.Y1 < b.Y0 {
+		dy = b.Y0 - a.Y1
+	} else if b.Y1 < a.Y0 {
+		dy = a.Y0 - b.Y1
+	}
+	return dx + dy
+}
+
+func cellBBox(cs []cell) geom.Rect {
+	b := geom.Rect{X0: cs[0].x, Y0: cs[0].y, X1: cs[0].x, Y1: cs[0].y}
+	for _, c := range cs[1:] {
+		if c.x < b.X0 {
+			b.X0 = c.x
+		}
+		if c.x > b.X1 {
+			b.X1 = c.x
+		}
+		if c.y < b.Y0 {
+			b.Y0 = c.y
+		}
+		if c.y > b.Y1 {
+			b.Y1 = c.y
+		}
+	}
+	return b
+}
+
+// move encodings for path reconstruction.
+const (
+	mvNone int8 = iota
+	mvXPos
+	mvXNeg
+	mvYPos
+	mvYNeg
+	mvZPos
+	mvZNeg
+)
+
+// astar searches inside the window. States are cells of the window × all
+// layers. Returns the path from a source cell to the first target reached.
+func (r *Router) astar(t *routeTask, src, targets []cell, win geom.Rect) ([]cell, bool) {
+	r.connects++
+	W := win.W()
+	H := win.H()
+	L := r.L
+	n := W * H * L
+	if len(r.dist) < n {
+		r.dist = make([]float64, n)
+		r.prevMv = make([]int8, n)
+		r.stamp = make([]int32, n)
+	}
+	r.curStamp++
+	stamp := r.curStamp
+	id := int32(t.net.ID)
+	f := r.f
+	cfg := &r.cfg
+
+	lidx := func(c cell) int { return (c.l*H+(c.y-win.Y0))*W + (c.x - win.X0) }
+	inWin := func(x, y int) bool { return x >= win.X0 && x <= win.X1 && y >= win.Y0 && y <= win.Y1 }
+
+	// Mark targets.
+	isTarget := make(map[cell]bool, len(targets))
+	tb := cellBBox(targets)
+	for _, c := range targets {
+		if inWin(c.x, c.y) {
+			isTarget[c] = true
+		}
+	}
+	if len(isTarget) == 0 {
+		return nil, false
+	}
+	h := func(x, y int) float64 {
+		dx, dy := 0, 0
+		if x < tb.X0 {
+			dx = tb.X0 - x
+		} else if x > tb.X1 {
+			dx = x - tb.X1
+		}
+		if y < tb.Y0 {
+			dy = tb.Y0 - y
+		} else if y > tb.Y1 {
+			dy = y - tb.Y1
+		}
+		return cfg.Alpha * float64(dx+dy)
+	}
+
+	pq := newCellHeap()
+	visit := func(c cell, d float64, mv int8) {
+		i := lidx(c)
+		if r.stamp[i] != stamp || d < r.dist[i]-1e-12 {
+			r.stamp[i] = stamp
+			r.dist[i] = d
+			r.prevMv[i] = mv
+			pq.push(i, d+h(c.x, c.y))
+		}
+	}
+	for _, c := range src {
+		if inWin(c.x, c.y) {
+			visit(c, 0, mvNone)
+		}
+	}
+
+	pinCells := make(map[[2]int]bool, len(t.net.Pins))
+	for _, p := range t.net.Pins {
+		pinCells[[2]int{p.X, p.Y}] = true
+	}
+
+	expansions := 0
+	var goal cell
+	found := false
+	for pq.len() > 0 {
+		i, fval := pq.pop()
+		// Unpack cell from window index.
+		x := i%W + win.X0
+		y := (i/W)%H + win.Y0
+		l := i / (W * H)
+		c := cell{x, y, l}
+		if r.stamp[i] != stamp || fval-h(x, y) > r.dist[i]+1e-9 {
+			continue
+		}
+		if isTarget[c] {
+			goal = c
+			found = true
+			break
+		}
+		expansions++
+		r.expansions++
+		if expansions > cfg.MaxExpansions {
+			break
+		}
+		d := r.dist[i]
+		preferred := f.LayerDir(l + 1)
+
+		// x moves
+		for _, step := range [2]struct {
+			dx int
+			mv int8
+		}{{1, mvXPos}, {-1, mvXNeg}} {
+			nx := x + step.dx
+			if nx < win.X0 || nx > win.X1 || !r.cellFree(nx, y, l, id) {
+				continue
+			}
+			cost := cfg.Alpha
+			if preferred != geom.Horizontal {
+				cost *= cfg.WrongWay
+			}
+			visit(cell{nx, y, l}, d+cost, step.mv)
+		}
+		// y moves: forbidden along stitching columns (hard constraint).
+		if !f.IsStitchCol(x) {
+			for _, step := range [2]struct {
+				dy int
+				mv int8
+			}{{1, mvYPos}, {-1, mvYNeg}} {
+				ny := y + step.dy
+				if ny < win.Y0 || ny > win.Y1 || !r.cellFree(x, ny, l, id) {
+					continue
+				}
+				cost := cfg.Alpha
+				if preferred != geom.Vertical {
+					cost *= cfg.WrongWay
+				}
+				if cfg.StitchAware && f.InEscape(x) {
+					cost += cfg.Gamma
+				}
+				visit(cell{x, ny, l}, d+cost, step.mv)
+			}
+		}
+		// z moves: vias forbidden on stitching columns except at pins.
+		if !f.IsStitchCol(x) || pinCells[[2]int{x, y}] {
+			for _, step := range [2]struct {
+				dl int
+				mv int8
+			}{{1, mvZPos}, {-1, mvZNeg}} {
+				nl := l + step.dl
+				if nl < 0 || nl >= L || !r.cellFree(x, y, nl, id) {
+					continue
+				}
+				cost := cfg.ViaCost
+				if cfg.StitchAware {
+					switch {
+					case f.IsStitchCol(x):
+						// Allowed only at a fixed pin, but it is still a
+						// via violation: take it only as a last resort.
+						cost += 2 * cfg.Beta
+					case f.InSUR(x):
+						cost += cfg.Beta
+					}
+					if f.InEscape(x) {
+						cost += cfg.Gamma
+					}
+				}
+				visit(cell{x, y, nl}, d+cost, step.mv)
+			}
+		}
+	}
+	if !found {
+		return nil, false
+	}
+	// Reconstruct.
+	var rev []cell
+	c := goal
+	for {
+		rev = append(rev, c)
+		mv := r.prevMv[lidx(c)]
+		switch mv {
+		case mvNone:
+			// reached a source cell
+			path := make([]cell, len(rev))
+			for i := range rev {
+				path[i] = rev[len(rev)-1-i]
+			}
+			return path, true
+		case mvXPos:
+			c.x--
+		case mvXNeg:
+			c.x++
+		case mvYPos:
+			c.y--
+		case mvYNeg:
+			c.y++
+		case mvZPos:
+			c.l--
+		case mvZNeg:
+			c.l++
+		}
+		if len(rev) > 4*(W*H*L+4) {
+			return nil, false // corrupt backtrace; fail safe
+		}
+	}
+}
+
+// cellHeap is a binary min-heap of (window index, priority).
+type cellHeap struct {
+	idx  []int32
+	prio []float64
+}
+
+func newCellHeap() *cellHeap { return &cellHeap{} }
+
+func (h *cellHeap) len() int { return len(h.idx) }
+
+func (h *cellHeap) push(i int, p float64) {
+	h.idx = append(h.idx, int32(i))
+	h.prio = append(h.prio, p)
+	j := len(h.idx) - 1
+	for j > 0 {
+		parent := (j - 1) / 2
+		if h.prio[parent] <= h.prio[j] {
+			break
+		}
+		h.swap(parent, j)
+		j = parent
+	}
+}
+
+func (h *cellHeap) pop() (int, float64) {
+	i, p := h.idx[0], h.prio[0]
+	last := len(h.idx) - 1
+	h.swap(0, last)
+	h.idx = h.idx[:last]
+	h.prio = h.prio[:last]
+	j := 0
+	for {
+		l, rr := 2*j+1, 2*j+2
+		small := j
+		if l < last && h.prio[l] < h.prio[small] {
+			small = l
+		}
+		if rr < last && h.prio[rr] < h.prio[small] {
+			small = rr
+		}
+		if small == j {
+			break
+		}
+		h.swap(j, small)
+		j = small
+	}
+	return int(i), p
+}
+
+func (h *cellHeap) swap(i, j int) {
+	h.idx[i], h.idx[j] = h.idx[j], h.idx[i]
+	h.prio[i], h.prio[j] = h.prio[j], h.prio[i]
+}

@@ -1,0 +1,131 @@
+package detail_test
+
+// Behavioral tests mirroring the paper's illustrative figures: the
+// via-in-SUR cost (Fig. 13), stitch-aware net ordering (Fig. 14), and the
+// escape-region reservation (Fig. 12). They live in an external test
+// package so they can use the DRC, which itself depends on detail.
+
+import (
+	"testing"
+
+	"stitchroute/internal/detail"
+	"stitchroute/internal/drc"
+	"stitchroute/internal/geom"
+	"stitchroute/internal/grid"
+	"stitchroute/internal/netlist"
+	"stitchroute/internal/plan"
+)
+
+func shortPolygons(t *testing.T, c *netlist.Circuit, plans []*plan.NetPlan, cfg detail.Config) int {
+	t.Helper()
+	r := detail.NewRouter(c.Fabric, cfg)
+	res := r.Run(c, plans)
+	for i := range res.Routes {
+		if !res.Routes[i].Routed {
+			t.Fatalf("net %d failed", i)
+		}
+	}
+	return drc.Check(c, res.Routes).ShortPolygons
+}
+
+// TestViaSURCostReducesShortPolygons mirrors Fig. 13: with β active, vias
+// shift out of stitch-unfriendly regions, so a segment pinned to a SUR
+// track produces no short polygon.
+func TestViaSURCostReducesShortPolygons(t *testing.T) {
+	build := func() (*netlist.Circuit, []*plan.NetPlan) {
+		f := grid.New(60, 60, 3)
+		n := &netlist.Net{ID: 0, Name: "a", Pins: []netlist.Pin{
+			{Point: geom.Point{X: 10, Y: 20}, Layer: 1},
+			{Point: geom.Point{X: 20, Y: 40}, Layer: 1},
+		}}
+		c := &netlist.Circuit{Name: "t", Fabric: f, Nets: []*netlist.Net{n}}
+		seg := &plan.GSeg{
+			NetID: 0, Dir: geom.Vertical, Panel: 1,
+			Span: geom.Interval{Lo: 1, Hi: 2}, Layer: 2,
+			Tracks: []int{1, 1}, // SUR track x=16
+		}
+		return c, []*plan.NetPlan{{NetID: 0, Segs: []*plan.GSeg{seg}}}
+	}
+	c1, p1 := build()
+	withBeta := shortPolygons(t, c1, p1, detail.DefaultConfig(true))
+	c2, p2 := build()
+	cfg := detail.DefaultConfig(true)
+	cfg.Beta = 0
+	cfg.Gamma = 0
+	withoutBeta := shortPolygons(t, c2, p2, cfg)
+	if withBeta > withoutBeta {
+		t.Errorf("β increased SPs: %d vs %d", withBeta, withoutBeta)
+	}
+}
+
+// TestNetOrderingConfigRespected mirrors Fig. 14: with bad-end ordering
+// on, the net with recorded bad ends routes first and both still succeed.
+func TestNetOrderingConfigRespected(t *testing.T) {
+	f := grid.New(60, 60, 3)
+	mk := func(id, x, badEnds int) (*netlist.Net, *plan.NetPlan) {
+		n := &netlist.Net{ID: id, Name: "n", Pins: []netlist.Pin{
+			{Point: geom.Point{X: x, Y: 5}, Layer: 1},
+			{Point: geom.Point{X: x, Y: 50}, Layer: 1},
+		}}
+		return n, &plan.NetPlan{NetID: id, BadEnds: badEnds}
+	}
+	n0, p0 := mk(0, 5, 0)
+	n1, p1 := mk(1, 9, 2)
+	c := &netlist.Circuit{Name: "t", Fabric: f, Nets: []*netlist.Net{n0, n1}}
+	for _, ordered := range []bool{true, false} {
+		cfg := detail.DefaultConfig(true)
+		cfg.OrderByBadEnds = ordered
+		r := detail.NewRouter(f, cfg)
+		res := r.Run(c, []*plan.NetPlan{p0, p1})
+		if !res.Routes[0].Routed || !res.Routes[1].Routed {
+			t.Fatalf("ordered=%v: nets failed", ordered)
+		}
+	}
+}
+
+// TestEscapeRegionAvoidedWhenFree mirrors Fig. 12's resource reservation:
+// with γ on, a net running parallel to a stitching line detours out of
+// the escape region when a free track outside exists.
+func TestEscapeRegionAvoidedWhenFree(t *testing.T) {
+	f := grid.New(60, 60, 3)
+	n := &netlist.Net{ID: 0, Name: "a", Pins: []netlist.Pin{
+		{Point: geom.Point{X: 13, Y: 5}, Layer: 1},
+		{Point: geom.Point{X: 13, Y: 50}, Layer: 1},
+	}}
+	c := &netlist.Circuit{Name: "t", Fabric: f, Nets: []*netlist.Net{n}}
+	r := detail.NewRouter(f, detail.DefaultConfig(true))
+	res := r.Run(c, nil)
+	if !res.Routes[0].Routed {
+		t.Fatal("net failed")
+	}
+	for _, w := range res.Routes[0].Wires {
+		if w.Orient == geom.Vertical && w.Span.Len() > 10 && f.InEscape(w.Fixed) {
+			t.Errorf("long vertical run in escape region at x=%d", w.Fixed)
+		}
+	}
+}
+
+// TestEscapeCostCrossingScenario builds the two-pin-pair scenario of
+// Fig. 12: pair A parallel to the stitch line, pair B crossing it. The
+// stitch-aware router must route both without a short polygon.
+func TestEscapeCostCrossingScenario(t *testing.T) {
+	f := grid.New(60, 60, 3)
+	a := &netlist.Net{ID: 0, Name: "A", Pins: []netlist.Pin{
+		{Point: geom.Point{X: 17, Y: 10}, Layer: 1},
+		{Point: geom.Point{X: 17, Y: 40}, Layer: 1},
+	}}
+	b := &netlist.Net{ID: 1, Name: "B", Pins: []netlist.Pin{
+		{Point: geom.Point{X: 10, Y: 25}, Layer: 1},
+		{Point: geom.Point{X: 25, Y: 25}, Layer: 1},
+	}}
+	c := &netlist.Circuit{Name: "t", Fabric: f, Nets: []*netlist.Net{a, b}}
+	r := detail.NewRouter(f, detail.DefaultConfig(true))
+	res := r.Run(c, nil)
+	rep := drc.Check(c, res.Routes)
+	if rep.RoutedNets != 2 {
+		t.Fatalf("routed %d/2", rep.RoutedNets)
+	}
+	if rep.ShortPolygons != 0 {
+		t.Errorf("crossing scenario produced %d short polygons", rep.ShortPolygons)
+	}
+}

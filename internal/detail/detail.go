@@ -1,0 +1,552 @@
+// Package detail implements stitch-aware detailed routing (§III-D).
+//
+// The detailed router works on the full track grid (x, y, layer). It first
+// materializes the wires planned by layer/track assignment, then connects
+// each net's pins and planned segments with A* searches (pin-to-segment and
+// segment-to-segment routing); nets that fail are ripped up and routed
+// directly, completing the second bottom-up pass of the framework.
+//
+// The grid cost follows eq. (10):
+//
+//	C(j) = C(i) + α·C_wl + β·C_vsu + γ·C_esc
+//
+// where C_vsu charges vias (z-moves) inside stitch-unfriendly regions and
+// C_esc charges vertical occupation of the escape region — the four tracks
+// nearest a stitching line, reserved for paths that must cross it. Hard
+// constraints always hold: wires may cross stitching lines only in the
+// x-direction, and vias may sit on a stitching line only at fixed pins.
+// Stitch-aware net ordering routes nets with more bad ends first, giving
+// them the resources to escape their stitch-unfriendly line ends.
+package detail
+
+import (
+	"sort"
+
+	"stitchroute/internal/geom"
+	"stitchroute/internal/grid"
+	"stitchroute/internal/netlist"
+	"stitchroute/internal/plan"
+)
+
+// Config controls the detailed router.
+type Config struct {
+	// StitchAware enables the β/γ cost terms and bad-end net ordering.
+	// Hard constraints (no vertical routing and no vias on stitching
+	// lines) hold in both modes, as in the paper's baseline.
+	StitchAware bool
+	// Alpha, Beta, Gamma are the eq. (10) weights (paper: 1, 10, 5).
+	Alpha, Beta, Gamma float64
+	// ViaCost is the base cost of a z-move.
+	ViaCost float64
+	// WrongWay multiplies Alpha for moves against a layer's preferred
+	// direction.
+	WrongWay float64
+	// OrderByBadEnds routes nets with more unavoidable bad ends first
+	// (§III-D2). On by default in stitch-aware mode; exposed separately
+	// for the net-ordering ablation.
+	OrderByBadEnds bool
+	// MaxExpansions bounds each A* attempt.
+	MaxExpansions int
+	// Negotiate lets a failed net evict a few small blocking nets and
+	// reroute them (bounded rip-up negotiation). Off by default; the
+	// recorded experiment tables use the paper's plain rip-up.
+	Negotiate bool
+}
+
+// DefaultConfig returns the paper's detailed-routing parameters.
+func DefaultConfig(stitchAware bool) Config {
+	return Config{
+		StitchAware:    stitchAware,
+		Alpha:          1,
+		Beta:           10,
+		Gamma:          5,
+		ViaCost:        2,
+		WrongWay:       2,
+		OrderByBadEnds: stitchAware,
+		MaxExpansions:  400_000,
+	}
+}
+
+// Result is the detailed routing outcome for a circuit.
+type Result struct {
+	Routes []plan.NetRoute // indexed like the circuit's net slice
+	Failed int             // nets that could not be fully connected
+	Ripped int             // nets whose planned segments were ripped up
+	// Search statistics.
+	Connects   int   // A* connection searches run
+	Expansions int64 // total A* node expansions
+}
+
+// Router carries the occupancy grid.
+type Router struct {
+	f       *grid.Fabric
+	cfg     Config
+	X, Y, L int
+	occ     []int32 // net ID + 1 per cell; 0 = free
+
+	// scratch buffers for the A* over a search box
+	dist     []float64
+	prevMv   []int8
+	stamp    []int32
+	curStamp int32
+
+	// search statistics accumulated across the run
+	connects   int
+	expansions int64
+}
+
+// NewRouter allocates the occupancy grid for the fabric.
+func NewRouter(f *grid.Fabric, cfg Config) *Router {
+	r := &Router{f: f, cfg: cfg, X: f.XTracks, Y: f.YTracks, L: f.Layers}
+	r.occ = make([]int32, r.X*r.Y*r.L)
+	return r
+}
+
+func (r *Router) idx(x, y, l int) int { return (l*r.Y+y)*r.X + x }
+
+// cellFree reports whether the cell is free or owned by net id.
+func (r *Router) cellFree(x, y, l int, id int32) bool {
+	o := r.occ[r.idx(x, y, l)]
+	return o == 0 || o == id+1
+}
+
+// Run routes every net. plans must be indexed like c.Nets; nil entries are
+// treated as unplanned local nets.
+func (r *Router) Run(c *netlist.Circuit, plans []*plan.NetPlan) *Result {
+	res := &Result{Routes: make([]plan.NetRoute, len(c.Nets))}
+
+	nets := make([]*routeTask, len(c.Nets))
+	for i, n := range c.Nets {
+		var p *plan.NetPlan
+		if plans != nil {
+			p = plans[i]
+		}
+		nets[i] = &routeTask{net: n, plan: p, slot: i}
+	}
+
+	// Reserve pin cells first so no planned wire or route of another net
+	// can cover a pin and strand it, plus the cell directly above each pin
+	// as a guaranteed via escape (otherwise dense neighbours can entomb a
+	// pin on its own layer). Unused escape cells are released after the
+	// owning net is routed.
+	for _, t := range nets {
+		for _, p := range t.net.Pins {
+			i := r.idx(p.X, p.Y, p.Layer-1)
+			if r.occ[i] == 0 {
+				r.occ[i] = int32(t.net.ID) + 1
+			}
+			if p.Layer < r.L {
+				up := r.idx(p.X, p.Y, p.Layer)
+				if r.occ[up] == 0 {
+					r.occ[up] = int32(t.net.ID) + 1
+					t.escapes = append(t.escapes, cell{p.X, p.Y, p.Layer})
+				}
+			}
+		}
+	}
+	// Materialize planned wires for all nets: track assignment reserved
+	// those resources, and detailed routing connects to them. Wires that
+	// would cover another net's pin are dropped by the conflict check.
+	for _, t := range nets {
+		r.materialize(t)
+	}
+
+	order := make([]*routeTask, len(nets))
+	copy(order, nets)
+	sort.SliceStable(order, func(a, b int) bool {
+		ta, tb := order[a], order[b]
+		la, lb := ta.level(), tb.level()
+		if la != lb {
+			return la < lb
+		}
+		if r.cfg.OrderByBadEnds {
+			ba, bb := ta.badEnds(), tb.badEnds()
+			if ba != bb {
+				return ba > bb // more bad ends first (§III-D2)
+			}
+		}
+		ha, hb := ta.net.HPWL(), tb.net.HPWL()
+		if ha != hb {
+			return ha < hb
+		}
+		return ta.net.ID < tb.net.ID
+	})
+
+	record := func(t *routeTask, routed bool) {
+		res.Routes[t.slot] = plan.NetRoute{
+			NetID:  t.net.ID,
+			Routed: routed,
+			Wires:  t.wires,
+			Vias:   t.vias,
+		}
+	}
+	for _, t := range order {
+		ok := r.routeNet(t)
+		if !ok {
+			// Rip up the planned geometry and route the net directly.
+			r.clearNet(t)
+			t.wires = nil
+			t.vias = nil
+			res.Ripped++
+			ok = r.routeNet(t)
+			if !ok {
+				r.clearNet(t)
+				t.wires = nil
+				t.vias = nil
+				if r.cfg.Negotiate {
+					var affected []*routeTask
+					ok, affected = r.negotiate(t, nets)
+					for _, v := range affected {
+						record(v, len(v.wires) > 0)
+					}
+				}
+			} else {
+				r.trimNet(t)
+			}
+		} else {
+			r.trimNet(t)
+		}
+		r.releaseEscapes(t)
+		record(t, ok)
+	}
+	// A negotiation can change earlier nets' status; count failures from
+	// the final record.
+	res.Failed = 0
+	for i := range res.Routes {
+		if !res.Routes[i].Routed {
+			res.Failed++
+		}
+	}
+	res.Connects = r.connects
+	res.Expansions = r.expansions
+	return res
+}
+
+// routeTask is the per-net routing state.
+type routeTask struct {
+	net     *netlist.Net
+	plan    *plan.NetPlan
+	slot    int
+	wires   []geom.Segment
+	vias    []plan.Via
+	escapes []cell // reserved via-escape cells above pins
+}
+
+// releaseEscapes frees reserved pin-escape cells the routed net did not
+// end up covering with metal, returning them to the routing pool.
+func (r *Router) releaseEscapes(t *routeTask) {
+	if len(t.escapes) == 0 {
+		return
+	}
+	covered := map[cell]bool{}
+	for _, w := range t.wires {
+		forEachCell(w, func(c cell) { covered[c] = true })
+	}
+	for _, c := range t.escapes {
+		if !covered[c] && r.occ[r.idx(c.x, c.y, c.l)] == int32(t.net.ID)+1 {
+			r.occ[r.idx(c.x, c.y, c.l)] = 0
+		}
+	}
+	t.escapes = nil
+}
+
+func (t *routeTask) level() int {
+	if t.plan != nil {
+		return t.plan.Level
+	}
+	return 0
+}
+
+func (t *routeTask) badEnds() int {
+	if t.plan == nil {
+		return 0
+	}
+	return t.plan.BadEnds
+}
+
+// materialize converts the net's assigned global segments into grid wires
+// and occupancy. Conflicting or unassigned (ripped) segments are skipped.
+func (r *Router) materialize(t *routeTask) {
+	if t.plan == nil {
+		return
+	}
+	sp := r.f.StitchPitch
+	id := int32(t.net.ID)
+	add := func(w geom.Segment) {
+		w = clipSegment(w, r.f)
+		if w.Span.Empty() {
+			return
+		}
+		// Check conflicts cell by cell; drop the wire if any cell is taken.
+		l := w.Layer - 1
+		if w.Orient == geom.Horizontal {
+			for x := w.Span.Lo; x <= w.Span.Hi; x++ {
+				if !r.cellFree(x, w.Fixed, l, id) {
+					return
+				}
+			}
+			for x := w.Span.Lo; x <= w.Span.Hi; x++ {
+				r.occ[r.idx(x, w.Fixed, l)] = id + 1
+			}
+		} else {
+			for y := w.Span.Lo; y <= w.Span.Hi; y++ {
+				if !r.cellFree(w.Fixed, y, l, id) {
+					return
+				}
+			}
+			for y := w.Span.Lo; y <= w.Span.Hi; y++ {
+				r.occ[r.idx(w.Fixed, y, l)] = id + 1
+			}
+		}
+		t.wires = append(t.wires, w)
+	}
+
+	for _, s := range t.plan.Segs {
+		if s.Ripped || s.Tracks == nil || s.Layer == 0 {
+			continue
+		}
+		if s.Dir == geom.Vertical {
+			panelX := s.Panel * sp
+			// Merge consecutive rows on the same track into one wire. The
+			// segment's end tiles are clipped to the tile center: the
+			// connection searches extend the wire exactly as far as the
+			// pins or crossing segments need, without overcommitting
+			// routing resources.
+			runLo := s.Span.Lo
+			cur := s.Tracks[0]
+			flush := func(lo, hi, track int) {
+				x := panelX + track
+				y0 := lo * sp
+				y1 := (hi+1)*sp - 1
+				if lo == s.Span.Lo {
+					y0 = lo*sp + sp/2
+				}
+				if hi == s.Span.Hi {
+					y1 = hi*sp + sp/2
+				}
+				add(geom.VSeg(s.Layer, x, y0, y1))
+			}
+			for ri := 1; ri < s.Span.Len(); ri++ {
+				if s.Tracks[ri] != cur {
+					flush(runLo, s.Span.Lo+ri-1, cur)
+					// Dogleg jog at the boundary row.
+					yJog := (s.Span.Lo + ri) * sp
+					if yJog > 0 {
+						yJog--
+					}
+					add(geom.HSeg(s.Layer, yJog, panelX+cur, panelX+s.Tracks[ri]))
+					runLo = s.Span.Lo + ri
+					cur = s.Tracks[ri]
+				}
+			}
+			flush(runLo, s.Span.Hi, cur)
+		} else {
+			y := s.Panel*sp + s.Tracks[0]
+			x0 := s.Span.Lo*sp + sp/2
+			x1 := s.Span.Hi*sp + sp/2
+			add(geom.HSeg(s.Layer, y, x0, x1))
+		}
+	}
+}
+
+func clipSegment(w geom.Segment, f *grid.Fabric) geom.Segment {
+	if w.Orient == geom.Horizontal {
+		w.Span = w.Span.Intersect(geom.Interval{Lo: 0, Hi: f.XTracks - 1})
+		if w.Fixed < 0 || w.Fixed >= f.YTracks {
+			w.Span = geom.Interval{Lo: 1, Hi: 0}
+		}
+	} else {
+		w.Span = w.Span.Intersect(geom.Interval{Lo: 0, Hi: f.YTracks - 1})
+		if w.Fixed < 0 || w.Fixed >= f.XTracks {
+			w.Span = geom.Interval{Lo: 1, Hi: 0}
+		}
+	}
+	return w
+}
+
+// clearNet removes all of the net's geometry from the occupancy grid.
+func (r *Router) clearNet(t *routeTask) {
+	for _, w := range t.wires {
+		l := w.Layer - 1
+		if w.Orient == geom.Horizontal {
+			for x := w.Span.Lo; x <= w.Span.Hi; x++ {
+				r.occ[r.idx(x, w.Fixed, l)] = 0
+			}
+		} else {
+			for y := w.Span.Lo; y <= w.Span.Hi; y++ {
+				r.occ[r.idx(w.Fixed, y, l)] = 0
+			}
+		}
+	}
+}
+
+// cell is a packed grid coordinate.
+type cell struct {
+	x, y, l int // l is 0-based layer index
+}
+
+// components groups the net's current geometry (wires and pins) into
+// connected components; vias connect adjacent layers.
+func (t *routeTask) components() [][]cell {
+	type item struct {
+		cells []cell
+	}
+	var items []item
+	for _, w := range t.wires {
+		var cs []cell
+		if w.Orient == geom.Horizontal {
+			for x := w.Span.Lo; x <= w.Span.Hi; x++ {
+				cs = append(cs, cell{x, w.Fixed, w.Layer - 1})
+			}
+		} else {
+			for y := w.Span.Lo; y <= w.Span.Hi; y++ {
+				cs = append(cs, cell{w.Fixed, y, w.Layer - 1})
+			}
+		}
+		items = append(items, item{cs})
+	}
+	for _, p := range t.net.Pins {
+		items = append(items, item{[]cell{{p.X, p.Y, p.Layer - 1}}})
+	}
+	// Union by shared cell or via link.
+	parent := make([]int, len(items))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	owner := map[cell]int{}
+	for i, it := range items {
+		for _, c := range it.cells {
+			if j, ok := owner[c]; ok {
+				union(i, j)
+			} else {
+				owner[c] = i
+			}
+		}
+	}
+	for _, v := range t.vias {
+		a, okA := owner[cell{v.X, v.Y, v.Layer - 1}]
+		b, okB := owner[cell{v.X, v.Y, v.Layer}]
+		if okA && okB {
+			union(a, b)
+		}
+	}
+	groups := map[int][]cell{}
+	for i, it := range items {
+		root := find(i)
+		groups[root] = append(groups[root], it.cells...)
+	}
+	var out [][]cell
+	roots := make([]int, 0, len(groups))
+	for root := range groups {
+		roots = append(roots, root)
+	}
+	sort.Ints(roots)
+	for _, root := range roots {
+		out = append(out, groups[root])
+	}
+	return out
+}
+
+// routeNet connects all components of the net. Returns false on failure;
+// partial geometry stays recorded (the caller rips it).
+func (r *Router) routeNet(t *routeTask) bool {
+	for {
+		comps := t.components()
+		if len(comps) <= 1 {
+			return true
+		}
+		// Connect the first component to the nearest other component
+		// (tight target boxes keep the A* heuristic sharp).
+		src := comps[0]
+		srcBox := cellBBox(src)
+		best, bestD := 1, 1<<30
+		for ci := 1; ci < len(comps); ci++ {
+			if d := rectDist(srcBox, cellBBox(comps[ci])); d < bestD {
+				best, bestD = ci, d
+			}
+		}
+		path, ok := r.connect(t, src, comps[best])
+		if !ok {
+			return false
+		}
+		r.commitPath(t, path)
+	}
+}
+
+// commitPath converts an A* cell path into wires and vias. Every cell the
+// path touches ends up covered by metal: straight runs become wires, and
+// cells a via stack merely passes through get single-cell pads, so the
+// occupancy grid and the geometric connectivity stay exact.
+func (r *Router) commitPath(t *routeTask, path []cell) {
+	id := int32(t.net.ID)
+	metal := make(map[cell]bool, len(path))
+	addWire := func(w geom.Segment) {
+		t.wires = append(t.wires, w)
+		r.markWire(w, id)
+		forEachCell(w, func(c cell) { metal[c] = true })
+	}
+	for i := 0; i+1 < len(path); {
+		a, b := path[i], path[i+1]
+		if a.l != b.l { // via
+			lo := a.l
+			if b.l < lo {
+				lo = b.l
+			}
+			t.vias = append(t.vias, plan.Via{X: a.x, Y: a.y, Layer: lo + 1})
+			i++
+			continue
+		}
+		// Extend the straight run as far as it goes.
+		dx, dy := sign(b.x-a.x), sign(b.y-a.y)
+		j := i + 1
+		for j+1 < len(path) && path[j+1].l == a.l &&
+			sign(path[j+1].x-path[j].x) == dx && sign(path[j+1].y-path[j].y) == dy {
+			j++
+		}
+		if dy == 0 {
+			addWire(geom.HSeg(a.l+1, a.y, a.x, path[j].x))
+		} else {
+			addWire(geom.VSeg(a.l+1, a.x, a.y, path[j].y))
+		}
+		i = j
+	}
+	// Pad cells traversed without metal (via endpoints, lone terminals).
+	for _, c := range path {
+		if !metal[c] {
+			addWire(geom.HSeg(c.l+1, c.y, c.x, c.x))
+		}
+	}
+}
+
+func sign(v int) int {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	}
+	return 0
+}
+
+func (r *Router) markWire(w geom.Segment, id int32) {
+	l := w.Layer - 1
+	if w.Orient == geom.Horizontal {
+		for x := w.Span.Lo; x <= w.Span.Hi; x++ {
+			r.occ[r.idx(x, w.Fixed, l)] = id + 1
+		}
+	} else {
+		for y := w.Span.Lo; y <= w.Span.Hi; y++ {
+			r.occ[r.idx(w.Fixed, y, l)] = id + 1
+		}
+	}
+}

@@ -1,0 +1,257 @@
+// Package drc checks final routed geometry against the three stitch-aware
+// routing constraints (§II-A):
+//
+//  1. Via constraint — vias must not sit on a stitching line. Violations
+//     are unavoidable at fixed pins (the router may not move them) and the
+//     report separates pin-forced violations from genuine router errors.
+//  2. Vertical routing constraint — no wire may run vertically along a
+//     stitching line.
+//  3. Short polygon constraint — a horizontal wire cut by a stitching
+//     line must not have a line end inside that line's stitch-unfriendly
+//     region with a landing via.
+//
+// The checker also reports routability and total wirelength, the remaining
+// columns of Tables III, VII and VIII.
+package drc
+
+import (
+	"stitchroute/internal/detail"
+	"stitchroute/internal/geom"
+	"stitchroute/internal/grid"
+	"stitchroute/internal/netlist"
+	"stitchroute/internal/plan"
+)
+
+// Report is the full-chip violation summary.
+type Report struct {
+	TotalNets  int
+	RoutedNets int
+	// ViaViolations counts vias on stitching-line columns (the #VV column;
+	// these occur only at fixed pins in a legal solution).
+	ViaViolations int
+	// ViaViolationsOffPin counts via violations NOT at a pin of the net —
+	// zero for any correct router, stitch-aware or baseline.
+	ViaViolationsOffPin int
+	// VertRouteViolations counts vertical wires running on stitching
+	// lines — zero for any correct router.
+	VertRouteViolations int
+	// ShortPolygons counts stitch-cut horizontal wire ends in SURs with
+	// landing vias (the #SP column).
+	ShortPolygons int
+	// SPSites locates the first short polygons found (capped), for the
+	// zoomed Fig. 16 views.
+	SPSites []geom.Point
+	// Wirelength is the total routed track length.
+	Wirelength int64
+	// Vias is the total via count (the paper's secondary minimization
+	// objective, Problem 1).
+	Vias int
+}
+
+// maxSPSites caps the recorded short-polygon locations.
+const maxSPSites = 256
+
+// Routability returns routed/total as a percentage.
+func (r Report) Routability() float64 {
+	if r.TotalNets == 0 {
+		return 100
+	}
+	return 100 * float64(r.RoutedNets) / float64(r.TotalNets)
+}
+
+// Check inspects every routed net of the circuit.
+func Check(c *netlist.Circuit, routes []plan.NetRoute) Report {
+	rep := Report{TotalNets: len(c.Nets)}
+	f := c.Fabric
+	for i := range routes {
+		rt := &routes[i]
+		if rt.Routed {
+			rep.RoutedNets++
+		}
+		var pins []netlist.Pin
+		if i < len(c.Nets) {
+			pins = c.Nets[i].Pins
+		}
+		checkNet(f, rt, pins, &rep)
+	}
+	return rep
+}
+
+func checkNet(f *grid.Fabric, rt *plan.NetRoute, pins []netlist.Pin, rep *Report) {
+	merged := detail.MergedWires(rt.Wires)
+	for _, w := range merged {
+		rep.Wirelength += int64(w.Span.Len() - 1)
+	}
+
+	pinAt := make(map[geom.Point]bool, len(pins))
+	for _, p := range pins {
+		pinAt[p.Point] = true
+	}
+
+	// Via constraint.
+	rep.Vias += len(rt.Vias)
+	viaAt := make(map[[3]int]bool, len(rt.Vias)*2)
+	for _, v := range rt.Vias {
+		viaAt[[3]int{v.X, v.Y, v.Layer}] = true
+		viaAt[[3]int{v.X, v.Y, v.Layer + 1}] = true
+		if f.IsStitchCol(v.X) {
+			rep.ViaViolations++
+			if !pinAt[geom.Point{X: v.X, Y: v.Y}] {
+				rep.ViaViolationsOffPin++
+			}
+		}
+	}
+
+	// Vertical routing constraint.
+	for _, w := range merged {
+		if w.Orient == geom.Vertical && f.IsStitchCol(w.Fixed) && w.Span.Len() > 1 {
+			rep.VertRouteViolations++
+		}
+	}
+
+	// Short polygon constraint: for each maximal horizontal wire, find the
+	// stitching lines that cut it; an end within ε of its cutting line
+	// with a landing via is a short polygon.
+	for _, w := range merged {
+		if w.Orient != geom.Horizontal {
+			continue
+		}
+		lo, hi := w.Span.Lo, w.Span.Hi
+		for _, end := range [2]int{lo, hi} {
+			s, d := f.NearestStitch(end)
+			if d == 0 || d > f.SUREps {
+				continue
+			}
+			// The nearest stitching line must actually cut the wire.
+			if s <= lo || s >= hi {
+				continue
+			}
+			// Landing via at the end, touching this wire's layer.
+			if viaAt[[3]int{end, w.Fixed, w.Layer}] {
+				rep.ShortPolygons++
+				if len(rep.SPSites) < maxSPSites {
+					rep.SPSites = append(rep.SPSites, geom.Point{X: end, Y: w.Fixed})
+				}
+			}
+		}
+	}
+}
+
+// CheckShorts counts track cells covered by wires of two or more
+// different nets — electrical shorts. A correct router always returns
+// zero; the function exists for integration tests and debugging, and is
+// kept out of Check because the full-chip cell map is expensive on the
+// largest circuits.
+func CheckShorts(routes []plan.NetRoute) int {
+	owner := make(map[[3]int]int32)
+	shorts := 0
+	for i := range routes {
+		id := int32(routes[i].NetID)
+		for _, w := range routes[i].Wires {
+			l := w.Layer
+			if w.Orient == geom.Horizontal {
+				for x := w.Span.Lo; x <= w.Span.Hi; x++ {
+					shorts += claim(owner, [3]int{x, w.Fixed, l}, id)
+				}
+			} else {
+				for y := w.Span.Lo; y <= w.Span.Hi; y++ {
+					shorts += claim(owner, [3]int{w.Fixed, y, l}, id)
+				}
+			}
+		}
+	}
+	return shorts
+}
+
+func claim(owner map[[3]int]int32, cell [3]int, id int32) int {
+	if prev, ok := owner[cell]; ok {
+		if prev != id {
+			return 1
+		}
+		return 0
+	}
+	owner[cell] = id
+	return 0
+}
+
+// CheckConnectivity verifies that each net marked routed actually connects
+// all its pins through its geometry (wires sharing cells on a layer, vias
+// linking adjacent layers). It returns the number of routed nets that are
+// in fact disconnected — zero for a correct router. Like CheckShorts it
+// is meant for tests and debugging.
+func CheckConnectivity(c *netlist.Circuit, routes []plan.NetRoute) int {
+	bad := 0
+	for i := range routes {
+		if !routes[i].Routed {
+			continue
+		}
+		if i >= len(c.Nets) || !netConnected(&routes[i], c.Nets[i]) {
+			bad++
+		}
+	}
+	return bad
+}
+
+func netConnected(rt *plan.NetRoute, net *netlist.Net) bool {
+	type cell3 struct{ x, y, l int }
+	cells := map[cell3]int{}
+	parent := []int{}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	touch := func(c cell3) int {
+		if id, ok := cells[c]; ok {
+			return id
+		}
+		id := len(parent)
+		parent = append(parent, id)
+		cells[c] = id
+		return id
+	}
+	for _, w := range rt.Wires {
+		prev := -1
+		if w.Orient == geom.Horizontal {
+			for x := w.Span.Lo; x <= w.Span.Hi; x++ {
+				id := touch(cell3{x, w.Fixed, w.Layer})
+				if prev >= 0 {
+					union(prev, id)
+				}
+				prev = id
+			}
+		} else {
+			for y := w.Span.Lo; y <= w.Span.Hi; y++ {
+				id := touch(cell3{w.Fixed, y, w.Layer})
+				if prev >= 0 {
+					union(prev, id)
+				}
+				prev = id
+			}
+		}
+	}
+	for _, v := range rt.Vias {
+		a, okA := cells[cell3{v.X, v.Y, v.Layer}]
+		b, okB := cells[cell3{v.X, v.Y, v.Layer + 1}]
+		if okA && okB {
+			union(a, b)
+		}
+	}
+	root := -1
+	for _, p := range net.Pins {
+		id, ok := cells[cell3{p.X, p.Y, p.Layer}]
+		if !ok {
+			return false
+		}
+		if root == -1 {
+			root = find(id)
+		} else if find(id) != root {
+			return false
+		}
+	}
+	return true
+}

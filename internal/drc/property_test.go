@@ -1,0 +1,118 @@
+package drc
+
+import (
+	"math/rand"
+	"testing"
+
+	"stitchroute/internal/detail"
+	"stitchroute/internal/geom"
+	"stitchroute/internal/grid"
+	"stitchroute/internal/netlist"
+	"stitchroute/internal/plan"
+)
+
+// bruteShortPolygons recounts short polygons with an independent, naive
+// implementation: merge wires, then for every horizontal wire end check
+// every stitching line explicitly.
+func bruteShortPolygons(f *grid.Fabric, rt *plan.NetRoute) int {
+	merged := detail.MergedWires(rt.Wires)
+	via := map[[3]int]bool{}
+	for _, v := range rt.Vias {
+		via[[3]int{v.X, v.Y, v.Layer}] = true
+		via[[3]int{v.X, v.Y, v.Layer + 1}] = true
+	}
+	count := 0
+	for _, w := range merged {
+		if w.Orient != geom.Horizontal {
+			continue
+		}
+		for _, s := range f.StitchCols() {
+			if !(w.Span.Lo < s && s < w.Span.Hi) {
+				continue // not cut by this line
+			}
+			for _, end := range [2]int{w.Span.Lo, w.Span.Hi} {
+				d := end - s
+				if d < 0 {
+					d = -d
+				}
+				if d >= 1 && d <= f.SUREps && via[[3]int{end, w.Fixed, w.Layer}] {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}
+
+func TestShortPolygonCountMatchesBruteForce(t *testing.T) {
+	f := grid.New(90, 60, 3)
+	rng := rand.New(rand.NewSource(77))
+	for iter := 0; iter < 200; iter++ {
+		// Random geometry: a handful of horizontal wires and vias.
+		var rt plan.NetRoute
+		rt.Routed = true
+		nw := 1 + rng.Intn(5)
+		for i := 0; i < nw; i++ {
+			y := rng.Intn(60)
+			x0 := rng.Intn(85)
+			x1 := x0 + 1 + rng.Intn(89-x0)
+			layer := 1 + 2*rng.Intn(2) // 1 or 3
+			rt.Wires = append(rt.Wires, geom.HSeg(layer, y, x0, x1))
+			// Sometimes add a via at a wire end.
+			if rng.Intn(2) == 0 {
+				end := x0
+				if rng.Intn(2) == 0 {
+					end = x1
+				}
+				vl := layer
+				if vl >= f.Layers {
+					vl = layer - 1
+				}
+				rt.Vias = append(rt.Vias, plan.Via{X: end, Y: y, Layer: vl})
+			}
+		}
+		c := &netlist.Circuit{Name: "t", Fabric: f, Nets: []*netlist.Net{
+			{ID: 0, Name: "n", Pins: []netlist.Pin{
+				{Point: geom.Point{X: 1, Y: 1}, Layer: 1},
+				{Point: geom.Point{X: 2, Y: 2}, Layer: 1},
+			}},
+		}}
+		rep := Check(c, []plan.NetRoute{rt})
+		want := bruteShortPolygons(f, &rt)
+		if rep.ShortPolygons != want {
+			t.Fatalf("iter %d: Check found %d SPs, brute force %d (wires %v vias %v)",
+				iter, rep.ShortPolygons, want, rt.Wires, rt.Vias)
+		}
+		if len(rep.SPSites) > rep.ShortPolygons {
+			t.Fatalf("iter %d: more sites than SPs", iter)
+		}
+	}
+}
+
+func TestWirelengthMatchesCellCount(t *testing.T) {
+	f := grid.New(60, 60, 3)
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 100; iter++ {
+		var rt plan.NetRoute
+		rt.Routed = true
+		// Non-overlapping wires on distinct rows/layers so lengths add up.
+		total := int64(0)
+		for i := 0; i < 4; i++ {
+			y := i * 7
+			x0 := rng.Intn(30)
+			x1 := x0 + rng.Intn(29)
+			rt.Wires = append(rt.Wires, geom.HSeg(1, y, x0, x1))
+			total += int64(geom.NewInterval(x0, x1).Len() - 1)
+		}
+		c := &netlist.Circuit{Name: "t", Fabric: f, Nets: []*netlist.Net{
+			{ID: 0, Name: "n", Pins: []netlist.Pin{
+				{Point: geom.Point{X: 1, Y: 1}, Layer: 1},
+				{Point: geom.Point{X: 2, Y: 2}, Layer: 1},
+			}},
+		}}
+		rep := Check(c, []plan.NetRoute{rt})
+		if rep.Wirelength != total {
+			t.Fatalf("iter %d: WL %d, want %d", iter, rep.Wirelength, total)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"stitchroute/internal/core"
+	"stitchroute/internal/geom"
+	"stitchroute/internal/grid"
+	"stitchroute/internal/raster"
+	"stitchroute/internal/track"
+	"stitchroute/internal/viz"
+)
+
+// Fig15 routes the named circuit with the stitch-aware framework and
+// writes the full-chip SVG (the paper shows S38417).
+func Fig15(w io.Writer, circuit string) error {
+	c, res, err := RouteCircuit(circuit, core.StitchAware())
+	if err != nil {
+		return err
+	}
+	return viz.WriteSVG(w, c.Fabric, res.Routes, viz.Options{
+		Scale: 1.4,
+		Title: fmt.Sprintf("Fig. 15 - stitch-aware routing of %s (%.2f%% routed, %d short polygons)",
+			circuit, res.Report.Routability(), res.Report.ShortPolygons),
+	})
+}
+
+// Fig16 writes the two local views of Fig. 16: the same circuit routed
+// without (a) and with (b) stitch awareness, zoomed on a window where the
+// stitch-oblivious flow produced a short polygon. It returns the two
+// chip-level short-polygon counts.
+func Fig16(wA, wB io.Writer, circuit string) (spWithout, spWith int, err error) {
+	baseCfg := core.Baseline()
+	baseCfg.TrackAlgo = track.Conventional
+	cA, resA, err := RouteCircuit(circuit, baseCfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	win := spWindow(cA.Fabric, resA.Report.SPSites)
+	if err := viz.WriteSVG(wA, cA.Fabric, resA.Routes, viz.Options{
+		Window:  win,
+		Scale:   12,
+		ShowSUR: true,
+		Title: fmt.Sprintf("Fig. 16(a) - without stitch consideration (%d short polygons on chip)",
+			resA.Report.ShortPolygons),
+	}); err != nil {
+		return 0, 0, err
+	}
+
+	cB, resB, err := RouteCircuit(circuit, core.StitchAware())
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := viz.WriteSVG(wB, cB.Fabric, resB.Routes, viz.Options{
+		Window:  win,
+		Scale:   12,
+		ShowSUR: true,
+		Title: fmt.Sprintf("Fig. 16(b) - stitch-aware with doglegs (%d short polygons on chip)",
+			resB.Report.ShortPolygons),
+	}); err != nil {
+		return 0, 0, err
+	}
+	return resA.Report.ShortPolygons, resB.Report.ShortPolygons, nil
+}
+
+// spWindow picks a zoom window around the first recorded short polygon,
+// or the chip center when there is none.
+func spWindow(f *grid.Fabric, sites []geom.Point) geom.Rect {
+	center := geom.Point{X: f.XTracks / 2, Y: f.YTracks / 2}
+	if len(sites) > 0 {
+		center = sites[0]
+	}
+	r := geom.Rect{
+		X0: center.X - 2*f.StitchPitch, Y0: center.Y - f.StitchPitch,
+		X1: center.X + 2*f.StitchPitch, Y1: center.Y + f.StitchPitch,
+	}
+	return r.Intersect(f.Bounds())
+}
+
+// Fig4Row is one point of the rasterization-defect experiment (Fig. 4):
+// the dithering defect score of a wire cut at increasing distances from
+// its end, under a fixed overlay misalignment.
+type Fig4Row struct {
+	StubLen int // pixels between the cut and the wire end
+	Score   float64
+}
+
+// Fig4 computes the defect score as a function of stub length, showing
+// the short-polygon failure mode: short stubs distort far more.
+func Fig4() ([]Fig4Row, error) {
+	const length = 60
+	const misalign = 0.45
+	var rows []Fig4Row
+	for _, stub := range []int{2, 3, 4, 6, 8, 12, 20, 30} {
+		score, err := raster.CutWireDefect(length, stub, misalign)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig4Row{StubLen: stub, Score: score})
+	}
+	return rows, nil
+}
+
+// FprintFig4 renders the Fig. 4 defect curve as text.
+func FprintFig4(w io.Writer, rows []Fig4Row) {
+	fmt.Fprintf(w, "%-10s %-12s\n", "stub(px)", "defect")
+	for _, r := range rows {
+		bar := ""
+		for i := 0.0; i < r.Score*200; i++ {
+			bar += "#"
+		}
+		fmt.Fprintf(w, "%-10d %-12.4f %s\n", r.StubLen, r.Score, bar)
+	}
+}

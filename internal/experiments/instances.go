@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"stitchroute/internal/layer"
+)
+
+// small-instance parameters for the optimality-gap study
+const (
+	gapInstances = 25
+	gapSegs      = 9
+	gapRows      = 14
+	gapBudget    = 5_000_000
+)
+
+// DefaultTable6Gap runs the gap study with the default parameters.
+func DefaultTable6Gap() []Table6GapRow {
+	return Table6Gap(2013, gapInstances, gapSegs, gapRows, gapBudget)
+}
+
+// Table VI layer counts from the paper.
+var tableVILayers = []int{2, 3, 4, 5}
+
+// InstanceSet is the randomized layer-assignment workload of Tables V–VI:
+// 50 instances with the same number of intervals and global tiles.
+type InstanceSet struct {
+	Instances []*layer.Instance
+}
+
+// NewInstanceSet generates n random panel instances with nSegs segments
+// over nRows tile rows, deterministic for a given seed.
+func NewInstanceSet(seed int64, n, nSegs, nRows int) *InstanceSet {
+	rng := rand.New(rand.NewSource(seed))
+	set := &InstanceSet{}
+	for i := 0; i < n; i++ {
+		set.Instances = append(set.Instances, layer.RandomInstance(rng, nSegs, nRows))
+	}
+	return set
+}
+
+// DefaultInstanceSet reproduces the Table V workload: 50 instances whose
+// density statistics land near the paper's (max segment density ~11.7,
+// average ~5.7; max line-end density ~6.1, average ~2.0).
+func DefaultInstanceSet() *InstanceSet { return NewInstanceSet(2013, 50, 20, 20) }
+
+// Table5 reports the density statistics of the instance set (Table V).
+type Table5Stats struct {
+	Instances      int
+	SegMax, SegAvg float64
+	EndMax, EndAvg float64
+}
+
+// Table5 computes the averaged density statistics.
+func (s *InstanceSet) Table5() Table5Stats {
+	st := Table5Stats{Instances: len(s.Instances)}
+	for _, in := range s.Instances {
+		sm, sa := in.SegDensity()
+		em, ea := in.EndDensity()
+		st.SegMax += sm
+		st.SegAvg += sa
+		st.EndMax += em
+		st.EndAvg += ea
+	}
+	n := float64(len(s.Instances))
+	if n > 0 {
+		st.SegMax /= n
+		st.SegAvg /= n
+		st.EndMax /= n
+		st.EndAvg /= n
+	}
+	return st
+}
+
+// FprintTable5 renders Table V.
+func FprintTable5(w io.Writer, st Table5Stats) {
+	fmt.Fprintf(w, "%-10s | %-17s | %-17s\n", "#Instance", "Segment density", "Line end density")
+	fmt.Fprintf(w, "%-10s | %8s %8s | %8s %8s\n", "", "Max", "Avg.", "Max", "Avg.")
+	fmt.Fprintf(w, "%-10d | %8.2f %8.2f | %8.2f %8.2f\n",
+		st.Instances, st.SegMax, st.SegAvg, st.EndMax, st.EndAvg)
+}
+
+// Table6Row is the average layer-assignment cost at one layer count.
+type Table6Row struct {
+	K                  int
+	MST, Ours          float64
+	ImprovementPercent float64
+}
+
+// Table6 runs both layer-assignment heuristics over the instance set for
+// k = 2..5 vertical layers and reports average costs (Table VI).
+func (s *InstanceSet) Table6() []Table6Row {
+	var rows []Table6Row
+	for _, k := range tableVILayers {
+		var mst, ours float64
+		for _, in := range s.Instances {
+			mst += float64(in.Cost(layer.Assign(in, k, layer.MaxSpanningTree)))
+			ours += float64(in.Cost(layer.Assign(in, k, layer.KColorableSubset)))
+		}
+		n := float64(len(s.Instances))
+		row := Table6Row{K: k, MST: mst / n, Ours: ours / n}
+		if row.MST > 0 {
+			row.ImprovementPercent = 100 * (1 - row.Ours/row.MST)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FprintTable6 renders Table VI.
+func FprintTable6(w io.Writer, rows []Table6Row) {
+	fmt.Fprintf(w, "%-24s", "Heuristic")
+	for _, r := range rows {
+		fmt.Fprintf(w, " %9s", fmt.Sprintf("k=%d", r.K))
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-24s", "Max. Spanning Tree [4]")
+	for _, r := range rows {
+		fmt.Fprintf(w, " %9.2f", r.MST)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-24s", "Ours")
+	for _, r := range rows {
+		fmt.Fprintf(w, " %9.2f", r.Ours)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-24s", "Improvement")
+	for _, r := range rows {
+		fmt.Fprintf(w, " %8.2f%%", r.ImprovementPercent)
+	}
+	fmt.Fprintln(w)
+}
+
+// Table6GapRow reports the heuristics' optimality gap on small instances
+// where the exact branch-and-bound completes (an extension beyond the
+// paper, which compares only the two heuristics).
+type Table6GapRow struct {
+	K                int
+	Exact, MST, Ours float64
+	OursGapPercent   float64 // (ours - exact) / exact
+	Completed        int     // instances solved to proven optimality
+}
+
+// Table6Gap measures the gap to optimum over a small-instance set.
+func Table6Gap(seed int64, n, nSegs, nRows int, budget int) []Table6GapRow {
+	set := NewInstanceSet(seed, n, nSegs, nRows)
+	var rows []Table6GapRow
+	for _, k := range tableVILayers {
+		row := Table6GapRow{K: k}
+		for _, in := range set.Instances {
+			colors, optimal := layer.ExactAssign(in, k, budget)
+			if !optimal {
+				continue
+			}
+			row.Completed++
+			row.Exact += float64(in.Cost(colors))
+			row.MST += float64(in.Cost(layer.Assign(in, k, layer.MaxSpanningTree)))
+			row.Ours += float64(in.Cost(layer.Assign(in, k, layer.KColorableSubset)))
+		}
+		if row.Completed > 0 {
+			n := float64(row.Completed)
+			row.Exact /= n
+			row.MST /= n
+			row.Ours /= n
+			if row.Exact > 0 {
+				row.OursGapPercent = 100 * (row.Ours - row.Exact) / row.Exact
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FprintTable6Gap renders the optimality-gap extension.
+func FprintTable6Gap(w io.Writer, rows []Table6GapRow) {
+	fmt.Fprintf(w, "%-10s %9s %9s %9s %10s %10s\n", "k", "exact", "MST [4]", "ours", "ours gap", "#solved")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10d %9.2f %9.2f %9.2f %9.1f%% %10d\n",
+			r.K, r.Exact, r.MST, r.Ours, r.OursGapPercent, r.Completed)
+	}
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPhysicalValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("routing experiment in -short mode")
+	}
+	base, ours, err := Physical("S9234")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Cuts == 0 {
+		t.Fatal("no stitch cuts in baseline; simulation vacuous")
+	}
+	// Stitch-aware routing keeps via-landing stubs away from stitch
+	// lines, so the simulated defect mass per cut must not be worse.
+	if ours.ViaCuts > base.ViaCuts {
+		t.Errorf("stitch-aware has more via cuts: %d vs %d", ours.ViaCuts, base.ViaCuts)
+	}
+	// The dangerous short-stub regime must collapse, mirroring the #SP
+	// reduction.
+	if base.ShortStubViaCuts == 0 {
+		t.Fatal("baseline produced no SP-regime cuts; vacuous")
+	}
+	if float64(ours.ShortStubViaCuts) > 0.2*float64(base.ShortStubViaCuts) {
+		t.Errorf("SP-regime cuts not collapsed: %d -> %d", base.ShortStubViaCuts, ours.ShortStubViaCuts)
+	}
+	basePer := base.TotalDefect / float64(base.Cuts)
+	oursPer := ours.TotalDefect / float64(maxInt(ours.Cuts, 1))
+	if oursPer > basePer*1.05 {
+		t.Errorf("stitch-aware per-cut defect %.4f above baseline %.4f", oursPer, basePer)
+	}
+	var sb strings.Builder
+	FprintPhysical(&sb, "S9234", base, ours)
+	if !strings.Contains(sb.String(), "defect-mass ratio") {
+		t.Error("output missing ratio")
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,35 @@
+package flow
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkAssignment measures min-cost flow on n×n assignment problems,
+// the shape the layer-assignment stage solves.
+func BenchmarkAssignment(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 40
+	cost := make([][]int64, n)
+	for i := range cost {
+		cost[i] = make([]int64, n)
+		for j := range cost[i] {
+			cost[i][j] = int64(rng.Intn(100))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := NewNetwork(2*n + 2)
+		s, t := 2*n, 2*n+1
+		for r := 0; r < n; r++ {
+			g.AddArc(s, r, 1, 0)
+			g.AddArc(n+r, t, 1, 0)
+			for c := 0; c < n; c++ {
+				g.AddArc(r, n+c, 1, cost[r][c])
+			}
+		}
+		if sent, _ := g.MinCostFlow(s, t, int64(n), false); sent != int64(n) {
+			b.Fatal("incomplete flow")
+		}
+	}
+}

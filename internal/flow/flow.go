@@ -1,0 +1,118 @@
+// Package flow implements min-cost max-flow by successive shortest paths
+// with Bellman–Ford (SPFA) path finding, supporting negative arc costs as
+// long as there is no negative cycle. The paper solves its
+// layer-assignment min-cost flow with LEDA (§IV); this package is the
+// from-scratch substitute.
+package flow
+
+import "fmt"
+
+// Network is a directed flow network under construction. Vertices are
+// dense integers 0..N-1.
+type Network struct {
+	n     int
+	heads []int32 // head of adjacency list per vertex, -1 terminated
+	next  []int32
+	to    []int32
+	cap   []int64
+	cost  []int64
+}
+
+// NewNetwork returns an empty network with n vertices.
+func NewNetwork(n int) *Network {
+	heads := make([]int32, n)
+	for i := range heads {
+		heads[i] = -1
+	}
+	return &Network{n: n, heads: heads}
+}
+
+// N returns the number of vertices.
+func (g *Network) N() int { return g.n }
+
+// AddArc adds a directed arc u->v with the given capacity and per-unit
+// cost, plus its residual reverse arc. It returns the arc's index, usable
+// with Flow after solving.
+func (g *Network) AddArc(u, v int, capacity, cost int64) int {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("flow: arc %d->%d out of range (n=%d)", u, v, g.n))
+	}
+	if capacity < 0 {
+		panic("flow: negative capacity")
+	}
+	id := len(g.to)
+	g.to = append(g.to, int32(v), int32(u))
+	g.cap = append(g.cap, capacity, 0)
+	g.cost = append(g.cost, cost, -cost)
+	g.next = append(g.next, g.heads[u], g.heads[v])
+	g.heads[u] = int32(id)
+	g.heads[v] = int32(id + 1)
+	return id
+}
+
+// Flow returns the flow routed on arc id after MinCostFlow.
+func (g *Network) Flow(id int) int64 { return g.cap[id^1] }
+
+// MinCostFlow sends up to maxFlow units from s to t, augmenting only along
+// cost-minimal paths, and stops early once the cheapest augmenting path has
+// positive cost if stopAtPositive is set. It returns the flow sent and its
+// total cost.
+func (g *Network) MinCostFlow(s, t int, maxFlow int64, stopAtPositive bool) (sent, total int64) {
+	if s == t {
+		return 0, 0
+	}
+	dist := make([]int64, g.n)
+	inQueue := make([]bool, g.n)
+	prevArc := make([]int32, g.n)
+	queue := make([]int32, 0, g.n)
+	const inf = int64(1) << 62
+	for sent < maxFlow {
+		for i := range dist {
+			dist[i] = inf
+			prevArc[i] = -1
+		}
+		dist[s] = 0
+		queue = append(queue[:0], int32(s))
+		inQueue[s] = true
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			inQueue[u] = false
+			for e := g.heads[u]; e != -1; e = g.next[e] {
+				if g.cap[e] == 0 {
+					continue
+				}
+				v := g.to[e]
+				if d := dist[u] + g.cost[e]; d < dist[v] {
+					dist[v] = d
+					prevArc[v] = e
+					if !inQueue[v] {
+						inQueue[v] = true
+						queue = append(queue, v)
+					}
+				}
+			}
+		}
+		if dist[t] == inf || (stopAtPositive && dist[t] > 0) {
+			break
+		}
+		// Find bottleneck along the shortest path.
+		push := maxFlow - sent
+		for v := int32(t); v != int32(s); {
+			e := prevArc[v]
+			if g.cap[e] < push {
+				push = g.cap[e]
+			}
+			v = g.to[e^1]
+		}
+		for v := int32(t); v != int32(s); {
+			e := prevArc[v]
+			g.cap[e] -= push
+			g.cap[e^1] += push
+			v = g.to[e^1]
+		}
+		sent += push
+		total += push * dist[t]
+	}
+	return sent, total
+}

@@ -1,0 +1,33 @@
+package gds
+
+import (
+	"bytes"
+	"testing"
+
+	"stitchroute/internal/geom"
+	"stitchroute/internal/plan"
+)
+
+// FuzzGDSRead ensures the GDS reader never panics on arbitrary bytes.
+func FuzzGDSRead(f *testing.F) {
+	var buf bytes.Buffer
+	_ = Write(&buf, []plan.NetRoute{{
+		NetID: 0, Routed: true,
+		Wires: []geom.Segment{geom.HSeg(1, 5, 2, 12)},
+		Vias:  []plan.Via{{X: 12, Y: 5, Layer: 1}},
+	}}, Options{})
+	f.Add(buf.Bytes())
+	f.Add([]byte{0, 6, 0, 2, 2, 88})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rects, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, r := range rects {
+			if r.X0 > r.X1 || r.Y0 > r.Y1 {
+				t.Fatal("reader produced inverted rect")
+			}
+		}
+	})
+}

@@ -1,0 +1,252 @@
+// Package gds writes routed geometry as a GDSII stream file — the
+// industry interchange format — so results can be inspected in standard
+// layout viewers (KLayout, glade, ...). Wires become BOUNDARY rectangles
+// on their routing layer; vias become boundaries on a cut layer between
+// the two routed layers (layer numbering: metal l -> GDS layer 2l-1, via
+// between l and l+1 -> GDS layer 2l).
+//
+// Only the records needed for polygon data are emitted (HEADER, BGNLIB,
+// LIBNAME, UNITS, BGNSTR, STRNAME, BOUNDARY, LAYER, DATATYPE, XY, ENDEL,
+// ENDSTR, ENDLIB), which every GDSII consumer understands. A matching
+// minimal reader supports round-trip tests.
+package gds
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"stitchroute/internal/plan"
+)
+
+// GDSII record types used.
+const (
+	recHeader   = 0x0002
+	recBgnLib   = 0x0102
+	recLibName  = 0x0206
+	recUnits    = 0x0305
+	recEndLib   = 0x0400
+	recBgnStr   = 0x0502
+	recStrName  = 0x0606
+	recEndStr   = 0x0700
+	recBoundary = 0x0800
+	recLayer    = 0x0D02
+	recDatatype = 0x0E02
+	recXY       = 0x1003
+	recEndEl    = 0x1100
+)
+
+// Options controls the export.
+type Options struct {
+	// LibName and CellName default to "STITCHROUTE" and "TOP".
+	LibName, CellName string
+	// DBUPerTrack is the database units per routing track (default 100,
+	// i.e. a 100 nm pitch at 1 nm database units).
+	DBUPerTrack int
+}
+
+func (o *Options) defaults() {
+	if o.LibName == "" {
+		o.LibName = "STITCHROUTE"
+	}
+	if o.CellName == "" {
+		o.CellName = "TOP"
+	}
+	if o.DBUPerTrack <= 0 {
+		o.DBUPerTrack = 100
+	}
+}
+
+// MetalLayer maps routing layer l (1-based) to its GDS layer number.
+func MetalLayer(l int) int { return 2*l - 1 }
+
+// ViaLayer maps a via connecting l and l+1 to its GDS layer number.
+func ViaLayer(l int) int { return 2 * l }
+
+// Write exports the routed geometry.
+func Write(w io.Writer, routes []plan.NetRoute, opt Options) error {
+	opt.defaults()
+	e := &encoder{w: w}
+
+	e.record(recHeader, u16(600)) // GDSII version 6
+	ts := make([]byte, 24)        // zeroed modification timestamps
+	e.record(recBgnLib, ts)
+	e.record(recLibName, str(opt.LibName))
+	e.record(recUnits, unitsPayload())
+	e.record(recBgnStr, ts)
+	e.record(recStrName, str(opt.CellName))
+
+	dbu := opt.DBUPerTrack
+	half := dbu / 2
+	for i := range routes {
+		if !routes[i].Routed {
+			continue
+		}
+		for _, wire := range routes[i].Wires {
+			a, b := wire.Ends()
+			e.boundary(MetalLayer(wire.Layer),
+				a.X*dbu-half, a.Y*dbu-half, b.X*dbu+half, b.Y*dbu+half)
+		}
+		for _, v := range routes[i].Vias {
+			q := half / 2
+			e.boundary(ViaLayer(v.Layer), v.X*dbu-q, v.Y*dbu-q, v.X*dbu+q, v.Y*dbu+q)
+		}
+	}
+
+	e.record(recEndStr, nil)
+	e.record(recEndLib, nil)
+	return e.err
+}
+
+type encoder struct {
+	w   io.Writer
+	err error
+}
+
+func (e *encoder) record(typ uint16, payload []byte) {
+	if e.err != nil {
+		return
+	}
+	if len(payload)%2 == 1 {
+		payload = append(payload, 0)
+	}
+	hdr := make([]byte, 4)
+	binary.BigEndian.PutUint16(hdr, uint16(4+len(payload)))
+	binary.BigEndian.PutUint16(hdr[2:], typ)
+	if _, err := e.w.Write(hdr); err != nil {
+		e.err = err
+		return
+	}
+	if len(payload) > 0 {
+		if _, err := e.w.Write(payload); err != nil {
+			e.err = err
+		}
+	}
+}
+
+// boundary emits a rectangle as a closed 5-point polygon.
+func (e *encoder) boundary(layer, x0, y0, x1, y1 int) {
+	e.record(recBoundary, nil)
+	e.record(recLayer, u16(uint16(layer)))
+	e.record(recDatatype, u16(0))
+	xy := make([]byte, 0, 40)
+	for _, p := range [5][2]int{{x0, y0}, {x1, y0}, {x1, y1}, {x0, y1}, {x0, y0}} {
+		xy = append(xy, i32(p[0])...)
+		xy = append(xy, i32(p[1])...)
+	}
+	e.record(recXY, xy)
+	e.record(recEndEl, nil)
+}
+
+func u16(v uint16) []byte {
+	b := make([]byte, 2)
+	binary.BigEndian.PutUint16(b, v)
+	return b
+}
+
+func i32(v int) []byte {
+	b := make([]byte, 4)
+	binary.BigEndian.PutUint32(b, uint32(int32(v)))
+	return b
+}
+
+func str(s string) []byte { return []byte(s) }
+
+// unitsPayload encodes UNITS as two GDSII 8-byte reals: 0.001 user units
+// per DB unit and 1e-9 m per DB unit (1 nm database grid).
+func unitsPayload() []byte {
+	return append(real8(0.001), real8(1e-9)...)
+}
+
+// real8 encodes a float64 as GDSII's excess-64 base-16 8-byte real.
+func real8(f float64) []byte {
+	b := make([]byte, 8)
+	if f == 0 {
+		return b
+	}
+	sign := byte(0)
+	if f < 0 {
+		sign = 0x80
+		f = -f
+	}
+	exp := 0
+	for f >= 1 {
+		f /= 16
+		exp++
+	}
+	for f < 1.0/16 {
+		f *= 16
+		exp--
+	}
+	b[0] = sign | byte(exp+64)
+	mant := uint64(f * math.Pow(2, 56))
+	for i := 1; i < 8; i++ {
+		b[i] = byte(mant >> uint(8*(7-i)))
+	}
+	return b
+}
+
+// Rect is one polygon read back from a GDS stream (the bounding box of
+// its XY record; the writer only emits rectangles).
+type Rect struct {
+	Layer          int
+	X0, Y0, X1, Y1 int
+}
+
+// Read parses a GDS stream written by Write and returns its rectangles.
+// It is a minimal reader for round-trip verification, not a general GDSII
+// parser: unknown records are skipped.
+func Read(r io.Reader) ([]Rect, error) {
+	var out []Rect
+	var cur *Rect
+	for {
+		hdr := make([]byte, 4)
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, err
+		}
+		size := int(binary.BigEndian.Uint16(hdr))
+		typ := binary.BigEndian.Uint16(hdr[2:])
+		if size < 4 {
+			return nil, fmt.Errorf("gds: record size %d", size)
+		}
+		payload := make([]byte, size-4)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, fmt.Errorf("gds: truncated record: %w", err)
+		}
+		switch typ {
+		case recBoundary:
+			cur = &Rect{}
+		case recLayer:
+			if cur != nil && len(payload) >= 2 {
+				cur.Layer = int(binary.BigEndian.Uint16(payload))
+			}
+		case recXY:
+			if cur != nil {
+				n := len(payload) / 8
+				for i := 0; i < n; i++ {
+					x := int(int32(binary.BigEndian.Uint32(payload[8*i:])))
+					y := int(int32(binary.BigEndian.Uint32(payload[8*i+4:])))
+					if i == 0 {
+						cur.X0, cur.Y0, cur.X1, cur.Y1 = x, y, x, y
+					} else {
+						cur.X0 = min(cur.X0, x)
+						cur.Y0 = min(cur.Y0, y)
+						cur.X1 = max(cur.X1, x)
+						cur.Y1 = max(cur.Y1, y)
+					}
+				}
+			}
+		case recEndEl:
+			if cur != nil {
+				out = append(out, *cur)
+				cur = nil
+			}
+		case recEndLib:
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package gds
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"stitchroute/internal/geom"
+	"stitchroute/internal/plan"
+)
+
+func sample() []plan.NetRoute {
+	return []plan.NetRoute{
+		{
+			NetID: 0, Routed: true,
+			Wires: []geom.Segment{
+				geom.HSeg(1, 5, 2, 12),
+				geom.VSeg(2, 12, 5, 9),
+			},
+			Vias: []plan.Via{{X: 12, Y: 5, Layer: 1}},
+		},
+		{NetID: 1, Routed: false, Wires: []geom.Segment{geom.HSeg(1, 9, 0, 5)}},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sample(), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	rects, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 wires + 1 via from the routed net; the failed net is skipped.
+	if len(rects) != 3 {
+		t.Fatalf("%d rects, want 3: %+v", len(rects), rects)
+	}
+	byLayer := map[int]int{}
+	for _, r := range rects {
+		byLayer[r.Layer]++
+		if r.X0 >= r.X1 || r.Y0 >= r.Y1 {
+			t.Errorf("degenerate rect %+v", r)
+		}
+	}
+	if byLayer[MetalLayer(1)] != 1 || byLayer[MetalLayer(2)] != 1 || byLayer[ViaLayer(1)] != 1 {
+		t.Errorf("layer distribution %v", byLayer)
+	}
+}
+
+func TestWireGeometryScaled(t *testing.T) {
+	var buf bytes.Buffer
+	routes := []plan.NetRoute{{
+		NetID: 0, Routed: true,
+		Wires: []geom.Segment{geom.HSeg(1, 0, 0, 10)},
+	}}
+	if err := Write(&buf, routes, Options{DBUPerTrack: 100}); err != nil {
+		t.Fatal(err)
+	}
+	rects, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rects[0]
+	// Track 0..10 at 100 dbu/track with half-pitch width: x in [-50, 1050].
+	if r.X0 != -50 || r.X1 != 1050 || r.Y0 != -50 || r.Y1 != 50 {
+		t.Errorf("rect = %+v", r)
+	}
+}
+
+func TestReal8(t *testing.T) {
+	// Decode real8 back and compare.
+	decode := func(b []byte) float64 {
+		sign := 1.0
+		if b[0]&0x80 != 0 {
+			sign = -1
+		}
+		exp := int(b[0]&0x7f) - 64
+		var mant float64
+		for i := 1; i < 8; i++ {
+			mant += float64(b[i]) / math.Pow(256, float64(i))
+		}
+		return sign * mant * math.Pow(16, float64(exp))
+	}
+	for _, v := range []float64{0.001, 1e-9, 1, 0.5, 1024} {
+		got := decode(real8(v))
+		if math.Abs(got-v) > 1e-12*math.Max(1, v) {
+			t.Errorf("real8(%g) decodes to %g", v, got)
+		}
+	}
+	for _, b := range real8(0) {
+		if b != 0 {
+			t.Error("real8(0) not all zero")
+		}
+	}
+}
+
+func TestHeaderStructure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil, Options{LibName: "LIB", CellName: "CELL"}); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// First record: HEADER, length 6, version 600.
+	if b[0] != 0 || b[1] != 6 || b[2] != 0x00 || b[3] != 0x02 {
+		t.Errorf("bad header record: % x", b[:4])
+	}
+	if int(b[4])<<8|int(b[5]) != 600 {
+		t.Error("bad version")
+	}
+	// Stream must terminate with ENDLIB.
+	if b[len(b)-2] != 0x04 || b[len(b)-1] != 0x00 {
+		t.Errorf("missing ENDLIB: % x", b[len(b)-4:])
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte{0, 2, 0})); err == nil {
+		t.Error("truncated header accepted")
+	}
+	if _, err := Read(bytes.NewReader([]byte{0, 1, 0x08, 0x00})); err == nil {
+		t.Error("undersized record accepted")
+	}
+}

@@ -1,0 +1,415 @@
+// Package global implements the stitch-aware global router (§III-A).
+//
+// The routing plane is divided into global tiles and modeled as a graph:
+// vertices are tiles, edges connect adjacent tiles. MEBL resource
+// estimation differs from conventional routing in two ways: the capacity
+// of a vertical tile boundary excludes the track occupied by the stitching
+// line, and each tile carries a *vertex* capacity — the number of vertical
+// tracks outside stitch-unfriendly regions — charged by the line ends of
+// vertical segments, since a line end inside a SUR can become a short
+// polygon on the attached horizontal wire.
+//
+// Costs follow eqs. (1)–(3):
+//
+//	ψ_e(i) = 2^(d_e(i)/c_e(i)) − 1
+//	ψ_v(j) = 2^(d_v(j)/c_v(j)) − 1
+//	Ψ(P)  = Σ ψ_e + Σ ψ_v
+//
+// The baseline mode (an NTUgr-like conventional congestion router) uses
+// full capacities and no vertex cost.
+package global
+
+import (
+	"math"
+	"sort"
+
+	"stitchroute/internal/geom"
+	"stitchroute/internal/grid"
+	"stitchroute/internal/mlevel"
+	"stitchroute/internal/netlist"
+	"stitchroute/internal/plan"
+	"stitchroute/internal/steiner"
+)
+
+// Config selects the router's stitch awareness.
+type Config struct {
+	// ReduceCapacity removes the stitching-line track from vertical
+	// boundary capacities (MEBL resource estimation).
+	ReduceCapacity bool
+	// LineEndCost enables the vertex (line-end congestion) term ψ_v.
+	LineEndCost bool
+	// WLWeight is the per-tile-edge wirelength weight added to the
+	// congestion cost; it keeps routes short when congestion is low.
+	WLWeight float64
+	// Steiner decomposes multipin nets along a rectilinear Steiner tree
+	// topology (trunk sharing) instead of a plain spanning tree.
+	Steiner bool
+	// Pattern enables L-shaped pattern routing before the maze search —
+	// a substantial accelerator on lightly congested chips. Off by
+	// default: the maze search can beat an L once congestion builds, and
+	// the recorded experiment numbers use pure maze routing.
+	Pattern bool
+}
+
+// StitchAware returns the full stitch-aware configuration.
+func StitchAware() Config {
+	return Config{ReduceCapacity: true, LineEndCost: true, WLWeight: 0.2, Steiner: true}
+}
+
+// EdgeOnly considers MEBL edge capacities but not line-end densities
+// (the "w/o line end consideration" arm of Table IV).
+func EdgeOnly() Config { return Config{ReduceCapacity: true, WLWeight: 0.2, Steiner: true} }
+
+// Baseline is a conventional congestion-driven global router that knows
+// nothing about stitching lines (the NTUgr stand-in).
+func Baseline() Config { return Config{WLWeight: 0.2, Steiner: true} }
+
+// Router holds the global routing graph state for one circuit.
+type Router struct {
+	f   *grid.Fabric
+	cfg Config
+	tw  int
+	th  int
+
+	// Edge arrays. Horizontal edge (tx,ty)->(tx+1,ty) at index ty*(tw-1)+tx;
+	// vertical edge (tx,ty)->(tx,ty+1) at index ty*tw+tx.
+	hCap, hDem []int32
+	vCap, vDem []int32
+	// Vertex (line-end) arrays, indexed ty*tw+tx.
+	endCap, endDem []int32
+	// History penalties accumulated by the rip-up/reroute refinement on
+	// overflowed resources (PathFinder-style negotiation).
+	hHist, vHist, endHist []float64
+}
+
+// NewRouter builds the routing graph for the fabric.
+func NewRouter(f *grid.Fabric, cfg Config) *Router {
+	tw, th := f.TilesX(), f.TilesY()
+	nH, nV := 0, 0
+	for l := 1; l <= f.Layers; l++ {
+		if f.LayerDir(l) == geom.Horizontal {
+			nH++
+		} else {
+			nV++
+		}
+	}
+	r := &Router{
+		f: f, cfg: cfg, tw: tw, th: th,
+		hCap: make([]int32, (tw-1)*th), hDem: make([]int32, (tw-1)*th),
+		vCap: make([]int32, tw*(th-1)), vDem: make([]int32, tw*(th-1)),
+		endCap: make([]int32, tw*th), endDem: make([]int32, tw*th),
+		hHist: make([]float64, (tw-1)*th), vHist: make([]float64, tw*(th-1)),
+		endHist: make([]float64, tw*th),
+	}
+	for ty := 0; ty < th; ty++ {
+		rowTracks := f.TileRect(0, ty).H()
+		for tx := 0; tx+1 < tw; tx++ {
+			r.hCap[ty*(tw-1)+tx] = int32(rowTracks * nH)
+		}
+	}
+	for tx := 0; tx < tw; tx++ {
+		var colTracks int
+		if cfg.ReduceCapacity {
+			colTracks = f.VertCapacity(tx)
+		} else {
+			colTracks = f.TileRect(tx, 0).W()
+		}
+		for ty := 0; ty+1 < th; ty++ {
+			r.vCap[ty*tw+tx] = int32(colTracks * nV)
+		}
+		endTracks := f.LineEndCapacity(tx) * nV
+		for ty := 0; ty < th; ty++ {
+			r.endCap[ty*tw+tx] = int32(endTracks)
+		}
+	}
+	return r
+}
+
+func psi(d, c int32) float64 {
+	if c <= 0 {
+		return 1 << 20 // unusable resource
+	}
+	return math.Exp2(float64(d)/float64(c)) - 1
+}
+
+// edgeCost is the congestion cost of pushing one more segment over the
+// edge: ψ evaluated at demand+1 so scarce (stitch-reduced) boundaries are
+// avoided even before they congest.
+func (r *Router) edgeCost(horizontal bool, idx int) float64 {
+	if horizontal {
+		return psi(r.hDem[idx]+1, r.hCap[idx]) + r.hHist[idx] + r.cfg.WLWeight
+	}
+	return psi(r.vDem[idx]+1, r.vCap[idx]) + r.vHist[idx] + r.cfg.WLWeight
+}
+
+// endCost is the line-end congestion cost of placing one more vertical
+// line end in tile v.
+func (r *Router) endCost(v int) float64 {
+	if !r.cfg.LineEndCost {
+		return 0
+	}
+	return psi(r.endDem[v]+1, r.endCap[v]) + r.endHist[v]
+}
+
+// arrival direction of the search state.
+const (
+	dirNone = iota // start state
+	dirH
+	dirV
+)
+
+// RouteNet finds the net's global route and updates the graph demands.
+// The returned plan carries the route tree, its segments, and the net's
+// multilevel level.
+func (r *Router) RouteNet(net *netlist.Net) *plan.NetPlan {
+	f := r.f
+	np := &plan.NetPlan{NetID: net.ID, Level: plan.Level(net.BBox(), f)}
+
+	// Deduplicate pin tiles.
+	tileSet := make(map[plan.TilePoint]bool, len(net.Pins))
+	for _, p := range net.Pins {
+		tx, ty := f.TileOf(p.Point)
+		tileSet[plan.TilePoint{TX: tx, TY: ty}] = true
+	}
+	for tp := range tileSet {
+		np.PinTiles = append(np.PinTiles, tp)
+	}
+	sort.Slice(np.PinTiles, func(i, j int) bool {
+		a, b := np.PinTiles[i], np.PinTiles[j]
+		if a.TX != b.TX {
+			return a.TX < b.TX
+		}
+		return a.TY < b.TY
+	})
+	if len(np.PinTiles) <= 1 {
+		return np // local net: detailed routing handles it directly
+	}
+
+	// Decomposition targets: the pin tiles, plus — with Steiner enabled —
+	// the RSMT Steiner tiles, so trunks are shared (§: multipin nets).
+	targets := append([]plan.TilePoint(nil), np.PinTiles...)
+	if r.cfg.Steiner && len(np.PinTiles) >= 3 {
+		pts := make([]geom.Point, len(np.PinTiles))
+		for i, tp := range np.PinTiles {
+			pts[i] = geom.Point{X: tp.TX, Y: tp.TY}
+		}
+		for _, sp := range steiner.Build(pts).Steiner {
+			targets = append(targets, plan.TilePoint{TX: sp.X, TY: sp.Y})
+		}
+	}
+
+	// Prim-style: grow a tree from the first pin tile, connecting the
+	// nearest unconnected target each step with an A* search from the
+	// whole current tree.
+	inTree := map[plan.TilePoint]bool{targets[0]: true}
+	remaining := append([]plan.TilePoint(nil), targets[1:]...)
+	var edges []plan.TileEdge
+	for len(remaining) > 0 {
+		// Nearest remaining pin tile by Manhattan distance to tree.
+		bestIdx, bestD := -1, 1<<30
+		for i, tp := range remaining {
+			for q := range inTree {
+				d := abs(tp.TX-q.TX) + abs(tp.TY-q.TY)
+				if d < bestD {
+					bestD, bestIdx = d, i
+				}
+			}
+		}
+		target := remaining[bestIdx]
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		if inTree[target] {
+			continue
+		}
+		var path []plan.TilePoint
+		if r.cfg.Pattern {
+			path = r.patternRoute(inTree, target)
+		}
+		if path == nil {
+			path = r.astar(inTree, target)
+		}
+		for _, tp := range path {
+			inTree[tp] = true
+		}
+		edges = append(edges, plan.PathToEdges(path)...)
+	}
+	np.Edges = plan.DedupeEdges(edges)
+	np.Segs = plan.Segmentize(net.ID, np.Edges)
+
+	// Commit demands.
+	for _, e := range np.Edges {
+		if e.Horizontal() {
+			r.hDem[e.A.TY*(r.tw-1)+e.A.TX]++
+		} else {
+			r.vDem[e.A.TY*r.tw+e.A.TX]++
+		}
+	}
+	for _, le := range plan.LineEnds(np.Segs) {
+		r.endDem[le.TY*r.tw+le.TX]++
+	}
+	return np
+}
+
+// astar searches from the source tile set to the target, minimizing
+// Ψ(P) plus the wirelength term. The state includes the arrival direction
+// so the vertex cost can be charged exactly where vertical runs start and
+// end (line ends).
+func (r *Router) astar(sources map[plan.TilePoint]bool, target plan.TilePoint) []plan.TilePoint {
+	tw, th := r.tw, r.th
+	n := tw * th
+	const nd = 3
+	dist := make([]float64, n*nd)
+	prev := make([]int32, n*nd)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	h := func(v int) float64 {
+		tx, ty := v%tw, v/tw
+		return r.cfg.WLWeight * float64(abs(tx-target.TX)+abs(ty-target.TY))
+	}
+	pq := newFHeap()
+	for s := range sources {
+		v := s.TY*tw + s.TX
+		st := v*nd + dirNone
+		dist[st] = 0
+		pq.push(st, h(v))
+	}
+	goal := target.TY*tw + target.TX
+	var goalState = -1
+	for pq.len() > 0 {
+		st, f := pq.pop()
+		v, d := st/nd, st%nd
+		if f-h(v) > dist[st]+1e-12 {
+			continue
+		}
+		if v == goal {
+			// Terminating with a vertical arrival adds a final line end;
+			// fold that into goal selection by preferring the cheaper
+			// terminal state.
+			goalState = st
+			break
+		}
+		tx, ty := v%tw, v/tw
+		// Expand the four moves.
+		type move struct {
+			nv, ndir int
+			cost     float64
+		}
+		var moves [4]move
+		nm := 0
+		if tx+1 < tw {
+			moves[nm] = move{v + 1, dirH, r.edgeCost(true, ty*(tw-1)+tx)}
+			nm++
+		}
+		if tx > 0 {
+			moves[nm] = move{v - 1, dirH, r.edgeCost(true, ty*(tw-1)+tx-1)}
+			nm++
+		}
+		if ty+1 < th {
+			moves[nm] = move{v + tw, dirV, r.edgeCost(false, ty*tw+tx)}
+			nm++
+		}
+		if ty > 0 {
+			moves[nm] = move{v - tw, dirV, r.edgeCost(false, (ty-1)*tw+tx)}
+			nm++
+		}
+		for i := 0; i < nm; i++ {
+			m := moves[i]
+			c := m.cost
+			// Line-end charges: starting a vertical run (turning into V or
+			// starting vertically) charges the run's low tile; ending a
+			// vertical run (turning from V to H) charges the turn tile.
+			if m.ndir == dirV && d != dirV {
+				c += r.endCost(v)
+			}
+			if d == dirV && m.ndir == dirH {
+				c += r.endCost(v)
+			}
+			nst := m.nv*nd + m.ndir
+			if nd2 := dist[st] + c; nd2 < dist[nst]-1e-12 {
+				dist[nst] = nd2
+				prev[nst] = int32(st)
+				pq.push(nst, nd2+h(m.nv))
+			}
+		}
+	}
+	if goalState < 0 {
+		// Grid graphs are connected; this cannot happen, but never loop.
+		return nil
+	}
+	var path []plan.TilePoint
+	for st := goalState; st != -1; st = int(prev[st]) {
+		v := st / nd
+		tp := plan.TilePoint{TX: v % tw, TY: v / tw}
+		if len(path) == 0 || path[len(path)-1] != tp {
+			path = append(path, tp)
+		}
+	}
+	// Reverse to source->target order (direction is irrelevant to callers,
+	// but keep it tidy).
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// RouteAll routes every net bottom-up: local nets (lower multilevel level)
+// first, matching the first pass of the two-pass framework (§II-B).
+// It returns the per-net plans indexed by position in c.Nets.
+func (r *Router) RouteAll(c *netlist.Circuit) []*plan.NetPlan {
+	plans := make([]*plan.NetPlan, len(c.Nets))
+	byID := make(map[int]int, len(c.Nets))
+	for i, n := range c.Nets {
+		byID[n.ID] = i
+	}
+	for _, e := range mlevel.Schedule(c) {
+		plans[byID[e.Net.ID]] = r.RouteNet(e.Net)
+	}
+	return plans
+}
+
+// Overflow returns the total and maximum vertex (line-end) overflow over
+// all tiles: the TVOF and MVOF columns of Table IV.
+func (r *Router) Overflow() (tvof, mvof int) {
+	for i := range r.endDem {
+		if of := int(r.endDem[i] - r.endCap[i]); of > 0 {
+			tvof += of
+			if of > mvof {
+				mvof = of
+			}
+		}
+	}
+	return tvof, mvof
+}
+
+// Wirelength returns the total routed wirelength in track units (each tile
+// edge spans one stitch pitch).
+func (r *Router) Wirelength() int {
+	var n int32
+	for _, d := range r.hDem {
+		n += d
+	}
+	for _, d := range r.vDem {
+		n += d
+	}
+	return int(n) * r.f.StitchPitch
+}
+
+// EdgeOverflow returns the total edge overflow (demand beyond capacity),
+// a routability indicator for the global solution.
+func (r *Router) EdgeOverflow() int {
+	var of int
+	for i := range r.hDem {
+		if d := int(r.hDem[i] - r.hCap[i]); d > 0 {
+			of += d
+		}
+	}
+	for i := range r.vDem {
+		if d := int(r.vDem[i] - r.vCap[i]); d > 0 {
+			of += d
+		}
+	}
+	return of
+}
+
+func abs(x int) int { return geom.Abs(x) }

@@ -1,0 +1,128 @@
+package global
+
+import "stitchroute/internal/plan"
+
+// Pattern routing: before the maze (A*) search, try the two L-shaped
+// paths from the nearest tree tile to the target. If either is "clean" —
+// every edge strictly under capacity and every vertical line-end tile
+// strictly under its line-end capacity — the cheaper one is taken without
+// a search. This is the classic global-router accelerator (L/Z pattern
+// routing); it is optional (Config.Pattern) because the maze search can
+// beat an L by a small margin once congestion builds.
+
+// patternRoute returns a clean L path from the source set to the target,
+// or nil when no clean L exists.
+func (r *Router) patternRoute(sources map[plan.TilePoint]bool, target plan.TilePoint) []plan.TilePoint {
+	// Nearest source tile.
+	var src plan.TilePoint
+	best := 1 << 30
+	for s := range sources {
+		d := abs(s.TX-target.TX) + abs(s.TY-target.TY)
+		if d < best || (d == best && (s.TX < src.TX || (s.TX == src.TX && s.TY < src.TY))) {
+			best = d
+			src = s
+		}
+	}
+	if best == 0 {
+		return []plan.TilePoint{target}
+	}
+	a := lPath(src, target, true)
+	b := lPath(src, target, false)
+	ca, okA := r.pathCost(a)
+	cb, okB := r.pathCost(b)
+	switch {
+	case okA && okB:
+		if cb < ca {
+			return b
+		}
+		return a
+	case okA:
+		return a
+	case okB:
+		return b
+	}
+	return nil
+}
+
+// lPath builds the L from src to dst, horizontal leg first if hFirst.
+func lPath(src, dst plan.TilePoint, hFirst bool) []plan.TilePoint {
+	var path []plan.TilePoint
+	step := func(from, to plan.TilePoint) {
+		dx, dy := sign(to.TX-from.TX), sign(to.TY-from.TY)
+		p := from
+		for p != to {
+			p = plan.TilePoint{TX: p.TX + dx, TY: p.TY + dy}
+			path = append(path, p)
+		}
+	}
+	path = append(path, src)
+	corner := plan.TilePoint{TX: dst.TX, TY: src.TY}
+	if !hFirst {
+		corner = plan.TilePoint{TX: src.TX, TY: dst.TY}
+	}
+	step(src, corner)
+	step(corner, dst)
+	return path
+}
+
+func sign(v int) int {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	}
+	return 0
+}
+
+// pathCost evaluates a tile path with the exact A* cost model and reports
+// whether it is clean (no resource at or over capacity).
+func (r *Router) pathCost(path []plan.TilePoint) (float64, bool) {
+	cost := 0.0
+	dir := dirNone
+	for i := 1; i < len(path); i++ {
+		a, b := path[i-1], path[i]
+		var ndir int
+		if a.TY == b.TY {
+			ndir = dirH
+			lo := a
+			if b.TX < a.TX {
+				lo = b
+			}
+			idx := lo.TY*(r.tw-1) + lo.TX
+			if r.hDem[idx]+1 > r.hCap[idx] {
+				return 0, false
+			}
+			cost += r.edgeCost(true, idx)
+		} else {
+			ndir = dirV
+			lo := a
+			if b.TY < a.TY {
+				lo = b
+			}
+			idx := lo.TY*r.tw + lo.TX
+			if r.vDem[idx]+1 > r.vCap[idx] {
+				return 0, false
+			}
+			cost += r.edgeCost(false, idx)
+		}
+		v := a.TY*r.tw + a.TX
+		if ndir == dirV && dir != dirV || dir == dirV && ndir == dirH {
+			if r.cfg.LineEndCost && r.endDem[v]+1 > r.endCap[v] {
+				return 0, false
+			}
+			cost += r.endCost(v)
+		}
+		dir = ndir
+	}
+	// Terminating a vertical approach adds a final line end.
+	if dir == dirV && r.cfg.LineEndCost {
+		last := path[len(path)-1]
+		v := last.TY*r.tw + last.TX
+		if r.endDem[v]+1 > r.endCap[v] {
+			return 0, false
+		}
+		cost += r.endCost(v)
+	}
+	return cost, true
+}

@@ -1,0 +1,25 @@
+package global
+
+import (
+	"testing"
+
+	"stitchroute/internal/bench"
+)
+
+func benchGlobal(b *testing.B, pattern bool) {
+	spec, _ := bench.ByName("S13207")
+	c := bench.Generate(spec)
+	cfg := StitchAware()
+	cfg.Pattern = pattern
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewRouter(c.Fabric, cfg)
+		r.RouteAll(c)
+	}
+}
+
+// BenchmarkGlobalMaze measures the pure maze-search global pass.
+func BenchmarkGlobalMaze(b *testing.B) { benchGlobal(b, false) }
+
+// BenchmarkGlobalPattern measures the L-pattern-accelerated global pass.
+func BenchmarkGlobalPattern(b *testing.B) { benchGlobal(b, true) }

@@ -1,0 +1,82 @@
+package global
+
+import (
+	"testing"
+
+	"stitchroute/internal/bench"
+)
+
+func TestRefineClearsVertexOverflow(t *testing.T) {
+	spec, err := bench.ByName("S13207")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := bench.Generate(spec)
+	r := NewRouter(c.Fabric, StitchAware())
+	plans := r.RouteAll(c)
+	before, _ := r.Overflow()
+	wlBefore := r.Wirelength()
+	r.Refine(c, plans, 4)
+	after, _ := r.Overflow()
+	if after > before {
+		t.Fatalf("refinement increased TVOF: %d -> %d", before, after)
+	}
+	if after > 2 {
+		t.Errorf("TVOF %d after refinement, want ~0", after)
+	}
+	// Wirelength may grow slightly, not explode.
+	if wl := r.Wirelength(); float64(wl) > 1.05*float64(wlBefore) {
+		t.Errorf("refinement wirelength blow-up: %d -> %d", wlBefore, wl)
+	}
+	// Plans stay structurally valid: every multi-tile net keeps a route.
+	for i, p := range plans {
+		if p == nil {
+			t.Fatalf("plan %d lost", i)
+		}
+		if len(p.PinTiles) > 1 && len(p.Edges) == 0 {
+			t.Errorf("net %d lost its route during refinement", p.NetID)
+		}
+	}
+}
+
+func TestRefineDemandsStayConsistent(t *testing.T) {
+	spec, _ := bench.ByName("S9234")
+	c := bench.Generate(spec)
+	r := NewRouter(c.Fabric, StitchAware())
+	plans := r.RouteAll(c)
+	r.Refine(c, plans, 3)
+	// Recompute demands from scratch and compare with the incremental
+	// bookkeeping.
+	fresh := NewRouter(c.Fabric, StitchAware())
+	for _, p := range plans {
+		for _, e := range p.Edges {
+			if e.Horizontal() {
+				fresh.hDem[e.A.TY*(fresh.tw-1)+e.A.TX]++
+			} else {
+				fresh.vDem[e.A.TY*fresh.tw+e.A.TX]++
+			}
+		}
+	}
+	for i := range r.hDem {
+		if r.hDem[i] != fresh.hDem[i] {
+			t.Fatalf("hDem[%d] = %d, recomputed %d", i, r.hDem[i], fresh.hDem[i])
+		}
+	}
+	for i := range r.vDem {
+		if r.vDem[i] != fresh.vDem[i] {
+			t.Fatalf("vDem[%d] = %d, recomputed %d", i, r.vDem[i], fresh.vDem[i])
+		}
+	}
+}
+
+func TestRefineNoopWhenClean(t *testing.T) {
+	f := fabric()
+	r := NewRouter(f, StitchAware())
+	c := circuitOf(net(0, pt(3, 3), pt(50, 3)))
+	plans := r.RouteAll(c)
+	edges := len(plans[0].Edges)
+	r.Refine(c, plans, 5)
+	if len(plans[0].Edges) != edges {
+		t.Error("refinement rerouted a clean net")
+	}
+}

@@ -1,0 +1,252 @@
+// Package graph provides the generic graph algorithms the router is built
+// on: disjoint sets, spanning trees (minimum for net decomposition, maximum
+// for the layer-assignment heuristic of [4]), DAG longest paths (track
+// constraint graphs, §III-C2), and Dijkstra (reference oracle for the A*
+// engines).
+package graph
+
+import "sort"
+
+// DSU is a union-find structure with path compression and union by rank.
+type DSU struct {
+	parent []int
+	rank   []int
+}
+
+// NewDSU returns a DSU over elements 0..n-1.
+func NewDSU(n int) *DSU {
+	d := &DSU{parent: make([]int, n), rank: make([]int, n)}
+	for i := range d.parent {
+		d.parent[i] = i
+	}
+	return d
+}
+
+// Find returns the representative of x's set.
+func (d *DSU) Find(x int) int {
+	for d.parent[x] != x {
+		d.parent[x] = d.parent[d.parent[x]]
+		x = d.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of a and b and reports whether they were distinct.
+func (d *DSU) Union(a, b int) bool {
+	ra, rb := d.Find(a), d.Find(b)
+	if ra == rb {
+		return false
+	}
+	if d.rank[ra] < d.rank[rb] {
+		ra, rb = rb, ra
+	}
+	d.parent[rb] = ra
+	if d.rank[ra] == d.rank[rb] {
+		d.rank[ra]++
+	}
+	return true
+}
+
+// Edge is a weighted undirected edge between vertex indices.
+type Edge struct {
+	U, V   int
+	Weight int
+}
+
+// MaxSpanningForest returns the edges of a maximum-weight spanning forest of
+// the graph with n vertices, via Kruskal on descending weights. Ties break
+// by (U, V) for determinism.
+func MaxSpanningForest(n int, edges []Edge) []Edge {
+	es := make([]Edge, len(edges))
+	copy(es, edges)
+	sort.SliceStable(es, func(i, j int) bool {
+		if es[i].Weight != es[j].Weight {
+			return es[i].Weight > es[j].Weight
+		}
+		if es[i].U != es[j].U {
+			return es[i].U < es[j].U
+		}
+		return es[i].V < es[j].V
+	})
+	dsu := NewDSU(n)
+	var forest []Edge
+	for _, e := range es {
+		if dsu.Union(e.U, e.V) {
+			forest = append(forest, e)
+		}
+	}
+	return forest
+}
+
+// Adjacency builds an adjacency list for n vertices from undirected edges.
+func Adjacency(n int, edges []Edge) [][]Edge {
+	adj := make([][]Edge, n)
+	for _, e := range edges {
+		adj[e.U] = append(adj[e.U], e)
+		adj[e.V] = append(adj[e.V], Edge{U: e.V, V: e.U, Weight: e.Weight})
+	}
+	return adj
+}
+
+// TreeDepths returns the BFS depth of every vertex in the forest given by
+// edges, rooting each component at its smallest vertex index. Depths are
+// used by the maximum-spanning-tree layer-assignment heuristic, which
+// colors a vertex by depth mod k (§III-B).
+func TreeDepths(n int, edges []Edge) []int {
+	adj := Adjacency(n, edges)
+	depth := make([]int, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	queue := make([]int, 0, n)
+	for root := 0; root < n; root++ {
+		if depth[root] != -1 {
+			continue
+		}
+		depth[root] = 0
+		queue = append(queue[:0], root)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, e := range adj[u] {
+				if depth[e.V] == -1 {
+					depth[e.V] = depth[u] + 1
+					queue = append(queue, e.V)
+				}
+			}
+		}
+	}
+	return depth
+}
+
+// Arc is a weighted directed edge.
+type Arc struct {
+	To     int
+	Weight int
+}
+
+// LongestPathDAG returns, for every vertex of a DAG given as adjacency
+// lists, the maximum path weight from any source in sources (each counted
+// with initial distance 0). Unreachable vertices get NegInf. It reports
+// false if the graph has a cycle.
+func LongestPathDAG(adj [][]Arc, sources []int) ([]int, bool) {
+	n := len(adj)
+	indeg := make([]int, n)
+	for _, as := range adj {
+		for _, a := range as {
+			indeg[a.To]++
+		}
+	}
+	order := make([]int, 0, n)
+	for v, d := range indeg {
+		if d == 0 {
+			order = append(order, v)
+		}
+	}
+	for i := 0; i < len(order); i++ {
+		for _, a := range adj[order[i]] {
+			indeg[a.To]--
+			if indeg[a.To] == 0 {
+				order = append(order, a.To)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, false // cycle
+	}
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = NegInf
+	}
+	for _, s := range sources {
+		dist[s] = 0
+	}
+	for _, u := range order {
+		if dist[u] == NegInf {
+			continue
+		}
+		for _, a := range adj[u] {
+			if d := dist[u] + a.Weight; d > dist[a.To] {
+				dist[a.To] = d
+			}
+		}
+	}
+	return dist, true
+}
+
+// NegInf marks unreachable vertices in LongestPathDAG.
+const NegInf = -1 << 60
+
+// Inf is a distance larger than any real path cost.
+const Inf = 1 << 60
+
+// Dijkstra computes shortest-path distances from src over non-negative arc
+// weights. It is the reference oracle used to test the specialized A*
+// engines.
+func Dijkstra(adj [][]Arc, src int) []int {
+	n := len(adj)
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[src] = 0
+	pq := &arcHeap{{src, 0}}
+	for pq.Len() > 0 {
+		it := pq.pop()
+		if it.dist > dist[it.v] {
+			continue
+		}
+		for _, a := range adj[it.v] {
+			if d := it.dist + a.Weight; d < dist[a.To] {
+				dist[a.To] = d
+				pq.push(heapItem{a.To, d})
+			}
+		}
+	}
+	return dist
+}
+
+type heapItem struct {
+	v, dist int
+}
+
+type arcHeap []heapItem
+
+func (h arcHeap) Len() int { return len(h) }
+
+func (h *arcHeap) push(it heapItem) {
+	*h = append(*h, it)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if (*h)[p].dist <= (*h)[i].dist {
+			break
+		}
+		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
+		i = p
+	}
+}
+
+func (h *arcHeap) pop() heapItem {
+	top := (*h)[0]
+	last := len(*h) - 1
+	(*h)[0] = (*h)[last]
+	*h = (*h)[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(*h) && (*h)[l].dist < (*h)[small].dist {
+			small = l
+		}
+		if r < len(*h) && (*h)[r].dist < (*h)[small].dist {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
+		i = small
+	}
+	return top
+}

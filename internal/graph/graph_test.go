@@ -1,0 +1,267 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"stitchroute/internal/geom"
+)
+
+func TestDSU(t *testing.T) {
+	d := NewDSU(6)
+	if !d.Union(0, 1) || !d.Union(2, 3) {
+		t.Fatal("fresh unions reported no-op")
+	}
+	if d.Union(1, 0) {
+		t.Error("repeat union reported merge")
+	}
+	if d.Find(0) != d.Find(1) {
+		t.Error("0 and 1 not merged")
+	}
+	if d.Find(0) == d.Find(2) {
+		t.Error("0 and 2 merged spuriously")
+	}
+	d.Union(1, 3)
+	if d.Find(0) != d.Find(2) {
+		t.Error("transitive merge failed")
+	}
+	if d.Find(4) == d.Find(5) {
+		t.Error("singletons merged")
+	}
+}
+
+func TestMaxSpanningForest(t *testing.T) {
+	// Triangle with weights 5, 3, 1: max spanning tree keeps 5 and 3.
+	edges := []Edge{{0, 1, 5}, {1, 2, 3}, {0, 2, 1}}
+	forest := MaxSpanningForest(3, edges)
+	if len(forest) != 2 {
+		t.Fatalf("forest size %d, want 2", len(forest))
+	}
+	total := 0
+	for _, e := range forest {
+		total += e.Weight
+	}
+	if total != 8 {
+		t.Errorf("forest weight %d, want 8", total)
+	}
+}
+
+func TestMaxSpanningForestAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 50; iter++ {
+		n := 2 + rng.Intn(5)
+		var edges []Edge
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Intn(3) > 0 {
+					edges = append(edges, Edge{u, v, rng.Intn(20)})
+				}
+			}
+		}
+		forest := MaxSpanningForest(n, edges)
+		got := 0
+		for _, e := range forest {
+			got += e.Weight
+		}
+		// Brute force: enumerate all subsets of size len(forest) that are forests
+		// spanning the same components; check none heavier.
+		best := bruteBestForest(n, edges)
+		if got != best {
+			t.Fatalf("iter %d: kruskal weight %d, brute force %d (edges %v)", iter, got, best, edges)
+		}
+	}
+}
+
+func bruteBestForest(n int, edges []Edge) int {
+	best := 0
+	m := len(edges)
+	for mask := 0; mask < 1<<m; mask++ {
+		d := NewDSU(n)
+		w, ok := 0, true
+		for i := 0; i < m; i++ {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			if !d.Union(edges[i].U, edges[i].V) {
+				ok = false
+				break
+			}
+			w += edges[i].Weight
+		}
+		if ok && w > best {
+			best = w
+		}
+	}
+	return best
+}
+
+func TestTreeDepths(t *testing.T) {
+	// Path 0-1-2-3 plus isolated 4.
+	edges := []Edge{{0, 1, 1}, {1, 2, 1}, {2, 3, 1}}
+	d := TreeDepths(5, edges)
+	want := []int{0, 1, 2, 3, 0}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Errorf("depth[%d] = %d, want %d", i, d[i], want[i])
+		}
+	}
+}
+
+func TestLongestPathDAG(t *testing.T) {
+	// 0 -> 1 (w3), 0 -> 2 (w1), 2 -> 1 (w5), 1 -> 3 (w2)
+	adj := [][]Arc{
+		{{1, 3}, {2, 1}},
+		{{3, 2}},
+		{{1, 5}},
+		nil,
+	}
+	dist, ok := LongestPathDAG(adj, []int{0})
+	if !ok {
+		t.Fatal("DAG reported cyclic")
+	}
+	want := []int{0, 6, 1, 8}
+	for i := range want {
+		if dist[i] != want[i] {
+			t.Errorf("dist[%d] = %d, want %d", i, dist[i], want[i])
+		}
+	}
+}
+
+func TestLongestPathDAGCycle(t *testing.T) {
+	adj := [][]Arc{{{1, 1}}, {{0, 1}}}
+	if _, ok := LongestPathDAG(adj, []int{0}); ok {
+		t.Error("cycle not detected")
+	}
+}
+
+func TestLongestPathDAGUnreachable(t *testing.T) {
+	adj := [][]Arc{{{1, 2}}, nil, nil}
+	dist, ok := LongestPathDAG(adj, []int{0})
+	if !ok {
+		t.Fatal("not a DAG?")
+	}
+	if dist[2] != NegInf {
+		t.Errorf("unreachable vertex dist = %d", dist[2])
+	}
+}
+
+func TestDijkstraSmall(t *testing.T) {
+	adj := [][]Arc{
+		{{1, 4}, {2, 1}},
+		{{3, 1}},
+		{{1, 2}, {3, 5}},
+		nil,
+	}
+	dist := Dijkstra(adj, 0)
+	want := []int{0, 3, 1, 4}
+	for i := range want {
+		if dist[i] != want[i] {
+			t.Errorf("dist[%d] = %d, want %d", i, dist[i], want[i])
+		}
+	}
+}
+
+func TestDijkstraAgainstBellmanFord(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 30; iter++ {
+		n := 2 + rng.Intn(8)
+		adj := make([][]Arc, n)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v && rng.Intn(2) == 0 {
+					adj[u] = append(adj[u], Arc{v, rng.Intn(10)})
+				}
+			}
+		}
+		got := Dijkstra(adj, 0)
+		want := bellmanFord(adj, 0)
+		for v := 0; v < n; v++ {
+			if got[v] != want[v] {
+				t.Fatalf("iter %d vertex %d: dijkstra %d, bellman-ford %d", iter, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func bellmanFord(adj [][]Arc, src int) []int {
+	n := len(adj)
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[src] = 0
+	for i := 0; i < n; i++ {
+		for u := 0; u < n; u++ {
+			if dist[u] == Inf {
+				continue
+			}
+			for _, a := range adj[u] {
+				if d := dist[u] + a.Weight; d < dist[a.To] {
+					dist[a.To] = d
+				}
+			}
+		}
+	}
+	return dist
+}
+
+func TestPointMST(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 0, Y: 3}, {X: 10, Y: 0}, {X: 11, Y: 1}}
+	edges := PointMST(pts)
+	if len(edges) != 3 {
+		t.Fatalf("MST has %d edges, want 3", len(edges))
+	}
+	total := 0
+	for _, e := range edges {
+		total += pts[e[0]].ManhattanDist(pts[e[1]])
+	}
+	// Optimal: (0,0)-(0,3)=3, (0,0)-(10,0)=10, (10,0)-(11,1)=2 => 15.
+	if total != 15 {
+		t.Errorf("MST length %d, want 15", total)
+	}
+}
+
+func TestPointMSTSpansAllPoints(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 16 {
+			raw = raw[:16]
+		}
+		pts := make([]geom.Point, len(raw)/2)
+		if len(pts) < 2 {
+			return true
+		}
+		for i := range pts {
+			pts[i] = geom.Point{X: int(raw[2*i]) % 100, Y: int(raw[2*i+1]) % 100}
+		}
+		edges := PointMST(pts)
+		if len(edges) != len(pts)-1 {
+			return false
+		}
+		d := NewDSU(len(pts))
+		for _, e := range edges {
+			d.Union(e[0], e[1])
+		}
+		for i := 1; i < len(pts); i++ {
+			if d.Find(i) != d.Find(0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPointMSTTrivial(t *testing.T) {
+	if PointMST(nil) != nil {
+		t.Error("MST of no points should be nil")
+	}
+	if PointMST([]geom.Point{{X: 1, Y: 1}}) != nil {
+		t.Error("MST of one point should be nil")
+	}
+}

@@ -1,0 +1,48 @@
+package graph
+
+import "stitchroute/internal/geom"
+
+// PointMST returns the edges (as index pairs into pts) of a minimum
+// spanning tree under Manhattan distance, via Prim's algorithm. Multi-pin
+// nets are decomposed into the 2-pin connections of this tree before
+// routing. O(n²), which is fine for net degrees.
+func PointMST(pts []geom.Point) [][2]int {
+	n := len(pts)
+	if n <= 1 {
+		return nil
+	}
+	inTree := make([]bool, n)
+	best := make([]int, n)
+	bestFrom := make([]int, n)
+	for i := range best {
+		best[i] = Inf
+	}
+	inTree[0] = true
+	for j := 1; j < n; j++ {
+		best[j] = pts[0].ManhattanDist(pts[j])
+		bestFrom[j] = 0
+	}
+	edges := make([][2]int, 0, n-1)
+	for len(edges) < n-1 {
+		u, ud := -1, Inf
+		for j := 0; j < n; j++ {
+			if !inTree[j] && best[j] < ud {
+				u, ud = j, best[j]
+			}
+		}
+		if u == -1 {
+			break // disconnected cannot happen with Manhattan distance
+		}
+		inTree[u] = true
+		edges = append(edges, [2]int{bestFrom[u], u})
+		for j := 0; j < n; j++ {
+			if !inTree[j] {
+				if d := pts[u].ManhattanDist(pts[j]); d < best[j] {
+					best[j] = d
+					bestFrom[j] = u
+				}
+			}
+		}
+	}
+	return edges
+}

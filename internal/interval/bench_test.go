@@ -1,0 +1,21 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkMaxWeightKColorable measures the Carlisle–Lloyd min-cost-flow
+// selection on a panel-sized instance.
+func BenchmarkMaxWeightKColorable(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	items := make([]Interval, 60)
+	for i := range items {
+		lo := rng.Intn(40)
+		items[i] = Interval{lo, lo + rng.Intn(20), int64(1 + rng.Intn(50))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MaxWeightKColorable(items, 3)
+	}
+}

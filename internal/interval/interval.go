@@ -1,0 +1,163 @@
+// Package interval implements the interval-graph algorithms behind the
+// paper's layer-assignment heuristic (§III-B): the maximum-weight
+// k-colorable subset of intervals via min-cost flow (Carlisle & Lloyd,
+// "On the k-coloring of intervals", 1995 — reference [2] of the paper) and
+// greedy k-coloring of interval sets.
+package interval
+
+import (
+	"sort"
+
+	"stitchroute/internal/flow"
+)
+
+// Interval is a closed integer interval [Lo, Hi] with a selection weight.
+// Two intervals conflict iff they share an integer point.
+type Interval struct {
+	Lo, Hi int
+	Weight int64
+}
+
+// Overlaps reports whether the two closed intervals conflict.
+func (iv Interval) Overlaps(o Interval) bool {
+	return iv.Lo <= o.Hi && o.Lo <= iv.Hi
+}
+
+// MaxWeightKColorable returns the indices of a maximum-total-weight subset
+// of items such that no point is covered by more than k of the selected
+// intervals — for interval graphs, exactly the maximum-weight k-colorable
+// vertex set. Solved exactly with a min-cost flow of value k over the
+// coordinate chain (Carlisle–Lloyd).
+func MaxWeightKColorable(items []Interval, k int) []int {
+	if k <= 0 || len(items) == 0 {
+		return nil
+	}
+	// Coordinate-compress {Lo} ∪ {Hi+1}.
+	coords := make([]int, 0, 2*len(items))
+	for _, iv := range items {
+		if iv.Lo > iv.Hi {
+			continue
+		}
+		coords = append(coords, iv.Lo, iv.Hi+1)
+	}
+	if len(coords) == 0 {
+		return nil
+	}
+	sort.Ints(coords)
+	coords = dedupInts(coords)
+	index := make(map[int]int, len(coords))
+	for i, c := range coords {
+		index[c] = i
+	}
+
+	m := len(coords)
+	// Vertices: 0..m-1 chain nodes, m = source, m+1 = sink.
+	g := flow.NewNetwork(m + 2)
+	src, snk := m, m+1
+	g.AddArc(src, 0, int64(k), 0)
+	g.AddArc(m-1, snk, int64(k), 0)
+	for i := 0; i+1 < m; i++ {
+		g.AddArc(i, i+1, int64(k), 0)
+	}
+	arcOf := make(map[int]int, len(items)) // item index -> arc id
+	for i, iv := range items {
+		if iv.Lo > iv.Hi || iv.Weight <= 0 {
+			continue // empty or worthless intervals are never selected
+		}
+		arcOf[i] = g.AddArc(index[iv.Lo], index[iv.Hi+1], 1, -iv.Weight)
+	}
+	g.MinCostFlow(src, snk, int64(k), false)
+
+	var selected []int
+	for i := range items {
+		if id, ok := arcOf[i]; ok && g.Flow(id) > 0 {
+			selected = append(selected, i)
+		}
+	}
+	sort.Ints(selected)
+	return selected
+}
+
+// GreedyColor k-colors the given intervals left to right, returning
+// colors[i] in 0..k-1, or ok=false if the set is not k-colorable (some
+// point covered by more than k intervals). Deterministic: ties break by
+// interval order.
+func GreedyColor(items []Interval, k int) (colors []int, ok bool) {
+	order := make([]int, len(items))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ia, ib := items[order[a]], items[order[b]]
+		if ia.Lo != ib.Lo {
+			return ia.Lo < ib.Lo
+		}
+		return ia.Hi < ib.Hi
+	})
+	colors = make([]int, len(items))
+	for i := range colors {
+		colors[i] = -1
+	}
+	lastHi := make([]int, k) // rightmost covered point per color
+	for i := range lastHi {
+		lastHi[i] = -1 << 60
+	}
+	for _, idx := range order {
+		iv := items[idx]
+		assigned := -1
+		for c := 0; c < k; c++ {
+			if lastHi[c] < iv.Lo {
+				assigned = c
+				break
+			}
+		}
+		if assigned == -1 {
+			return nil, false
+		}
+		colors[idx] = assigned
+		if iv.Hi > lastHi[assigned] {
+			lastHi[assigned] = iv.Hi
+		}
+	}
+	return colors, true
+}
+
+// MaxDensity returns the maximum number of intervals covering any single
+// point (the clique number of the interval graph), 0 for no intervals.
+func MaxDensity(items []Interval) int {
+	type event struct {
+		pos   int
+		delta int
+	}
+	evs := make([]event, 0, 2*len(items))
+	for _, iv := range items {
+		if iv.Lo > iv.Hi {
+			continue
+		}
+		evs = append(evs, event{iv.Lo, +1}, event{iv.Hi + 1, -1})
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].pos != evs[j].pos {
+			return evs[i].pos < evs[j].pos
+		}
+		return evs[i].delta < evs[j].delta
+	})
+	cur, best := 0, 0
+	for _, e := range evs {
+		cur += e.delta
+		if cur > best {
+			best = cur
+		}
+	}
+	return best
+}
+
+func dedupInts(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxWeightKColorableSimple(t *testing.T) {
+	// Three mutually overlapping intervals, k=2: drop the lightest.
+	items := []Interval{
+		{0, 10, 5},
+		{0, 10, 3},
+		{0, 10, 9},
+	}
+	sel := MaxWeightKColorable(items, 2)
+	if len(sel) != 2 {
+		t.Fatalf("selected %v, want 2 items", sel)
+	}
+	var w int64
+	for _, i := range sel {
+		w += items[i].Weight
+	}
+	if w != 14 {
+		t.Errorf("weight %d, want 14", w)
+	}
+}
+
+func TestMaxWeightKColorableDisjoint(t *testing.T) {
+	items := []Interval{{0, 1, 4}, {2, 3, 4}, {4, 5, 4}}
+	sel := MaxWeightKColorable(items, 1)
+	if len(sel) != 3 {
+		t.Errorf("disjoint intervals all selectable with k=1, got %v", sel)
+	}
+}
+
+func TestMaxWeightKColorableEdgeCases(t *testing.T) {
+	if sel := MaxWeightKColorable(nil, 3); sel != nil {
+		t.Error("nil input should select nothing")
+	}
+	if sel := MaxWeightKColorable([]Interval{{0, 5, 3}}, 0); sel != nil {
+		t.Error("k=0 should select nothing")
+	}
+	// Empty and zero-weight intervals are skipped.
+	sel := MaxWeightKColorable([]Interval{{5, 2, 100}, {0, 1, 0}, {0, 1, 7}}, 1)
+	if len(sel) != 1 || sel[0] != 2 {
+		t.Errorf("sel = %v, want [2]", sel)
+	}
+}
+
+func selectionValid(items []Interval, sel []int, k int) bool {
+	sub := make([]Interval, len(sel))
+	for i, idx := range sel {
+		sub[i] = items[idx]
+	}
+	return MaxDensity(sub) <= k
+}
+
+func TestMaxWeightKColorableAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for iter := 0; iter < 60; iter++ {
+		n := 1 + rng.Intn(8)
+		k := 1 + rng.Intn(3)
+		items := make([]Interval, n)
+		for i := range items {
+			lo := rng.Intn(12)
+			items[i] = Interval{lo, lo + rng.Intn(6), int64(1 + rng.Intn(9))}
+		}
+		sel := MaxWeightKColorable(items, k)
+		if !selectionValid(items, sel, k) {
+			t.Fatalf("iter %d: selection %v exceeds density %d", iter, sel, k)
+		}
+		var got int64
+		for _, i := range sel {
+			got += items[i].Weight
+		}
+		want := bruteBest(items, k)
+		if got != want {
+			t.Fatalf("iter %d: flow %d, brute force %d (items %v, k=%d)", iter, got, want, items, k)
+		}
+	}
+}
+
+func bruteBest(items []Interval, k int) int64 {
+	var best int64
+	n := len(items)
+	for mask := 0; mask < 1<<n; mask++ {
+		var sub []Interval
+		var w int64
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				sub = append(sub, items[i])
+				w += items[i].Weight
+			}
+		}
+		if MaxDensity(sub) <= k && w > best {
+			best = w
+		}
+	}
+	return best
+}
+
+func TestGreedyColorValid(t *testing.T) {
+	items := []Interval{{0, 4, 1}, {2, 6, 1}, {5, 9, 1}, {7, 12, 1}}
+	colors, ok := GreedyColor(items, 2)
+	if !ok {
+		t.Fatal("2-colorable set rejected")
+	}
+	for i := range items {
+		for j := i + 1; j < len(items); j++ {
+			if colors[i] == colors[j] && items[i].Overlaps(items[j]) {
+				t.Errorf("items %d and %d overlap with same color %d", i, j, colors[i])
+			}
+		}
+	}
+}
+
+func TestGreedyColorInfeasible(t *testing.T) {
+	items := []Interval{{0, 9, 1}, {0, 9, 1}, {0, 9, 1}}
+	if _, ok := GreedyColor(items, 2); ok {
+		t.Error("3 mutually overlapping intervals 2-colored")
+	}
+}
+
+func TestGreedyColorMatchesDensity(t *testing.T) {
+	// Property: a set is k-colorable by the greedy iff its max density <= k
+	// (interval graphs are perfect).
+	f := func(raw []uint8, kRaw uint8) bool {
+		k := 1 + int(kRaw%4)
+		n := len(raw) / 2
+		if n > 10 {
+			n = 10
+		}
+		items := make([]Interval, n)
+		for i := 0; i < n; i++ {
+			lo := int(raw[2*i] % 16)
+			items[i] = Interval{lo, lo + int(raw[2*i+1]%8), 1}
+		}
+		_, ok := GreedyColor(items, k)
+		return ok == (MaxDensity(items) <= k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxDensity(t *testing.T) {
+	cases := []struct {
+		items []Interval
+		want  int
+	}{
+		{nil, 0},
+		{[]Interval{{0, 5, 1}}, 1},
+		{[]Interval{{0, 5, 1}, {5, 9, 1}}, 2}, // touch at 5
+		{[]Interval{{0, 4, 1}, {5, 9, 1}}, 1}, // disjoint
+		{[]Interval{{0, 9, 1}, {1, 2, 1}, {2, 3, 1}}, 3},
+		{[]Interval{{3, 1, 1}}, 0}, // empty interval ignored
+	}
+	for i, c := range cases {
+		if got := MaxDensity(c.items); got != c.want {
+			t.Errorf("case %d: MaxDensity = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestSelectedSubsetIsGreedyColorable(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for iter := 0; iter < 50; iter++ {
+		n := 1 + rng.Intn(14)
+		k := 1 + rng.Intn(4)
+		items := make([]Interval, n)
+		for i := range items {
+			lo := rng.Intn(20)
+			items[i] = Interval{lo, lo + rng.Intn(8), int64(1 + rng.Intn(5))}
+		}
+		sel := MaxWeightKColorable(items, k)
+		sub := make([]Interval, len(sel))
+		for i, idx := range sel {
+			sub[i] = items[idx]
+		}
+		if _, ok := GreedyColor(sub, k); !ok {
+			t.Fatalf("iter %d: selected subset not %d-colorable", iter, k)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package layer
+
+import (
+	"math/rand"
+	"testing"
+
+	"stitchroute/internal/geom"
+	"stitchroute/internal/plan"
+)
+
+func iv(lo, hi int) geom.Interval { return geom.Interval{Lo: lo, Hi: hi} }
+
+func TestBuildInstanceEdges(t *testing.T) {
+	spans := []geom.Interval{iv(0, 4), iv(2, 6), iv(8, 9)}
+	ends := [][]int{{0, 4}, {2, 6}, {8, 9}}
+	in := BuildInstance(spans, ends, false)
+	if len(in.Edges) != 1 {
+		t.Fatalf("%d edges, want 1 (only 0-1 overlap)", len(in.Edges))
+	}
+	e := in.Edges[0]
+	if e.U != 0 || e.V != 1 {
+		t.Fatalf("edge = %+v", e)
+	}
+	// Overlap rows 2..4 all have density 2.
+	if e.Weight != 2 {
+		t.Errorf("weight = %d, want 2", e.Weight)
+	}
+}
+
+func TestEndTermAddsWeight(t *testing.T) {
+	// Segments sharing an end row: with ends, weight grows.
+	spans := []geom.Interval{iv(0, 4), iv(4, 8)}
+	ends := [][]int{{0, 4}, {4, 8}}
+	without := BuildInstance(spans, ends, false)
+	with := BuildInstance(spans, ends, true)
+	if with.Edges[0].Weight <= without.Edges[0].Weight {
+		t.Errorf("end term did not increase weight: %d vs %d",
+			with.Edges[0].Weight, without.Edges[0].Weight)
+	}
+}
+
+func TestNoCommonEndRowNoEndTerm(t *testing.T) {
+	spans := []geom.Interval{iv(0, 5), iv(3, 8)}
+	ends := [][]int{{0, 5}, {3, 8}}
+	with := BuildInstance(spans, ends, true)
+	without := BuildInstance(spans, ends, false)
+	if with.Edges[0].Weight != without.Edges[0].Weight {
+		t.Errorf("end term added with no shared end row: %d vs %d",
+			with.Edges[0].Weight, without.Edges[0].Weight)
+	}
+}
+
+func TestCost(t *testing.T) {
+	spans := []geom.Interval{iv(0, 4), iv(2, 6), iv(3, 9)}
+	ends := [][]int{{0, 4}, {2, 6}, {3, 9}}
+	in := BuildInstance(spans, ends, false)
+	same := []int{0, 0, 0}
+	allDiff := []int{0, 1, 2}
+	if in.Cost(allDiff) != 0 {
+		t.Errorf("all-different cost = %d, want 0", in.Cost(allDiff))
+	}
+	var sum int64
+	for _, e := range in.Edges {
+		sum += int64(e.Weight)
+	}
+	if in.Cost(same) != sum {
+		t.Errorf("monochrome cost = %d, want %d", in.Cost(same), sum)
+	}
+}
+
+func TestAssignBothValidColors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 20; iter++ {
+		in := RandomInstance(rng, 5+rng.Intn(15), 10+rng.Intn(20))
+		for _, algo := range []Algo{MaxSpanningTree, KColorableSubset} {
+			for k := 2; k <= 5; k++ {
+				colors := Assign(in, k, algo)
+				if len(colors) != in.N() {
+					t.Fatalf("len(colors) = %d, want %d", len(colors), in.N())
+				}
+				for i, c := range colors {
+					if c < 0 || c >= k {
+						t.Fatalf("algo %d k %d: color[%d] = %d", algo, k, i, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPaperExampleShape(t *testing.T) {
+	// Mirror of Fig. 9's point: with k=3 our algorithm should beat or match
+	// the spanning-tree heuristic on average over random instances.
+	rng := rand.New(rand.NewSource(99))
+	var mstTotal, oursTotal int64
+	for iter := 0; iter < 30; iter++ {
+		in := RandomInstance(rng, 12, 20)
+		mstTotal += in.Cost(Assign(in, 3, MaxSpanningTree))
+		oursTotal += in.Cost(Assign(in, 3, KColorableSubset))
+	}
+	if oursTotal > mstTotal {
+		t.Errorf("paper's algorithm worse on average: ours=%d mst=%d", oursTotal, mstTotal)
+	}
+}
+
+func TestImprovementGrowsWithK(t *testing.T) {
+	// Table VI shape: relative improvement increases with layer count.
+	rng := rand.New(rand.NewSource(42))
+	instances := make([]*Instance, 40)
+	for i := range instances {
+		instances[i] = RandomInstance(rng, 14, 24)
+	}
+	improvement := func(k int) float64 {
+		var mst, ours int64
+		for _, in := range instances {
+			mst += in.Cost(Assign(in, k, MaxSpanningTree))
+			ours += in.Cost(Assign(in, k, KColorableSubset))
+		}
+		if mst == 0 {
+			return 0
+		}
+		return 1 - float64(ours)/float64(mst)
+	}
+	i2, i5 := improvement(2), improvement(5)
+	if i5 <= i2 {
+		t.Errorf("improvement at k=5 (%.3f) not above k=2 (%.3f)", i5, i2)
+	}
+}
+
+func TestInstanceFromSegs(t *testing.T) {
+	segs := []*plan.GSeg{
+		{NetID: 0, Dir: geom.Vertical, Panel: 3, Span: iv(0, 4)},
+		{NetID: 1, Dir: geom.Vertical, Panel: 3, Span: iv(2, 8)},
+	}
+	in := InstanceFromSegs(segs)
+	if in.N() != 2 || len(in.Edges) != 1 {
+		t.Fatalf("instance = %+v", in)
+	}
+	// Vertical segments use the end term.
+	maxD, avgD := in.SegDensity()
+	if maxD != 2 || avgD <= 0 {
+		t.Errorf("seg density = %v/%v", maxD, avgD)
+	}
+	maxE, avgE := in.EndDensity()
+	if maxE < 1 || avgE <= 0 {
+		t.Errorf("end density = %v/%v", maxE, avgE)
+	}
+}
+
+func TestEmptyInstance(t *testing.T) {
+	in := BuildInstance(nil, nil, true)
+	if in.N() != 0 || len(in.Edges) != 0 {
+		t.Fatal("empty instance not empty")
+	}
+	colors := Assign(in, 3, KColorableSubset)
+	if len(colors) != 0 {
+		t.Error("colors for empty instance")
+	}
+	maxD, avgD := in.SegDensity()
+	if maxD != 0 || avgD != 0 {
+		t.Error("density of empty instance nonzero")
+	}
+}
+
+func TestSingleSegment(t *testing.T) {
+	in := BuildInstance([]geom.Interval{iv(0, 5)}, [][]int{{0, 5}}, true)
+	for _, algo := range []Algo{MaxSpanningTree, KColorableSubset} {
+		colors := Assign(in, 3, algo)
+		if len(colors) != 1 || colors[0] < 0 || colors[0] > 2 {
+			t.Errorf("algo %d: colors = %v", algo, colors)
+		}
+	}
+}
+
+func TestRandomInstanceStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	in := RandomInstance(rng, 20, 30)
+	if in.N() != 20 {
+		t.Fatalf("N = %d", in.N())
+	}
+	maxD, avg := in.SegDensity()
+	if maxD < 1 || avg <= 0 {
+		t.Errorf("degenerate densities %v %v", maxD, avg)
+	}
+}
+
+func TestExactAssignOptimalOnSmallInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for iter := 0; iter < 15; iter++ {
+		in := RandomInstance(rng, 4+rng.Intn(5), 8+rng.Intn(8))
+		for k := 2; k <= 3; k++ {
+			colors, optimal := ExactAssign(in, k, 0)
+			if !optimal {
+				t.Fatalf("iter %d: unbounded search not optimal", iter)
+			}
+			exact := in.Cost(colors)
+			// Brute-force oracle.
+			want := bruteMinCut(in, k)
+			if exact != want {
+				t.Fatalf("iter %d k=%d: exact %d, brute %d", iter, k, exact, want)
+			}
+			// Heuristics can never beat the optimum.
+			for _, algo := range []Algo{MaxSpanningTree, KColorableSubset} {
+				if h := in.Cost(Assign(in, k, algo)); h < exact {
+					t.Fatalf("iter %d: heuristic %d below optimum %d", iter, h, exact)
+				}
+			}
+		}
+	}
+}
+
+func bruteMinCut(in *Instance, k int) int64 {
+	n := in.N()
+	colors := make([]int, n)
+	best := int64(1) << 60
+	var rec func(int)
+	rec = func(v int) {
+		if v == n {
+			if c := in.Cost(colors); c < best {
+				best = c
+			}
+			return
+		}
+		for c := 0; c < k; c++ {
+			colors[v] = c
+			rec(v + 1)
+		}
+	}
+	rec(0)
+	return best
+}
+
+func TestExactAssignBudgetFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	in := RandomInstance(rng, 30, 30)
+	colors, optimal := ExactAssign(in, 4, 10)
+	if optimal {
+		t.Error("tiny budget claimed optimality on a 30-segment instance")
+	}
+	if len(colors) != in.N() {
+		t.Error("fallback returned wrong size")
+	}
+	for _, c := range colors {
+		if c < 0 || c >= 4 {
+			t.Error("fallback color out of range")
+		}
+	}
+}

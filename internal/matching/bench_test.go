@@ -1,0 +1,24 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkHungarian measures the k×k group-merge matching of layer
+// assignment at a realistic size.
+func BenchmarkHungarian(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 32
+	cost := make([][]int64, n)
+	for i := range cost {
+		cost[i] = make([]int64, n)
+		for j := range cost[i] {
+			cost[i][j] = int64(rng.Intn(1000))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MinCostPerfect(cost)
+	}
+}

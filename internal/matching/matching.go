@@ -1,0 +1,88 @@
+// Package matching implements minimum-weight perfect bipartite matching
+// (the Hungarian algorithm, O(n³)). The paper merges layer-assignment
+// coloring groups with a min-weight perfect matching solved by LEDA
+// (§III-B); this package is the from-scratch substitute.
+package matching
+
+import "fmt"
+
+// Inf is a weight larger than any sum of real weights; use it for forbidden
+// assignments.
+const Inf = int64(1) << 50
+
+// MinCostPerfect solves the assignment problem on an n×n cost matrix:
+// it returns assign with assign[row] = column, minimizing the total cost,
+// plus that total. Forbidden pairs can be encoded with Inf; if no perfect
+// matching of finite cost exists, the returned total is >= Inf.
+func MinCostPerfect(cost [][]int64) (assign []int, total int64) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0
+	}
+	for i, row := range cost {
+		if len(row) != n {
+			panic(fmt.Sprintf("matching: row %d has %d entries, want %d", i, len(row), n))
+		}
+	}
+	// Standard O(n³) Hungarian with 1-based potentials.
+	u := make([]int64, n+1)
+	v := make([]int64, n+1)
+	p := make([]int, n+1) // p[col] = row matched to col (0 = none)
+	way := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]int64, n+1)
+		used := make([]bool, n+1)
+		for j := range minv {
+			minv[j] = Inf * 4
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			var delta int64 = Inf * 4
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	assign = make([]int, n)
+	for j := 1; j <= n; j++ {
+		if p[j] > 0 {
+			assign[p[j]-1] = j - 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		total += cost[i][assign[i]]
+	}
+	return assign, total
+}

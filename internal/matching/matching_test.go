@@ -1,0 +1,136 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSmallKnown(t *testing.T) {
+	cost := [][]int64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	assign, total := MinCostPerfect(cost)
+	if total != 5 { // 1 + 2 + 2
+		t.Fatalf("total = %d, want 5 (assign %v)", total, assign)
+	}
+	seen := make(map[int]bool)
+	for _, c := range assign {
+		if seen[c] {
+			t.Fatalf("column %d assigned twice: %v", c, assign)
+		}
+		seen[c] = true
+	}
+}
+
+func TestIdentityOptimal(t *testing.T) {
+	n := 5
+	cost := make([][]int64, n)
+	for i := range cost {
+		cost[i] = make([]int64, n)
+		for j := range cost[i] {
+			if i == j {
+				cost[i][j] = 0
+			} else {
+				cost[i][j] = 10
+			}
+		}
+	}
+	assign, total := MinCostPerfect(cost)
+	if total != 0 {
+		t.Fatalf("total = %d, want 0", total)
+	}
+	for i, c := range assign {
+		if c != i {
+			t.Errorf("assign[%d] = %d, want %d", i, c, i)
+		}
+	}
+}
+
+func TestForbiddenPairs(t *testing.T) {
+	// Row 0 can only take column 1; row 1 only column 0.
+	cost := [][]int64{
+		{Inf, 3},
+		{4, Inf},
+	}
+	assign, total := MinCostPerfect(cost)
+	if total != 7 {
+		t.Fatalf("total = %d, want 7", total)
+	}
+	if assign[0] != 1 || assign[1] != 0 {
+		t.Errorf("assign = %v", assign)
+	}
+}
+
+func TestAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 60; iter++ {
+		n := 1 + rng.Intn(5)
+		cost := make([][]int64, n)
+		for i := range cost {
+			cost[i] = make([]int64, n)
+			for j := range cost[i] {
+				cost[i][j] = int64(rng.Intn(30))
+			}
+		}
+		assign, total := MinCostPerfect(cost)
+		var check int64
+		used := make([]bool, n)
+		for i, c := range assign {
+			if c < 0 || c >= n || used[c] {
+				t.Fatalf("iter %d: invalid assignment %v", iter, assign)
+			}
+			used[c] = true
+			check += cost[i][c]
+		}
+		if check != total {
+			t.Fatalf("iter %d: reported total %d != recomputed %d", iter, total, check)
+		}
+		if want := brute(cost); total != want {
+			t.Fatalf("iter %d: hungarian %d, brute force %d", iter, total, want)
+		}
+	}
+}
+
+func brute(cost [][]int64) int64 {
+	n := len(cost)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := int64(1) << 62
+	var rec func(int)
+	rec = func(i int) {
+		if i == n {
+			var s int64
+			for r, c := range perm {
+				s += cost[r][c]
+			}
+			if s < best {
+				best = s
+			}
+			return
+		}
+		for j := i; j < n; j++ {
+			perm[i], perm[j] = perm[j], perm[i]
+			rec(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+	}
+	rec(0)
+	return best
+}
+
+func TestEmptyAndRagged(t *testing.T) {
+	assign, total := MinCostPerfect(nil)
+	if assign != nil || total != 0 {
+		t.Error("empty matrix should give nil, 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ragged matrix did not panic")
+		}
+	}()
+	MinCostPerfect([][]int64{{1, 2}, {3}})
+}

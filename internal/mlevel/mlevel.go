@@ -1,0 +1,71 @@
+// Package mlevel implements the bottom-up multilevel scheduling of the
+// two-pass framework (§II-B). The coarsening scheme iteratively groups
+// routing tiles into 2×2 blocks; a net becomes *local* at the first level
+// whose tile covers its pin bounding box, and each pass processes nets in
+// ascending level — local nets first — exactly the order in which the
+// iterative "route local nets, then coarsen" loop of the paper would
+// reach them.
+package mlevel
+
+import (
+	"sort"
+
+	"stitchroute/internal/netlist"
+	"stitchroute/internal/plan"
+)
+
+// Entry is one net with its coarsening level.
+type Entry struct {
+	Net   *netlist.Net
+	Level int
+}
+
+// Schedule returns the circuit's nets in bottom-up multilevel order:
+// ascending level, then ascending HPWL, then net ID (deterministic).
+func Schedule(c *netlist.Circuit) []Entry {
+	entries := make([]Entry, len(c.Nets))
+	for i, n := range c.Nets {
+		entries[i] = Entry{Net: n, Level: plan.Level(n.BBox(), c.Fabric)}
+	}
+	sort.SliceStable(entries, func(i, j int) bool {
+		if entries[i].Level != entries[j].Level {
+			return entries[i].Level < entries[j].Level
+		}
+		hi, hj := entries[i].Net.HPWL(), entries[j].Net.HPWL()
+		if hi != hj {
+			return hi < hj
+		}
+		return entries[i].Net.ID < entries[j].Net.ID
+	})
+	return entries
+}
+
+// Levels returns the number of coarsening levels the circuit needs: the
+// level at which a single tile covers the whole die, plus one.
+func Levels(c *netlist.Circuit) int {
+	f := c.Fabric
+	n := f.TilesX()
+	if f.TilesY() > n {
+		n = f.TilesY()
+	}
+	levels := 1
+	for size := 1; size < n; size *= 2 {
+		levels++
+	}
+	return levels
+}
+
+// Histogram counts the nets that become local at each level.
+func Histogram(c *netlist.Circuit) []int {
+	h := make([]int, Levels(c))
+	for _, e := range Schedule(c) {
+		if e.Level < len(h) {
+			h[e.Level]++
+		} else {
+			// Ragged dies can push a net one level past Levels' estimate.
+			h = append(h, make([]int, e.Level-len(h)+1)...)
+			h[e.Level]++
+		}
+	}
+	return h
+}

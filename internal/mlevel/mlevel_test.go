@@ -1,0 +1,95 @@
+package mlevel
+
+import (
+	"testing"
+
+	"stitchroute/internal/bench"
+	"stitchroute/internal/geom"
+	"stitchroute/internal/grid"
+	"stitchroute/internal/netlist"
+)
+
+func mkCircuit() *netlist.Circuit {
+	f := grid.New(120, 120, 3) // 8x8 tiles -> 4 levels (1,2,4,8)
+	pin := func(x, y int) netlist.Pin {
+		return netlist.Pin{Point: geom.Point{X: x, Y: y}, Layer: 1}
+	}
+	return &netlist.Circuit{Name: "t", Fabric: f, Nets: []*netlist.Net{
+		{ID: 0, Name: "global", Pins: []netlist.Pin{pin(1, 1), pin(115, 115)}},
+		{ID: 1, Name: "local", Pins: []netlist.Pin{pin(2, 2), pin(9, 9)}},
+		{ID: 2, Name: "mid", Pins: []netlist.Pin{pin(2, 2), pin(40, 9)}},
+	}}
+}
+
+func TestScheduleOrder(t *testing.T) {
+	entries := Schedule(mkCircuit())
+	if entries[0].Net.ID != 1 {
+		t.Errorf("first net = %d, want the local net", entries[0].Net.ID)
+	}
+	if entries[len(entries)-1].Net.ID != 0 {
+		t.Errorf("last net = %d, want the global net", entries[len(entries)-1].Net.ID)
+	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Level < entries[i-1].Level {
+			t.Error("levels not ascending")
+		}
+	}
+}
+
+func TestLevels(t *testing.T) {
+	c := mkCircuit() // 8 tiles -> levels 0..3 -> 4
+	if got := Levels(c); got != 4 {
+		t.Errorf("Levels = %d, want 4", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram(mkCircuit())
+	total := 0
+	for _, n := range h {
+		total += n
+	}
+	if total != 3 {
+		t.Errorf("histogram covers %d nets, want 3", total)
+	}
+	if h[0] != 1 {
+		t.Errorf("level-0 count = %d, want 1", h[0])
+	}
+}
+
+func TestBenchmarkHistogramShape(t *testing.T) {
+	spec, _ := bench.ByName("S9234")
+	c := bench.Generate(spec)
+	h := Histogram(c)
+	if h[0] == 0 {
+		t.Error("no level-0 local nets; the multilevel order is pointless")
+	}
+	// Rent-style locality: most nets are local within the first two
+	// levels (fit a 2x2-tile block).
+	total := 0
+	for _, n := range h {
+		total += n
+	}
+	if len(h) < 2 || 2*(h[0]+h[1]) < total {
+		t.Errorf("local nets are not the majority: %v", h)
+	}
+}
+
+func TestScheduleStableAcrossCalls(t *testing.T) {
+	c := mkCircuit()
+	a := Schedule(c)
+	b := Schedule(c)
+	for i := range a {
+		if a[i].Net.ID != b[i].Net.ID || a[i].Level != b[i].Level {
+			t.Fatal("schedule not deterministic")
+		}
+	}
+}
+
+func TestLevelsOfSingleTileDie(t *testing.T) {
+	f := grid.New(30, 30, 1) // 2x2 tiles
+	c := &netlist.Circuit{Name: "t", Fabric: f}
+	if got := Levels(c); got != 2 {
+		t.Errorf("Levels = %d, want 2", got)
+	}
+}

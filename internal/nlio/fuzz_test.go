@@ -1,0 +1,50 @@
+package nlio
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRead ensures the circuit parser never panics and that anything it
+// accepts round-trips through Write.
+func FuzzRead(f *testing.F) {
+	f.Add(sample)
+	f.Add("circuit x\ngrid 60 60 3\nnet a 1,1 2,2\n")
+	f.Add("circuit x\ngrid 60 60 3 stitch 12 sur 2 escape 3\nnet a 1,1,2 2,2,3\n")
+	f.Add("# only a comment\n")
+	f.Add("grid 0 0 0\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Read(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		if err := Write(&sb, c); err != nil {
+			t.Fatalf("accepted circuit failed to serialize: %v", err)
+		}
+		c2, err := Read(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\n%s", err, sb.String())
+		}
+		if len(c2.Nets) != len(c.Nets) || c2.NumPins() != c.NumPins() {
+			t.Fatal("round trip changed structure")
+		}
+	})
+}
+
+// FuzzReadRoutes ensures the geometry parser never panics.
+func FuzzReadRoutes(f *testing.F) {
+	f.Add("route 0 routed\nwire H 1 5 0 3\nvia 1 2 1\nend\n")
+	f.Add("route 1 failed\nend\n")
+	f.Add("wire H 1 5 0 3\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		routes, err := ReadRoutes(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		if err := WriteRoutes(&sb, routes); err != nil {
+			t.Fatalf("accepted routes failed to serialize: %v", err)
+		}
+	})
+}

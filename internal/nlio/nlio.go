@@ -1,0 +1,182 @@
+// Package nlio reads and writes circuits in a simple line-oriented text
+// format, so the command-line tools can route user designs instead of the
+// bundled synthetic benchmarks:
+//
+//	# comment
+//	circuit NAME
+//	grid XTRACKS YTRACKS LAYERS [stitch PITCH] [sur EPS] [escape W]
+//	net NAME X,Y[,LAYER] X,Y[,LAYER] ...
+//
+// Pins default to layer 1. The format round-trips: Write(Read(x)) == x up
+// to comments and whitespace.
+package nlio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"stitchroute/internal/geom"
+	"stitchroute/internal/grid"
+	"stitchroute/internal/netlist"
+)
+
+// Read parses a circuit from r.
+func Read(r io.Reader) (*netlist.Circuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	c := &netlist.Circuit{}
+	lineNo := 0
+	nextID := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "circuit":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("nlio: line %d: want 'circuit NAME'", lineNo)
+			}
+			c.Name = fields[1]
+		case "grid":
+			f, err := parseGrid(fields[1:])
+			if err != nil {
+				return nil, fmt.Errorf("nlio: line %d: %w", lineNo, err)
+			}
+			c.Fabric = f
+		case "net":
+			if c.Fabric == nil {
+				return nil, fmt.Errorf("nlio: line %d: net before grid", lineNo)
+			}
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("nlio: line %d: net needs a name and >=2 pins", lineNo)
+			}
+			n := &netlist.Net{ID: nextID, Name: fields[1]}
+			nextID++
+			for _, tok := range fields[2:] {
+				p, err := parsePin(tok)
+				if err != nil {
+					return nil, fmt.Errorf("nlio: line %d: %w", lineNo, err)
+				}
+				n.Pins = append(n.Pins, p)
+			}
+			c.Nets = append(c.Nets, n)
+		default:
+			return nil, fmt.Errorf("nlio: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("nlio: %w", err)
+	}
+	if c.Fabric == nil {
+		return nil, fmt.Errorf("nlio: missing grid directive")
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func parseGrid(args []string) (*grid.Fabric, error) {
+	if len(args) < 3 {
+		return nil, fmt.Errorf("want 'grid X Y LAYERS [stitch P] [sur E] [escape W]'")
+	}
+	x, err1 := strconv.Atoi(args[0])
+	y, err2 := strconv.Atoi(args[1])
+	l, err3 := strconv.Atoi(args[2])
+	if err1 != nil || err2 != nil || err3 != nil {
+		return nil, fmt.Errorf("bad grid dimensions %v", args[:3])
+	}
+	f := grid.New(x, y, l)
+	rest := args[3:]
+	for len(rest) >= 2 {
+		v, err := strconv.Atoi(rest[1])
+		if err != nil {
+			return nil, fmt.Errorf("bad %s value %q", rest[0], rest[1])
+		}
+		switch rest[0] {
+		case "stitch":
+			f.StitchPitch = v
+		case "sur":
+			f.SUREps = v
+		case "escape":
+			f.EscapeWidth = v
+		default:
+			return nil, fmt.Errorf("unknown grid option %q", rest[0])
+		}
+		rest = rest[2:]
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("dangling grid option %q", rest[0])
+	}
+	return f, f.Validate()
+}
+
+func parsePin(tok string) (netlist.Pin, error) {
+	parts := strings.Split(tok, ",")
+	if len(parts) != 2 && len(parts) != 3 {
+		return netlist.Pin{}, fmt.Errorf("bad pin %q (want X,Y or X,Y,LAYER)", tok)
+	}
+	x, err1 := strconv.Atoi(parts[0])
+	y, err2 := strconv.Atoi(parts[1])
+	layer := 1
+	var err3 error
+	if len(parts) == 3 {
+		layer, err3 = strconv.Atoi(parts[2])
+	}
+	if err1 != nil || err2 != nil || err3 != nil {
+		return netlist.Pin{}, fmt.Errorf("bad pin %q", tok)
+	}
+	return netlist.Pin{Point: geom.Point{X: x, Y: y}, Layer: layer}, nil
+}
+
+// sanitizeName makes a token safe for the whitespace-separated format.
+func sanitizeName(name string) string {
+	if name == "" {
+		return "unnamed"
+	}
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case ' ', '\t', '\n', '\r', '#':
+			return '_'
+		}
+		return r
+	}, name)
+}
+
+// Write serializes the circuit in the nlio format. Names that would not
+// survive the line-oriented format (empty, or containing whitespace) are
+// sanitized so Write's output always parses back.
+func Write(w io.Writer, c *netlist.Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "circuit %s\n", sanitizeName(c.Name))
+	f := c.Fabric
+	fmt.Fprintf(bw, "grid %d %d %d", f.XTracks, f.YTracks, f.Layers)
+	if f.StitchPitch != grid.DefaultStitchPitch {
+		fmt.Fprintf(bw, " stitch %d", f.StitchPitch)
+	}
+	if f.SUREps != grid.DefaultSUREps {
+		fmt.Fprintf(bw, " sur %d", f.SUREps)
+	}
+	if f.EscapeWidth != grid.DefaultEscapeWidth {
+		fmt.Fprintf(bw, " escape %d", f.EscapeWidth)
+	}
+	fmt.Fprintln(bw)
+	for _, n := range c.Nets {
+		fmt.Fprintf(bw, "net %s", sanitizeName(n.Name))
+		for _, p := range n.Pins {
+			if p.Layer == 1 {
+				fmt.Fprintf(bw, " %d,%d", p.X, p.Y)
+			} else {
+				fmt.Fprintf(bw, " %d,%d,%d", p.X, p.Y, p.Layer)
+			}
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,184 @@
+package nlio
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"stitchroute/internal/bench"
+	"stitchroute/internal/geom"
+	"stitchroute/internal/grid"
+	"stitchroute/internal/netlist"
+)
+
+const sample = `
+# a small test circuit
+circuit demo
+grid 60 45 3
+net a 2,3 20,8
+net b 15,3 16,40,2 59,44
+`
+
+func TestRead(t *testing.T) {
+	c, err := Read(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "demo" {
+		t.Errorf("name = %q", c.Name)
+	}
+	if c.Fabric.XTracks != 60 || c.Fabric.YTracks != 45 || c.Fabric.Layers != 3 {
+		t.Errorf("fabric = %+v", c.Fabric)
+	}
+	if len(c.Nets) != 2 {
+		t.Fatalf("%d nets", len(c.Nets))
+	}
+	if c.Nets[1].Pins[1] != (netlist.Pin{Point: geom.Point{X: 16, Y: 40}, Layer: 2}) {
+		t.Errorf("pin = %+v", c.Nets[1].Pins[1])
+	}
+	if c.Nets[0].Pins[0].Layer != 1 {
+		t.Error("default layer not 1")
+	}
+	if c.Nets[0].ID != 0 || c.Nets[1].ID != 1 {
+		t.Error("IDs not dense")
+	}
+}
+
+func TestGridOptions(t *testing.T) {
+	src := "circuit x\ngrid 60 60 3 stitch 12 sur 2 escape 3\nnet n 1,1 20,20\n"
+	c, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := c.Fabric
+	if f.StitchPitch != 12 || f.SUREps != 2 || f.EscapeWidth != 3 {
+		t.Errorf("fabric opts = %+v", f)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"no grid":         "circuit x\nnet a 1,1 2,2\n",
+		"missing grid":    "circuit x\n",
+		"bad pin":         "circuit x\ngrid 60 60 3\nnet a 1 2,2\n",
+		"one pin":         "circuit x\ngrid 60 60 3\nnet a 1,1\n",
+		"unknown":         "frobnicate\n",
+		"bad dims":        "circuit x\ngrid a b c\n",
+		"bad option":      "circuit x\ngrid 60 60 3 wibble 4\nnet a 1,1 2,2\n",
+		"dangling option": "circuit x\ngrid 60 60 3 stitch\nnet a 1,1 2,2\n",
+		"oob pin":         "circuit x\ngrid 60 60 3\nnet a 1,1 99,99\n",
+		"bad layer":       "circuit x\ngrid 60 60 3\nnet a 1,1 2,2,9\n",
+	}
+	for name, src := range cases {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	c, err := Read(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("re-read failed: %v\n%s", err, sb.String())
+	}
+	if c2.Name != c.Name || len(c2.Nets) != len(c.Nets) {
+		t.Fatal("round trip changed structure")
+	}
+	for i := range c.Nets {
+		if len(c2.Nets[i].Pins) != len(c.Nets[i].Pins) {
+			t.Fatalf("net %d pin count changed", i)
+		}
+		for j := range c.Nets[i].Pins {
+			if c2.Nets[i].Pins[j] != c.Nets[i].Pins[j] {
+				t.Errorf("net %d pin %d: %+v != %+v", i, j, c2.Nets[i].Pins[j], c.Nets[i].Pins[j])
+			}
+		}
+	}
+}
+
+func TestRoundTripNonDefaultFabric(t *testing.T) {
+	f := grid.New(120, 90, 6)
+	f.StitchPitch = 12
+	f.SUREps = 2
+	f.EscapeWidth = 3
+	c := &netlist.Circuit{Name: "nd", Fabric: f, Nets: []*netlist.Net{
+		{ID: 0, Name: "n", Pins: []netlist.Pin{
+			{Point: geom.Point{X: 1, Y: 1}, Layer: 1},
+			{Point: geom.Point{X: 100, Y: 80}, Layer: 4},
+		}},
+	}}
+	var sb strings.Builder
+	if err := Write(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *c2.Fabric != *f {
+		t.Errorf("fabric changed: %+v vs %+v", c2.Fabric, f)
+	}
+}
+
+func TestRoundTripBenchmark(t *testing.T) {
+	spec, _ := bench.ByName("Primary1")
+	c := bench.Generate(spec)
+	var sb strings.Builder
+	if err := Write(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.NumPins() != c.NumPins() || len(c2.Nets) != len(c.Nets) {
+		t.Error("benchmark round trip changed counts")
+	}
+}
+
+func TestRoundTripRandomCircuits(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for iter := 0; iter < 40; iter++ {
+		f := grid.New(30+15*rng.Intn(4), 30+15*rng.Intn(4), 1+rng.Intn(6))
+		used := map[geom.Point]bool{}
+		c := &netlist.Circuit{Name: "r", Fabric: f}
+		for i := 0; i < 1+rng.Intn(8); i++ {
+			n := &netlist.Net{ID: i, Name: "n"}
+			for len(n.Pins) < 2+rng.Intn(4) {
+				p := geom.Point{X: rng.Intn(f.XTracks), Y: rng.Intn(f.YTracks)}
+				if used[p] {
+					continue
+				}
+				used[p] = true
+				n.Pins = append(n.Pins, netlist.Pin{Point: p, Layer: 1 + rng.Intn(f.Layers)})
+			}
+			c.Nets = append(c.Nets, n)
+		}
+		var sb strings.Builder
+		if err := Write(&sb, c); err != nil {
+			t.Fatal(err)
+		}
+		c2, err := Read(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if len(c2.Nets) != len(c.Nets) || c2.NumPins() != c.NumPins() {
+			t.Fatalf("iter %d: structure changed", iter)
+		}
+		for i := range c.Nets {
+			for j := range c.Nets[i].Pins {
+				if c2.Nets[i].Pins[j] != c.Nets[i].Pins[j] {
+					t.Fatalf("iter %d: pin %d/%d changed", iter, i, j)
+				}
+			}
+		}
+	}
+}

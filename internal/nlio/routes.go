@@ -1,0 +1,129 @@
+package nlio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"stitchroute/internal/geom"
+	"stitchroute/internal/plan"
+)
+
+// Routed-geometry text format, one stanza per net:
+//
+//	route NETID routed|failed
+//	wire H LAYER Y X0 X1        (horizontal wire)
+//	wire V LAYER X Y0 Y1        (vertical wire)
+//	via X Y LAYER               (connects LAYER and LAYER+1)
+//	end
+//
+// The format round-trips and is diff-friendly for golden tests.
+
+// WriteRoutes serializes routed geometry.
+func WriteRoutes(w io.Writer, routes []plan.NetRoute) error {
+	bw := bufio.NewWriter(w)
+	for i := range routes {
+		rt := &routes[i]
+		status := "routed"
+		if !rt.Routed {
+			status = "failed"
+		}
+		fmt.Fprintf(bw, "route %d %s\n", rt.NetID, status)
+		for _, wire := range rt.Wires {
+			fmt.Fprintf(bw, "wire %s %d %d %d %d\n",
+				wire.Orient, wire.Layer, wire.Fixed, wire.Span.Lo, wire.Span.Hi)
+		}
+		for _, v := range rt.Vias {
+			fmt.Fprintf(bw, "via %d %d %d\n", v.X, v.Y, v.Layer)
+		}
+		fmt.Fprintln(bw, "end")
+	}
+	return bw.Flush()
+}
+
+// ReadRoutes parses routed geometry written by WriteRoutes.
+func ReadRoutes(r io.Reader) ([]plan.NetRoute, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var routes []plan.NetRoute
+	var cur *plan.NetRoute
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "route":
+			if cur != nil {
+				return nil, fmt.Errorf("nlio: line %d: route inside route", lineNo)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("nlio: line %d: want 'route ID status'", lineNo)
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("nlio: line %d: bad net ID", lineNo)
+			}
+			routes = append(routes, plan.NetRoute{NetID: id, Routed: fields[2] == "routed"})
+			cur = &routes[len(routes)-1]
+		case "wire":
+			if cur == nil || len(fields) != 6 {
+				return nil, fmt.Errorf("nlio: line %d: bad wire", lineNo)
+			}
+			nums, err := atoiAll(fields[2:])
+			if err != nil {
+				return nil, fmt.Errorf("nlio: line %d: %w", lineNo, err)
+			}
+			var seg geom.Segment
+			switch fields[1] {
+			case "H":
+				seg = geom.HSeg(nums[0], nums[1], nums[2], nums[3])
+			case "V":
+				seg = geom.VSeg(nums[0], nums[1], nums[2], nums[3])
+			default:
+				return nil, fmt.Errorf("nlio: line %d: bad orientation %q", lineNo, fields[1])
+			}
+			cur.Wires = append(cur.Wires, seg)
+		case "via":
+			if cur == nil || len(fields) != 4 {
+				return nil, fmt.Errorf("nlio: line %d: bad via", lineNo)
+			}
+			nums, err := atoiAll(fields[1:])
+			if err != nil {
+				return nil, fmt.Errorf("nlio: line %d: %w", lineNo, err)
+			}
+			cur.Vias = append(cur.Vias, plan.Via{X: nums[0], Y: nums[1], Layer: nums[2]})
+		case "end":
+			if cur == nil {
+				return nil, fmt.Errorf("nlio: line %d: end without route", lineNo)
+			}
+			cur = nil
+		default:
+			return nil, fmt.Errorf("nlio: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("nlio: unterminated route %d", cur.NetID)
+	}
+	return routes, nil
+}
+
+func atoiAll(fields []string) ([]int, error) {
+	out := make([]int, len(fields))
+	for i, f := range fields {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", f)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

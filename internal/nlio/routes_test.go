@@ -1,0 +1,87 @@
+package nlio
+
+import (
+	"strings"
+	"testing"
+
+	"stitchroute/internal/geom"
+	"stitchroute/internal/plan"
+)
+
+func sampleRoutes() []plan.NetRoute {
+	return []plan.NetRoute{
+		{
+			NetID: 0, Routed: true,
+			Wires: []geom.Segment{
+				geom.HSeg(1, 5, 2, 12),
+				geom.VSeg(2, 12, 5, 9),
+			},
+			Vias: []plan.Via{{X: 12, Y: 5, Layer: 1}},
+		},
+		{NetID: 1, Routed: false},
+	}
+}
+
+func TestRoutesRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteRoutes(&sb, sampleRoutes()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRoutes(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+	want := sampleRoutes()
+	if len(got) != len(want) {
+		t.Fatalf("%d routes, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].NetID != want[i].NetID || got[i].Routed != want[i].Routed {
+			t.Errorf("route %d header mismatch: %+v", i, got[i])
+		}
+		if len(got[i].Wires) != len(want[i].Wires) || len(got[i].Vias) != len(want[i].Vias) {
+			t.Fatalf("route %d geometry counts differ", i)
+		}
+		for j := range want[i].Wires {
+			if got[i].Wires[j] != want[i].Wires[j] {
+				t.Errorf("wire %d/%d: %+v != %+v", i, j, got[i].Wires[j], want[i].Wires[j])
+			}
+		}
+		for j := range want[i].Vias {
+			if got[i].Vias[j] != want[i].Vias[j] {
+				t.Errorf("via %d/%d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestRoutesReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"wire outside": "wire H 1 5 0 3\n",
+		"via outside":  "via 1 2 1\n",
+		"end outside":  "end\n",
+		"nested route": "route 0 routed\nroute 1 routed\n",
+		"bad wire":     "route 0 routed\nwire X 1 2 3 4\nend\n",
+		"short wire":   "route 0 routed\nwire H 1 2\nend\n",
+		"bad number":   "route 0 routed\nvia a b c\nend\n",
+		"unterminated": "route 0 routed\n",
+		"unknown":      "frob\n",
+		"bad net id":   "route x routed\nend\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadRoutes(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestRoutesComments(t *testing.T) {
+	src := "# header\nroute 3 routed\n# inner\nwire H 1 5 0 3\nend\n"
+	routes, err := ReadRoutes(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes) != 1 || routes[0].NetID != 3 || len(routes[0].Wires) != 1 {
+		t.Errorf("routes = %+v", routes)
+	}
+}

@@ -1,0 +1,105 @@
+// Package place implements stitch-aware placement refinement — the future
+// work the paper proposes in its conclusion (§V): via violations remain
+// only because fixed pins sit on stitching lines, so a placement stage
+// that keeps pins off stitching lines removes them at the source.
+//
+// The refiner performs a legal local perturbation: every pin lying on a
+// stitching-line column is nudged to the nearest free track column within
+// a window, preferring moves that do not enter a stitch-unfriendly region
+// and that minimize displacement. Pin-to-pin overlap stays forbidden. The
+// result is a new circuit; the input is never modified.
+package place
+
+import (
+	"sort"
+
+	"stitchroute/internal/geom"
+	"stitchroute/internal/netlist"
+)
+
+// Stats reports what the refiner did.
+type Stats struct {
+	OnStitch int // pins found on stitching-line columns
+	Moved    int // pins successfully nudged off
+	Stuck    int // pins with no legal nearby cell
+	// TotalDisplacement is the summed |Δx| over moved pins, in tracks.
+	TotalDisplacement int
+}
+
+// MaxShift is how far (in tracks) a pin may be nudged from its original
+// column.
+const MaxShift = 3
+
+// Refine returns a copy of the circuit with stitch-column pins nudged off
+// the stitching lines, plus the refinement stats.
+func Refine(c *netlist.Circuit) (*netlist.Circuit, Stats) {
+	f := c.Fabric
+	out := &netlist.Circuit{Name: c.Name, Fabric: f}
+	used := make(map[geom.Point]bool, c.NumPins())
+	for _, n := range c.Nets {
+		for _, p := range n.Pins {
+			used[p.Point] = true
+		}
+	}
+
+	var st Stats
+	for _, n := range c.Nets {
+		nn := &netlist.Net{ID: n.ID, Name: n.Name, Pins: make([]netlist.Pin, len(n.Pins))}
+		copy(nn.Pins, n.Pins)
+		out.Nets = append(out.Nets, nn)
+		for i := range nn.Pins {
+			p := &nn.Pins[i]
+			if !f.IsStitchCol(p.X) {
+				continue
+			}
+			st.OnStitch++
+			if nx, ok := bestShift(c, used, p.Point); ok {
+				used[p.Point] = false
+				st.TotalDisplacement += geom.Abs(nx - p.X)
+				p.X = nx
+				used[p.Point] = true
+				st.Moved++
+			} else {
+				st.Stuck++
+			}
+		}
+	}
+	return out, st
+}
+
+// bestShift finds the best replacement column for a stitch-column pin:
+// smallest displacement first, non-SUR columns preferred over SUR ones,
+// and the target cell must be free and in bounds.
+func bestShift(c *netlist.Circuit, used map[geom.Point]bool, p geom.Point) (int, bool) {
+	f := c.Fabric
+	type cand struct {
+		x     int
+		inSUR bool
+		dist  int
+	}
+	var cands []cand
+	for d := 1; d <= MaxShift; d++ {
+		for _, nx := range [2]int{p.X + d, p.X - d} {
+			if nx < 0 || nx >= f.XTracks || f.IsStitchCol(nx) {
+				continue
+			}
+			if used[geom.Point{X: nx, Y: p.Y}] {
+				continue
+			}
+			cands = append(cands, cand{nx, f.InSUR(nx), d})
+		}
+	}
+	if len(cands) == 0 {
+		return 0, false
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].inSUR != cands[j].inSUR {
+			return !cands[i].inSUR
+		}
+		if cands[i].dist != cands[j].dist {
+			return cands[i].dist < cands[j].dist
+		}
+		return cands[i].x < cands[j].x
+	})
+	return cands[0].x, true
+}

@@ -1,0 +1,115 @@
+package place
+
+import (
+	"testing"
+
+	"stitchroute/internal/bench"
+	"stitchroute/internal/geom"
+	"stitchroute/internal/grid"
+	"stitchroute/internal/netlist"
+)
+
+func circuit(pins ...geom.Point) *netlist.Circuit {
+	f := grid.New(60, 60, 3)
+	n := &netlist.Net{ID: 0, Name: "n"}
+	for _, p := range pins {
+		n.Pins = append(n.Pins, netlist.Pin{Point: p, Layer: 1})
+	}
+	return &netlist.Circuit{Name: "t", Fabric: f, Nets: []*netlist.Net{n}}
+}
+
+func TestMovesStitchPin(t *testing.T) {
+	c := circuit(geom.Point{X: 15, Y: 5}, geom.Point{X: 40, Y: 40})
+	out, st := Refine(c)
+	if st.OnStitch != 1 || st.Moved != 1 || st.Stuck != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	p := out.Nets[0].Pins[0]
+	if out.Fabric.IsStitchCol(p.X) {
+		t.Errorf("pin still on stitch column: %v", p.Point)
+	}
+	// Prefers non-SUR: x=15±1 are SUR (eps 1), so the best move is ±2.
+	if out.Fabric.InSUR(p.X) {
+		t.Errorf("pin moved into SUR at %v when non-SUR was available", p.Point)
+	}
+	if geom.Abs(p.X-15) > MaxShift {
+		t.Errorf("pin displaced too far: %v", p.Point)
+	}
+	if st.TotalDisplacement != geom.Abs(p.X-15) {
+		t.Errorf("displacement accounting wrong: %+v", st)
+	}
+}
+
+func TestInputNotModified(t *testing.T) {
+	c := circuit(geom.Point{X: 15, Y: 5}, geom.Point{X: 40, Y: 40})
+	Refine(c)
+	if c.Nets[0].Pins[0].X != 15 {
+		t.Error("Refine modified its input")
+	}
+}
+
+func TestOccupiedNeighboursBlockMove(t *testing.T) {
+	// Surround the stitch pin's alternatives on both sides.
+	var pins []geom.Point
+	pins = append(pins, geom.Point{X: 15, Y: 5})
+	for d := 1; d <= MaxShift; d++ {
+		pins = append(pins, geom.Point{X: 15 + d, Y: 5}, geom.Point{X: 15 - d, Y: 5})
+	}
+	c := circuit(pins...)
+	out, st := Refine(c)
+	if st.Stuck != 1 || st.Moved != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if out.Nets[0].Pins[0].X != 15 {
+		t.Error("stuck pin moved anyway")
+	}
+}
+
+func TestNoOpOnCleanCircuit(t *testing.T) {
+	c := circuit(geom.Point{X: 3, Y: 5}, geom.Point{X: 40, Y: 40})
+	out, st := Refine(c)
+	if st != (Stats{}) {
+		t.Errorf("stats = %+v, want zero", st)
+	}
+	for i, p := range out.Nets[0].Pins {
+		if p != c.Nets[0].Pins[i] {
+			t.Error("clean pin moved")
+		}
+	}
+}
+
+func TestBenchmarkCircuitViaViolationsEliminated(t *testing.T) {
+	spec, err := bench.ByName("S9234")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := bench.Generate(spec)
+	before := c.PinViaViolations()
+	if before == 0 {
+		t.Skip("generator placed no pins on stitch columns")
+	}
+	out, st := Refine(c)
+	after := out.PinViaViolations()
+	if after >= before {
+		t.Fatalf("pin via violations not reduced: %d -> %d", before, after)
+	}
+	if st.Moved != before-after {
+		t.Errorf("moved %d but violations dropped by %d", st.Moved, before-after)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatalf("refined circuit invalid: %v", err)
+	}
+	// Pin uniqueness must be preserved.
+	seen := map[geom.Point]map[int]bool{}
+	for _, n := range out.Nets {
+		for _, p := range n.Pins {
+			if seen[p.Point] == nil {
+				seen[p.Point] = map[int]bool{}
+			}
+			seen[p.Point][n.ID] = true
+			if len(seen[p.Point]) > 1 {
+				t.Fatalf("two nets share pin cell %v", p.Point)
+			}
+		}
+	}
+}

@@ -1,0 +1,272 @@
+// Package raster implements the MEBL data-preparation flow that makes
+// short polygons dangerous (§II-A, Figs. 3–4): rendering a layout into
+// pixel-based gray-level coverage, then dithering it to a black/white
+// bitmap with error diffusion. Error diffusion pushes each pixel's
+// quantization error onto its unprocessed neighbours, which produces
+// irregular pixels on feature edges; on a short polygon those few bad
+// pixels are a large fraction of the feature, so the printed pattern
+// distorts badly — the physical justification for the short polygon
+// constraint.
+package raster
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"stitchroute/internal/geom"
+)
+
+// Bitmap is a gray-level pixel image with values in [0, 1].
+type Bitmap struct {
+	W, H int
+	Pix  []float64
+}
+
+// NewBitmap returns an all-zero (fully "off") bitmap.
+func NewBitmap(w, h int) *Bitmap {
+	return &Bitmap{W: w, H: h, Pix: make([]float64, w*h)}
+}
+
+// At returns the pixel value (0 outside the bitmap).
+func (b *Bitmap) At(x, y int) float64 {
+	if x < 0 || x >= b.W || y < 0 || y >= b.H {
+		return 0
+	}
+	return b.Pix[y*b.W+x]
+}
+
+// Set stores a pixel value, ignoring out-of-range coordinates.
+func (b *Bitmap) Set(x, y int, v float64) {
+	if x < 0 || x >= b.W || y < 0 || y >= b.H {
+		return
+	}
+	b.Pix[y*b.W+x] = v
+}
+
+// Render converts polygons (axis-aligned rectangles in sub-pixel
+// coordinates, units of 1 pixel = 1, so a rectangle may cover fractions
+// of pixels) into gray-level coverage: each pixel's value is the fraction
+// of its area covered by the union of the rectangles (§II-A "rendering").
+// Overlapping rectangles saturate at 1.
+type RectF struct {
+	X0, Y0, X1, Y1 float64
+}
+
+// Render rasterizes the rectangles onto a w×h pixel grid.
+func Render(w, h int, rects []RectF) *Bitmap {
+	b := NewBitmap(w, h)
+	for _, r := range rects {
+		x0, x1 := r.X0, r.X1
+		y0, y1 := r.Y0, r.Y1
+		if x0 > x1 {
+			x0, x1 = x1, x0
+		}
+		if y0 > y1 {
+			y0, y1 = y1, y0
+		}
+		for py := int(y0); py < h && float64(py) < y1; py++ {
+			if py < 0 {
+				continue
+			}
+			for px := int(x0); px < w && float64(px) < x1; px++ {
+				if px < 0 {
+					continue
+				}
+				cov := overlap1D(float64(px), float64(px+1), x0, x1) *
+					overlap1D(float64(py), float64(py+1), y0, y1)
+				v := b.At(px, py) + cov
+				if v > 1 {
+					v = 1
+				}
+				b.Set(px, py, v)
+			}
+		}
+	}
+	return b
+}
+
+func overlap1D(a0, a1, b0, b1 float64) float64 {
+	lo, hi := a0, a1
+	if b0 > lo {
+		lo = b0
+	}
+	if b1 < hi {
+		hi = b1
+	}
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// Dither converts the gray-level bitmap to black/white using
+// Floyd–Steinberg error diffusion: each pixel is thresholded at 0.5 and
+// its quantization error distributed to the right and lower neighbours
+// (the unprocessed pixels), as in Fig. 3. The input is not modified.
+func Dither(b *Bitmap) *Bitmap {
+	work := make([]float64, len(b.Pix))
+	copy(work, b.Pix)
+	out := NewBitmap(b.W, b.H)
+	at := func(x, y int) *float64 { return &work[y*b.W+x] }
+	for y := 0; y < b.H; y++ {
+		for x := 0; x < b.W; x++ {
+			old := *at(x, y)
+			var newV float64
+			if old >= 0.5 {
+				newV = 1
+			}
+			out.Set(x, y, newV)
+			err := old - newV
+			// Floyd–Steinberg weights: 7/16 right, 3/16 down-left,
+			// 5/16 down, 1/16 down-right.
+			if x+1 < b.W {
+				*at(x+1, y) += err * 7 / 16
+			}
+			if y+1 < b.H {
+				if x > 0 {
+					*at(x-1, y+1) += err * 3 / 16
+				}
+				*at(x, y+1) += err * 5 / 16
+				if x+1 < b.W {
+					*at(x+1, y+1) += err * 1 / 16
+				}
+			}
+		}
+	}
+	return out
+}
+
+// DefectScore compares the dithered bitmap with the ideal (coverage >= 0.5)
+// pattern and returns the fraction of the feature's pixels that flipped —
+// the §II-A measure of how badly dithering distorts the feature. Small
+// features score high (the short-polygon failure mode); long features
+// amortize the same edge errors.
+func DefectScore(gray, dithered *Bitmap) float64 {
+	feature, bad := 0, 0
+	for i := range gray.Pix {
+		ideal := 0.0
+		if gray.Pix[i] >= 0.5 {
+			ideal = 1
+		}
+		if ideal == 1 {
+			feature++
+		}
+		if dithered.Pix[i] != ideal {
+			bad++
+		}
+	}
+	if feature == 0 {
+		return 0
+	}
+	return float64(bad) / float64(feature)
+}
+
+// WireRects converts routed wire segments (track units) to rectangles in
+// pixel space, with the given pixels-per-track scale and a wire width of
+// one track. Sub-pixel offset shifts the pattern against the pixel grid,
+// which is what a stitching-line cut does to the half written by the
+// other beam.
+func WireRects(wires []geom.Segment, scale, offset float64) []RectF {
+	var out []RectF
+	for _, w := range wires {
+		a, b := w.Ends()
+		r := RectF{
+			X0: float64(a.X)*scale + offset,
+			Y0: float64(a.Y)*scale + offset,
+			X1: float64(b.X+1)*scale + offset,
+			Y1: float64(b.Y+1)*scale + offset,
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// String renders the bitmap as ASCII art for golden tests and the
+// rasterdefect example: '#' for on, '.' for off, '+' for mid grays.
+func (b *Bitmap) String() string {
+	var sb strings.Builder
+	for y := 0; y < b.H; y++ {
+		for x := 0; x < b.W; x++ {
+			switch v := b.At(x, y); {
+			case v >= 0.75:
+				sb.WriteByte('#')
+			case v >= 0.25:
+				sb.WriteByte('+')
+			default:
+				sb.WriteByte('.')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// CutWireDefect runs the full Fig. 4 experiment for a horizontal wire of
+// the given length (pixels): the wire is cut at cutX; the right part is
+// written by a different beam with the given overlay misalignment in
+// pixels. It returns the defect score of the stitched result.
+func CutWireDefect(length, cutX int, misalign float64) (float64, error) {
+	const h = 8
+	const wy0, wy1 = 2.0, 6.0
+	if cutX <= 0 || cutX >= length {
+		return 0, fmt.Errorf("raster: cut %d outside wire of length %d", cutX, length)
+	}
+	// Left stripe: exact. Right stripe: misaligned by the overlay error.
+	left := RectF{X0: 0, Y0: wy0, X1: float64(cutX), Y1: wy1}
+	right := RectF{X0: float64(cutX) + misalign, Y0: wy0 + misalign, X1: float64(length) + misalign, Y1: wy1 + misalign}
+	gray := Render(length+2, h, []RectF{left, right})
+	ideal := Render(length+2, h, []RectF{{X0: 0, Y0: wy0, X1: float64(length), Y1: wy1}})
+	dith := Dither(gray)
+	return DefectScore(ideal, dith), nil
+}
+
+// Blur convolves the bitmap with a separable Gaussian of the given sigma
+// (pixels) — the e-beam point-spread function that causes the proximity
+// effect. Applied between rendering and dithering it models a finite beam
+// spot: edges soften, and the dithering error diffusion acts on the
+// blurred profile. Sigma <= 0 returns a copy.
+func Blur(b *Bitmap, sigma float64) *Bitmap {
+	out := NewBitmap(b.W, b.H)
+	copy(out.Pix, b.Pix)
+	if sigma <= 0 {
+		return out
+	}
+	// Kernel radius 3 sigma, normalized.
+	radius := int(3*sigma + 0.5)
+	if radius < 1 {
+		radius = 1
+	}
+	kernel := make([]float64, 2*radius+1)
+	sum := 0.0
+	for i := range kernel {
+		d := float64(i - radius)
+		kernel[i] = math.Exp(-d * d / (2 * sigma * sigma))
+		sum += kernel[i]
+	}
+	for i := range kernel {
+		kernel[i] /= sum
+	}
+	tmp := NewBitmap(b.W, b.H)
+	// Horizontal pass.
+	for y := 0; y < b.H; y++ {
+		for x := 0; x < b.W; x++ {
+			v := 0.0
+			for i, k := range kernel {
+				v += k * out.At(x+i-radius, y)
+			}
+			tmp.Set(x, y, v)
+		}
+	}
+	// Vertical pass.
+	for y := 0; y < b.H; y++ {
+		for x := 0; x < b.W; x++ {
+			v := 0.0
+			for i, k := range kernel {
+				v += k * tmp.At(x, y+i-radius)
+			}
+			out.Set(x, y, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,215 @@
+package raster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"stitchroute/internal/geom"
+)
+
+func TestRenderFullPixels(t *testing.T) {
+	b := Render(4, 4, []RectF{{X0: 1, Y0: 1, X1: 3, Y1: 3}})
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			want := 0.0
+			if x >= 1 && x < 3 && y >= 1 && y < 3 {
+				want = 1
+			}
+			if got := b.At(x, y); math.Abs(got-want) > 1e-12 {
+				t.Errorf("pixel (%d,%d) = %v, want %v", x, y, got, want)
+			}
+		}
+	}
+}
+
+func TestRenderPartialCoverage(t *testing.T) {
+	// Half-pixel coverage in x: rectangle from 0.5 to 1.5.
+	b := Render(2, 1, []RectF{{X0: 0.5, Y0: 0, X1: 1.5, Y1: 1}})
+	if math.Abs(b.At(0, 0)-0.5) > 1e-12 || math.Abs(b.At(1, 0)-0.5) > 1e-12 {
+		t.Errorf("coverage = %v, %v, want 0.5, 0.5", b.At(0, 0), b.At(1, 0))
+	}
+}
+
+func TestRenderOverlapSaturates(t *testing.T) {
+	b := Render(2, 2, []RectF{
+		{X0: 0, Y0: 0, X1: 2, Y1: 2},
+		{X0: 0, Y0: 0, X1: 2, Y1: 2},
+	})
+	for i := range b.Pix {
+		if b.Pix[i] > 1 {
+			t.Fatalf("pixel %d = %v > 1", i, b.Pix[i])
+		}
+	}
+}
+
+func TestRenderCoverageInRange(t *testing.T) {
+	f := func(x0, y0, wRaw, hRaw uint8) bool {
+		r := RectF{
+			X0: float64(x0) / 16, Y0: float64(y0) / 16,
+			X1: float64(x0)/16 + float64(wRaw)/8,
+			Y1: float64(y0)/16 + float64(hRaw)/8,
+		}
+		b := Render(8, 8, []RectF{r})
+		for _, v := range b.Pix {
+			if v < -1e-9 || v > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDitherBinaryOutput(t *testing.T) {
+	b := Render(6, 6, []RectF{{X0: 0.3, Y0: 0.3, X1: 5.2, Y1: 5.4}})
+	d := Dither(b)
+	for i, v := range d.Pix {
+		if v != 0 && v != 1 {
+			t.Fatalf("dithered pixel %d = %v not binary", i, v)
+		}
+	}
+}
+
+func TestDitherPreservesTotalInk(t *testing.T) {
+	// Error diffusion conserves total intensity up to boundary losses.
+	b := Render(20, 20, []RectF{{X0: 2.4, Y0: 3.1, X1: 16.7, Y1: 12.9}})
+	d := Dither(b)
+	var gray, bw float64
+	for i := range b.Pix {
+		gray += b.Pix[i]
+		bw += d.Pix[i]
+	}
+	if math.Abs(gray-bw) > 0.05*gray+3 {
+		t.Errorf("ink not conserved: gray %.1f vs bw %.1f", gray, bw)
+	}
+}
+
+func TestDitherDoesNotModifyInput(t *testing.T) {
+	b := Render(5, 5, []RectF{{X0: 0.2, Y0: 0.2, X1: 4.7, Y1: 4.7}})
+	before := append([]float64(nil), b.Pix...)
+	Dither(b)
+	for i := range before {
+		if b.Pix[i] != before[i] {
+			t.Fatal("Dither modified its input")
+		}
+	}
+}
+
+func TestDefectScoreZeroForCleanPattern(t *testing.T) {
+	// Pixel-aligned rectangle: no gray edges, dithering is exact.
+	b := Render(10, 10, []RectF{{X0: 2, Y0: 2, X1: 8, Y1: 6}})
+	d := Dither(b)
+	if s := DefectScore(b, d); s != 0 {
+		t.Errorf("aligned pattern defect score = %v, want 0", s)
+	}
+}
+
+func TestShortPolygonWorseThanLong(t *testing.T) {
+	// The Fig. 4 result: the same misalignment hurts a short cut stub far
+	// more than a long wire. Compare a cut near the end vs mid-wire.
+	shortScore, err := CutWireDefect(40, 3, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	longScore, err := CutWireDefect(40, 20, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both suffer the same absolute edge error, but the short stub is ~7x
+	// smaller, so its relative distortion must be at least as bad.
+	if shortScore < longScore {
+		t.Errorf("short-stub score %.3f < long score %.3f", shortScore, longScore)
+	}
+	if shortScore == 0 {
+		t.Error("misaligned cut produced no defect at all")
+	}
+}
+
+func TestCutWireDefectValidation(t *testing.T) {
+	if _, err := CutWireDefect(10, 0, 0.3); err == nil {
+		t.Error("cut at 0 accepted")
+	}
+	if _, err := CutWireDefect(10, 10, 0.3); err == nil {
+		t.Error("cut at end accepted")
+	}
+}
+
+func TestWireRects(t *testing.T) {
+	rects := WireRects([]geom.Segment{geom.HSeg(1, 2, 0, 4)}, 2, 0.5)
+	if len(rects) != 1 {
+		t.Fatal("no rects")
+	}
+	r := rects[0]
+	if r.X0 != 0.5 || r.X1 != 10.5 || r.Y0 != 4.5 || r.Y1 != 6.5 {
+		t.Errorf("rect = %+v", r)
+	}
+}
+
+func TestBitmapString(t *testing.T) {
+	b := NewBitmap(3, 1)
+	b.Set(0, 0, 1)
+	b.Set(1, 0, 0.5)
+	if s := b.String(); s != "#+.\n" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestBitmapBounds(t *testing.T) {
+	b := NewBitmap(2, 2)
+	if b.At(-1, 0) != 0 || b.At(0, 5) != 0 {
+		t.Error("out-of-range At not zero")
+	}
+	b.Set(-1, 0, 9) // must not panic
+	b.Set(5, 5, 9)
+}
+
+func TestBlurConservesInk(t *testing.T) {
+	b := Render(30, 30, []RectF{{X0: 10, Y0: 10, X1: 20, Y1: 20}})
+	blurred := Blur(b, 1.2)
+	var before, after float64
+	for i := range b.Pix {
+		before += b.Pix[i]
+		after += blurred.Pix[i]
+	}
+	// Interior feature: boundary losses negligible.
+	if math.Abs(before-after) > 0.01*before {
+		t.Errorf("ink not conserved: %.2f -> %.2f", before, after)
+	}
+	// Edges must soften: a pixel just outside the feature gains dose.
+	if blurred.At(9, 15) <= 0 {
+		t.Error("no proximity dose outside the feature")
+	}
+	// A pixel on the feature edge loses dose to the outside.
+	if blurred.At(10, 15) >= 1 {
+		t.Error("edge pixel did not soften")
+	}
+}
+
+func TestBlurZeroSigmaIdentity(t *testing.T) {
+	b := Render(10, 10, []RectF{{X0: 2, Y0: 2, X1: 8, Y1: 8}})
+	out := Blur(b, 0)
+	for i := range b.Pix {
+		if out.Pix[i] != b.Pix[i] {
+			t.Fatal("sigma=0 changed pixels")
+		}
+	}
+	out.Set(3, 3, 0.123)
+	if b.At(3, 3) == 0.123 {
+		t.Fatal("Blur returned aliased storage")
+	}
+}
+
+func TestBlurWorsensShortStubDefect(t *testing.T) {
+	// With a finite beam spot the short-stub distortion only gets worse:
+	// blur spreads the stub's edge error over more of its few pixels.
+	gray := Render(20, 8, []RectF{{X0: 1, Y0: 2.3, X1: 4.4, Y1: 5.7}})
+	sharp := DefectScore(gray, Dither(gray))
+	blurred := Blur(gray, 0.8)
+	soft := DefectScore(gray, Dither(blurred))
+	if soft < sharp {
+		t.Errorf("blur reduced stub defect: %.3f < %.3f", soft, sharp)
+	}
+}

@@ -1,0 +1,107 @@
+package raster
+
+import (
+	"math/rand"
+
+	"stitchroute/internal/geom"
+)
+
+// StripeWriter simulates MEBL parallel writing of a layout window: the
+// window is divided into stripes at the stitching lines, each stripe is
+// written by its own beam with its own overlay error, and the pieces are
+// rendered together and dithered — the full Fig. 1 physical picture.
+type StripeWriter struct {
+	// StitchCols are the stitching-line x positions (track units) inside
+	// the window; they delimit the stripes.
+	StitchCols []int
+	// Scale is pixels per track.
+	Scale float64
+	// Offsets holds one (dx, dy) overlay error per stripe, in pixels.
+	// Stripe i covers x in [StitchCols[i-1], StitchCols[i]).
+	Offsets [][2]float64
+}
+
+// NewStripeWriter builds a writer with deterministic pseudo-random
+// overlay errors of the given magnitude (pixels) per stripe.
+func NewStripeWriter(stitchCols []int, scale, overlay float64, seed int64) *StripeWriter {
+	rng := rand.New(rand.NewSource(seed))
+	w := &StripeWriter{StitchCols: stitchCols, Scale: scale}
+	for i := 0; i <= len(stitchCols); i++ {
+		w.Offsets = append(w.Offsets, [2]float64{
+			overlay * (2*rng.Float64() - 1),
+			overlay * (2*rng.Float64() - 1),
+		})
+	}
+	return w
+}
+
+// stripeOf returns the stripe index containing track x.
+func (sw *StripeWriter) stripeOf(x int) int {
+	i := 0
+	for i < len(sw.StitchCols) && x >= sw.StitchCols[i] {
+		i++
+	}
+	return i
+}
+
+// splitAtStitches cuts a horizontal wire into per-stripe pieces; vertical
+// wires stay whole (they never cross a vertical stitching line legally).
+func (sw *StripeWriter) splitAtStitches(w geom.Segment) []geom.Segment {
+	if w.Orient != geom.Horizontal {
+		return []geom.Segment{w}
+	}
+	var out []geom.Segment
+	lo := w.Span.Lo
+	for _, s := range sw.StitchCols {
+		if s > lo && s <= w.Span.Hi {
+			out = append(out, geom.HSeg(w.Layer, w.Fixed, lo, s-1))
+			lo = s
+		}
+	}
+	out = append(out, geom.HSeg(w.Layer, w.Fixed, lo, w.Span.Hi))
+	return out
+}
+
+// Write renders the wires of a window as written by the beams: each
+// per-stripe piece is drawn with its stripe's overlay offset. The window
+// origin maps to pixel (0,0); pass wires in window-local coordinates.
+func (sw *StripeWriter) Write(wires []geom.Segment, wPix, hPix int) *Bitmap {
+	var rects []RectF
+	for _, w := range wires {
+		for _, piece := range sw.splitAtStitches(w) {
+			a, b := piece.Ends()
+			stripe := sw.stripeOf(a.X)
+			off := sw.Offsets[stripe]
+			rects = append(rects, RectF{
+				X0: float64(a.X)*sw.Scale + off[0],
+				Y0: float64(a.Y)*sw.Scale + off[1],
+				X1: float64(b.X+1)*sw.Scale + off[0],
+				Y1: float64(b.Y+1)*sw.Scale + off[1],
+			})
+		}
+	}
+	return Render(wPix, hPix, rects)
+}
+
+// Ideal renders the same wires with no overlay error.
+func (sw *StripeWriter) Ideal(wires []geom.Segment, wPix, hPix int) *Bitmap {
+	var rects []RectF
+	for _, w := range wires {
+		a, b := w.Ends()
+		rects = append(rects, RectF{
+			X0: float64(a.X) * sw.Scale,
+			Y0: float64(a.Y) * sw.Scale,
+			X1: float64(b.X+1) * sw.Scale,
+			Y1: float64(b.Y+1) * sw.Scale,
+		})
+	}
+	return Render(wPix, hPix, rects)
+}
+
+// Defect writes the wires, dithers the result, and scores it against the
+// ideal pattern — the window-level physical quality of the routing.
+func (sw *StripeWriter) Defect(wires []geom.Segment, wPix, hPix int) float64 {
+	ideal := sw.Ideal(wires, wPix, hPix)
+	written := sw.Write(wires, wPix, hPix)
+	return DefectScore(ideal, Dither(written))
+}

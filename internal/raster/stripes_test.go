@@ -1,0 +1,99 @@
+package raster
+
+import (
+	"testing"
+
+	"stitchroute/internal/geom"
+)
+
+func writer() *StripeWriter {
+	return &StripeWriter{
+		StitchCols: []int{15, 30},
+		Scale:      2,
+		Offsets:    [][2]float64{{0, 0}, {0.5, 0.3}, {-0.4, 0.2}},
+	}
+}
+
+func TestStripeOf(t *testing.T) {
+	sw := writer()
+	cases := []struct{ x, want int }{
+		{0, 0}, {14, 0}, {15, 1}, {29, 1}, {30, 2}, {40, 2},
+	}
+	for _, c := range cases {
+		if got := sw.stripeOf(c.x); got != c.want {
+			t.Errorf("stripeOf(%d) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestSplitAtStitches(t *testing.T) {
+	sw := writer()
+	pieces := sw.splitAtStitches(geom.HSeg(1, 5, 10, 35))
+	if len(pieces) != 3 {
+		t.Fatalf("%d pieces, want 3: %v", len(pieces), pieces)
+	}
+	want := []geom.Interval{{Lo: 10, Hi: 14}, {Lo: 15, Hi: 29}, {Lo: 30, Hi: 35}}
+	for i, p := range pieces {
+		if p.Span != want[i] {
+			t.Errorf("piece %d span %v, want %v", i, p.Span, want[i])
+		}
+	}
+	// A wire inside one stripe stays whole.
+	if got := sw.splitAtStitches(geom.HSeg(1, 5, 16, 28)); len(got) != 1 {
+		t.Errorf("uncut wire split into %d", len(got))
+	}
+	// Vertical wires are never split.
+	if got := sw.splitAtStitches(geom.VSeg(2, 20, 0, 40)); len(got) != 1 {
+		t.Errorf("vertical wire split into %d", len(got))
+	}
+}
+
+func TestZeroOverlayPerfect(t *testing.T) {
+	sw := &StripeWriter{StitchCols: []int{15}, Scale: 2, Offsets: [][2]float64{{0, 0}, {0, 0}}}
+	wires := []geom.Segment{geom.HSeg(1, 3, 2, 25)}
+	if d := sw.Defect(wires, 60, 20); d != 0 {
+		t.Errorf("zero overlay defect = %v, want 0", d)
+	}
+}
+
+func TestOverlayCausesDefects(t *testing.T) {
+	sw := writer()
+	wires := []geom.Segment{
+		geom.HSeg(1, 3, 2, 40), // crosses both stitch lines
+	}
+	if d := sw.Defect(wires, 100, 20); d <= 0 {
+		t.Error("misaligned stripes produced no defect")
+	}
+}
+
+func TestUncutWireUnaffectedByItsOwnStripeShift(t *testing.T) {
+	// A wire fully inside one stripe shifts rigidly: the dithered shape is
+	// displaced but intact, so pixel-flip defects reflect the shift only.
+	sw := &StripeWriter{StitchCols: []int{15}, Scale: 4, Offsets: [][2]float64{{0, 0}, {0.5, 0}}}
+	cut := sw.Defect([]geom.Segment{geom.HSeg(1, 2, 10, 20)}, 100, 24)   // crosses x=15
+	whole := sw.Defect([]geom.Segment{geom.HSeg(1, 2, 16, 26)}, 120, 24) // inside stripe 1
+	if cut <= 0 {
+		t.Fatal("cut wire shows no defect")
+	}
+	// Both shift-induced and cut-induced flips occur, but the cut wire
+	// additionally breaks at the boundary.
+	_ = whole
+}
+
+func TestNewStripeWriterDeterministic(t *testing.T) {
+	a := NewStripeWriter([]int{15, 30}, 2, 0.5, 7)
+	b := NewStripeWriter([]int{15, 30}, 2, 0.5, 7)
+	for i := range a.Offsets {
+		if a.Offsets[i] != b.Offsets[i] {
+			t.Fatal("offsets not deterministic")
+		}
+	}
+	if len(a.Offsets) != 3 {
+		t.Errorf("%d offsets for 2 stitch lines, want 3", len(a.Offsets))
+	}
+	for _, off := range a.Offsets {
+		if off[0] < -0.5 || off[0] > 0.5 || off[1] < -0.5 || off[1] > 0.5 {
+			t.Errorf("offset out of magnitude: %v", off)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package steiner
+
+import (
+	"math/rand"
+	"testing"
+
+	"stitchroute/internal/geom"
+)
+
+// BenchmarkBuild4 measures the exact 4-terminal Hanan search.
+func BenchmarkBuild4(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	nets := make([][]geom.Point, 64)
+	for i := range nets {
+		nets[i] = []geom.Point{
+			{X: rng.Intn(50), Y: rng.Intn(50)}, {X: rng.Intn(50), Y: rng.Intn(50)},
+			{X: rng.Intn(50), Y: rng.Intn(50)}, {X: rng.Intn(50), Y: rng.Intn(50)},
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(nets[i%len(nets)])
+	}
+}
+
+// BenchmarkBuild8 measures the iterated 1-Steiner heuristic.
+func BenchmarkBuild8(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	nets := make([][]geom.Point, 64)
+	for i := range nets {
+		pts := make([]geom.Point, 8)
+		for j := range pts {
+			pts[j] = geom.Point{X: rng.Intn(80), Y: rng.Intn(80)}
+		}
+		nets[i] = pts
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(nets[i%len(nets)])
+	}
+}

@@ -1,0 +1,261 @@
+// Package steiner builds rectilinear Steiner minimal trees (RSMTs) for
+// multipin net decomposition. Routing a multipin net along an RSMT
+// topology instead of a spanning tree saves wirelength by sharing trunk
+// segments — the decomposition used by production global routers (the
+// NTU routers the paper's framework descends from use Steiner topologies).
+//
+// Exact construction for small nets via Hanan's theorem (an optimal RSMT
+// uses only Hanan grid points): 3-terminal nets take the median point;
+// 4-terminal nets search all Hanan-point subsets of size ≤ 2. Larger nets
+// use the iterated 1-Steiner heuristic, falling back to the plain MST
+// topology beyond a size cap.
+package steiner
+
+import (
+	"sort"
+
+	"stitchroute/internal/geom"
+	"stitchroute/internal/graph"
+)
+
+// Tree is a Steiner tree over terminal points: the terminals, the added
+// Steiner points, and the tree edges as index pairs into
+// append(Terminals, Steiner...).
+type Tree struct {
+	Terminals []geom.Point
+	Steiner   []geom.Point
+	Edges     [][2]int
+}
+
+// Points returns the tree's full point list (terminals then Steiner
+// points), matching the Edges indexing.
+func (t *Tree) Points() []geom.Point {
+	return append(append([]geom.Point(nil), t.Terminals...), t.Steiner...)
+}
+
+// Length returns the total rectilinear edge length.
+func (t *Tree) Length() int {
+	pts := t.Points()
+	total := 0
+	for _, e := range t.Edges {
+		total += pts[e[0]].ManhattanDist(pts[e[1]])
+	}
+	return total
+}
+
+// maxIterated1Steiner caps the heuristic's net size; larger nets get the
+// MST topology directly.
+const maxIterated1Steiner = 12
+
+// Build returns a Steiner tree for the terminals. Duplicates are allowed.
+func Build(terminals []geom.Point) *Tree {
+	t := &Tree{Terminals: terminals}
+	switch {
+	case len(terminals) <= 2:
+		t.Edges = graph.PointMST(terminals)
+	case len(terminals) == 3:
+		t.Steiner, t.Edges = median3(terminals)
+	case len(terminals) == 4:
+		t.Steiner, t.Edges = exact4(terminals)
+	case len(terminals) <= maxIterated1Steiner:
+		t.Steiner, t.Edges = iterated1Steiner(terminals)
+	default:
+		t.Edges = graph.PointMST(terminals)
+	}
+	return t
+}
+
+// median3 is the classic exact 3-terminal RSMT: the median point connects
+// all three terminals, and the tree length equals the bounding-box
+// half-perimeter.
+func median3(ts []geom.Point) ([]geom.Point, [][2]int) {
+	xs := []int{ts[0].X, ts[1].X, ts[2].X}
+	ys := []int{ts[0].Y, ts[1].Y, ts[2].Y}
+	sort.Ints(xs)
+	sort.Ints(ys)
+	m := geom.Point{X: xs[1], Y: ys[1]}
+	for _, t := range ts {
+		if t == m {
+			// The median coincides with a terminal: a plain MST is optimal
+			// and avoids a zero-length Steiner edge.
+			return nil, graph.PointMST(ts)
+		}
+	}
+	return []geom.Point{m}, [][2]int{{0, 3}, {1, 3}, {2, 3}}
+}
+
+// exact4 searches all Hanan-point subsets of size <= 2 for 4 terminals;
+// by Hanan's theorem this contains an optimal RSMT.
+func exact4(ts []geom.Point) ([]geom.Point, [][2]int) {
+	hanan := hananGrid(ts)
+	bestLen := 1 << 60
+	var bestSteiner []geom.Point
+	var bestEdges [][2]int
+
+	try := func(extra []geom.Point) {
+		pts := append(append([]geom.Point(nil), ts...), extra...)
+		edges := graph.PointMST(pts)
+		// Prune Steiner leaves: a Steiner point of degree <= 1 is useless.
+		edges, used := pruneSteinerLeaves(pts, len(ts), edges)
+		length := 0
+		for _, e := range edges {
+			length += pts[e[0]].ManhattanDist(pts[e[1]])
+		}
+		if length < bestLen {
+			bestLen = length
+			// Compact the used Steiner points.
+			remap := make(map[int]int)
+			var st []geom.Point
+			for i := len(ts); i < len(pts); i++ {
+				if used[i] {
+					remap[i] = len(ts) + len(st)
+					st = append(st, pts[i])
+				}
+			}
+			ne := make([][2]int, len(edges))
+			for i, e := range edges {
+				a, b := e[0], e[1]
+				if a >= len(ts) {
+					a = remap[a]
+				}
+				if b >= len(ts) {
+					b = remap[b]
+				}
+				ne[i] = [2]int{a, b}
+			}
+			bestSteiner = st
+			bestEdges = ne
+		}
+	}
+
+	try(nil)
+	for i := 0; i < len(hanan); i++ {
+		try([]geom.Point{hanan[i]})
+		for j := i + 1; j < len(hanan); j++ {
+			try([]geom.Point{hanan[i], hanan[j]})
+		}
+	}
+	return bestSteiner, bestEdges
+}
+
+// pruneSteinerLeaves removes degree-<=1 Steiner points (index >= nTerm)
+// from the edge set, iterating to a fixed point. It reports which points
+// remain used.
+func pruneSteinerLeaves(pts []geom.Point, nTerm int, edges [][2]int) ([][2]int, []bool) {
+	for {
+		deg := make([]int, len(pts))
+		for _, e := range edges {
+			deg[e[0]]++
+			deg[e[1]]++
+		}
+		removed := false
+		out := edges[:0:0]
+		for _, e := range edges {
+			drop := false
+			for _, v := range e {
+				if v >= nTerm && deg[v] <= 1 {
+					drop = true
+				}
+			}
+			if drop {
+				removed = true
+			} else {
+				out = append(out, e)
+			}
+		}
+		edges = out
+		if !removed {
+			used := make([]bool, len(pts))
+			for _, e := range edges {
+				used[e[0]] = true
+				used[e[1]] = true
+			}
+			return edges, used
+		}
+	}
+}
+
+// hananGrid returns the Hanan grid points of the terminals, excluding the
+// terminals themselves.
+func hananGrid(ts []geom.Point) []geom.Point {
+	xs := map[int]bool{}
+	ys := map[int]bool{}
+	onTerm := map[geom.Point]bool{}
+	for _, t := range ts {
+		xs[t.X] = true
+		ys[t.Y] = true
+		onTerm[t] = true
+	}
+	var out []geom.Point
+	for x := range xs {
+		for y := range ys {
+			p := geom.Point{X: x, Y: y}
+			if !onTerm[p] {
+				out = append(out, p)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].X != out[j].X {
+			return out[i].X < out[j].X
+		}
+		return out[i].Y < out[j].Y
+	})
+	return out
+}
+
+// iterated1Steiner repeatedly adds the single Hanan point that reduces
+// the MST length most, until no point helps (Kahng–Robins).
+func iterated1Steiner(ts []geom.Point) ([]geom.Point, [][2]int) {
+	cur := append([]geom.Point(nil), ts...)
+	mstLen := func(pts []geom.Point) int {
+		total := 0
+		for _, e := range graph.PointMST(pts) {
+			total += pts[e[0]].ManhattanDist(pts[e[1]])
+		}
+		return total
+	}
+	best := mstLen(cur)
+	for len(cur)-len(ts) < 4 { // at most n-2 Steiner points matter; cap for speed
+		cands := hananGrid(cur)
+		improved := false
+		var bestPt geom.Point
+		bestGain := 0
+		for _, p := range cands {
+			l := mstLen(append(cur, p))
+			if gain := best - l; gain > bestGain {
+				bestGain = gain
+				bestPt = p
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+		cur = append(cur, bestPt)
+		best -= bestGain
+	}
+	edges := graph.PointMST(cur)
+	edges, used := pruneSteinerLeaves(cur, len(ts), edges)
+	// Compact used Steiner points.
+	remap := make(map[int]int)
+	var st []geom.Point
+	for i := len(ts); i < len(cur); i++ {
+		if used[i] {
+			remap[i] = len(ts) + len(st)
+			st = append(st, cur[i])
+		}
+	}
+	out := make([][2]int, len(edges))
+	for i, e := range edges {
+		a, b := e[0], e[1]
+		if a >= len(ts) {
+			a = remap[a]
+		}
+		if b >= len(ts) {
+			b = remap[b]
+		}
+		out[i] = [2]int{a, b}
+	}
+	return st, out
+}

@@ -1,0 +1,160 @@
+package steiner
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"stitchroute/internal/geom"
+	"stitchroute/internal/graph"
+)
+
+func mstLen(pts []geom.Point) int {
+	total := 0
+	for _, e := range graph.PointMST(pts) {
+		total += pts[e[0]].ManhattanDist(pts[e[1]])
+	}
+	return total
+}
+
+func hpwl(pts []geom.Point) int {
+	b := geom.BoundingRect(pts)
+	return (b.X1 - b.X0) + (b.Y1 - b.Y0)
+}
+
+func connected(t *Tree) bool {
+	pts := t.Points()
+	d := graph.NewDSU(len(pts))
+	for _, e := range t.Edges {
+		d.Union(e[0], e[1])
+	}
+	for i := 1; i < len(t.Terminals); i++ {
+		if d.Find(i) != d.Find(0) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTwoTerminals(t *testing.T) {
+	tr := Build([]geom.Point{{X: 0, Y: 0}, {X: 5, Y: 7}})
+	if len(tr.Steiner) != 0 || tr.Length() != 12 {
+		t.Errorf("tree = %+v len %d", tr, tr.Length())
+	}
+}
+
+func TestThreeTerminalsOptimal(t *testing.T) {
+	// RSMT of 3 terminals always equals the bounding-box half-perimeter.
+	f := func(x0, y0, x1, y1, x2, y2 uint8) bool {
+		ts := []geom.Point{
+			{X: int(x0) % 50, Y: int(y0) % 50},
+			{X: int(x1) % 50, Y: int(y1) % 50},
+			{X: int(x2) % 50, Y: int(y2) % 50},
+		}
+		tr := Build(ts)
+		return connected(tr) && tr.Length() == hpwl(ts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFourTerminalsNeverWorseThanMST(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for iter := 0; iter < 200; iter++ {
+		ts := make([]geom.Point, 4)
+		for i := range ts {
+			ts[i] = geom.Point{X: rng.Intn(40), Y: rng.Intn(40)}
+		}
+		tr := Build(ts)
+		if !connected(tr) {
+			t.Fatalf("iter %d: disconnected tree for %v", iter, ts)
+		}
+		if tr.Length() > mstLen(ts) {
+			t.Fatalf("iter %d: steiner %d > MST %d for %v", iter, tr.Length(), mstLen(ts), ts)
+		}
+		if tr.Length() < hpwl(ts) {
+			t.Fatalf("iter %d: steiner %d below HPWL lower bound %d", iter, tr.Length(), hpwl(ts))
+		}
+	}
+}
+
+func TestFourTerminalCross(t *testing.T) {
+	// The classic cross: 4 terminals at the ends of a plus sign. The RSMT
+	// uses two Steiner points on the center line (or one center point),
+	// total length 3*d vs the MST's 4*d-ish.
+	d := 10
+	ts := []geom.Point{
+		{X: 0, Y: d}, {X: 2 * d, Y: d}, // left, right
+		{X: d, Y: 0}, {X: d, Y: 2 * d}, // bottom, top
+	}
+	tr := Build(ts)
+	if tr.Length() != 4*d {
+		t.Errorf("cross RSMT length %d, want %d", tr.Length(), 4*d)
+	}
+	if got := mstLen(ts); tr.Length() >= got {
+		t.Errorf("steiner %d not better than MST %d on the cross", tr.Length(), got)
+	}
+}
+
+func TestIterated1SteinerImproves(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	improved := 0
+	for iter := 0; iter < 50; iter++ {
+		n := 5 + rng.Intn(6)
+		ts := make([]geom.Point, n)
+		for i := range ts {
+			ts[i] = geom.Point{X: rng.Intn(60), Y: rng.Intn(60)}
+		}
+		tr := Build(ts)
+		if !connected(tr) {
+			t.Fatalf("iter %d: disconnected", iter)
+		}
+		m := mstLen(ts)
+		if tr.Length() > m {
+			t.Fatalf("iter %d: heuristic worse than MST: %d > %d", iter, tr.Length(), m)
+		}
+		if tr.Length() < m {
+			improved++
+		}
+	}
+	if improved == 0 {
+		t.Error("iterated 1-Steiner never improved on the MST over 50 random nets")
+	}
+}
+
+func TestLargeNetFallsBackToMST(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ts := make([]geom.Point, 20)
+	for i := range ts {
+		ts[i] = geom.Point{X: rng.Intn(100), Y: rng.Intn(100)}
+	}
+	tr := Build(ts)
+	if len(tr.Steiner) != 0 {
+		t.Error("large net should use the plain MST topology")
+	}
+	if !connected(tr) {
+		t.Error("disconnected")
+	}
+}
+
+func TestMedianCoincidesWithTerminal(t *testing.T) {
+	// Collinear terminals: the median IS a terminal; no Steiner point.
+	tr := Build([]geom.Point{{X: 0, Y: 0}, {X: 5, Y: 0}, {X: 9, Y: 0}})
+	if len(tr.Steiner) != 0 {
+		t.Errorf("collinear net got Steiner points: %v", tr.Steiner)
+	}
+	if tr.Length() != 9 {
+		t.Errorf("length = %d, want 9", tr.Length())
+	}
+}
+
+func TestDuplicateTerminals(t *testing.T) {
+	tr := Build([]geom.Point{{X: 3, Y: 3}, {X: 3, Y: 3}, {X: 8, Y: 3}})
+	if !connected(tr) {
+		t.Error("disconnected with duplicates")
+	}
+	if tr.Length() != 5 {
+		t.Errorf("length = %d, want 5", tr.Length())
+	}
+}

@@ -1,0 +1,150 @@
+package track
+
+// White-box tests of the constraint-graph windows (§III-C2, Fig. 11).
+
+import (
+	"testing"
+
+	"stitchroute/internal/geom"
+)
+
+func TestMinTrackWindows(t *testing.T) {
+	// Three mutually overlapping segments: the leftmost in the order gets
+	// m=1, the next m=2, the next m=3.
+	a := vseg(0, 0, 4)
+	b := vseg(1, 0, 4)
+	c := vseg(2, 0, 4)
+	p := prob(a, b, c)
+	seq := []int{0, 1, 2}
+	m := p.minTracks(seq, make([]bool, 3))
+	for r := 0; r <= 4; r++ {
+		if m[ivKey{0, r}] != 1 || m[ivKey{1, r}] != 2 || m[ivKey{2, r}] != 3 {
+			t.Fatalf("row %d: m = %d,%d,%d want 1,2,3",
+				r, m[ivKey{0, r}], m[ivKey{1, r}], m[ivKey{2, r}])
+		}
+	}
+	M := p.maxTracks(seq, make([]bool, 3))
+	// Width 15 -> usable up to 14; rightmost in order gets 14.
+	for r := 0; r <= 4; r++ {
+		if M[ivKey{2, r}] != 14 || M[ivKey{1, r}] != 13 || M[ivKey{0, r}] != 12 {
+			t.Fatalf("row %d: M = %d,%d,%d want 12,13,14",
+				r, M[ivKey{0, r}], M[ivKey{1, r}], M[ivKey{2, r}])
+		}
+	}
+}
+
+func TestDummyVertexPushesWindow(t *testing.T) {
+	// A left-crossing end must get m = SUREps+1 = 2 at its end row only.
+	s := vseg(0, 0, 3)
+	s.LoCrossL = true
+	p := prob(s)
+	m := p.minTracks([]int{0}, []bool{false})
+	if m[ivKey{0, 0}] != 2 {
+		t.Errorf("end row m = %d, want 2", m[ivKey{0, 0}])
+	}
+	if m[ivKey{0, 1}] != 1 || m[ivKey{0, 3}] != 1 {
+		t.Errorf("interior/other rows m = %d,%d, want 1,1", m[ivKey{0, 1}], m[ivKey{0, 3}])
+	}
+	// Relaxed (allowBad): the dummy disappears.
+	m = p.minTracks([]int{0}, []bool{true})
+	if m[ivKey{0, 0}] != 1 {
+		t.Errorf("relaxed end row m = %d, want 1", m[ivKey{0, 0}])
+	}
+}
+
+func TestRightDummyOnlyWithRightStitch(t *testing.T) {
+	s := vseg(0, 0, 2)
+	s.HiCrossR = true
+	p := prob(s)
+	M := p.maxTracks([]int{0}, []bool{false})
+	if M[ivKey{0, 2}] != 13 { // pushed away from track 14
+		t.Errorf("end row M = %d, want 13", M[ivKey{0, 2}])
+	}
+	p.HasRightStitch = false
+	M = p.maxTracks([]int{0}, []bool{false})
+	if M[ivKey{0, 2}] != 14 {
+		t.Errorf("no right stitch: end row M = %d, want 14", M[ivKey{0, 2}])
+	}
+}
+
+func TestSegOrderLongestOutermost(t *testing.T) {
+	long1 := vseg(0, 0, 9)
+	long2 := vseg(1, 0, 8)
+	short1 := vseg(2, 2, 3)
+	short2 := vseg(3, 5, 6)
+	p := prob(short1, long1, short2, long2)
+	seq := p.segOrder()
+	if len(seq) != 4 {
+		t.Fatalf("seq = %v", seq)
+	}
+	// Longest (index 1) first position, second longest (index 3) last.
+	if seq[0] != 1 {
+		t.Errorf("leftmost = seg %d, want 1 (longest)", seq[0])
+	}
+	if seq[len(seq)-1] != 3 {
+		t.Errorf("rightmost = seg %d, want 3 (second longest)", seq[len(seq)-1])
+	}
+}
+
+func TestDoglegCost(t *testing.T) {
+	if c := doglegCost([]int{4, 4, 4}); c != 0 {
+		t.Errorf("straight cost = %d", c)
+	}
+	if c := doglegCost([]int{4, 7, 7, 5}); c != 5 {
+		t.Errorf("dogleg cost = %d, want 5", c)
+	}
+}
+
+func TestBadEndAt(t *testing.T) {
+	p := prob()
+	s := vseg(0, 0, 3)
+	s.LoCrossL = true
+	s.HiCrossR = true
+	cases := []struct {
+		loEnd bool
+		track int
+		want  bool
+	}{
+		{true, 1, true},   // low end in left SUR, crosses left
+		{true, 2, false},  // outside SUR
+		{true, 14, false}, // low end doesn't cross right
+		{false, 14, true}, // high end in right SUR, crosses right
+		{false, 1, false}, // high end doesn't cross left
+	}
+	for i, c := range cases {
+		if got := p.badEndAt(s, c.loEnd, c.track); got != c.want {
+			t.Errorf("case %d: badEndAt(lo=%v, t=%d) = %v, want %v", i, c.loEnd, c.track, got, c.want)
+		}
+	}
+}
+
+func TestILPEncodeDecodeRoundTrip(t *testing.T) {
+	p := prob(vseg(0, 0, 4))
+	m := &ilpModel{p: p}
+	span := geom.Interval{Lo: 0, Hi: 4}
+	// Straight values.
+	for tr := 1; tr < 15; tr++ {
+		tracks := m.decode(tr, span)
+		for _, v := range tracks {
+			if v != tr {
+				t.Fatalf("straight decode(%d) = %v", tr, tracks)
+			}
+		}
+	}
+	// Dogleg values.
+	for sw := 0; sw < 4; sw++ {
+		for _, pair := range [][2]int{{1, 14}, {7, 3}, {2, 9}} {
+			val := m.encode(pair[0], pair[1], sw)
+			tracks := m.decode(val, span)
+			for i, v := range tracks {
+				want := pair[0]
+				if i > sw {
+					want = pair[1]
+				}
+				if v != want {
+					t.Fatalf("decode(encode(%d,%d,%d)) = %v", pair[0], pair[1], sw, tracks)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"stitchroute/internal/geom"
+	"stitchroute/internal/grid"
+	"stitchroute/internal/plan"
+)
+
+// Utilization is the per-layer routing usage summary.
+type Utilization struct {
+	Layer int
+	// Used is the number of track cells covered by wires on the layer.
+	Used int
+	// Total is the number of track cells on the layer.
+	Total int
+}
+
+// Fill returns the fill fraction in [0, 1].
+func (u Utilization) Fill() float64 {
+	if u.Total == 0 {
+		return 0
+	}
+	return float64(u.Used) / float64(u.Total)
+}
+
+// Utilizations computes per-layer track usage of the routed geometry.
+// Overlapping wires of one net count once.
+func Utilizations(f *grid.Fabric, routes []plan.NetRoute) []Utilization {
+	used := make([]map[[2]int]bool, f.Layers+1)
+	for l := 1; l <= f.Layers; l++ {
+		used[l] = make(map[[2]int]bool)
+	}
+	for i := range routes {
+		for _, w := range routes[i].Wires {
+			if w.Layer < 1 || w.Layer > f.Layers {
+				continue
+			}
+			a, b := w.Ends()
+			if w.Orient == geom.Horizontal {
+				for x := a.X; x <= b.X; x++ {
+					used[w.Layer][[2]int{x, w.Fixed}] = true
+				}
+			} else {
+				for y := a.Y; y <= b.Y; y++ {
+					used[w.Layer][[2]int{w.Fixed, y}] = true
+				}
+			}
+		}
+	}
+	out := make([]Utilization, f.Layers)
+	for l := 1; l <= f.Layers; l++ {
+		out[l-1] = Utilization{Layer: l, Used: len(used[l]), Total: f.XTracks * f.YTracks}
+	}
+	return out
+}
+
+// TileCongestion returns, per global tile, the fraction of its track cells
+// (over all layers) covered by wires — the congestion map behind the
+// heatmap view.
+func TileCongestion(f *grid.Fabric, routes []plan.NetRoute) [][]float64 {
+	tw, th := f.TilesX(), f.TilesY()
+	used := make([][]int, th)
+	for ty := range used {
+		used[ty] = make([]int, tw)
+	}
+	mark := func(x, y int) {
+		if x >= 0 && x < f.XTracks && y >= 0 && y < f.YTracks {
+			used[f.TileOfY(y)][f.TileOfX(x)]++
+		}
+	}
+	for i := range routes {
+		for _, w := range routes[i].Wires {
+			a, b := w.Ends()
+			if a.Y == b.Y {
+				for x := a.X; x <= b.X; x++ {
+					mark(x, a.Y)
+				}
+			} else {
+				for y := a.Y; y <= b.Y; y++ {
+					mark(a.X, y)
+				}
+			}
+		}
+	}
+	out := make([][]float64, th)
+	for ty := 0; ty < th; ty++ {
+		out[ty] = make([]float64, tw)
+		for tx := 0; tx < tw; tx++ {
+			cells := f.TileRect(tx, ty).Area() * f.Layers
+			if cells > 0 {
+				out[ty][tx] = float64(used[ty][tx]) / float64(cells)
+			}
+		}
+	}
+	return out
+}
+
+// WriteHeatmap renders the tile congestion map as an SVG heatmap.
+func WriteHeatmap(w io.Writer, f *grid.Fabric, routes []plan.NetRoute, title string) error {
+	cong := TileCongestion(f, routes)
+	tw, th := f.TilesX(), f.TilesY()
+	const cell = 14.0
+	var b strings.Builder
+	top := 18.0
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f">`+"\n",
+		float64(tw)*cell, float64(th)*cell+top)
+	if title != "" {
+		fmt.Fprintf(&b, `<text x="2" y="12" font-family="sans-serif" font-size="11">%s</text>`+"\n", title)
+	}
+	// Scale colors to the maximum congestion so the map stays readable.
+	maxC := 0.0
+	for _, row := range cong {
+		for _, v := range row {
+			if v > maxC {
+				maxC = v
+			}
+		}
+	}
+	if maxC == 0 {
+		maxC = 1
+	}
+	for ty := 0; ty < th; ty++ {
+		for tx := 0; tx < tw; tx++ {
+			v := cong[ty][tx] / maxC
+			r := int(255 * v)
+			g := int(255 * (1 - v))
+			fmt.Fprintf(&b, `<rect x="%.0f" y="%.0f" width="%.0f" height="%.0f" fill="rgb(%d,%d,90)"/>`+"\n",
+				float64(tx)*cell, float64(th-1-ty)*cell+top, cell, cell, r, g)
+		}
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

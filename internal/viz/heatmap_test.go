@@ -1,0 +1,87 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"stitchroute/internal/geom"
+	"stitchroute/internal/grid"
+	"stitchroute/internal/plan"
+)
+
+func TestUtilizations(t *testing.T) {
+	f := grid.New(30, 30, 2)
+	routes := []plan.NetRoute{{
+		Routed: true,
+		Wires: []geom.Segment{
+			geom.HSeg(1, 5, 0, 9),  // 10 cells
+			geom.HSeg(1, 5, 5, 14), // overlaps 5 -> +5 cells
+			geom.VSeg(2, 3, 0, 4),  // 5 cells
+		},
+	}}
+	us := Utilizations(f, routes)
+	if len(us) != 2 {
+		t.Fatalf("%d layers", len(us))
+	}
+	if us[0].Used != 15 {
+		t.Errorf("layer 1 used = %d, want 15", us[0].Used)
+	}
+	if us[1].Used != 5 {
+		t.Errorf("layer 2 used = %d, want 5", us[1].Used)
+	}
+	if us[0].Total != 900 {
+		t.Errorf("total = %d", us[0].Total)
+	}
+	if f := us[0].Fill(); f <= 0 || f >= 1 {
+		t.Errorf("fill = %v", f)
+	}
+	if (Utilization{}).Fill() != 0 {
+		t.Error("empty fill not 0")
+	}
+}
+
+func TestTileCongestion(t *testing.T) {
+	f := grid.New(30, 30, 1)
+	routes := []plan.NetRoute{{
+		Routed: true,
+		Wires:  []geom.Segment{geom.HSeg(1, 5, 0, 14)}, // fills part of tile (0,0)
+	}}
+	cong := TileCongestion(f, routes)
+	if len(cong) != 2 || len(cong[0]) != 2 {
+		t.Fatalf("congestion grid %dx%d", len(cong), len(cong[0]))
+	}
+	if cong[0][0] <= 0 {
+		t.Error("tile (0,0) congestion zero")
+	}
+	if cong[1][1] != 0 {
+		t.Error("untouched tile congested")
+	}
+}
+
+func TestWriteHeatmap(t *testing.T) {
+	f := grid.New(60, 45, 3)
+	routes := []plan.NetRoute{{
+		Routed: true,
+		Wires:  []geom.Segment{geom.HSeg(1, 5, 0, 50)},
+	}}
+	var sb strings.Builder
+	if err := WriteHeatmap(&sb, f, routes, "test map"); err != nil {
+		t.Fatal(err)
+	}
+	svg := sb.String()
+	if !strings.Contains(svg, "</svg>") || !strings.Contains(svg, "test map") {
+		t.Error("bad heatmap SVG")
+	}
+	// One rect per tile (4x3).
+	if n := strings.Count(svg, "<rect"); n != 12 {
+		t.Errorf("%d tiles drawn, want 12", n)
+	}
+}
+
+func TestWriteHeatmapEmpty(t *testing.T) {
+	f := grid.New(30, 30, 1)
+	var sb strings.Builder
+	if err := WriteHeatmap(&sb, f, nil, ""); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,132 @@
+// Package viz renders routed layouts as SVG — the full-chip view of
+// Fig. 15 and the zoomed local views of Fig. 16 (short polygons avoided by
+// doglegs). Pure stdlib; the output opens in any browser.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"stitchroute/internal/geom"
+	"stitchroute/internal/grid"
+	"stitchroute/internal/plan"
+)
+
+// Options controls the rendering.
+type Options struct {
+	// Window restricts the drawing to a track rectangle; zero value means
+	// the whole fabric.
+	Window geom.Rect
+	// Scale is pixels per track (default 2 for chips, use 10+ for zooms).
+	Scale float64
+	// ShowSUR shades the stitch-unfriendly regions.
+	ShowSUR bool
+	// Pins draws the circuit's pins as hollow circles.
+	Pins []geom.Point
+	// Title is drawn above the layout.
+	Title string
+}
+
+var layerColors = []string{
+	"#1f77b4", // layer 1
+	"#d62728", // layer 2
+	"#2ca02c", // layer 3
+	"#9467bd", // layer 4
+	"#ff7f0e", // layer 5
+	"#17becf", // layer 6
+}
+
+// LayerColor returns the drawing color for a 1-based layer.
+func LayerColor(l int) string {
+	if l < 1 {
+		l = 1
+	}
+	return layerColors[(l-1)%len(layerColors)]
+}
+
+// WriteSVG renders the routes onto w.
+func WriteSVG(w io.Writer, f *grid.Fabric, routes []plan.NetRoute, opt Options) error {
+	win := opt.Window
+	if win.Empty() || win == (geom.Rect{}) {
+		win = f.Bounds()
+	}
+	scale := opt.Scale
+	if scale <= 0 {
+		scale = 2
+	}
+	px := func(x int) float64 { return float64(x-win.X0) * scale }
+	py := func(y int) float64 { return float64(win.Y1-y) * scale } // flip: y up
+
+	width := float64(win.W()) * scale
+	height := float64(win.H()) * scale
+	top := 0.0
+	if opt.Title != "" {
+		top = 18
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 %.0f %.0f %.0f">`+"\n",
+		width, height+top, -top, width, height+top)
+	fmt.Fprintf(&b, `<rect x="0" y="0" width="%.0f" height="%.0f" fill="white"/>`+"\n", width, height)
+	if opt.Title != "" {
+		fmt.Fprintf(&b, `<text x="4" y="-5" font-family="sans-serif" font-size="12">%s</text>`+"\n", opt.Title)
+	}
+
+	// SUR shading.
+	if opt.ShowSUR {
+		for _, s := range f.StitchCols() {
+			lo, hi := s-f.SUREps, s+f.SUREps
+			if hi < win.X0 || lo > win.X1 {
+				continue
+			}
+			fmt.Fprintf(&b, `<rect x="%.1f" y="0" width="%.1f" height="%.0f" fill="#fdd" />`+"\n",
+				px(lo), float64(2*f.SUREps+1)*scale, height)
+		}
+	}
+	// Stitching lines.
+	for _, s := range f.StitchCols() {
+		if s < win.X0 || s > win.X1 {
+			continue
+		}
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="0" x2="%.1f" y2="%.0f" stroke="#c00" stroke-width="%.2f" stroke-dasharray="4 3"/>`+"\n",
+			px(s)+scale/2, px(s)+scale/2, height, scale*0.4)
+	}
+
+	// Wires, lower layers first.
+	wireW := scale * 0.8
+	for layerPass := 1; layerPass <= f.Layers; layerPass++ {
+		for i := range routes {
+			for _, wseg := range routes[i].Wires {
+				if wseg.Layer != layerPass || !wseg.Bounds().Overlaps(win) {
+					continue
+				}
+				a, c := wseg.Ends()
+				fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.2f" stroke-linecap="square" stroke-opacity="0.85"/>`+"\n",
+					px(a.X)+scale/2, py(a.Y)+scale/2, px(c.X)+scale/2, py(c.Y)+scale/2,
+					LayerColor(wseg.Layer), wireW)
+			}
+		}
+	}
+	// Pins.
+	for _, p := range opt.Pins {
+		if !win.Contains(p) {
+			continue
+		}
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="none" stroke="black" stroke-width="%.2f"/>`+"\n",
+			px(p.X)+scale/2, py(p.Y)+scale/2, scale*0.6, scale*0.15)
+	}
+	// Vias.
+	for i := range routes {
+		for _, v := range routes[i].Vias {
+			if !win.Contains(geom.Point{X: v.X, Y: v.Y}) {
+				continue
+			}
+			r := scale * 0.55
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="black"/>`+"\n",
+				px(v.X)+scale/2-r/2, py(v.Y)+scale/2-r/2, r, r)
+		}
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,81 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"stitchroute/internal/geom"
+	"stitchroute/internal/grid"
+	"stitchroute/internal/plan"
+)
+
+func routes() []plan.NetRoute {
+	return []plan.NetRoute{{
+		NetID:  0,
+		Routed: true,
+		Wires: []geom.Segment{
+			geom.HSeg(1, 5, 2, 20),
+			geom.VSeg(2, 20, 5, 12),
+		},
+		Vias: []plan.Via{{X: 20, Y: 5, Layer: 1}},
+	}}
+}
+
+func TestWriteSVGBasics(t *testing.T) {
+	f := grid.New(60, 45, 3)
+	var sb strings.Builder
+	err := WriteSVG(&sb, f, routes(), Options{Title: "test", ShowSUR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := sb.String()
+	for _, want := range []string{"<svg", "</svg>", "stroke-dasharray", "<line", "<rect", "test"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// 4 stitching lines at 0,15,30,45.
+	if n := strings.Count(svg, "stroke-dasharray"); n != 4 {
+		t.Errorf("%d stitch lines drawn, want 4", n)
+	}
+}
+
+func TestWindowClipping(t *testing.T) {
+	f := grid.New(150, 150, 3)
+	var sb strings.Builder
+	err := WriteSVG(&sb, f, routes(), Options{
+		Window: geom.Rect{X0: 0, Y0: 0, X1: 29, Y1: 29},
+		Scale:  10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := sb.String()
+	// Only stitch lines 0 and 15 are inside the window.
+	if n := strings.Count(svg, "stroke-dasharray"); n != 2 {
+		t.Errorf("%d stitch lines drawn in window, want 2", n)
+	}
+}
+
+func TestLayerColorCycles(t *testing.T) {
+	if LayerColor(1) == LayerColor(2) {
+		t.Error("layers 1 and 2 share a color")
+	}
+	if LayerColor(1) != LayerColor(7) {
+		t.Error("color cycle broken")
+	}
+	if LayerColor(0) != LayerColor(1) {
+		t.Error("layer 0 should clamp to 1")
+	}
+}
+
+func TestEmptyRoutes(t *testing.T) {
+	f := grid.New(30, 30, 2)
+	var sb strings.Builder
+	if err := WriteSVG(&sb, f, nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "</svg>") {
+		t.Error("no closing tag")
+	}
+}

@@ -1,0 +1,123 @@
+// Package stitchroute is a stitch-aware routing framework for multiple
+// e-beam lithography (MEBL), reproducing "Stitch-Aware Routing for Multiple
+// E-Beam Lithography" (Liu, Fang, Chang — DAC 2013 / TCAD 2015).
+//
+// In MEBL a layout is written by thousands of parallel beams; the stripe
+// boundaries between beams are stitching lines, and overlay error between
+// beams distorts any critical pattern they cut. This package routes
+// netlists so that no via sits on a stitching line, no wire runs along one
+// vertically, and almost no short polygons (stitch-cut wire stubs with
+// landing vias) remain — via a two-pass bottom-up multilevel flow with
+// stitch-aware global routing, layer assignment, track assignment, and
+// detailed routing.
+//
+// Quick start:
+//
+//	spec, _ := stitchroute.BenchmarkByName("S9234")
+//	circuit := stitchroute.Generate(spec)
+//	result, err := stitchroute.Route(circuit, stitchroute.StitchAware())
+//	fmt.Println(result.Report.ShortPolygons)
+//
+// The implementation lives in internal/ packages (core, global, layer,
+// track, detail, drc, raster, viz, ...); this package is the stable facade
+// over them.
+package stitchroute
+
+import (
+	"io"
+
+	"stitchroute/internal/bench"
+	"stitchroute/internal/core"
+	"stitchroute/internal/drc"
+	"stitchroute/internal/gds"
+	"stitchroute/internal/geom"
+	"stitchroute/internal/grid"
+	"stitchroute/internal/netlist"
+	"stitchroute/internal/nlio"
+	"stitchroute/internal/place"
+	"stitchroute/internal/plan"
+	"stitchroute/internal/viz"
+)
+
+// Core model types.
+type (
+	// Circuit is a routing problem: a fabric plus a netlist.
+	Circuit = netlist.Circuit
+	// Net is a set of pins to connect.
+	Net = netlist.Net
+	// Pin is a fixed terminal on a layer.
+	Pin = netlist.Pin
+	// Fabric is the gridded multi-layer routing plane with stitching lines.
+	Fabric = grid.Fabric
+	// Point is an integer track location.
+	Point = geom.Point
+	// Segment is an axis-parallel wire on a routing layer.
+	Segment = geom.Segment
+	// Config selects the algorithm for every routing stage.
+	Config = core.Config
+	// Result is the complete routing outcome, including the DRC report
+	// and per-stage timings.
+	Result = core.Result
+	// Report is the stitch-constraint violation summary.
+	Report = drc.Report
+	// NetRoute is one net's final geometry.
+	NetRoute = plan.NetRoute
+	// Spec describes one benchmark circuit of the paper's Tables I–II.
+	Spec = bench.Spec
+	// SVGOptions controls layout rendering.
+	SVGOptions = viz.Options
+)
+
+// NewFabric returns a routing fabric with the paper's stitch parameters:
+// stitching lines every 15 tracks, one-track stitch-unfriendly regions,
+// and two-track escape regions. Layer 1 is horizontal-preferred.
+func NewFabric(xTracks, yTracks, layers int) *Fabric {
+	return grid.New(xTracks, yTracks, layers)
+}
+
+// StitchAware returns the full stitch-aware framework configuration
+// (α=1, β=10, γ=5, graph-based track assignment).
+func StitchAware() Config { return core.StitchAware() }
+
+// Baseline returns the conventional router the paper compares against.
+func Baseline() Config { return core.Baseline() }
+
+// Route runs the two-pass bottom-up multilevel routing flow.
+func Route(c *Circuit, cfg Config) (*Result, error) { return core.Route(c, cfg) }
+
+// Check re-runs the stitch DRC on routed geometry.
+func Check(c *Circuit, routes []NetRoute) Report { return drc.Check(c, routes) }
+
+// Benchmarks returns every benchmark spec (MCNC then Faraday).
+func Benchmarks() []Spec { return bench.All() }
+
+// BenchmarkByName looks up one benchmark spec.
+func BenchmarkByName(name string) (Spec, error) { return bench.ByName(name) }
+
+// Generate builds the deterministic synthetic circuit for a spec.
+func Generate(s Spec) *Circuit { return bench.Generate(s) }
+
+// WriteSVG renders routed geometry as SVG.
+func WriteSVG(w io.Writer, f *Fabric, routes []NetRoute, opt SVGOptions) error {
+	return viz.WriteSVG(w, f, routes, opt)
+}
+
+// PlaceStats reports what RefinePlacement did.
+type PlaceStats = place.Stats
+
+// RefinePlacement nudges stitch-column pins off the stitching lines — the
+// stitch-aware placement stage the paper proposes as future work (§V). It
+// returns a new circuit; the input is unmodified.
+func RefinePlacement(c *Circuit) (*Circuit, PlaceStats) { return place.Refine(c) }
+
+// WriteGDS exports routed geometry as a GDSII stream file viewable in
+// standard layout tools (KLayout etc.).
+func WriteGDS(w io.Writer, routes []NetRoute, libName, cellName string) error {
+	return gds.Write(w, routes, gds.Options{LibName: libName, CellName: cellName})
+}
+
+// ReadCircuit parses a circuit in the nlio text format.
+func ReadCircuit(r io.Reader) (*Circuit, error) { return nlio.Read(r) }
+
+// WriteCircuit serializes a circuit in the nlio text format.
+func WriteCircuit(w io.Writer, c *Circuit) error { return nlio.Write(w, c) }

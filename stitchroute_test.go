@@ -1,0 +1,93 @@
+package stitchroute
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	fabric := NewFabric(90, 90, 3)
+	pin := func(x, y int) Pin { return Pin{Point: Point{X: x, Y: y}, Layer: 1} }
+	c := &Circuit{
+		Name:   "facade",
+		Fabric: fabric,
+		Nets: []*Net{
+			{ID: 0, Name: "a", Pins: []Pin{pin(2, 2), pin(70, 60)}},
+			{ID: 1, Name: "b", Pins: []Pin{pin(14, 40), pin(16, 70)}},
+		},
+	}
+	res, err := Route(c, StitchAware())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.RoutedNets != 2 {
+		t.Fatalf("routed %d/2", res.Report.RoutedNets)
+	}
+	// Re-check through the facade DRC.
+	rep := Check(c, res.Routes)
+	if rep.ShortPolygons != res.Report.ShortPolygons {
+		t.Error("facade Check disagrees with Route's report")
+	}
+	var svg strings.Builder
+	if err := WriteSVG(&svg, fabric, res.Routes, SVGOptions{ShowSUR: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg.String(), "</svg>") {
+		t.Error("bad SVG")
+	}
+}
+
+func TestFacadeBenchmarks(t *testing.T) {
+	if len(Benchmarks()) != 14 {
+		t.Errorf("%d benchmarks, want 14", len(Benchmarks()))
+	}
+	if _, err := BenchmarkByName("S9234"); err != nil {
+		t.Error(err)
+	}
+	if _, err := BenchmarkByName("nope"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	spec, _ := BenchmarkByName("Primary1")
+	c := Generate(spec)
+	if c.NumPins() != spec.Pins {
+		t.Error("generate pin count mismatch")
+	}
+}
+
+func TestFacadeCircuitIO(t *testing.T) {
+	spec, _ := BenchmarkByName("Primary1")
+	c := Generate(spec)
+	var sb strings.Builder
+	if err := WriteCircuit(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ReadCircuit(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c2.Nets) != len(c.Nets) {
+		t.Error("IO round trip changed net count")
+	}
+}
+
+func TestFacadePlacement(t *testing.T) {
+	spec, _ := BenchmarkByName("S5378")
+	c := Generate(spec)
+	refined, st := RefinePlacement(c)
+	if st.OnStitch > 0 && refined.PinViaViolations() >= c.PinViaViolations() {
+		t.Error("placement refinement did not help")
+	}
+	if c.PinViaViolations() != c.PinViaViolations() {
+		t.Error("input circuit modified")
+	}
+}
+
+func TestBaselineConfigDiffers(t *testing.T) {
+	a, b := StitchAware(), Baseline()
+	if a.TrackAlgo == b.TrackAlgo {
+		t.Error("configs identical")
+	}
+	if !a.Detail.StitchAware || b.Detail.StitchAware {
+		t.Error("detail stitch-aware flags wrong")
+	}
+}
