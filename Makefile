@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench tables figures coverage clean
+.PHONY: all build vet test test-short race race-fast serve bench tables figures coverage clean
 
 all: build vet test
 
@@ -18,8 +18,17 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+# Full race-detector run. race-fast covers the concurrency-heavy
+# packages (the server's job store/pool/cache and the parallel routing
+# stages) without the slow experiment reproductions.
 race:
-	$(GO) test -race ./internal/core/ ./internal/detail/ ./internal/global/
+	$(GO) test -race ./...
+
+race-fast:
+	$(GO) test -race -short ./internal/server/ ./internal/core/ ./internal/detail/ ./internal/global/
+
+serve:
+	$(GO) run ./cmd/meblserved
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

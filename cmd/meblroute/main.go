@@ -4,11 +4,13 @@
 //
 // Usage:
 //
-//	meblroute -circuit S9234 [-mode stitch|baseline] [-track graph|ilp|conventional] [-v]
+//	meblroute -circuit S9234 [-mode stitch|baseline] [-track graph|ilp|conventional] [-timeout 30s] [-v]
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -39,6 +41,7 @@ func main() {
 		jsonOut = flag.Bool("json", false, "print the result summary as JSON (machine-readable)")
 		svgOut  = flag.String("svg", "", "write the routed layout as SVG to this file")
 		checkIn = flag.String("check", "", "skip routing: DRC-check this routes file against the circuit")
+		timeout = flag.Duration("timeout", 0, "abort routing after this long (0 = no limit)")
 	)
 	flag.Parse()
 	cfg := core.StitchAware()
@@ -77,13 +80,19 @@ func main() {
 		}
 		c = bench.Generate(spec)
 	}
+	// In -json mode stdout carries only the JSON document; status lines
+	// go to stderr so the output stays machine-readable.
+	status := os.Stdout
+	if *jsonOut {
+		status = os.Stderr
+	}
 	if *doPlace {
 		var st place.Stats
 		c, st = place.Refine(c)
-		fmt.Printf("placement refinement: %d stitch-column pins, %d moved, %d stuck\n",
+		fmt.Fprintf(status, "placement refinement: %d stitch-column pins, %d moved, %d stuck\n",
 			st.OnStitch, st.Moved, st.Stuck)
 	}
-	fmt.Printf("%s: %d nets, %d pins, %d layers, grid %dx%d (%dx%d tiles)\n",
+	fmt.Fprintf(status, "%s: %d nets, %d pins, %d layers, grid %dx%d (%dx%d tiles)\n",
 		c.Name, len(c.Nets), c.NumPins(), c.Fabric.Layers,
 		c.Fabric.XTracks, c.Fabric.YTracks,
 		c.Fabric.TilesX(), c.Fabric.TilesY())
@@ -116,8 +125,17 @@ func main() {
 		return
 	}
 
-	res, err := core.Route(c, cfg)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := core.RouteContext(ctx, c, cfg)
 	if err != nil {
+		if errors.Is(err, core.ErrCancelled) {
+			log.Fatalf("routing aborted after %v: %v", *timeout, err)
+		}
 		log.Fatal(err)
 	}
 	rep := res.Report
@@ -145,22 +163,22 @@ func main() {
 		if err := enc.Encode(summary); err != nil {
 			log.Fatal(err)
 		}
-		return
-	}
-	fmt.Printf("Rout. %.2f%%  #VV %d  #SP %d  WL %d  CPU %.2fs\n",
-		rep.Routability(), rep.ViaViolations, rep.ShortPolygons, rep.Wirelength,
-		res.Times.Total().Seconds())
-	if *verbose {
-		fmt.Printf("  global:  %8.2fs  WL %d  TVOF %d  MVOF %d  edge-overflow %d\n",
-			res.Times.Global.Seconds(), res.GlobalWL, res.TVOF, res.MVOF, res.EdgeOverflow)
-		fmt.Printf("  layer:   %8.2fs\n", res.Times.Layer.Seconds())
-		fmt.Printf("  track:   %8.2fs  bad-ends %d  ripped %d  doglegs %d\n",
-			res.Times.Track.Seconds(), res.TrackStats.BadEnds, res.TrackStats.Ripped, res.TrackStats.Doglegs)
-		fmt.Printf("  detail:  %8.2fs  ripped-nets %d  failed %d  searches %d  expansions %d\n",
-			res.Times.Detail.Seconds(), res.RippedNets, res.FailedNets,
-			res.DetailConnects, res.DetailExpansions)
-		fmt.Printf("  checks:  vert-violations %d  off-pin VV %d\n",
-			rep.VertRouteViolations, rep.ViaViolationsOffPin)
+	} else {
+		fmt.Printf("Rout. %.2f%%  #VV %d  #SP %d  WL %d  CPU %.2fs\n",
+			rep.Routability(), rep.ViaViolations, rep.ShortPolygons, rep.Wirelength,
+			res.Times.Total().Seconds())
+		if *verbose {
+			fmt.Printf("  global:  %8.2fs  WL %d  TVOF %d  MVOF %d  edge-overflow %d\n",
+				res.Times.Global.Seconds(), res.GlobalWL, res.TVOF, res.MVOF, res.EdgeOverflow)
+			fmt.Printf("  layer:   %8.2fs\n", res.Times.Layer.Seconds())
+			fmt.Printf("  track:   %8.2fs  bad-ends %d  ripped %d  doglegs %d\n",
+				res.Times.Track.Seconds(), res.TrackStats.BadEnds, res.TrackStats.Ripped, res.TrackStats.Doglegs)
+			fmt.Printf("  detail:  %8.2fs  ripped-nets %d  failed %d  searches %d  expansions %d\n",
+				res.Times.Detail.Seconds(), res.RippedNets, res.FailedNets,
+				res.DetailConnects, res.DetailExpansions)
+			fmt.Printf("  checks:  vert-violations %d  off-pin VV %d\n",
+				rep.VertRouteViolations, rep.ViaViolationsOffPin)
+		}
 	}
 	if *svgOut != "" {
 		f, err := os.Create(*svgOut)
@@ -183,7 +201,7 @@ func main() {
 		if err := f.Close(); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("wrote %s\n", *svgOut)
+		fmt.Fprintf(status, "wrote %s\n", *svgOut)
 	}
 	if *outFile != "" {
 		f, err := os.Create(*outFile)
@@ -196,7 +214,7 @@ func main() {
 		if err := f.Close(); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("wrote %s\n", *outFile)
+		fmt.Fprintf(status, "wrote %s\n", *outFile)
 	}
 	if rep.VertRouteViolations > 0 || rep.ViaViolationsOffPin > 0 {
 		os.Exit(1)

@@ -1,0 +1,76 @@
+// Command meblserved serves the stitch-aware router as an HTTP JSON API:
+// routing jobs run on a bounded worker pool, identical submissions are
+// served from a content-addressed result cache, and jobs can be
+// cancelled or time-bounded mid-route.
+//
+// Usage:
+//
+//	meblserved [-addr :8080] [-workers N] [-queue 64] [-cache 64] [-job-timeout 10m]
+//
+// See docs/API.md for the endpoint contract and README.md for a curl
+// walkthrough.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"stitchroute/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("meblserved: ")
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 64, "max queued jobs before submissions get 503")
+		cacheSize  = flag.Int("cache", 64, "result cache entries (negative disables)")
+		jobTimeout = flag.Duration("job-timeout", 0, "default per-job timeout (0 = unbounded)")
+		maxTimeout = flag.Duration("max-timeout", 0, "cap on any requested per-job timeout (0 = uncapped)")
+		grace      = flag.Duration("grace", 30*time.Second, "shutdown grace period before running jobs are cancelled")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheSize:      *cacheSize,
+		DefaultTimeout: *jobTimeout,
+		MaxTimeout:     *maxTimeout,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down (grace %v)", *grace)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(shutCtx); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("grace period expired; running jobs were cancelled")
+		} else {
+			log.Printf("pool shutdown: %v", err)
+		}
+	}
+	log.Printf("bye")
+}

@@ -14,6 +14,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -104,10 +106,34 @@ type Result struct {
 	Times StageTimes
 }
 
+// ErrCancelled is wrapped into the error RouteContext returns when the
+// run is abandoned because its context was cancelled or its deadline
+// expired, so callers can tell cancellation/timeout apart from a routing
+// failure with errors.Is. The underlying context error (context.Canceled
+// or context.DeadlineExceeded) is wrapped too.
+var ErrCancelled = errors.New("routing cancelled")
+
+// cancelErr wraps a context error with ErrCancelled.
+func cancelErr(err error) error {
+	return fmt.Errorf("core: %w: %w", ErrCancelled, err)
+}
+
 // Route runs the full framework on the circuit.
 func Route(c *netlist.Circuit, cfg Config) (*Result, error) {
+	return RouteContext(context.Background(), c, cfg)
+}
+
+// RouteContext runs the full framework on the circuit under a context.
+// Cancellation is checked at every stage boundary, between nets inside
+// global routing and refinement, and at the top of the detailed-routing
+// net loop; a cancelled run returns an error wrapping ErrCancelled (and
+// the context's own error) within a few nets' worth of work.
+func RouteContext(ctx context.Context, c *netlist.Circuit, cfg Config) (*Result, error) {
 	if err := c.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, cancelErr(err)
 	}
 	f := c.Fabric
 	res := &Result{}
@@ -115,8 +141,14 @@ func Route(c *netlist.Circuit, cfg Config) (*Result, error) {
 	// Stage 1: global routing (first bottom-up pass).
 	t0 := time.Now()
 	gr := global.NewRouter(f, cfg.Global)
-	res.Plans = gr.RouteAll(c)
-	gr.Refine(c, res.Plans, cfg.RefinePasses)
+	var err error
+	res.Plans, err = gr.RouteAllContext(ctx, c)
+	if err != nil {
+		return nil, cancelErr(err)
+	}
+	if err := gr.RefineContext(ctx, c, res.Plans, cfg.RefinePasses); err != nil {
+		return nil, cancelErr(err)
+	}
 	res.TVOF, res.MVOF = gr.Overflow()
 	res.GlobalWL = gr.Wirelength()
 	res.EdgeOverflow = gr.EdgeOverflow()
@@ -126,16 +158,25 @@ func Route(c *netlist.Circuit, cfg Config) (*Result, error) {
 	t0 = time.Now()
 	AssignLayers(c, res.Plans, cfg.LayerAlgo)
 	res.Times.Layer = time.Since(t0)
+	if err := ctx.Err(); err != nil {
+		return nil, cancelErr(err)
+	}
 
 	// Stage 2b: track assignment.
 	t0 = time.Now()
 	res.TrackStats, res.RowRipped = AssignTracks(c, res.Plans, cfg.TrackAlgo)
 	res.Times.Track = time.Since(t0)
+	if err := ctx.Err(); err != nil {
+		return nil, cancelErr(err)
+	}
 
 	// Stage 3: detailed routing (second bottom-up pass).
 	t0 = time.Now()
 	dr := detail.NewRouter(f, cfg.Detail)
-	dres := dr.Run(c, res.Plans)
+	dres, err := dr.RunContext(ctx, c, res.Plans)
+	if err != nil {
+		return nil, cancelErr(err)
+	}
 	res.Routes = dres.Routes
 	res.RippedNets = dres.Ripped
 	res.FailedNets = dres.Failed

@@ -20,6 +20,7 @@
 package detail
 
 import (
+	"context"
 	"sort"
 
 	"stitchroute/internal/geom"
@@ -113,6 +114,15 @@ func (r *Router) cellFree(x, y, l int, id int32) bool {
 // Run routes every net. plans must be indexed like c.Nets; nil entries are
 // treated as unplanned local nets.
 func (r *Router) Run(c *netlist.Circuit, plans []*plan.NetPlan) *Result {
+	res, _ := r.RunContext(context.Background(), c, plans)
+	return res
+}
+
+// RunContext is Run with cancellation: ctx is checked at the top of the
+// per-net routing loop, so a cancelled run returns after at most one more
+// net's worth of A* work. On cancellation it returns the partial result
+// (nets not reached are recorded as unrouted) together with ctx's error.
+func (r *Router) RunContext(ctx context.Context, c *netlist.Circuit, plans []*plan.NetPlan) (*Result, error) {
 	res := &Result{Routes: make([]plan.NetRoute, len(c.Nets))}
 
 	nets := make([]*routeTask, len(c.Nets))
@@ -180,7 +190,16 @@ func (r *Router) Run(c *netlist.Circuit, plans []*plan.NetPlan) *Result {
 			Vias:   t.vias,
 		}
 	}
-	for _, t := range order {
+	var ctxErr error
+	for oi, t := range order {
+		if err := ctx.Err(); err != nil {
+			// Record the nets not reached as unrouted and stop.
+			ctxErr = err
+			for _, rest := range order[oi:] {
+				record(rest, false)
+			}
+			break
+		}
 		ok := r.routeNet(t)
 		if !ok {
 			// Rip up the planned geometry and route the net directly.
@@ -219,7 +238,7 @@ func (r *Router) Run(c *netlist.Circuit, plans []*plan.NetPlan) *Result {
 	}
 	res.Connects = r.connects
 	res.Expansions = r.expansions
-	return res
+	return res, ctxErr
 }
 
 // routeTask is the per-net routing state.

@@ -20,6 +20,7 @@
 package global
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -357,15 +358,33 @@ func (r *Router) astar(sources map[plan.TilePoint]bool, target plan.TilePoint) [
 // first, matching the first pass of the two-pass framework (§II-B).
 // It returns the per-net plans indexed by position in c.Nets.
 func (r *Router) RouteAll(c *netlist.Circuit) []*plan.NetPlan {
+	plans, _ := r.RouteAllContext(context.Background(), c)
+	return plans
+}
+
+// ctxCheckStride is how many nets are routed between context checks in
+// the cancellable loops; ctx.Err takes a lock, so it is not probed on
+// every one of the (possibly hundreds of thousands of) nets.
+const ctxCheckStride = 32
+
+// RouteAllContext is RouteAll with cancellation: the per-net loop checks
+// ctx periodically and returns ctx's error (with the plans routed so far)
+// once it is done. A nil error means every net was routed.
+func (r *Router) RouteAllContext(ctx context.Context, c *netlist.Circuit) ([]*plan.NetPlan, error) {
 	plans := make([]*plan.NetPlan, len(c.Nets))
 	byID := make(map[int]int, len(c.Nets))
 	for i, n := range c.Nets {
 		byID[n.ID] = i
 	}
-	for _, e := range mlevel.Schedule(c) {
+	for i, e := range mlevel.Schedule(c) {
+		if i%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return plans, err
+			}
+		}
 		plans[byID[e.Net.ID]] = r.RouteNet(e.Net)
 	}
-	return plans
+	return plans, nil
 }
 
 // Overflow returns the total and maximum vertex (line-end) overflow over

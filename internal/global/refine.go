@@ -1,6 +1,8 @@
 package global
 
 import (
+	"context"
+
 	"stitchroute/internal/netlist"
 	"stitchroute/internal/plan"
 )
@@ -16,15 +18,26 @@ const historyInc = 1.0
 // against the accumulated history penalties. The plans slice is updated
 // in place; nets and plans must be parallel to the circuit's net slice.
 func (r *Router) Refine(c *netlist.Circuit, plans []*plan.NetPlan, passes int) {
+	_ = r.RefineContext(context.Background(), c, plans, passes)
+}
+
+// RefineContext is Refine with cancellation: ctx is checked between
+// passes and periodically inside each pass's reroute loop. Rip-up and
+// reroute of a net is atomic with respect to cancellation, so the plans
+// slice is always consistent when it returns.
+func (r *Router) RefineContext(ctx context.Context, c *netlist.Circuit, plans []*plan.NetPlan, passes int) error {
 	byID := make(map[int]*netlist.Net, len(c.Nets))
 	for _, n := range c.Nets {
 		byID[n.ID] = n
 	}
 	for pass := 0; pass < passes; pass++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		tvof, _ := r.Overflow()
 		eof := r.EdgeOverflow()
 		if eof == 0 && (tvof == 0 || !r.cfg.LineEndCost) {
-			return
+			return nil
 		}
 		// Bump history on every overflowed resource.
 		for i := range r.hDem {
@@ -45,14 +58,22 @@ func (r *Router) Refine(c *netlist.Circuit, plans []*plan.NetPlan, passes int) {
 			}
 		}
 		// Collect and reroute the offending nets.
+		rerouted := 0
 		for slot, np := range plans {
 			if np == nil || !r.usesOverflow(np) {
 				continue
 			}
+			if rerouted%ctxCheckStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			rerouted++
 			r.unroute(np)
 			plans[slot] = r.RouteNet(byID[np.NetID])
 		}
 	}
+	return nil
 }
 
 // usesOverflow reports whether the net's route touches an overflowed

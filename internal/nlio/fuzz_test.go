@@ -5,14 +5,23 @@ import (
 	"testing"
 )
 
-// FuzzRead ensures the circuit parser never panics and that anything it
-// accepts round-trips through Write.
+// FuzzRead ensures the circuit parser never panics on untrusted input
+// (the HTTP server accepts nlio uploads) and that anything it accepts
+// round-trips through Write with full fidelity: same structure, same
+// pins, and a byte-identical second serialization (Write∘Read is the
+// identity on Write's image).
 func FuzzRead(f *testing.F) {
 	f.Add(sample)
 	f.Add("circuit x\ngrid 60 60 3\nnet a 1,1 2,2\n")
 	f.Add("circuit x\ngrid 60 60 3 stitch 12 sur 2 escape 3\nnet a 1,1,2 2,2,3\n")
 	f.Add("# only a comment\n")
 	f.Add("grid 0 0 0\n")
+	f.Add("circuit \t weird\nnet before grid 1,1\n")
+	f.Add("circuit x\ngrid 99999999999999999999 1 1\n")
+	f.Add("circuit x\ngrid 60 60 3\nnet a -1,-1 2,2\n")
+	f.Add("circuit x\ngrid 60 60 3\nnet a 1,1,999 2,2\n")
+	f.Add("circuit x\ngrid 60 60 3 stitch -5\nnet a 1,1 2,2\n")
+	f.Add("circuit x\ngrid 60 60 3\nnet # 1,1 2,2\nnet # 3,3 4,4\n")
 	f.Fuzz(func(t *testing.T, src string) {
 		c, err := Read(strings.NewReader(src))
 		if err != nil {
@@ -22,21 +31,48 @@ func FuzzRead(f *testing.F) {
 		if err := Write(&sb, c); err != nil {
 			t.Fatalf("accepted circuit failed to serialize: %v", err)
 		}
-		c2, err := Read(strings.NewReader(sb.String()))
+		first := sb.String()
+		c2, err := Read(strings.NewReader(first))
 		if err != nil {
-			t.Fatalf("round trip rejected: %v\n%s", err, sb.String())
+			t.Fatalf("round trip rejected: %v\n%s", err, first)
 		}
 		if len(c2.Nets) != len(c.Nets) || c2.NumPins() != c.NumPins() {
 			t.Fatal("round trip changed structure")
 		}
+		f1, f2 := c.Fabric, c2.Fabric
+		if f1.XTracks != f2.XTracks || f1.YTracks != f2.YTracks || f1.Layers != f2.Layers ||
+			f1.StitchPitch != f2.StitchPitch || f1.SUREps != f2.SUREps || f1.EscapeWidth != f2.EscapeWidth {
+			t.Fatalf("round trip changed fabric: %+v vs %+v", f1, f2)
+		}
+		for i, n := range c.Nets {
+			n2 := c2.Nets[i]
+			if len(n.Pins) != len(n2.Pins) {
+				t.Fatalf("net %d pin count changed", i)
+			}
+			for k, p := range n.Pins {
+				if p != n2.Pins[k] {
+					t.Fatalf("net %d pin %d changed: %v vs %v", i, k, p, n2.Pins[k])
+				}
+			}
+		}
+		var sb2 strings.Builder
+		if err := Write(&sb2, c2); err != nil {
+			t.Fatalf("re-serialize failed: %v", err)
+		}
+		if second := sb2.String(); second != first {
+			t.Fatalf("Write is not idempotent over Read:\n--- first ---\n%s--- second ---\n%s", first, second)
+		}
 	})
 }
 
-// FuzzReadRoutes ensures the geometry parser never panics.
+// FuzzReadRoutes ensures the geometry parser never panics and that
+// accepted route sets reparse to the same shape.
 func FuzzReadRoutes(f *testing.F) {
 	f.Add("route 0 routed\nwire H 1 5 0 3\nvia 1 2 1\nend\n")
 	f.Add("route 1 failed\nend\n")
 	f.Add("wire H 1 5 0 3\n")
+	f.Add("route -1 routed\nwire V 9 -3 5 2\nend\n")
+	f.Add("route 0 routed\nwire H 1 5 3 0\nend\n")
 	f.Fuzz(func(t *testing.T, src string) {
 		routes, err := ReadRoutes(strings.NewReader(src))
 		if err != nil {
@@ -45,6 +81,18 @@ func FuzzReadRoutes(f *testing.F) {
 		var sb strings.Builder
 		if err := WriteRoutes(&sb, routes); err != nil {
 			t.Fatalf("accepted routes failed to serialize: %v", err)
+		}
+		routes2, err := ReadRoutes(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("routes round trip rejected: %v\n%s", err, sb.String())
+		}
+		if len(routes2) != len(routes) {
+			t.Fatalf("routes round trip changed count: %d vs %d", len(routes), len(routes2))
+		}
+		for i := range routes {
+			if len(routes2[i].Wires) != len(routes[i].Wires) || len(routes2[i].Vias) != len(routes[i].Vias) {
+				t.Fatalf("route %d changed shape", i)
+			}
 		}
 	})
 }

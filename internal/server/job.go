@@ -1,0 +1,182 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"stitchroute/internal/core"
+	"stitchroute/internal/netlist"
+)
+
+// State is a job's lifecycle state. The machine is:
+//
+//	queued ──► running ──► done
+//	   │           │  └───► failed     (routing error or timeout)
+//	   │           └──────► cancelled  (DELETE while running, or shutdown)
+//	   └──────────────────► cancelled  (DELETE while queued)
+//
+// Cache hits are born done. done/failed/cancelled are terminal.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// JobRequest is the body of POST /v1/jobs. Exactly one of Benchmark or
+// Circuit must be set.
+type JobRequest struct {
+	// Benchmark names a bundled benchmark circuit (GET /v1/benchmarks).
+	Benchmark string `json:"benchmark,omitempty"`
+	// Circuit is an uploaded circuit in the nlio text format.
+	Circuit string `json:"circuit,omitempty"`
+	// Mode is "stitch" (default) or "baseline".
+	Mode string `json:"mode,omitempty"`
+	// Track overrides track assignment: "graph", "ilp", or "conventional".
+	Track string `json:"track,omitempty"`
+	// Place runs stitch-aware placement refinement before routing.
+	Place bool `json:"place,omitempty"`
+	// Timeout bounds the routing run, as a Go duration string ("30s").
+	// Empty means the server's default job timeout.
+	Timeout string `json:"timeout,omitempty"`
+	// NoCache skips the result-cache lookup (the result is still stored).
+	NoCache bool `json:"noCache,omitempty"`
+}
+
+// Summary is the Table III-style result summary of a finished job.
+type Summary struct {
+	Routability         float64            `json:"routability"`
+	RoutedNets          int                `json:"routedNets"`
+	ViaViolations       int                `json:"viaViolations"`
+	ViaViolationsOffPin int                `json:"viaViolationsOffPin"`
+	VertRouteViolations int                `json:"vertRouteViolations"`
+	ShortPolygons       int                `json:"shortPolygons"`
+	Wirelength          int64              `json:"wirelength"`
+	Vias                int                `json:"vias"`
+	TVOF                int                `json:"tvof"`
+	MVOF                int                `json:"mvof"`
+	BadEnds             int                `json:"badEnds"`
+	RippedNets          int                `json:"rippedNets"`
+	FailedNets          int                `json:"failedNets"`
+	CPUSeconds          float64            `json:"cpuSeconds"`
+	StageSeconds        map[string]float64 `json:"stageSeconds"`
+}
+
+func summarize(res *core.Result) *Summary {
+	rep := res.Report
+	return &Summary{
+		Routability:         rep.Routability(),
+		RoutedNets:          rep.RoutedNets,
+		ViaViolations:       rep.ViaViolations,
+		ViaViolationsOffPin: rep.ViaViolationsOffPin,
+		VertRouteViolations: rep.VertRouteViolations,
+		ShortPolygons:       rep.ShortPolygons,
+		Wirelength:          rep.Wirelength,
+		Vias:                rep.Vias,
+		TVOF:                res.TVOF,
+		MVOF:                res.MVOF,
+		BadEnds:             res.TrackStats.BadEnds,
+		RippedNets:          res.RippedNets,
+		FailedNets:          res.FailedNets,
+		CPUSeconds:          res.Times.Total().Seconds(),
+		StageSeconds: map[string]float64{
+			"global": res.Times.Global.Seconds(),
+			"layer":  res.Times.Layer.Seconds(),
+			"track":  res.Times.Track.Seconds(),
+			"detail": res.Times.Detail.Seconds(),
+		},
+	}
+}
+
+// Job is one routing job. All mutable fields are guarded by mu; the
+// circuit and config are fixed at submission, and result is written once
+// (on completion) before the state turns terminal.
+type Job struct {
+	mu sync.Mutex
+
+	id      string
+	req     JobRequest // normalized (defaults applied)
+	circuit *netlist.Circuit
+	cfg     core.Config
+	timeout time.Duration
+	key     string // content-addressed cache key
+
+	state           State
+	errMsg          string
+	created         time.Time
+	started         time.Time
+	finished        time.Time
+	cancel          context.CancelFunc
+	cancelRequested bool
+	cacheHit        bool
+	result          *core.Result
+}
+
+// JobView is the JSON representation of a job returned by the API.
+type JobView struct {
+	ID       string     `json:"id"`
+	State    State      `json:"state"`
+	Circuit  string     `json:"circuit"`
+	Nets     int        `json:"nets"`
+	Pins     int        `json:"pins"`
+	Mode     string     `json:"mode"`
+	Track    string     `json:"track,omitempty"`
+	Place    bool       `json:"place,omitempty"`
+	Timeout  string     `json:"timeout,omitempty"`
+	CacheHit bool       `json:"cacheHit"`
+	Error    string     `json:"error,omitempty"`
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	Summary  *Summary   `json:"summary,omitempty"`
+}
+
+// view snapshots the job for serialization.
+func (j *Job) view() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:       j.id,
+		State:    j.state,
+		Circuit:  j.circuit.Name,
+		Nets:     len(j.circuit.Nets),
+		Pins:     j.circuit.NumPins(),
+		Mode:     j.req.Mode,
+		Track:    j.req.Track,
+		Place:    j.req.Place,
+		CacheHit: j.cacheHit,
+		Error:    j.errMsg,
+		Created:  j.created,
+	}
+	if j.timeout > 0 {
+		v.Timeout = j.timeout.String()
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	if j.state == StateDone && j.result != nil {
+		v.Summary = summarize(j.result)
+	}
+	return v
+}
+
+// snapshot returns the state and (if done) the result.
+func (j *Job) snapshot() (State, *core.Result) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.result
+}

@@ -1,0 +1,101 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"stitchroute/internal/core"
+)
+
+// worker drains the job queue until it is closed (Shutdown). A job that
+// was cancelled while still queued is skipped without occupying the
+// worker, so cancellations never block the pool.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job on the calling worker: it derives the job's
+// context (server base context + per-job timeout), runs the router, and
+// classifies the outcome into the terminal state.
+func (s *Server) runJob(j *Job) {
+	j.mu.Lock()
+	if j.state != StateQueued { // cancelled while queued
+		j.mu.Unlock()
+		return
+	}
+	ctx := s.baseCtx
+	var cancel context.CancelFunc
+	if j.timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, j.timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	j.cancel = cancel
+	j.state = StateRunning
+	j.started = time.Now()
+	circuit, cfg := j.circuit, j.cfg
+	j.mu.Unlock()
+
+	res, err := s.route(ctx, circuit, cfg)
+	cancel()
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = res
+		s.cache.put(j.key, res)
+		s.metrics.addStages(res.Times)
+	case j.cancelRequested && errors.Is(err, core.ErrCancelled):
+		j.state = StateCancelled
+		j.errMsg = "cancelled by request"
+	case errors.Is(err, context.DeadlineExceeded):
+		j.state = StateFailed
+		j.errMsg = fmt.Sprintf("timeout: exceeded %v: %v", j.timeout, err)
+	case errors.Is(err, core.ErrCancelled):
+		// Base-context cancellation: the server is shutting down.
+		j.state = StateCancelled
+		j.errMsg = "cancelled: server shutting down"
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+	}
+}
+
+// Shutdown stops the pool gracefully: intake is closed immediately, the
+// workers drain every job already accepted (queued and running), and
+// Shutdown blocks until they finish. If ctx expires first, the running
+// jobs are cancelled (they transition to cancelled via the usual
+// plumbing) and Shutdown waits for the workers to observe it.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.queue)
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.baseCancel()
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,438 @@
+// Package server implements routing-as-a-service: an HTTP JSON API over
+// the core stitch-aware router. Jobs are submitted to a bounded worker
+// pool, identical (circuit, config) submissions are served from a
+// content-addressed LRU result cache, and every job can be cancelled or
+// time-bounded — cancellation is real, plumbed through core.RouteContext
+// down to the detailed-routing net loop.
+//
+// Endpoints (see docs/API.md for the full contract):
+//
+//	POST   /v1/jobs            submit a routing job
+//	GET    /v1/jobs            list jobs
+//	GET    /v1/jobs/{id}       job status + Table III-style summary
+//	DELETE /v1/jobs/{id}       cancel a queued or running job
+//	GET    /v1/jobs/{id}/routes  routed geometry (nlio routes format)
+//	GET    /v1/jobs/{id}/svg   routed layout rendering
+//	GET    /v1/benchmarks      bundled benchmark circuits
+//	GET    /healthz            liveness probe
+//	GET    /metrics            expvar-style plain-text metrics
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"stitchroute/internal/bench"
+	"stitchroute/internal/core"
+	"stitchroute/internal/geom"
+	"stitchroute/internal/netlist"
+	"stitchroute/internal/nlio"
+	"stitchroute/internal/place"
+	"stitchroute/internal/track"
+	"stitchroute/internal/viz"
+)
+
+// maxBodyBytes bounds an uploaded request body (nlio circuits are text;
+// the largest bundled benchmark serializes to ~3 MB).
+const maxBodyBytes = 32 << 20
+
+// routeFunc runs one routing job; replaced in tests to make
+// cancellation and timing deterministic.
+type routeFunc func(ctx context.Context, c *netlist.Circuit, cfg core.Config) (*core.Result, error)
+
+// Config configures a Server. The zero value gets sensible defaults.
+type Config struct {
+	// Workers is the worker-pool size; 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the number of queued (not yet running) jobs;
+	// submissions beyond it are rejected with 503. 0 means 64.
+	QueueDepth int
+	// CacheSize is the result cache's LRU bound in entries. 0 means 64;
+	// negative disables caching.
+	CacheSize int
+	// DefaultTimeout applies to jobs that do not set one; 0 = unbounded.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps any requested per-job timeout; 0 = uncapped.
+	MaxTimeout time.Duration
+
+	// route overrides the routing entry point (tests only).
+	route routeFunc
+}
+
+// Server is the routing service. Create with New, serve via Handler,
+// stop with Shutdown.
+type Server struct {
+	cfg        Config
+	mux        *http.ServeMux
+	cache      *resultCache
+	metrics    *metrics
+	queue      chan *Job
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+	route      routeFunc
+	start      time.Time
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // insertion order, for stable listings
+	nextID int
+	closed bool
+}
+
+// New builds the server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	switch {
+	case cfg.CacheSize == 0:
+		cfg.CacheSize = 64
+	case cfg.CacheSize < 0:
+		cfg.CacheSize = 0
+	}
+	s := &Server{
+		cfg:     cfg,
+		cache:   newResultCache(cfg.CacheSize),
+		metrics: newMetrics(),
+		queue:   make(chan *Job, cfg.QueueDepth),
+		route:   cfg.route,
+		start:   time.Now(),
+		jobs:    make(map[string]*Job),
+	}
+	if s.route == nil {
+		s.route = core.RouteContext
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/routes", s.handleRoutes)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/svg", s.handleSVG)
+	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the HTTP handler for the API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// apiError carries an HTTP status with a message.
+type apiError struct {
+	code int
+	msg  string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *apiError {
+	return &apiError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// writeJSON writes v as a JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeErr writes an error response as {"error": msg}.
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// lookup finds a job by path id.
+func (s *Server) lookup(r *http.Request) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[r.PathValue("id")]
+	return j, ok
+}
+
+// buildJob validates the request and constructs the (still unqueued)
+// job: circuit, config, timeout, and cache key.
+func (s *Server) buildJob(req *JobRequest) (*Job, *apiError) {
+	if (req.Benchmark == "") == (req.Circuit == "") {
+		return nil, badRequest("exactly one of \"benchmark\" or \"circuit\" must be set")
+	}
+	if req.Mode == "" {
+		req.Mode = "stitch"
+	}
+	cfg := core.StitchAware()
+	switch req.Mode {
+	case "stitch":
+	case "baseline":
+		cfg = core.Baseline()
+	default:
+		return nil, badRequest("unknown mode %q (want \"stitch\" or \"baseline\")", req.Mode)
+	}
+	switch req.Track {
+	case "":
+	case "conventional":
+		cfg.TrackAlgo = track.Conventional
+	case "ilp":
+		cfg.TrackAlgo = track.ILPBased
+	case "graph":
+		cfg.TrackAlgo = track.GraphBased
+	default:
+		return nil, badRequest("unknown track algorithm %q (want \"conventional\", \"ilp\", or \"graph\")", req.Track)
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.Timeout != "" {
+		d, err := time.ParseDuration(req.Timeout)
+		if err != nil {
+			return nil, badRequest("bad timeout %q: %v", req.Timeout, err)
+		}
+		if d <= 0 {
+			return nil, badRequest("timeout must be positive, got %q", req.Timeout)
+		}
+		timeout = d
+	}
+	if s.cfg.MaxTimeout > 0 && (timeout == 0 || timeout > s.cfg.MaxTimeout) {
+		timeout = s.cfg.MaxTimeout
+	}
+
+	var c *netlist.Circuit
+	if req.Benchmark != "" {
+		spec, err := bench.ByName(req.Benchmark)
+		if err != nil {
+			return nil, badRequest("%v", err)
+		}
+		c = bench.Generate(spec)
+	} else {
+		var err error
+		c, err = nlio.Read(strings.NewReader(req.Circuit))
+		if err != nil {
+			return nil, badRequest("bad circuit: %v", err)
+		}
+	}
+	if req.Place {
+		c, _ = place.Refine(c)
+	}
+	key, err := cacheKey(c, cfg)
+	if err != nil {
+		return nil, &apiError{code: http.StatusInternalServerError, msg: err.Error()}
+	}
+	return &Job{
+		req:     *req,
+		circuit: c,
+		cfg:     cfg,
+		timeout: timeout,
+		key:     key,
+		created: time.Now(),
+	}, nil
+}
+
+// register assigns the job an id and stores it. Fails once the server is
+// shutting down.
+func (s *Server) register(j *Job) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.nextID++
+	j.id = fmt.Sprintf("job-%06d", s.nextID)
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	return true
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req JobRequest
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	j, apiErr := s.buildJob(&req)
+	if apiErr != nil {
+		writeErr(w, apiErr.code, apiErr.msg)
+		return
+	}
+
+	// Content-addressed cache: an identical (circuit, config) submission
+	// is born done, without occupying a worker.
+	if !req.NoCache {
+		if res, ok := s.cache.get(j.key); ok {
+			j.state = StateDone
+			j.cacheHit = true
+			j.result = res
+			now := time.Now()
+			j.started, j.finished = now, now
+			if !s.register(j) {
+				writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
+				return
+			}
+			w.Header().Set("Location", "/v1/jobs/"+j.id)
+			writeJSON(w, http.StatusOK, j.view())
+			return
+		}
+	}
+
+	j.state = StateQueued
+	if !s.register(j) {
+		writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	select {
+	case s.queue <- j:
+	default:
+		// Queue full: drop the job again and push back.
+		s.mu.Lock()
+		delete(s.jobs, j.id)
+		s.order = s.order[:len(s.order)-1]
+		s.mu.Unlock()
+		writeErr(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("job queue full (%d queued)", cap(s.queue)))
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, j.view())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	views := make([]JobView, len(jobs))
+	for i, j := range jobs {
+		views[i] = j.view()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job")
+		return
+	}
+	j.mu.Lock()
+	switch j.state {
+	case StateQueued:
+		// The worker that eventually dequeues it skips non-queued jobs.
+		j.state = StateCancelled
+		j.errMsg = "cancelled while queued"
+		j.finished = time.Now()
+		j.mu.Unlock()
+		writeJSON(w, http.StatusOK, j.view())
+	case StateRunning:
+		j.cancelRequested = true
+		cancel := j.cancel
+		j.mu.Unlock()
+		cancel() // the router aborts at its next cancellation check
+		writeJSON(w, http.StatusAccepted, j.view())
+	default:
+		state := j.state
+		j.mu.Unlock()
+		writeErr(w, http.StatusConflict, fmt.Sprintf("job is already %s", state))
+	}
+}
+
+func (s *Server) handleRoutes(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job")
+		return
+	}
+	state, res := j.snapshot()
+	if state != StateDone {
+		writeErr(w, http.StatusConflict, fmt.Sprintf("job is %s, not done", state))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = nlio.WriteRoutes(w, res.Routes)
+}
+
+func (s *Server) handleSVG(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job")
+		return
+	}
+	state, res := j.snapshot()
+	if state != StateDone {
+		writeErr(w, http.StatusConflict, fmt.Sprintf("job is %s, not done", state))
+		return
+	}
+	var pins []geom.Point
+	for _, n := range j.circuit.Nets {
+		for _, p := range n.Pins {
+			pins = append(pins, p.Point)
+		}
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	_ = viz.WriteSVG(w, j.circuit.Fabric, res.Routes, viz.Options{
+		Scale: 4, ShowSUR: true, Pins: pins,
+		Title: fmt.Sprintf("%s — %s", j.circuit.Name, j.req.Mode),
+	})
+}
+
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	type view struct {
+		Name   string `json:"name"`
+		Suite  string `json:"suite"`
+		Layers int    `json:"layers"`
+		Nets   int    `json:"nets"`
+		Pins   int    `json:"pins"`
+	}
+	specs := bench.All()
+	views := make([]view, len(specs))
+	for i, sp := range specs {
+		views[i] = view{Name: sp.Name, Suite: sp.Suite, Layers: sp.Layers, Nets: sp.Nets, Pins: sp.Pins}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"benchmarks": views})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		writeErr(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.writeMetrics(w)
+}

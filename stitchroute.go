@@ -24,6 +24,7 @@
 package stitchroute
 
 import (
+	"context"
 	"io"
 
 	"stitchroute/internal/bench"
@@ -84,6 +85,18 @@ func Baseline() Config { return core.Baseline() }
 
 // Route runs the two-pass bottom-up multilevel routing flow.
 func Route(c *Circuit, cfg Config) (*Result, error) { return core.Route(c, cfg) }
+
+// RouteContext is Route with cancellation and deadlines: the run aborts
+// at the next stage boundary or net-loop iteration after ctx is done,
+// returning an error that wraps ErrCancelled and the context's error.
+func RouteContext(ctx context.Context, c *Circuit, cfg Config) (*Result, error) {
+	return core.RouteContext(ctx, c, cfg)
+}
+
+// ErrCancelled is wrapped into RouteContext's error when a run is
+// abandoned due to context cancellation or deadline expiry, so callers
+// can distinguish it from a routing failure with errors.Is.
+var ErrCancelled = core.ErrCancelled
 
 // Check re-runs the stitch DRC on routed geometry.
 func Check(c *Circuit, routes []NetRoute) Report { return drc.Check(c, routes) }
