@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	meblserved [-addr :8080] [-workers N] [-queue 64] [-cache 64] [-job-timeout 10m]
+//	meblserved [-addr :8080] [-workers N] [-queue 64] [-cache 64] [-retain 512] [-job-timeout 10m]
 //
 // See docs/API.md for the endpoint contract and README.md for a curl
 // walkthrough.
@@ -32,6 +32,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		queue      = flag.Int("queue", 64, "max queued jobs before submissions get 503")
 		cacheSize  = flag.Int("cache", 64, "result cache entries (negative disables)")
+		retain     = flag.Int("retain", 512, "finished jobs kept before oldest are evicted (negative = unbounded)")
 		jobTimeout = flag.Duration("job-timeout", 0, "default per-job timeout (0 = unbounded)")
 		maxTimeout = flag.Duration("max-timeout", 0, "cap on any requested per-job timeout (0 = uncapped)")
 		grace      = flag.Duration("grace", 30*time.Second, "shutdown grace period before running jobs are cancelled")
@@ -42,6 +43,7 @@ func main() {
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheSize:      *cacheSize,
+		MaxFinished:    *retain,
 		DefaultTimeout: *jobTimeout,
 		MaxTimeout:     *maxTimeout,
 	})

@@ -47,6 +47,7 @@ func (s *Server) writeMetrics(w io.Writer) {
 		byState[st]++
 	}
 	start := s.start
+	evicted := s.evicted
 	s.mu.Unlock()
 
 	fmt.Fprintf(w, "uptime_seconds %.3f\n", time.Since(start).Seconds())
@@ -55,6 +56,7 @@ func (s *Server) writeMetrics(w io.Writer) {
 	for _, st := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
 		fmt.Fprintf(w, "jobs_%s %d\n", st, byState[st])
 	}
+	fmt.Fprintf(w, "jobs_evicted %d\n", evicted)
 	fmt.Fprintf(w, "queue_depth %d\n", len(s.queue))
 	fmt.Fprintf(w, "queue_capacity %d\n", cap(s.queue))
 

@@ -16,6 +16,7 @@ func (s *Server) worker() {
 	defer s.wg.Done()
 	for j := range s.queue {
 		s.runJob(j)
+		s.evictFinished() // j just went terminal
 	}
 }
 
@@ -81,8 +82,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		return nil
 	}
 	s.closed = true
-	s.mu.Unlock()
+	// Closing under s.mu is what makes the pool safe for callers that
+	// stop it with requests in flight: every send (enqueue) holds s.mu
+	// and re-checks closed first, so no send can race this close.
 	close(s.queue)
+	s.mu.Unlock()
 
 	done := make(chan struct{})
 	go func() {

@@ -56,6 +56,11 @@ type Config struct {
 	// CacheSize is the result cache's LRU bound in entries. 0 means 64;
 	// negative disables caching.
 	CacheSize int
+	// MaxFinished caps how many terminal (done/failed/cancelled) jobs are
+	// retained in the store; beyond it the oldest terminal jobs are
+	// evicted, releasing their circuit and result. 0 means 512; negative
+	// disables eviction (unbounded retention).
+	MaxFinished int
 	// DefaultTimeout applies to jobs that do not set one; 0 = unbounded.
 	DefaultTimeout time.Duration
 	// MaxTimeout caps any requested per-job timeout; 0 = uncapped.
@@ -79,11 +84,12 @@ type Server struct {
 	route      routeFunc
 	start      time.Time
 
-	mu     sync.Mutex
-	jobs   map[string]*Job
-	order  []string // insertion order, for stable listings
-	nextID int
-	closed bool
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	order   []string // insertion order, for stable listings
+	nextID  int
+	evicted int64 // terminal jobs dropped by the retention cap
+	closed  bool
 }
 
 // New builds the server and starts its worker pool.
@@ -99,6 +105,12 @@ func New(cfg Config) *Server {
 		cfg.CacheSize = 64
 	case cfg.CacheSize < 0:
 		cfg.CacheSize = 0
+	}
+	switch {
+	case cfg.MaxFinished == 0:
+		cfg.MaxFinished = 512
+	case cfg.MaxFinished < 0:
+		cfg.MaxFinished = 0
 	}
 	s := &Server{
 		cfg:     cfg,
@@ -244,18 +256,85 @@ func (s *Server) buildJob(req *JobRequest) (*Job, *apiError) {
 }
 
 // register assigns the job an id and stores it. Fails once the server is
-// shutting down.
+// shutting down. Used for jobs that never touch the queue (cache hits);
+// queued jobs go through enqueue.
 func (s *Server) register(j *Job) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return false
 	}
+	s.registerLocked(j)
+	return true
+}
+
+func (s *Server) registerLocked(j *Job) {
 	s.nextID++
 	j.id = fmt.Sprintf("job-%06d", s.nextID)
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
-	return true
+}
+
+// enqueue registers the job and places it on the worker queue as one
+// critical section, so a concurrent submit can never interleave between
+// registration and the send (which previously corrupted s.order on the
+// queue-full rollback). Every send to s.queue happens under s.mu with
+// s.closed false, and Shutdown flips closed and closes the channel under
+// the same lock, so the send can neither block (len < cap was just
+// checked) nor hit a closed channel.
+func (s *Server) enqueue(j *Job) *apiError {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return &apiError{code: http.StatusServiceUnavailable, msg: "server is shutting down"}
+	}
+	if len(s.queue) == cap(s.queue) {
+		return &apiError{code: http.StatusServiceUnavailable,
+			msg: fmt.Sprintf("job queue full (%d queued)", cap(s.queue))}
+	}
+	s.registerLocked(j)
+	s.queue <- j
+	return nil
+}
+
+// evictFinished enforces the terminal-job retention cap: once more than
+// cfg.MaxFinished jobs are terminal, the oldest terminal jobs are
+// dropped from the store, releasing their circuit and result references.
+// Queued and running jobs are never evicted. Called after a job reaches
+// a terminal state.
+func (s *Server) evictFinished() {
+	max := s.cfg.MaxFinished
+	if max <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	terminal := 0
+	for _, id := range s.order {
+		if st, _ := s.jobs[id].snapshot(); st.Terminal() {
+			terminal++
+		}
+	}
+	if terminal <= max {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		st, _ := s.jobs[id].snapshot()
+		if terminal > max && st.Terminal() {
+			delete(s.jobs, id)
+			s.evicted++
+			terminal--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	// Zero the truncated tail so evicted ids are not pinned by the
+	// backing array.
+	for i := len(kept); i < len(s.order); i++ {
+		s.order[i] = ""
+	}
+	s.order = kept
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -286,6 +365,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 				writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
 				return
 			}
+			s.evictFinished() // the job is born terminal
 			w.Header().Set("Location", "/v1/jobs/"+j.id)
 			writeJSON(w, http.StatusOK, j.view())
 			return
@@ -293,20 +373,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	j.state = StateQueued
-	if !s.register(j) {
-		writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
-		return
-	}
-	select {
-	case s.queue <- j:
-	default:
-		// Queue full: drop the job again and push back.
-		s.mu.Lock()
-		delete(s.jobs, j.id)
-		s.order = s.order[:len(s.order)-1]
-		s.mu.Unlock()
-		writeErr(w, http.StatusServiceUnavailable,
-			fmt.Sprintf("job queue full (%d queued)", cap(s.queue)))
+	if apiErr := s.enqueue(j); apiErr != nil {
+		writeErr(w, apiErr.code, apiErr.msg)
 		return
 	}
 	w.Header().Set("Location", "/v1/jobs/"+j.id)
@@ -351,6 +419,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		j.errMsg = "cancelled while queued"
 		j.finished = time.Now()
 		j.mu.Unlock()
+		s.evictFinished()
 		writeJSON(w, http.StatusOK, j.view())
 	case StateRunning:
 		j.cancelRequested = true

@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -415,6 +416,116 @@ func TestQueueFull(t *testing.T) {
 	resp, _ = ts.do(t, "DELETE", "/v1/jobs/"+blocker.ID, nil)
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("DELETE blocker = %d", resp.StatusCode)
+	}
+}
+
+// TestQueueFullConcurrentSubmits hammers a full queue from many
+// goroutines: rejected submissions must never corrupt the job index
+// (regression: the old rollback truncated s.order, which could remove a
+// concurrently accepted job's id and leave a dangling one, making
+// handleList panic).
+func TestQueueFullConcurrentSubmits(t *testing.T) {
+	cfg := Config{Workers: 1, QueueDepth: 1}
+	cfg.route = blockingRoute
+	ts := newTestServer(t, cfg)
+
+	blocker := ts.submit(t, JobRequest{Circuit: tinyCircuit("block")}, http.StatusAccepted)
+	ts.waitState(t, blocker.ID, StateRunning)
+
+	const n = 32
+	var accepted int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, _ := ts.do(t, "POST", "/v1/jobs", JobRequest{Circuit: tinyCircuit(fmt.Sprintf("h%d", i))})
+			switch resp.StatusCode {
+			case http.StatusAccepted:
+				atomic.AddInt64(&accepted, 1)
+			case http.StatusServiceUnavailable:
+			default:
+				t.Errorf("concurrent submit = %d", resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// The listing must stay consistent: exactly blocker + accepted jobs,
+	// every entry intact (a dangling order id would panic handleList).
+	resp, data := ts.do(t, "GET", "/v1/jobs", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/jobs = %d: %s", resp.StatusCode, data)
+	}
+	var list struct {
+		Jobs []JobView `json:"jobs"`
+	}
+	if err := json.Unmarshal(data, &list); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(list.Jobs), int(accepted)+1; got != want {
+		t.Errorf("job list has %d entries, want %d (1 blocker + %d accepted)", got, want, accepted)
+	}
+	for _, v := range list.Jobs {
+		if v.ID == "" {
+			t.Error("listing contains a corrupted job entry")
+		}
+	}
+	resp, _ = ts.do(t, "DELETE", "/v1/jobs/"+blocker.ID, nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("DELETE blocker = %d", resp.StatusCode)
+	}
+}
+
+func TestFinishedJobRetention(t *testing.T) {
+	ts := newTestServer(t, Config{Workers: 1, MaxFinished: 2})
+
+	var ids []string
+	for i := 0; i < 4; i++ {
+		v := ts.submit(t, JobRequest{Circuit: tinyCircuit(fmt.Sprintf("r%d", i))}, http.StatusAccepted)
+		ts.waitState(t, v.ID, StateDone)
+		ids = append(ids, v.ID)
+	}
+
+	// Eviction runs on the worker right after each job turns terminal;
+	// poll briefly for the listing to settle at the cap.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, data := ts.do(t, "GET", "/v1/jobs", nil)
+		var list struct {
+			Jobs []JobView `json:"jobs"`
+		}
+		if err := json.Unmarshal(data, &list); err != nil {
+			t.Fatal(err)
+		}
+		if len(list.Jobs) == 2 {
+			// The two newest jobs survive, oldest-first eviction.
+			if list.Jobs[0].ID != ids[2] || list.Jobs[1].ID != ids[3] {
+				t.Fatalf("retained jobs = [%s %s], want [%s %s]",
+					list.Jobs[0].ID, list.Jobs[1].ID, ids[2], ids[3])
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job list stuck at %d entries, want 2", len(list.Jobs))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Evicted ids are gone for every job endpoint.
+	for _, path := range []string{"/v1/jobs/" + ids[0], "/v1/jobs/" + ids[0] + "/routes", "/v1/jobs/" + ids[0] + "/svg"} {
+		resp, _ := ts.do(t, "GET", path, nil)
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s after eviction = %d, want 404", path, resp.StatusCode)
+		}
+	}
+
+	_, data := ts.do(t, "GET", "/metrics", nil)
+	if got := metricValue(t, string(data), "jobs_evicted"); got != "2" {
+		t.Errorf("jobs_evicted = %s, want 2", got)
+	}
+	if got := metricValue(t, string(data), "jobs_total"); got != "2" {
+		t.Errorf("jobs_total = %s, want 2", got)
 	}
 }
 
