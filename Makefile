@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race race-fast serve bench tables figures coverage clean
+.PHONY: all build vet test test-short race race-fast serve bench tables figures coverage fuzz soak clean
 
 all: build vet test
 
@@ -44,9 +44,30 @@ figures:
 	$(GO) run ./cmd/layoutviz -fig16 -circuit S9234 -out fig16
 	$(GO) run ./examples/rasterdefect
 
+# Coverage gate: total short-mode statement coverage of internal/... must
+# stay at or above COVER_FLOOR (recorded at 87.4% when the gate landed).
+COVER_FLOOR ?= 86.0
 coverage:
 	$(GO) test -short -coverprofile=cover.out ./internal/...
-	$(GO) tool cover -func=cover.out | tail -1
+	@$(GO) tool cover -func=cover.out | tail -1
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	ok=$$(awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN {print (t+0 >= f+0) ? 1 : 0}'); \
+	if [ "$$ok" != "1" ]; then \
+		echo "coverage gate FAILED: $$total% < floor $(COVER_FLOOR)%"; exit 1; \
+	else \
+		echo "coverage gate ok: $$total% >= floor $(COVER_FLOOR)%"; \
+	fi
+
+# Short fuzz session over the routing pipeline; CI-sized by default.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -fuzz=FuzzRoute -fuzztime=$(FUZZTIME) -run '^$$' ./internal/harness/
+
+# Multi-seed end-to-end correctness soak (full invariant battery over the
+# harness parameter grid).
+SOAK_SEEDS ?= 25
+soak:
+	$(GO) run ./cmd/routecheck -seeds $(SOAK_SEEDS)
 
 clean:
 	rm -f fig15.svg fig16a.svg fig16b.svg cover.out

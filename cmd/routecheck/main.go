@@ -1,0 +1,121 @@
+// Command routecheck is the end-to-end correctness soak runner: it sweeps
+// the harness parameter grid across many seeds, routing every circuit
+// under both the stitch-aware and baseline configurations and running the
+// full invariant battery — hard DRC invariants, stitch-aware-vs-baseline
+// dominance, determinism, and the translate/mirror metamorphic properties.
+// It exits nonzero if any circuit violates any invariant.
+//
+// Usage:
+//
+//	routecheck [-seeds N] [-grid short|full] [-j workers] [-no-transforms] [-no-determinism] [-v]
+//
+// Typical soak: routecheck -seeds 25. Build with -race for a combined
+// correctness+race soak: go run -race ./cmd/routecheck -seeds 5.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"stitchroute/internal/harness"
+	"stitchroute/internal/netlist"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("routecheck: ")
+	var (
+		seeds    = flag.Int("seeds", 5, "seeds per grid point")
+		gridName = flag.String("grid", "full", "parameter grid: short or full")
+		workers  = flag.Int("j", runtime.GOMAXPROCS(0), "concurrent circuits")
+		noTrans  = flag.Bool("no-transforms", false, "skip the translate/mirror metamorphic checks")
+		noDet    = flag.Bool("no-determinism", false, "skip the byte-identical reroute check")
+		spTol    = flag.Int("sp-tol", harness.DefaultOptions().SPTolerance, "allowed short-polygon drift under transforms")
+		verbose  = flag.Bool("v", false, "print every circuit, not just failures")
+	)
+	flag.Parse()
+
+	var specs []harness.GenSpec
+	switch *gridName {
+	case "short":
+		specs = harness.ShortGrid()
+	case "full":
+		specs = harness.FullGrid()
+	default:
+		log.Fatalf("unknown grid %q (want short or full)", *gridName)
+	}
+	opt := harness.Options{
+		Determinism: !*noDet,
+		Transforms:  !*noTrans,
+		SPTolerance: *spTol,
+	}
+
+	type job struct{ spec harness.GenSpec }
+	jobs := make(chan job)
+	var (
+		mu       sync.Mutex
+		ran      int
+		failed   int
+		routed   int
+		totalSP  [2]int // stitch, baseline
+		start    = time.Now()
+		failures []string
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < max(*workers, 1); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				spec := j.spec
+				o, err := harness.Verify(spec.String(), func() *netlist.Circuit { return harness.Generate(spec) }, opt)
+				mu.Lock()
+				ran++
+				if err != nil {
+					failed++
+					failures = append(failures, fmt.Sprintf("%s: %v", spec.String(), err))
+					mu.Unlock()
+					continue
+				}
+				routed += o.Stitch.Report.RoutedNets
+				totalSP[0] += o.Stitch.Report.ShortPolygons
+				totalSP[1] += o.Baseline.Report.ShortPolygons
+				if !o.Ok() {
+					failed++
+					for _, v := range o.Violations {
+						failures = append(failures, fmt.Sprintf("%s: %s", o.Name, v))
+					}
+				} else if *verbose {
+					fmt.Printf("ok   %-42s rout %6.2f%%  SP %d/%d  WL %d\n",
+						o.Name, o.Stitch.Report.Routability(),
+						o.Stitch.Report.ShortPolygons, o.Baseline.Report.ShortPolygons,
+						o.Stitch.Report.Wirelength)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, base := range specs {
+		for s := 0; s < *seeds; s++ {
+			spec := base
+			spec.Seed = int64(s + 1)
+			jobs <- job{spec}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	for _, f := range failures {
+		fmt.Fprintf(os.Stderr, "FAIL %s\n", f)
+	}
+	fmt.Printf("%d circuits (%d grid points x %d seeds) in %.1fs: %d failed; %d nets routed; SP stitch/baseline %d/%d\n",
+		ran, len(specs), *seeds, time.Since(start).Seconds(), failed, routed, totalSP[0], totalSP[1])
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -36,6 +36,12 @@ type Spec struct {
 	Spread float64
 	// SeedOffset perturbs the deterministic generator seed, producing an
 	// independent instance with the same statistics (variance studies).
+	// The contract — tested via the canonical circuit hash — is that the
+	// same (Name, SeedOffset) pair always generates the byte-identical
+	// circuit, while different offsets generate different pin placements.
+	// Anything keyed on circuit content (golden metrics files, the
+	// server's result cache) relies on this; changing the generator or
+	// the seed derivation invalidates both.
 	SeedOffset int64
 }
 

@@ -2,6 +2,8 @@ package bench
 
 import (
 	"testing"
+
+	"stitchroute/internal/nlio"
 )
 
 func TestSpecsMatchPaperTables(t *testing.T) {
@@ -156,5 +158,34 @@ func TestMeasure(t *testing.T) {
 	}
 	if st.PinDensity <= 0 || st.PinDensity > 0.5 {
 		t.Errorf("pin density %.3f", st.PinDensity)
+	}
+}
+
+// TestGenerateHashContract pins benchmark generation determinism as a
+// contract on the canonical circuit hash — the same identity the server's
+// result cache and the harness golden files are keyed on: identical spec
+// (including SeedOffset) must produce the byte-identical circuit, and a
+// different SeedOffset must produce a genuinely different instance.
+func TestGenerateHashContract(t *testing.T) {
+	spec, _ := ByName("S5378")
+	hash := func(s Spec) string {
+		h, err := nlio.CircuitHash(Generate(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	base := hash(spec)
+	if again := hash(spec); again != base {
+		t.Errorf("same spec hashed differently: %s vs %s", base[:12], again[:12])
+	}
+	off := spec
+	off.SeedOffset = 1
+	if variant := hash(off); variant == base {
+		t.Error("SeedOffset=1 produced the identical circuit; variance instances are broken")
+	}
+	other, _ := ByName("S9234")
+	if hash(other) == base {
+		t.Error("different benchmarks produced identical circuits")
 	}
 }

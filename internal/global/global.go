@@ -268,9 +268,17 @@ func (r *Router) astar(sources map[plan.TilePoint]bool, target plan.TilePoint) [
 		tx, ty := v%tw, v/tw
 		return r.cfg.WLWeight * float64(abs(tx-target.TX)+abs(ty-target.TY))
 	}
-	pq := newFHeap()
+	// Seed the heap in a fixed source order: equal-priority states pop in
+	// insertion order, so iterating the source map directly would leak its
+	// random order into tie-breaks and make routing nondeterministic run
+	// to run (the correctness harness caught exactly that).
+	srcs := make([]int, 0, len(sources))
 	for s := range sources {
-		v := s.TY*tw + s.TX
+		srcs = append(srcs, s.TY*tw+s.TX)
+	}
+	sort.Ints(srcs)
+	pq := newFHeap()
+	for _, v := range srcs {
 		st := v*nd + dirNone
 		dist[st] = 0
 		pq.push(st, h(v))

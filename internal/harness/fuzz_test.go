@@ -1,0 +1,74 @@
+package harness
+
+import (
+	"testing"
+
+	"stitchroute/internal/core"
+)
+
+// FuzzRoute drives small random circuits through the full routing
+// pipeline and requires that every run either completes DRC-clean (hard
+// invariants hold; soft metrics may be anything) or rejects the circuit
+// with an explicit validation error — never a panic, never silent
+// corruption. The fuzz arguments are clamped into a sane spec, so every
+// input maps to some legal circuit shape; run via `make fuzz` or
+//
+//	go test -fuzz=FuzzRoute -fuzztime=30s ./internal/harness/
+func FuzzRoute(f *testing.F) {
+	f.Add(int64(1), int64(6), int64(8), int64(15), int64(5), int64(4))
+	f.Add(int64(2), int64(10), int64(20), int64(10), int64(7), int64(6))
+	f.Add(int64(99), int64(3), int64(2), int64(5), int64(3), int64(3))
+	f.Add(int64(-7), int64(12), int64(40), int64(21), int64(4), int64(5))
+	f.Fuzz(func(t *testing.T, seed, nets, spread, pitch, tilesX, tilesY int64) {
+		spec := fuzzSpec(seed, nets, spread, pitch, tilesX, tilesY)
+		c := Generate(spec)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("generator produced invalid circuit for %+v: %v", spec, err)
+		}
+		// One refinement pass keeps the per-input cost low; the invariants
+		// must hold at any pass count.
+		cfg := core.StitchAware()
+		cfg.RefinePasses = 1
+		res, err := core.Route(c, cfg)
+		if err != nil {
+			t.Fatalf("route failed on valid circuit %+v: %v", spec, err)
+		}
+		cr, err := Check(c, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range cr.HardViolations() {
+			t.Errorf("%s: %s", spec.String(), v)
+		}
+	})
+}
+
+// fuzzSpec folds arbitrary fuzz inputs into a small legal GenSpec:
+// stitch pitch 5..24, fabric 3..8 stripes wide, at most ~16 nets.
+func fuzzSpec(seed, nets, spread, pitch, tilesX, tilesY int64) GenSpec {
+	p := 5 + int(mod(pitch, 20))
+	tx := 3 + int(mod(tilesX, 6))
+	ty := 3 + int(mod(tilesY, 6))
+	return GenSpec{
+		Seed:        seed,
+		XTracks:     p * tx,
+		YTracks:     p * ty,
+		Layers:      3 + int(mod(seed, 2)),
+		StitchPitch: p,
+		SUREps:      1 + int(mod(spread, int64(min((p-2)/2, 3)))),
+		Nets:        2 + int(mod(nets, 15)),
+		Spread:      float64(2 + mod(spread, 30)),
+		MaxDegree:   2 + int(mod(nets*7+spread, 8)),
+	}
+}
+
+func mod(v, m int64) int64 {
+	if m <= 0 {
+		return 0
+	}
+	r := v % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}

@@ -1,0 +1,144 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+
+	"stitchroute/internal/core"
+	"stitchroute/internal/netlist"
+)
+
+// Metrics is the per-benchmark quality snapshot committed to the golden
+// files: every number a routing-quality regression would move.
+type Metrics struct {
+	Circuit             string  `json:"circuit"`
+	Mode                string  `json:"mode"`
+	Nets                int     `json:"nets"`
+	Pins                int     `json:"pins"`
+	Routability         float64 `json:"routability"`
+	ViaViolations       int     `json:"viaViolations"`
+	ViaViolationsOffPin int     `json:"viaViolationsOffPin"`
+	VertRouteViolations int     `json:"vertRouteViolations"`
+	ShortPolygons       int     `json:"shortPolygons"`
+	Wirelength          int64   `json:"wirelength"`
+	Vias                int     `json:"vias"`
+	FailedNets          int     `json:"failedNets"`
+}
+
+// Collect extracts the golden metrics from a routing result.
+func Collect(c *netlist.Circuit, mode string, res *core.Result) Metrics {
+	rep := res.Report
+	return Metrics{
+		Circuit:             c.Name,
+		Mode:                mode,
+		Nets:                len(c.Nets),
+		Pins:                c.NumPins(),
+		Routability:         math.Round(rep.Routability()*100) / 100,
+		ViaViolations:       rep.ViaViolations,
+		ViaViolationsOffPin: rep.ViaViolationsOffPin,
+		VertRouteViolations: rep.VertRouteViolations,
+		ShortPolygons:       rep.ShortPolygons,
+		Wirelength:          rep.Wirelength,
+		Vias:                rep.Vias,
+		FailedNets:          res.FailedNets,
+	}
+}
+
+// Tolerance bounds the acceptable drift between measured and golden
+// metrics. The router is deterministic, so on an unchanged tree the drift
+// is zero; the tolerances exist so a future PR that intentionally tweaks
+// a heuristic within the allowed band does not have to touch the goldens,
+// while anything larger fails as a regression and forces a deliberate
+// -update.
+type Tolerance struct {
+	// RelWirelength and RelVias are relative bounds (0.02 = ±2%).
+	RelWirelength float64
+	RelVias       float64
+	// AbsShortPolygons and AbsRoutability (percentage points) are
+	// absolute bounds.
+	AbsShortPolygons int
+	AbsRoutability   float64
+}
+
+// DefaultTolerance is the regression gate used by the golden tests.
+func DefaultTolerance() Tolerance {
+	return Tolerance{RelWirelength: 0.02, RelVias: 0.03, AbsShortPolygons: 2, AbsRoutability: 0.5}
+}
+
+// Compare returns the metrics that moved outside tolerance, empty when
+// got matches want. Hard-invariant columns (off-pin via violations,
+// vertical-routing violations) are compared exactly.
+func Compare(got, want Metrics, tol Tolerance) []string {
+	var bad []string
+	fail := func(format string, args ...any) { bad = append(bad, fmt.Sprintf(format, args...)) }
+
+	if got.Circuit != want.Circuit || got.Mode != want.Mode {
+		fail("identity mismatch: got %s/%s, want %s/%s", got.Circuit, got.Mode, want.Circuit, want.Mode)
+		return bad
+	}
+	if got.Nets != want.Nets || got.Pins != want.Pins {
+		fail("circuit shape changed: %d nets/%d pins, want %d/%d (generator drift)",
+			got.Nets, got.Pins, want.Nets, want.Pins)
+	}
+	if got.ViaViolationsOffPin != want.ViaViolationsOffPin {
+		fail("off-pin via violations: %d, want %d", got.ViaViolationsOffPin, want.ViaViolationsOffPin)
+	}
+	if got.VertRouteViolations != want.VertRouteViolations {
+		fail("vertical-routing violations: %d, want %d", got.VertRouteViolations, want.VertRouteViolations)
+	}
+	if d := math.Abs(got.Routability - want.Routability); d > tol.AbsRoutability {
+		fail("routability %.2f%%, want %.2f%% (±%.2f)", got.Routability, want.Routability, tol.AbsRoutability)
+	}
+	if d := abs(got.ShortPolygons - want.ShortPolygons); d > tol.AbsShortPolygons {
+		fail("short polygons %d, want %d (±%d)", got.ShortPolygons, want.ShortPolygons, tol.AbsShortPolygons)
+	}
+	if d := relDrift(float64(got.Wirelength), float64(want.Wirelength)); d > tol.RelWirelength {
+		fail("wirelength %d, want %d (±%.1f%%)", got.Wirelength, want.Wirelength, 100*tol.RelWirelength)
+	}
+	if d := relDrift(float64(got.Vias), float64(want.Vias)); d > tol.RelVias {
+		fail("vias %d, want %d (±%.1f%%)", got.Vias, want.Vias, 100*tol.RelVias)
+	}
+	// Via violations are pin-forced in a legal solution; allow the same
+	// absolute slack as short polygons for heuristic drift in whether a
+	// stitch-column pin needs a via at all.
+	if d := abs(got.ViaViolations - want.ViaViolations); d > tol.AbsShortPolygons {
+		fail("via violations %d, want %d (±%d)", got.ViaViolations, want.ViaViolations, tol.AbsShortPolygons)
+	}
+	return bad
+}
+
+// WriteGolden writes the metrics as a deterministic, diff-friendly JSON
+// file (stable field order, two-space indent, trailing newline) so
+// -update on an unchanged tree regenerates files byte-identically.
+func WriteGolden(path string, ms []Metrics) error {
+	data, err := json.MarshalIndent(ms, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadGolden loads a golden metrics file.
+func ReadGolden(path string) ([]Metrics, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var ms []Metrics
+	if err := json.Unmarshal(data, &ms); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return ms, nil
+}
+
+func relDrift(got, want float64) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}

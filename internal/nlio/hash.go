@@ -1,0 +1,36 @@
+package nlio
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+
+	"stitchroute/internal/netlist"
+	"stitchroute/internal/plan"
+)
+
+// CircuitHash returns the SHA-256 of the circuit's canonical nlio
+// serialization. Because Write is deterministic (nets in order, pins in
+// order, fixed formatting), the hash identifies a circuit up to the
+// nlio-visible state: fabric parameters, net names, and pin geometry.
+// It is the content address used by the server's result cache and the
+// benchmark generator's determinism contract (same spec + seed ⇒ same
+// hash).
+func CircuitHash(c *netlist.Circuit) (string, error) {
+	h := sha256.New()
+	if err := Write(h, c); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// RoutesHash returns the SHA-256 of the routes' canonical serialization
+// (WriteRoutes). Two routing runs are byte-identical exactly when their
+// hashes match, which is how the correctness harness asserts the router's
+// determinism.
+func RoutesHash(routes []plan.NetRoute) (string, error) {
+	h := sha256.New()
+	if err := WriteRoutes(h, routes); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

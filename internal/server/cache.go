@@ -13,19 +13,20 @@ import (
 )
 
 // cacheKey content-addresses a routing job: the hash covers the canonical
-// nlio serialization of the (post-placement) circuit plus the full config
+// nlio circuit hash of the (post-placement) circuit plus the full config
 // fingerprint, so two requests collide exactly when re-routing would
 // reproduce the same result. The framework is deterministic for a fixed
-// (circuit, config), which is what makes result caching sound.
+// (circuit, config), which is what makes result caching sound — the
+// correctness harness (internal/harness) tests that determinism directly.
 func cacheKey(c *netlist.Circuit, cfg core.Config) (string, error) {
-	h := sha256.New()
-	if err := nlio.Write(h, c); err != nil {
+	ch, err := nlio.CircuitHash(c)
+	if err != nil {
 		return "", err
 	}
 	// Config is plain value data (bools, ints, floats, enums), so the
 	// %+v rendering is a deterministic fingerprint.
-	fmt.Fprintf(h, "|cfg=%+v", cfg)
-	return hex.EncodeToString(h.Sum(nil)), nil
+	h := sha256.Sum256([]byte(fmt.Sprintf("%s|cfg=%+v", ch, cfg)))
+	return hex.EncodeToString(h[:]), nil
 }
 
 // resultCache is a bounded LRU of routing results keyed by cacheKey.
