@@ -1,45 +1,63 @@
 # Convenience targets; everything is plain `go` underneath.
+# `make help` lists every target with its one-line description.
 
 GO ?= go
 
-.PHONY: all build vet test test-short race race-fast serve bench tables figures coverage fuzz soak clean
+.PHONY: all build vet lint stitchvet test test-short race race-fast serve bench tables figures coverage fuzz soak clean help
 
-all: build vet test
+all: build vet test ## build + vet + full tests
 
-build:
+build: ## compile every package and command
 	$(GO) build ./...
 
-vet:
+vet: ## go vet over the whole repo
 	$(GO) vet ./...
 
-test:
+# Static-analysis gate. stitchvet is the repo's own go/analysis-style
+# linter (cmd/stitchvet, see docs/LINTING.md): it enforces the router's
+# determinism (mapiterorder), cancellation (ctxflow), concurrency
+# (lockdiscipline), and float-comparison (floateq) invariants and exits
+# nonzero on any diagnostic. staticcheck runs too when installed (CI
+# installs a pinned version; the offline dev container may not have it).
+lint: vet stitchvet ## vet + stitchvet + staticcheck (if installed)
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck ./..."; staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; skipped (CI runs it pinned)"; \
+	fi
+
+stitchvet: ## build and run the repo's invariant linter
+	$(GO) build -o bin/stitchvet ./cmd/stitchvet
+	./bin/stitchvet ./...
+
+test: ## full test suite
 	$(GO) test ./...
 
-test-short:
+test-short: ## short-mode tests
 	$(GO) test -short ./...
 
 # Full race-detector run. race-fast covers the concurrency-heavy
 # packages (the server's job store/pool/cache and the parallel routing
 # stages) without the slow experiment reproductions.
-race:
+race: ## full test suite under the race detector
 	$(GO) test -race ./...
 
-race-fast:
+race-fast: ## race detector on the concurrency-heavy packages
 	$(GO) test -race -short ./internal/server/ ./internal/core/ ./internal/detail/ ./internal/global/
 
-serve:
+serve: ## run the routing job server
 	$(GO) run ./cmd/meblserved
 
-bench:
+bench: ## run all benchmarks
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate the paper's tables on the fast subset (use CIRCUITS=all for
 # the full 14-circuit suite; that takes ~15 minutes).
 CIRCUITS ?= small
-tables:
+tables: ## regenerate the paper's tables (CIRCUITS=all for the full suite)
 	$(GO) run ./cmd/tablegen -circuits $(CIRCUITS)
 
-figures:
+figures: ## regenerate the paper's figures
 	$(GO) run ./cmd/layoutviz -circuit S38417 -out fig15.svg
 	$(GO) run ./cmd/layoutviz -fig16 -circuit S9234 -out fig16
 	$(GO) run ./examples/rasterdefect
@@ -47,7 +65,7 @@ figures:
 # Coverage gate: total short-mode statement coverage of internal/... must
 # stay at or above COVER_FLOOR (recorded at 87.4% when the gate landed).
 COVER_FLOOR ?= 86.0
-coverage:
+coverage: ## short-mode coverage with the COVER_FLOOR gate
 	$(GO) test -short -coverprofile=cover.out ./internal/...
 	@$(GO) tool cover -func=cover.out | tail -1
 	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
@@ -60,14 +78,18 @@ coverage:
 
 # Short fuzz session over the routing pipeline; CI-sized by default.
 FUZZTIME ?= 30s
-fuzz:
+fuzz: ## short fuzz session over the routing pipeline
 	$(GO) test -fuzz=FuzzRoute -fuzztime=$(FUZZTIME) -run '^$$' ./internal/harness/
 
 # Multi-seed end-to-end correctness soak (full invariant battery over the
 # harness parameter grid).
 SOAK_SEEDS ?= 25
-soak:
+soak: ## multi-seed end-to-end correctness soak
 	$(GO) run ./cmd/routecheck -seeds $(SOAK_SEEDS)
 
-clean:
+clean: ## remove generated figures, coverage, and lint binaries
 	rm -f fig15.svg fig16a.svg fig16b.svg cover.out
+	rm -rf bin
+
+help: ## list targets with their descriptions
+	@awk -F':.*## ' '/^[a-zA-Z_-]+:.*## / {printf "  %-12s %s\n", $$1, $$2}' $(MAKEFILE_LIST)

@@ -1,0 +1,79 @@
+// Command stitchvet is the repo's domain-specific linter: a multichecker
+// that enforces the router's determinism, cancellation, and concurrency
+// invariants at compile time instead of rediscovering them in soak runs.
+//
+// Usage:
+//
+//	stitchvet [-only name,name] [-v] [packages...]
+//
+// Packages default to ./.... Exit status is 1 if any diagnostic is
+// reported, 2 on driver errors. See docs/LINTING.md for what each
+// analyzer guards and how to suppress a false positive with
+// //lint:ignore.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"stitchroute/internal/analysis"
+	"stitchroute/internal/analysis/ctxflow"
+	"stitchroute/internal/analysis/driver"
+	"stitchroute/internal/analysis/floateq"
+	"stitchroute/internal/analysis/lockdiscipline"
+	"stitchroute/internal/analysis/mapiterorder"
+)
+
+var analyzers = []*analysis.Analyzer{
+	ctxflow.Analyzer,
+	floateq.Analyzer,
+	lockdiscipline.Analyzer,
+	mapiterorder.Analyzer,
+}
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	verbose := flag.Bool("v", false, "print each package as it is checked")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: stitchvet [-only name,name] [-v] [packages...]\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, firstLine(a.Doc))
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	opts := driver.Options{Verbose: *verbose}
+	if *only != "" {
+		opts.Only = strings.Split(*only, ",")
+	}
+	n, err := driver.Run(analyzers, patterns, os.Stdout, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stitchvet:", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "stitchvet: %d diagnostic(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

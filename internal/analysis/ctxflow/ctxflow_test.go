@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"stitchroute/internal/analysis/analyzertest"
+	"stitchroute/internal/analysis/ctxflow"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analyzertest.Run(t, "../testdata", ctxflow.Analyzer, "ctxflow")
+}

@@ -1,0 +1,207 @@
+// Package driver runs a set of analyzers over packages and reports their
+// diagnostics, honoring staticcheck-style suppression directives.
+//
+// Suppression: a comment of the form
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// suppresses matching diagnostics on the directive's own line and on the
+// line immediately following it (so it works both as an end-of-line
+// comment and as a standalone comment above the flagged statement). The
+// analyzer list may be "*" to suppress every analyzer. The reason is
+// mandatory: a bare directive is itself reported as a diagnostic, so every
+// suppression in the tree documents why the invariant is safe to waive.
+package driver
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"stitchroute/internal/analysis"
+	"stitchroute/internal/analysis/load"
+)
+
+// Diagnostic is a driver-level finding: an analyzer diagnostic bound to
+// its position and analyzer name.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// Options configures a Run.
+type Options struct {
+	// Only, when non-empty, restricts the run to analyzers with these
+	// names.
+	Only []string
+	// Verbose adds a per-package progress line to Out.
+	Verbose bool
+}
+
+// directive is one parsed //lint:ignore comment.
+type directive struct {
+	analyzers map[string]bool // nil means "*"
+	line      int
+}
+
+// parseDirectives extracts suppression directives from a file's comments.
+// Malformed directives (no reason) are reported through report.
+func parseDirectives(fset *token.FileSet, file *ast.File, report func(Diagnostic)) []directive {
+	var dirs []directive
+	for _, group := range file.Comments {
+		for _, c := range group.List {
+			text := c.Text
+			if !strings.HasPrefix(text, "//lint:ignore") {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			rest := strings.TrimPrefix(text, "//lint:ignore")
+			fields := strings.Fields(rest)
+			if len(fields) < 2 {
+				report(Diagnostic{
+					Analyzer: "stitchvet",
+					Pos:      pos,
+					Message:  "malformed //lint:ignore directive: want `//lint:ignore <analyzer>[,<analyzer>] <reason>`",
+				})
+				continue
+			}
+			d := directive{line: pos.Line}
+			if fields[0] != "*" {
+				d.analyzers = make(map[string]bool)
+				for _, name := range strings.Split(fields[0], ",") {
+					d.analyzers[name] = true
+				}
+			}
+			dirs = append(dirs, d)
+		}
+	}
+	return dirs
+}
+
+func (d directive) matches(diag Diagnostic) bool {
+	if diag.Pos.Line != d.line && diag.Pos.Line != d.line+1 {
+		return false
+	}
+	return d.analyzers == nil || d.analyzers[diag.Analyzer]
+}
+
+// packageMatch reports whether the analyzer's package filter admits the
+// given import path.
+func packageMatch(a *analysis.Analyzer, pkgPath string) bool {
+	if len(a.Packages) == 0 {
+		return true
+	}
+	for _, p := range a.Packages {
+		if pkgPath == p || strings.HasSuffix(pkgPath, "/"+p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Run loads the packages matching patterns, applies the analyzers, and
+// writes file:line:col-prefixed diagnostics to out. It returns the number
+// of diagnostics after suppression; the caller turns a nonzero count into
+// a nonzero exit.
+func Run(analyzers []*analysis.Analyzer, patterns []string, out io.Writer, opts Options) (int, error) {
+	if len(opts.Only) > 0 {
+		keep := make(map[string]bool)
+		for _, name := range opts.Only {
+			keep[name] = true
+		}
+		var filtered []*analysis.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				filtered = append(filtered, a)
+				delete(keep, a.Name)
+			}
+		}
+		if len(keep) > 0 {
+			var unknown []string
+			for name := range keep {
+				unknown = append(unknown, name)
+			}
+			sort.Strings(unknown)
+			return 0, fmt.Errorf("unknown analyzer(s): %s", strings.Join(unknown, ", "))
+		}
+		analyzers = filtered
+	}
+
+	pkgs, err := load.Packages(patterns...)
+	if err != nil {
+		return 0, err
+	}
+
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			// A package that does not type-check cannot be
+			// reliably analyzed; surface the build breakage.
+			return 0, fmt.Errorf("package %s does not type-check: %v", pkg.PkgPath, pkg.TypeErrors[0])
+		}
+		var dirs []directive
+		for _, f := range pkg.Files {
+			dirs = append(dirs, parseDirectives(pkg.Fset, f, func(d Diagnostic) { diags = append(diags, d) })...)
+		}
+		for _, a := range analyzers {
+			if !packageMatch(a, pkg.PkgPath) {
+				continue
+			}
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			name := a.Name
+			pass.Report = func(d analysis.Diagnostic) {
+				diag := Diagnostic{
+					Analyzer: name,
+					Pos:      pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+				}
+				for _, dir := range dirs {
+					if dir.matches(diag) {
+						return
+					}
+				}
+				diags = append(diags, diag)
+			}
+			if _, err := a.Run(pass); err != nil {
+				return 0, fmt.Errorf("analyzer %s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+		}
+		if opts.Verbose {
+			fmt.Fprintf(out, "stitchvet: checked %s\n", pkg.PkgPath)
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	cwd, _ := filepath.Abs(".")
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		fmt.Fprintf(out, "%s:%d:%d: %s: %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	return len(diags), nil
+}

@@ -1,0 +1,75 @@
+package driver
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"stitchroute/internal/analysis"
+	"stitchroute/internal/analysis/floateq"
+)
+
+// TestSuppression runs the real driver (go list + type-check + analyzer +
+// directive filtering) over the ignoredemo fixture and checks which
+// diagnostics survive //lint:ignore.
+func TestSuppression(t *testing.T) {
+	var out bytes.Buffer
+	n, err := Run([]*analysis.Analyzer{floateq.Analyzer}, []string{"./testdata/ignoredemo"}, &out, Options{})
+	if err != nil {
+		t.Fatalf("driver.Run: %v", err)
+	}
+	got := out.String()
+
+	// Surviving: the bare comparison, the wrong-analyzer one, the one
+	// under the malformed directive, and the malformed-directive
+	// diagnostic itself.
+	if n != 4 {
+		t.Errorf("got %d diagnostics, want 4:\n%s", n, got)
+	}
+	for _, want := range []string{
+		"a.go:6:9: floateq:",
+		"a.go:25:9: floateq:",
+		"a.go:29:2: stitchvet: malformed //lint:ignore directive",
+		"a.go:30:9: floateq:",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	for _, absent := range []string{"a.go:10", "a.go:15", "a.go:20"} {
+		if strings.Contains(got, absent) {
+			t.Errorf("output should not contain %q (suppressed):\n%s", absent, got)
+		}
+	}
+}
+
+func TestOnlyUnknownAnalyzer(t *testing.T) {
+	var out bytes.Buffer
+	_, err := Run([]*analysis.Analyzer{floateq.Analyzer}, []string{"./testdata/ignoredemo"}, &out, Options{Only: []string{"nosuch"}})
+	if err == nil || !strings.Contains(err.Error(), "nosuch") {
+		t.Fatalf("want unknown-analyzer error, got %v", err)
+	}
+}
+
+func TestPackageMatch(t *testing.T) {
+	a := &analysis.Analyzer{Packages: []string{"internal/global", "internal/track"}}
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"stitchroute/internal/global", true},
+		{"internal/global", true},
+		{"stitchroute/internal/track", true},
+		{"stitchroute/internal/globalx", false},
+		{"stitchroute/internal/server", false},
+	}
+	for _, c := range cases {
+		if got := packageMatch(a, c.path); got != c.want {
+			t.Errorf("packageMatch(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+	open := &analysis.Analyzer{}
+	if !packageMatch(open, "anything/at/all") {
+		t.Error("empty filter must match every package")
+	}
+}

@@ -1,0 +1,12 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"stitchroute/internal/analysis/analyzertest"
+	"stitchroute/internal/analysis/floateq"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analyzertest.Run(t, "../testdata", floateq.Analyzer, "floateq")
+}

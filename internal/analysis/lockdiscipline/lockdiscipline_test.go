@@ -1,0 +1,12 @@
+package lockdiscipline_test
+
+import (
+	"testing"
+
+	"stitchroute/internal/analysis/analyzertest"
+	"stitchroute/internal/analysis/lockdiscipline"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analyzertest.Run(t, "../testdata", lockdiscipline.Analyzer, "lockdiscipline")
+}

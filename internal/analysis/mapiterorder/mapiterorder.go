@@ -1,0 +1,241 @@
+// Package mapiterorder defines an analyzer that flags order-sensitive
+// accumulation driven by Go map iteration.
+//
+// Go randomizes map iteration order per run. A loop `for k, v := range m`
+// whose body appends to a slice declared outside the loop, pushes into a
+// heap, or sends on a channel therefore produces a different sequence on
+// every execution — the exact bug class behind commit c18208f, where the
+// global A* seeded its priority heap straight from a map and reroutes
+// stopped being byte-reproducible. Deterministic output is a hard
+// invariant for this router (stitch positions must survive a re-run
+// bit-for-bit), so the pattern is banned unless the accumulated slice is
+// sorted afterwards: collect-keys-then-sort loops are recognized and left
+// alone.
+package mapiterorder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"stitchroute/internal/analysis"
+)
+
+// Analyzer flags nondeterministic accumulation from map iteration.
+var Analyzer = &analysis.Analyzer{
+	Name: "mapiterorder",
+	Doc: "flag order-sensitive accumulation (append/heap-push/channel-send) inside range-over-map loops\n\n" +
+		"Map iteration order is nondeterministic; accumulating into ordered state from it makes routing output irreproducible unless the result is sorted afterwards.",
+	Packages: []string{
+		"internal/global", "internal/detail", "internal/core",
+		"internal/steiner", "internal/track", "internal/plan",
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if ok && fn.Body != nil {
+				checkFunc(pass, fn.Body)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// checkFunc examines one function body (function literals nested inside
+// are visited as part of the same tree: their statements still execute —
+// whenever they run — in map order if driven from a surrounding range).
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRange(pass, body, rng)
+		return true
+	})
+}
+
+func checkMapRange(pass *analysis.Pass, funcBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A closure defined in the body is only order-sensitive
+			// if invoked here; calls to it are seen as CallExprs.
+			return false
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(),
+				"channel send inside range over map %s: map iteration order is nondeterministic, receivers observe a different sequence each run",
+				exprString(rng.X))
+			return true
+		case *ast.AssignStmt:
+			checkAppend(pass, funcBody, rng, n)
+			return true
+		case *ast.CallExpr:
+			if name, ok := calleeName(n); ok && (name == "Push" || name == "push") {
+				pass.Reportf(n.Pos(),
+					"heap push inside range over map %s: the heap is seeded in nondeterministic map order (the c18208f A* reroute bug); iterate sorted keys instead",
+					exprString(rng.X))
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// checkAppend flags `x = append(...)` inside the loop when x is declared
+// outside the loop and never sorted later in the function.
+func checkAppend(pass *analysis.Pass, funcBody *ast.BlockStmt, rng *ast.RangeStmt, assign *ast.AssignStmt) {
+	for i, rhs := range assign.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(pass, call) || i >= len(assign.Lhs) {
+			continue
+		}
+		target := assign.Lhs[i]
+		obj := rootObject(pass, target)
+		if obj == nil {
+			continue
+		}
+		// Targets declared inside the loop body don't outlive an
+		// iteration; order cannot leak.
+		if obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End() {
+			continue
+		}
+		if sortedAfter(pass, funcBody, rng, obj) {
+			continue
+		}
+		pass.Reportf(assign.Pos(),
+			"append to %s inside range over map %s without a later sort: map iteration order is nondeterministic, so the slice order differs between runs",
+			exprString(target), exprString(rng.X))
+	}
+}
+
+// sortedAfter reports whether obj is passed to a sort.* / slices.Sort* /
+// .Sort() call after the range statement, which restores determinism.
+func sortedAfter(pass *analysis.Pass, funcBody *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rng.End() {
+			return true
+		}
+		if !isSortCall(pass, call) {
+			return true
+		}
+		// The sorted value must involve obj, either as an argument
+		// (sort.Slice(x, ...)) or as the receiver (x.Sort()).
+		for _, arg := range call.Args {
+			if mentions(pass, arg, obj) {
+				found = true
+				return false
+			}
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && mentions(pass, sel.X, obj) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isSortCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// Method form: x.Sort().
+	if sel.Sel.Name == "Sort" {
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); !ok || !isPackageName(pass, id) {
+			return true
+		}
+	}
+	// Package form: sort.X / slices.SortX.
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	switch pkgName.Imported().Path() {
+	case "sort":
+		return true
+	case "slices":
+		switch sel.Sel.Name {
+		case "Sort", "SortFunc", "SortStableFunc":
+			return true
+		}
+	}
+	return false
+}
+
+func isPackageName(pass *analysis.Pass, id *ast.Ident) bool {
+	_, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return ok
+}
+
+// mentions reports whether expr references obj anywhere in its tree.
+func mentions(pass *analysis.Pass, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// rootObject resolves the object an assignment target ultimately names:
+// the identifier itself, or the field object for selector targets like
+// r.routes.
+func rootObject(pass *analysis.Pass, expr ast.Expr) types.Object {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.ObjectOf(e)
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[e]; ok {
+			return sel.Obj()
+		}
+		return pass.TypesInfo.ObjectOf(e.Sel)
+	case *ast.IndexExpr:
+		return rootObject(pass, e.X)
+	}
+	return nil
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := pass.TypesInfo.ObjectOf(id).(*types.Builtin)
+	return isBuiltin
+}
+
+func calleeName(call *ast.CallExpr) (string, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name, true
+	case *ast.SelectorExpr:
+		return fun.Sel.Name, true
+	}
+	return "", false
+}
+
+func exprString(e ast.Expr) string { return types.ExprString(e) }

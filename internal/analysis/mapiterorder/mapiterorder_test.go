@@ -1,0 +1,12 @@
+package mapiterorder_test
+
+import (
+	"testing"
+
+	"stitchroute/internal/analysis/analyzertest"
+	"stitchroute/internal/analysis/mapiterorder"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analyzertest.Run(t, "../testdata", mapiterorder.Analyzer, "mapiterorder")
+}

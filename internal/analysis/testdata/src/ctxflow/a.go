@@ -1,0 +1,62 @@
+// Fixture for the ctxflow analyzer: functions that accept a
+// context.Context must thread it, not detach from it.
+package ctxflow
+
+import "context"
+
+func helper(ctx context.Context) error { return ctx.Err() }
+
+func run() {}
+
+func runContext(ctx context.Context) error { return ctx.Err() }
+
+// good threads its context.
+func good(ctx context.Context) error { return helper(ctx) }
+
+// detaches manufactures a fresh root context despite having one.
+func detaches(ctx context.Context) error {
+	return helper(context.Background()) // want `calls context.Background`
+}
+
+// todo is the same failure spelled differently.
+func todo(ctx context.Context) error {
+	return helper(context.TODO()) // want `calls context.TODO`
+}
+
+// drops calls the ctx-less variant while runContext exists.
+func drops(ctx context.Context) error {
+	run() // want `drops its context ctx calling run; ctx-aware variant runContext exists`
+	return nil
+}
+
+// callsVariant uses the ctx-aware sibling: nothing to flag.
+func callsVariant(ctx context.Context) error {
+	return runContext(ctx)
+}
+
+// wrapper is the standard shim pattern: no ctx parameter, so creating the
+// root context here is exactly its job.
+func wrapper() error { return runContext(context.Background()) }
+
+type tracker struct{}
+
+func (t *tracker) step() {}
+
+func (t *tracker) stepContext(ctx context.Context) error { return ctx.Err() }
+
+// method drops ctx on a method call with a ctx-aware sibling in the
+// receiver's method set.
+func (t *tracker) method(ctx context.Context) {
+	t.step() // want `ctx-aware variant stepContext exists`
+}
+
+func (t *tracker) okMethod(ctx context.Context) error {
+	return t.stepContext(ctx)
+}
+
+// noVariant calls a function without a Context sibling; out of scope.
+func plain() {}
+
+func noVariant(ctx context.Context) {
+	plain()
+}

@@ -1,0 +1,56 @@
+// Fixture for the floateq analyzer: exact equality on floating-point
+// expressions is evaluation-order-dependent and banned; the sentinel
+// idioms (zero, NaN self-compare, infinities, constant folding) stay
+// legal.
+package floateq
+
+import "math"
+
+type cost float64
+
+func bad(a, b float64) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+func badNeq(a, b float64) bool {
+	return a != b // want `floating-point != comparison`
+}
+
+func badNamed(a, b cost) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+func badNonzeroConst(a float64) bool {
+	return a == 0.3 // want `floating-point == comparison`
+}
+
+func badMixed(a float64, b int) bool {
+	return a == float64(b) // want `floating-point == comparison`
+}
+
+func badFloat32(a, b float32) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+// zeroSentinel: exact zero is representable and survives any evaluation
+// order; it is the unset-value idiom.
+func zeroSentinel(a float64) bool { return a == 0 }
+
+// nanCheck: x != x is the NaN test.
+func nanCheck(a float64) bool { return a != a }
+
+// infSentinel: infinity is absorbing, comparison is exact.
+func infSentinel(a float64) bool { return a == math.Inf(1) }
+
+// ints are exact.
+func ints(a, b int) bool { return a == b }
+
+// ordering comparisons are fine; only equality is flagged.
+func ordered(a, b float64) bool { return a < b || a >= b }
+
+// both-constant comparisons fold at compile time.
+const (
+	x  = 1.5
+	y  = 3.0 / 2.0
+	eq = x == y
+)

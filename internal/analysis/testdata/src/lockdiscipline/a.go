@@ -1,0 +1,110 @@
+// Fixture for the lockdiscipline analyzer: critical sections must be
+// small and non-blocking, and channel send/close coverage under a lock
+// must be deliberate.
+package lockdiscipline
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+type server struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+	wg sync.WaitGroup
+}
+
+func (s *server) sendUnderLock(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- v // want `channel send while s.mu is held`
+}
+
+func (s *server) sendAfterUnlock(v int) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+func (s *server) closeUnderLock() {
+	s.mu.Lock()
+	close(s.ch) // want `close of channel while s.mu is held`
+	s.mu.Unlock()
+}
+
+// nonBlockingSelect: a default case makes the send non-blocking, the
+// shape the analyzer deliberately permits.
+func (s *server) nonBlockingSelect(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- v:
+	default:
+	}
+}
+
+func (s *server) blockingSelect(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `blocking select while s.mu is held`
+	case s.ch <- v:
+	}
+}
+
+func (s *server) receiveUnderRLock() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return <-s.ch // want `channel receive while s.rw is held`
+}
+
+func (s *server) sleeps() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while s.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *server) waits() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wg.Wait() // want `WaitGroup.*Wait while s.mu is held`
+}
+
+func (s *server) httpWrite(w http.ResponseWriter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w.Write([]byte("x")) // want `HTTP response write while s.mu is held`
+}
+
+func (s *server) httpErrorArg(w http.ResponseWriter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	http.Error(w, "busy", http.StatusServiceUnavailable) // want `HTTP response write while s.mu is held`
+}
+
+// goroutineExempt: the spawned goroutine runs outside the critical
+// section; its send is not flagged.
+func (s *server) goroutineExempt(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() { s.ch <- v }()
+}
+
+// earlyExit releases the lock on the branch that performs the send.
+func (s *server) earlyExit(v int) {
+	s.mu.Lock()
+	if v > 0 {
+		s.mu.Unlock()
+		s.ch <- v
+		return
+	}
+	s.mu.Unlock()
+}
+
+// unlocked functions are of no interest at all.
+func (s *server) unlocked(v int) {
+	s.ch <- v
+	close(s.ch)
+	time.Sleep(time.Millisecond)
+}

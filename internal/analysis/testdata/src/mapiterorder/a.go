@@ -1,0 +1,127 @@
+// Fixture for the mapiterorder analyzer. The first pair of functions
+// reproduces the c18208f bug byte-for-byte in miniature: the global A*
+// seeded its priority heap straight from a map range (must flag) and the
+// shipped fix iterates sorted keys (must not flag).
+package mapiterorder
+
+import (
+	"container/heap"
+	"slices"
+	"sort"
+)
+
+type intHeap []int
+
+func (h intHeap) Len() int            { return len(h) }
+func (h intHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h intHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *intHeap) Push(x interface{}) { *h = append(*h, x.(int)) }
+func (h *intHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// seedHeapFromMap is the c18208f A* reroute bug: heap seeded in map
+// iteration order, so pop order (and every tie-break downstream) differs
+// between runs.
+func seedHeapFromMap(sources map[int]float64, h *intHeap) {
+	for s := range sources {
+		heap.Push(h, s) // want `heap push inside range over map`
+	}
+}
+
+// seedHeapSorted is the shipped fix: keys are collected, sorted, and only
+// then pushed. Neither loop may be flagged — the collect loop's append is
+// followed by a sort, and the push loop ranges over a slice.
+func seedHeapSorted(sources map[int]float64, h *intHeap) {
+	keys := make([]int, 0, len(sources))
+	for s := range sources {
+		keys = append(keys, s)
+	}
+	sort.Ints(keys)
+	for _, s := range keys {
+		heap.Push(h, s)
+	}
+}
+
+type pq struct{ items []int }
+
+func (q *pq) push(x int) { q.items = append(q.items, x) }
+
+// lowercase push methods (the real fHeap in internal/global uses push)
+// count as heap pushes too.
+func seedCustomHeap(m map[string]int, q *pq) {
+	for _, v := range m {
+		q.push(v) // want `heap push inside range over map`
+	}
+}
+
+// appendNoSort accumulates routes in map order and returns them unsorted.
+func appendNoSort(byNet map[int][]int) []int {
+	var out []int
+	for _, segs := range byNet {
+		out = append(out, segs...) // want `append to out inside range over map`
+	}
+	return out
+}
+
+// appendThenSort is the canonical deterministic pattern.
+func appendThenSort(byNet map[int][]int) []int {
+	var out []int
+	for _, segs := range byNet {
+		out = append(out, segs...)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// appendSliceSort is fine via the slices package, too.
+func appendSliceSort(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// appendLocal appends to a slice scoped to one iteration: order cannot
+// leak out of the loop body.
+func appendLocal(m map[int][]int) int {
+	total := 0
+	for _, vs := range m {
+		var tmp []int
+		tmp = append(tmp, vs...)
+		total += len(tmp)
+	}
+	return total
+}
+
+// aggregate is commutative accumulation; map order is harmless.
+func aggregate(m map[int]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// emit sends routes in map order: receivers observe a different sequence
+// each run.
+func emit(m map[int]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want `channel send inside range over map`
+	}
+}
+
+// fieldAppend accumulates into a struct field without sorting.
+type router struct{ routes []int }
+
+func (r *router) fieldAppend(m map[int]int) {
+	for _, v := range m {
+		r.routes = append(r.routes, v) // want `append to r.routes inside range over map`
+	}
+}

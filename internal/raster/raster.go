@@ -145,14 +145,16 @@ func Dither(b *Bitmap) *Bitmap {
 func DefectScore(gray, dithered *Bitmap) float64 {
 	feature, bad := 0, 0
 	for i := range gray.Pix {
-		ideal := 0.0
-		if gray.Pix[i] >= 0.5 {
-			ideal = 1
-		}
-		if ideal == 1 {
+		// Compare on-ness as booleans rather than float equality:
+		// both bitmaps hold exact 0/1 here, but thresholding keeps
+		// the comparison meaningful even if a future dither kernel
+		// leaves residual error in Pix.
+		idealOn := gray.Pix[i] >= 0.5
+		ditheredOn := dithered.Pix[i] >= 0.5
+		if idealOn {
 			feature++
 		}
-		if dithered.Pix[i] != ideal {
+		if ditheredOn != idealOn {
 			bad++
 		}
 	}

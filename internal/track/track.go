@@ -376,7 +376,16 @@ func (p *Problem) trackBounds(seq []int, allowBad []bool, minSide bool) map[ivKe
 	n := len(keys)
 	src, dummy := n, n+1
 	adj := make([][]graph.Arc, n+2)
-	for r, segIdx := range rows {
+	// Iterate rows in sorted order: building the adjacency lists in map
+	// order would make the arc order (and thus anything sensitive to
+	// edge ordering downstream) differ from run to run.
+	rowKeys := make([]int, 0, len(rows))
+	for r := range rows {
+		rowKeys = append(rowKeys, r)
+	}
+	sort.Ints(rowKeys)
+	for _, r := range rowKeys {
+		segIdx := rows[r]
 		sort.Slice(segIdx, func(a, b int) bool { return pos[segIdx[a]] < pos[segIdx[b]] })
 		if !minSide {
 			// Mirror: process right-to-left.
