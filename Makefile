@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint stitchvet test test-short race race-fast serve bench tables figures coverage fuzz soak clean help
+.PHONY: all build vet lint stitchvet test test-short race race-fast serve bench bench-json bench-smoke tables figures coverage fuzz soak clean help
 
 all: build vet test ## build + vet + full tests
 
@@ -50,6 +50,22 @@ serve: ## run the routing job server
 
 bench: ## run all benchmarks
 	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the checked-in detailed-routing benchmark report. The seed
+# baselines are measured separately against a pre-optimization binary;
+# see docs/PERFORMANCE.md for the full protocol (BASELINE/BASELINE_NOTE
+# pass through to benchjson's -baseline/-baseline-note).
+BENCH_RUNS ?= 7
+bench-json: ## regenerate BENCH_detail.json (see docs/PERFORMANCE.md)
+	$(GO) run ./cmd/benchjson -runs $(BENCH_RUNS) \
+		$(if $(BASELINE),-baseline "$(BASELINE)") \
+		$(if $(BASELINE_NOTE),-baseline-note "$(BASELINE_NOTE)") \
+		-out BENCH_detail.json
+
+# One-iteration benchmark smoke: proves the worker-count benchmarks (and
+# their cross-worker routes-hash assertion) still run; takes seconds.
+bench-smoke: ## run BenchmarkDetailWorkers once per worker count
+	$(GO) test -run '^$$' -bench BenchmarkDetailWorkers -benchtime 1x ./internal/detail/
 
 # Regenerate the paper's tables on the fast subset (use CIRCUITS=all for
 # the full 14-circuit suite; that takes ~15 minutes).

@@ -1,0 +1,254 @@
+// Command benchjson measures the detailed-routing stage on golden
+// benchmark circuits across worker counts and writes a machine-readable
+// JSON report. BENCH_detail.json at the repository root is the
+// checked-in copy; docs/PERFORMANCE.md documents the regeneration
+// protocol, including how the seed baselines passed via -baseline are
+// measured.
+//
+// Every (circuit, workers) point runs the full router -runs times and
+// keeps the fastest detail-stage wall time (best-of-N absorbs scheduler
+// noise on shared machines). The report fails unless every run of a
+// circuit — at every worker count — produced byte-identical routed
+// geometry, so the numbers can never come from divergent routes.
+//
+// Usage:
+//
+//	benchjson [-circuits Primary1,S5378,S9234] [-workers 1,4] [-runs 5]
+//	          [-baseline Primary1=0.18,S5378=0.63,S9234=0.55] [-baseline-note ...]
+//	          [-out BENCH_detail.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"stitchroute/internal/bench"
+	"stitchroute/internal/core"
+	"stitchroute/internal/netlist"
+	"stitchroute/internal/nlio"
+)
+
+// report is the top-level JSON document.
+type report struct {
+	Generated    string          `json:"generated"`
+	GoVersion    string          `json:"goVersion"`
+	GOOS         string          `json:"goos"`
+	GOARCH       string          `json:"goarch"`
+	NumCPU       int             `json:"numCPU"`
+	RunsPerPoint int             `json:"runsPerPoint"`
+	Methodology  string          `json:"methodology"`
+	BaselineNote string          `json:"baselineNote,omitempty"`
+	Circuits     []circuitReport `json:"circuits"`
+}
+
+type circuitReport struct {
+	Circuit    string  `json:"circuit"`
+	Nets       int     `json:"nets"`
+	RoutesHash string  `json:"routesHash"`
+	Points     []point `json:"points"`
+	// ParallelSpeedup is detail time at the first worker count over the
+	// last (typically Workers=1 over Workers=4). On a single-CPU host
+	// this is ~1.0 by construction; see Methodology.
+	ParallelSpeedup float64 `json:"parallelSpeedup"`
+	// SeedDetailSeconds is the externally measured seed-binary baseline
+	// (see BaselineNote); SpeedupVsSeed divides it by the last point's
+	// detail time. Present only when -baseline names this circuit.
+	SeedDetailSeconds float64 `json:"seedDetailSeconds,omitempty"`
+	SpeedupVsSeed     float64 `json:"speedupVsSeed,omitempty"`
+}
+
+type point struct {
+	Workers          int     `json:"workers"`
+	DetailSeconds    float64 `json:"detailSeconds"`
+	TotalSeconds     float64 `json:"totalSeconds"`
+	DetailConnects   int     `json:"detailConnects"`
+	DetailExpansions int64   `json:"detailExpansions"`
+	FailedNets       int     `json:"failedNets"`
+}
+
+const methodology = "Per point: the full stitch-aware router runs -runs times on a freshly " +
+	"generated circuit and the fastest detail-stage wall time is kept (best-of-N). " +
+	"All runs of a circuit must produce byte-identical routed geometry (routesHash) " +
+	"or the report fails. parallelSpeedup compares the first and last worker counts " +
+	"on this binary; on a single-CPU host it is ~1.0 because the deterministic batch " +
+	"scheduler cannot overlap work without cores, and the wall-clock win over the seed " +
+	"(speedupVsSeed) comes from the per-worker search arenas and allocation-free " +
+	"scratch the parallel refactor introduced."
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		circuitsFlag = flag.String("circuits", "Primary1,S5378,S9234", "comma-separated benchmark circuits")
+		workersFlag  = flag.String("workers", "1,4", "comma-separated detailed-routing worker counts")
+		runs         = flag.Int("runs", 5, "runs per (circuit, workers) point; fastest is kept")
+		baselineFlag = flag.String("baseline", "", "comma-separated name=seconds seed detail baselines")
+		baselineNote = flag.String("baseline-note", "", "provenance of the -baseline numbers, recorded verbatim")
+		out          = flag.String("out", "-", "output file (- = stdout)")
+	)
+	flag.Parse()
+	if *runs < 1 {
+		log.Printf("runs must be >= 1, got %d", *runs)
+		return 2
+	}
+
+	var workerCounts []int
+	for _, s := range strings.Split(*workersFlag, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || w < 1 {
+			log.Printf("bad -workers entry %q", s)
+			return 2
+		}
+		workerCounts = append(workerCounts, w)
+	}
+	baselines, err := parseBaselines(*baselineFlag)
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+
+	rep := report{
+		Generated:    time.Now().UTC().Format(time.RFC3339),
+		GoVersion:    runtime.Version(),
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+		NumCPU:       runtime.NumCPU(),
+		RunsPerPoint: *runs,
+		Methodology:  methodology,
+		BaselineNote: *baselineNote,
+	}
+
+	for _, name := range strings.Split(*circuitsFlag, ",") {
+		name = strings.TrimSpace(name)
+		cr, err := measureCircuit(name, workerCounts, *runs)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		if secs, ok := baselines[name]; ok {
+			cr.SeedDetailSeconds = secs
+			cr.SpeedupVsSeed = round3(secs / cr.Points[len(cr.Points)-1].DetailSeconds)
+		}
+		rep.Circuits = append(rep.Circuits, *cr)
+		log.Printf("%s done", name)
+	}
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return 0
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Print(err)
+		return 1
+	}
+	log.Printf("wrote %s", *out)
+	return 0
+}
+
+// measureCircuit runs every worker count on the named circuit and checks
+// that all runs routed identical geometry.
+func measureCircuit(name string, workerCounts []int, runs int) (*circuitReport, error) {
+	spec, err := bench.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	cr := &circuitReport{Circuit: name}
+	// One untimed warm-up route so the first measured point does not pay
+	// for heap growth and page faults, then the worker counts interleave
+	// across run iterations so no count is systematically colder.
+	if _, _, err := routeOnce(spec, workerCounts[0]); err != nil {
+		return nil, fmt.Errorf("%s warmup: %w", name, err)
+	}
+	best := make([]*point, len(workerCounts))
+	for i := 0; i < runs; i++ {
+		for wi, w := range workerCounts {
+			res, c, err := routeOnce(spec, w)
+			if err != nil {
+				return nil, fmt.Errorf("%s workers=%d: %w", name, w, err)
+			}
+			cr.Nets = len(c.Nets)
+			hash, err := nlio.RoutesHash(res.Routes)
+			if err != nil {
+				return nil, fmt.Errorf("%s workers=%d: %w", name, w, err)
+			}
+			if cr.RoutesHash == "" {
+				cr.RoutesHash = hash
+			} else if hash != cr.RoutesHash {
+				return nil, fmt.Errorf("%s workers=%d run %d: routes hash %s differs from %s",
+					name, w, i, hash, cr.RoutesHash)
+			}
+			p := point{
+				Workers:          w,
+				DetailSeconds:    res.Times.Detail.Seconds(),
+				TotalSeconds:     res.Times.Total().Seconds(),
+				DetailConnects:   res.DetailConnects,
+				DetailExpansions: res.DetailExpansions,
+				FailedNets:       res.FailedNets,
+			}
+			if best[wi] == nil || p.DetailSeconds < best[wi].DetailSeconds {
+				cp := p
+				best[wi] = &cp
+			}
+		}
+	}
+	for _, b := range best {
+		b.DetailSeconds = round3(b.DetailSeconds)
+		b.TotalSeconds = round3(b.TotalSeconds)
+		cr.Points = append(cr.Points, *b)
+	}
+	if n := len(cr.Points); n > 1 {
+		cr.ParallelSpeedup = round3(cr.Points[0].DetailSeconds / cr.Points[n-1].DetailSeconds)
+	}
+	return cr, nil
+}
+
+// routeOnce generates a fresh circuit from spec and routes it with the
+// given detailed-routing worker count.
+func routeOnce(spec bench.Spec, workers int) (*core.Result, *netlist.Circuit, error) {
+	c := bench.Generate(spec)
+	cfg := core.StitchAware()
+	cfg.Detail.Workers = workers
+	res, err := core.Route(c, cfg)
+	return res, c, err
+}
+
+// parseBaselines parses "name=seconds,name=seconds".
+func parseBaselines(s string) (map[string]float64, error) {
+	out := map[string]float64{}
+	if s == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -baseline entry %q (want name=seconds)", part)
+		}
+		secs, err := strconv.ParseFloat(val, 64)
+		if err != nil || secs <= 0 {
+			return nil, fmt.Errorf("bad -baseline seconds in %q", part)
+		}
+		out[name] = secs
+	}
+	return out, nil
+}
+
+func round3(v float64) float64 {
+	return float64(int64(v*1000+0.5)) / 1000
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	meblroute -circuit S9234 [-mode stitch|baseline] [-track graph|ilp|conventional] [-timeout 30s] [-v]
+//	meblroute -circuit S9234 [-mode stitch|baseline] [-track graph|ilp|conventional] [-workers N] [-timeout 30s] [-cpuprofile f] [-memprofile f] [-v]
 package main
 
 import (
@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"stitchroute/internal/bench"
 	"stitchroute/internal/core"
@@ -30,25 +32,35 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("meblroute: ")
+	os.Exit(run())
+}
+
+// run holds the whole CLI body so deferred profile writers flush before
+// the process exits with a nonzero status.
+func run() int {
 	var (
 		circuit = flag.String("circuit", "S9234", "benchmark circuit name (see cmd/benchgen -list)")
 		inFile  = flag.String("in", "", "route a circuit from an nlio text file instead of a benchmark")
 		doPlace = flag.Bool("place", false, "run stitch-aware placement refinement before routing")
 		mode    = flag.String("mode", "stitch", "router mode: stitch or baseline")
 		trk     = flag.String("track", "", "override track assignment: conventional, ilp, or graph")
+		workers = flag.Int("workers", 0, "detailed-routing workers (0 = GOMAXPROCS, 1 = sequential); results are identical for every value")
 		verbose = flag.Bool("v", false, "print per-stage detail")
 		outFile = flag.String("routes", "", "write the routed geometry to this file (nlio routes format)")
 		jsonOut = flag.Bool("json", false, "print the result summary as JSON (machine-readable)")
 		svgOut  = flag.String("svg", "", "write the routed layout as SVG to this file")
 		checkIn = flag.String("check", "", "skip routing: DRC-check this routes file against the circuit")
 		timeout = flag.Duration("timeout", 0, "abort routing after this long (0 = no limit)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	cfg := core.StitchAware()
 	if *mode == "baseline" {
 		cfg = core.Baseline()
 	} else if *mode != "stitch" {
-		log.Fatalf("unknown mode %q", *mode)
+		log.Printf("unknown mode %q", *mode)
+		return 2
 	}
 	switch *trk {
 	case "":
@@ -59,24 +71,63 @@ func main() {
 	case "graph":
 		cfg.TrackAlgo = track.GraphBased
 	default:
-		log.Fatalf("unknown track algorithm %q", *trk)
+		log.Printf("unknown track algorithm %q", *trk)
+		return 2
+	}
+	if *workers < 0 {
+		log.Printf("-workers must be >= 0, got %d", *workers)
+		return 2
+	}
+	cfg.Detail.Workers = *workers
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Print(err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			runtime.GC() // measure live heap, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Print(err)
+			}
+			f.Close()
+		}()
 	}
 
 	var c *netlist.Circuit
 	if *inFile != "" {
 		f, err := os.Open(*inFile)
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
 		c, err = nlio.Read(f)
 		f.Close()
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
 	} else {
 		spec, err := bench.ByName(*circuit)
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
 		c = bench.Generate(spec)
 	}
@@ -100,12 +151,14 @@ func main() {
 	if *checkIn != "" {
 		f, err := os.Open(*checkIn)
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
 		routes, err := nlio.ReadRoutes(f)
 		f.Close()
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
 		rep := drc.Check(c, routes)
 		fmt.Printf("Rout. %.2f%%  #VV %d (off-pin %d)  #SP %d  vert-violations %d  WL %d  vias %d\n",
@@ -113,16 +166,16 @@ func main() {
 			rep.ShortPolygons, rep.VertRouteViolations, rep.Wirelength, rep.Vias)
 		if shorts := drc.CheckShorts(routes); shorts > 0 {
 			fmt.Printf("cross-net shorts: %d\n", shorts)
-			os.Exit(1)
+			return 1
 		}
 		if bad := drc.CheckConnectivity(c, routes); bad > 0 {
 			fmt.Printf("disconnected routed nets: %d\n", bad)
-			os.Exit(1)
+			return 1
 		}
 		if rep.VertRouteViolations > 0 || rep.ViaViolationsOffPin > 0 {
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	ctx := context.Background()
@@ -134,9 +187,11 @@ func main() {
 	res, err := core.RouteContext(ctx, c, cfg)
 	if err != nil {
 		if errors.Is(err, core.ErrCancelled) {
-			log.Fatalf("routing aborted after %v: %v", *timeout, err)
+			log.Printf("routing aborted after %v: %v", *timeout, err)
+			return 1
 		}
-		log.Fatal(err)
+		log.Print(err)
+		return 1
 	}
 	rep := res.Report
 	if *jsonOut {
@@ -156,12 +211,16 @@ func main() {
 			"badEnds":             res.TrackStats.BadEnds,
 			"rippedNets":          res.RippedNets,
 			"failedNets":          res.FailedNets,
+			"detailConnects":      res.DetailConnects,
+			"detailExpansions":    res.DetailExpansions,
+			"detailSeconds":       res.Times.Detail.Seconds(),
 			"cpuSeconds":          res.Times.Total().Seconds(),
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(summary); err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
 	} else {
 		fmt.Printf("Rout. %.2f%%  #VV %d  #SP %d  WL %d  CPU %.2fs\n",
@@ -183,7 +242,8 @@ func main() {
 	if *svgOut != "" {
 		f, err := os.Create(*svgOut)
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
 		var pins []geom.Point
 		for _, n := range c.Nets {
@@ -196,27 +256,33 @@ func main() {
 			Title: fmt.Sprintf("%s — %s", c.Name, *mode),
 		})
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
 		fmt.Fprintf(status, "wrote %s\n", *svgOut)
 	}
 	if *outFile != "" {
 		f, err := os.Create(*outFile)
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
 		if err := nlio.WriteRoutes(f, res.Routes); err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
 		fmt.Fprintf(status, "wrote %s\n", *outFile)
 	}
 	if rep.VertRouteViolations > 0 || rep.ViaViolationsOffPin > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	meblserved [-addr :8080] [-workers N] [-queue 64] [-cache 64] [-retain 512] [-job-timeout 10m]
+//	meblserved [-addr :8080] [-workers N] [-queue 64] [-cache 64] [-retain 512] [-job-timeout 10m] [-pprof]
 //
 // See docs/API.md for the endpoint contract and README.md for a curl
 // walkthrough.
@@ -17,6 +17,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os/signal"
 	"syscall"
 	"time"
@@ -28,14 +29,15 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("meblserved: ")
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		queue      = flag.Int("queue", 64, "max queued jobs before submissions get 503")
-		cacheSize  = flag.Int("cache", 64, "result cache entries (negative disables)")
-		retain     = flag.Int("retain", 512, "finished jobs kept before oldest are evicted (negative = unbounded)")
-		jobTimeout = flag.Duration("job-timeout", 0, "default per-job timeout (0 = unbounded)")
-		maxTimeout = flag.Duration("max-timeout", 0, "cap on any requested per-job timeout (0 = uncapped)")
-		grace      = flag.Duration("grace", 30*time.Second, "shutdown grace period before running jobs are cancelled")
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue       = flag.Int("queue", 64, "max queued jobs before submissions get 503")
+		cacheSize   = flag.Int("cache", 64, "result cache entries (negative disables)")
+		retain      = flag.Int("retain", 512, "finished jobs kept before oldest are evicted (negative = unbounded)")
+		jobTimeout  = flag.Duration("job-timeout", 0, "default per-job timeout (0 = unbounded)")
+		maxTimeout  = flag.Duration("max-timeout", 0, "cap on any requested per-job timeout (0 = uncapped)")
+		grace       = flag.Duration("grace", 30*time.Second, "shutdown grace period before running jobs are cancelled")
+		enablePprof = flag.Bool("pprof", false, "serve Go pprof profiling endpoints under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -47,7 +49,22 @@ func main() {
 		DefaultTimeout: *jobTimeout,
 		MaxTimeout:     *maxTimeout,
 	})
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// Compose an explicit outer mux instead of leaning on http.DefaultServeMux
+	// so profiling endpoints exist only when asked for, and nothing else
+	// registered against the default mux leaks onto this listener.
+	handler := srv.Handler()
+	if *enablePprof {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		log.Printf("pprof enabled at /debug/pprof/")
+	}
+	hs := &http.Server{Addr: *addr, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

@@ -2,22 +2,137 @@ package detail
 
 import "stitchroute/internal/geom"
 
+// retryMargins are the growing search-window margins connect tries before
+// giving up. The last entry is the widest window a first attempt can ever
+// search, which is what the batch scheduler uses as the region margin
+// when it proves two nets' searches cannot touch (see sched.go).
+var retryMargins = [...]int{8, 24, 64}
+
+// maxRetryMargin is retryMargins' largest entry, exported to the batch
+// scheduler as the declared-region margin.
+const maxRetryMargin = 64
+
+// nodeState is one window cell's search state, packed into 16 bytes so a
+// visit or a pop touches a single cache line instead of four parallel
+// arrays, and the arena for a wide window stays a third smaller than the
+// 24-byte layout.
+type nodeState struct {
+	dist float64
+	// stamp marks cells reached by the current search; tstamp marks
+	// target cells: cell i is a target iff tstamp == curStamp. The
+	// stamped fields replace per-call map builds and array clears.
+	// int16 keeps the struct at 16 bytes; searchCtx resets the arena
+	// when the stamp counter would wrap (see astar).
+	stamp  int16
+	tstamp int16
+	prevMv int8
+}
+
+// searchCtx is a per-worker search arena: all mutable scratch an A* run
+// touches — the per-cell search states, the target marks, the open-list
+// heap — plus the search statistics it accumulates. Concurrent batch
+// workers each own one arena, so no A* state is ever shared; the Router
+// itself is read-only during a batch apart from disjoint occupancy
+// regions (see sched.go for the disjointness argument).
+type searchCtx struct {
+	nodes    []nodeState
+	curStamp int32
+	heap     cellHeap
+	rev      []cell // path-reconstruction scratch
+
+	// mark and mark2 are chip-sized stamped scratch grids for per-net
+	// geometry analysis: components' cell-owner index, commitPath's
+	// metal-coverage set, and trimNet's coverage counts (mark) and
+	// anchors (mark2). Each use bumps mcur, so no clearing is needed and
+	// uses cannot observe one another.
+	mark  []stampVal
+	mark2 []stampVal
+	mcur  int32
+	// parent is union-find scratch for components.
+	parent []int32
+
+	// costXl/costYl are per-layer axis move costs, filled at the start
+	// of each search (they depend only on the layer's preferred
+	// direction and the config, not on the search itself).
+	costXl []float64
+	costYl []float64
+	// hx/hy are the heuristic's per-column and per-row Manhattan gaps to
+	// the target bounding box, filled at the start of each search so h
+	// is two loads instead of four compares.
+	hx []int32
+	hy []int32
+
+	// statistics accumulated by this arena; merged into the Router's
+	// totals only for searches whose results are kept (accepted batch
+	// attempts and sequential-lane work), so the reported totals match a
+	// Workers=1 run exactly.
+	connects   int
+	expansions int64
+}
+
+// grow ensures the arena covers n window states.
+func (sc *searchCtx) grow(n int) {
+	if len(sc.nodes) >= n {
+		return
+	}
+	sc.nodes = make([]nodeState, n)
+}
+
+// stampVal is one cell of a stamped scratch grid: val is meaningful only
+// when stamp matches the grid's current stamp.
+type stampVal struct {
+	stamp int32
+	val   int32
+}
+
+// growMark sizes the stamped scratch grids to n chip cells and starts a
+// fresh stamp epoch, returning it.
+func (sc *searchCtx) growMark(n int) int32 {
+	if len(sc.mark) < n {
+		sc.mark = make([]stampVal, n)
+		sc.mark2 = make([]stampVal, n)
+	}
+	sc.mcur++
+	return sc.mcur
+}
+
+// arena returns the i-th per-worker search arena, allocating it on first
+// use. Callers must fetch arenas before spawning workers; the slice is
+// not goroutine-safe.
+func (r *Router) arena(i int) *searchCtx {
+	for len(r.arenas) <= i {
+		r.arenas = append(r.arenas, &searchCtx{})
+	}
+	return r.arenas[i]
+}
+
 // connect runs the stitch-aware A* (eq. 10) from the source component to
 // the nearest target cell. It retries with growing search windows before
 // giving up.
-func (r *Router) connect(t *routeTask, src, targets []cell) ([]cell, bool) {
-	box := cellBBox(append(append([]cell(nil), src...), targets...))
-	for _, margin := range []int{8, 24, 64} {
+//
+// region is the caller's declared search region: a retry window that is
+// not fully contained in it makes connect return escaped=true without
+// searching. Sequential callers pass the chip bounds (every window is
+// clipped to the chip, so nothing ever escapes); parallel batch attempts
+// pass their declared disjoint region, and an escape re-queues the net to
+// the ordered sequential drain — the search is never run with a window
+// the batch disjointness proof does not cover.
+func (r *Router) connect(sc *searchCtx, t *routeTask, src, targets []cell, region geom.Rect) (path []cell, ok, escaped bool) {
+	box := extendBBox(cellBBox(src), targets)
+	for _, margin := range retryMargins[:] {
 		win := box.Expand(margin).Intersect(r.f.Bounds())
-		if path, ok := r.astar(t, src, targets, win); ok {
-			return path, true
+		if !region.ContainsRect(win) {
+			return nil, false, true
+		}
+		if path, ok := r.astar(sc, t, src, targets, win); ok {
+			return path, true, false
 		}
 		// If the window already covers the chip, a retry cannot help.
 		if win == r.f.Bounds() {
 			break
 		}
 	}
-	return nil, false
+	return nil, false, false
 }
 
 // rectDist is the Manhattan gap between two rectangles (0 if they touch).
@@ -38,7 +153,12 @@ func rectDist(a, b geom.Rect) int {
 
 func cellBBox(cs []cell) geom.Rect {
 	b := geom.Rect{X0: cs[0].x, Y0: cs[0].y, X1: cs[0].x, Y1: cs[0].y}
-	for _, c := range cs[1:] {
+	return extendBBox(b, cs[1:])
+}
+
+// extendBBox grows b to cover every cell in cs.
+func extendBBox(b geom.Rect, cs []cell) geom.Rect {
+	for _, c := range cs {
 		if c.x < b.X0 {
 			b.X0 = c.x
 		}
@@ -66,161 +186,208 @@ const (
 	mvZNeg
 )
 
-// astar searches inside the window. States are cells of the window × all
-// layers. Returns the path from a source cell to the first target reached.
-func (r *Router) astar(t *routeTask, src, targets []cell, win geom.Rect) ([]cell, bool) {
-	r.connects++
+// astar searches inside the window using the arena sc. States are cells
+// of the window × all layers. Returns the path from a source cell to the
+// first target reached.
+func (r *Router) astar(sc *searchCtx, t *routeTask, src, targets []cell, win geom.Rect) ([]cell, bool) {
+	sc.connects++
 	W := win.W()
 	H := win.H()
 	L := r.L
-	n := W * H * L
-	if len(r.dist) < n {
-		r.dist = make([]float64, n)
-		r.prevMv = make([]int8, n)
-		r.stamp = make([]int32, n)
+	sc.grow(W * H * L)
+	sc.curStamp++
+	if sc.curStamp > 0x7fff {
+		// The 16-bit node stamps would wrap: clear the arena and restart
+		// the epoch. The reset point depends only on how many searches
+		// this arena has run, which is deterministic, and a cleared
+		// arena is indistinguishable from a fresh one.
+		for i := range sc.nodes {
+			sc.nodes[i] = nodeState{}
+		}
+		sc.curStamp = 1
 	}
-	r.curStamp++
-	stamp := r.curStamp
+	stamp := int16(sc.curStamp)
 	id := int32(t.net.ID)
 	f := r.f
 	cfg := &r.cfg
 
 	lidx := func(c cell) int { return (c.l*H+(c.y-win.Y0))*W + (c.x - win.X0) }
 	inWin := func(x, y int) bool { return x >= win.X0 && x <= win.X1 && y >= win.Y0 && y <= win.Y1 }
+	nodes := sc.nodes
 
-	// Mark targets.
-	isTarget := make(map[cell]bool, len(targets))
+	// Mark targets in the stamped arena.
+	nTargets := 0
 	tb := cellBBox(targets)
 	for _, c := range targets {
 		if inWin(c.x, c.y) {
-			isTarget[c] = true
+			if i := lidx(c); nodes[i].tstamp != stamp {
+				nodes[i].tstamp = stamp
+				nTargets++
+			}
 		}
 	}
-	if len(isTarget) == 0 {
+	if nTargets == 0 {
 		return nil, false
 	}
-	h := func(x, y int) float64 {
-		dx, dy := 0, 0
+	// Tabulate the heuristic's per-column and per-row Manhattan gaps to
+	// the target bounding box. h then computes the same
+	// cfg.Alpha * float64(dx+dy) it always did — same sum, same
+	// conversion, same multiply — from two table loads.
+	if len(sc.hx) < W {
+		sc.hx = make([]int32, W)
+	}
+	if len(sc.hy) < H {
+		sc.hy = make([]int32, H)
+	}
+	for wx := 0; wx < W; wx++ {
+		x, dx := wx+win.X0, 0
 		if x < tb.X0 {
 			dx = tb.X0 - x
 		} else if x > tb.X1 {
 			dx = x - tb.X1
 		}
+		sc.hx[wx] = int32(dx)
+	}
+	for wy := 0; wy < H; wy++ {
+		y, dy := wy+win.Y0, 0
 		if y < tb.Y0 {
 			dy = tb.Y0 - y
 		} else if y > tb.Y1 {
 			dy = y - tb.Y1
 		}
-		return cfg.Alpha * float64(dx+dy)
+		sc.hy[wy] = int32(dy)
+	}
+	hx, hy := sc.hx, sc.hy
+	h := func(x, y int) float64 {
+		return cfg.Alpha * float64(hx[x-win.X0]+hy[y-win.Y0])
 	}
 
-	pq := newCellHeap()
-	visit := func(c cell, d float64, mv int8) {
-		i := lidx(c)
-		if r.stamp[i] != stamp || d < r.dist[i]-1e-12 {
-			r.stamp[i] = stamp
-			r.dist[i] = d
-			r.prevMv[i] = mv
-			pq.push(i, d+h(c.x, c.y))
+	// Per-layer axis move costs: the same multiplications the expansion
+	// loop used to run per pop, hoisted to one pass over the layers.
+	if len(sc.costXl) < L {
+		sc.costXl = make([]float64, L)
+		sc.costYl = make([]float64, L)
+	}
+	for l := 0; l < L; l++ {
+		preferred := f.LayerDir(l + 1)
+		cx, cy := cfg.Alpha, cfg.Alpha
+		if preferred != geom.Horizontal {
+			cx *= cfg.WrongWay
+		}
+		if preferred != geom.Vertical {
+			cy *= cfg.WrongWay
+		}
+		sc.costXl[l] = cx
+		sc.costYl[l] = cy
+	}
+	costXl, costYl := sc.costXl, sc.costYl
+
+	// When the window coordinates fit, each heap entry carries its cell's
+	// packed (wx, wy, l) in otherwise-padding bytes, so the pop loop
+	// needs no divisions to unpack the window index. Priorities and heap
+	// structure are unchanged either way.
+	packOK := W <= 1<<12 && H <= 1<<12 && L <= 1<<8
+	pack := func(x, y, l int) uint32 {
+		if !packOK {
+			return 0
+		}
+		return uint32(x-win.X0) | uint32(y-win.Y0)<<12 | uint32(l)<<24
+	}
+
+	pq := &sc.heap
+	pq.reset()
+	// visit relaxes window cell i (= coordinates x, y, l) to distance d.
+	visit := func(i, x, y, l int, d float64, mv int8) {
+		n := &nodes[i]
+		if n.stamp != stamp || d < n.dist-1e-12 {
+			n.stamp = stamp
+			n.dist = d
+			n.prevMv = mv
+			pq.push(i, pack(x, y, l), d+h(x, y))
 		}
 	}
 	for _, c := range src {
 		if inWin(c.x, c.y) {
-			visit(c, 0, mvNone)
+			visit(lidx(c), c.x, c.y, c.l, 0, mvNone)
 		}
 	}
 
-	pinCells := make(map[[2]int]bool, len(t.net.Pins))
-	for _, p := range t.net.Pins {
-		pinCells[[2]int{p.X, p.Y}] = true
-	}
+	pinCells := t.pinCells
+	colFlags := r.colFlags
+	// Neighbor indices are the popped cell's plus a fixed stride, in both
+	// the window arena (i, strides 1/W/W*H) and the global occupancy grid
+	// (gi, strides 1/X/X*Y) — no per-neighbor index arithmetic.
+	occ := r.occ
+	costZCol := r.costZCol
+	X, XY := r.X, r.X*r.Y
+	id1 := id + 1
+	free := func(g int) bool { o := occ[g]; return o == 0 || o == id1 }
 
 	expansions := 0
 	var goal cell
 	found := false
 	for pq.len() > 0 {
-		i, fval := pq.pop()
-		// Unpack cell from window index.
-		x := i%W + win.X0
-		y := (i/W)%H + win.Y0
-		l := i / (W * H)
+		i, pos, fval := pq.pop()
+		// Unpack cell coordinates: from the packed entry when windows are
+		// small enough, from the window index otherwise.
+		var x, y, l int
+		if packOK {
+			x = int(pos&0xfff) + win.X0
+			y = int(pos>>12&0xfff) + win.Y0
+			l = int(pos >> 24)
+		} else {
+			x = i%W + win.X0
+			y = (i/W)%H + win.Y0
+			l = i / (W * H)
+		}
 		c := cell{x, y, l}
-		if r.stamp[i] != stamp || fval-h(x, y) > r.dist[i]+1e-9 {
+		n := &nodes[i]
+		if n.stamp != stamp || fval-h(x, y) > n.dist+1e-9 {
 			continue
 		}
-		if isTarget[c] {
+		if n.tstamp == stamp {
 			goal = c
 			found = true
 			break
 		}
 		expansions++
-		r.expansions++
+		sc.expansions++
 		if expansions > cfg.MaxExpansions {
 			break
 		}
-		d := r.dist[i]
-		preferred := f.LayerDir(l + 1)
+		d := n.dist
+		flags := colFlags[x]
+		gi := (l*r.Y+y)*X + x
 
 		// x moves
-		for _, step := range [2]struct {
-			dx int
-			mv int8
-		}{{1, mvXPos}, {-1, mvXNeg}} {
-			nx := x + step.dx
-			if nx < win.X0 || nx > win.X1 || !r.cellFree(nx, y, l, id) {
-				continue
-			}
-			cost := cfg.Alpha
-			if preferred != geom.Horizontal {
-				cost *= cfg.WrongWay
-			}
-			visit(cell{nx, y, l}, d+cost, step.mv)
+		costX := costXl[l]
+		if x+1 <= win.X1 && free(gi+1) {
+			visit(i+1, x+1, y, l, d+costX, mvXPos)
+		}
+		if x-1 >= win.X0 && free(gi-1) {
+			visit(i-1, x-1, y, l, d+costX, mvXNeg)
 		}
 		// y moves: forbidden along stitching columns (hard constraint).
-		if !f.IsStitchCol(x) {
-			for _, step := range [2]struct {
-				dy int
-				mv int8
-			}{{1, mvYPos}, {-1, mvYNeg}} {
-				ny := y + step.dy
-				if ny < win.Y0 || ny > win.Y1 || !r.cellFree(x, ny, l, id) {
-					continue
-				}
-				cost := cfg.Alpha
-				if preferred != geom.Vertical {
-					cost *= cfg.WrongWay
-				}
-				if cfg.StitchAware && f.InEscape(x) {
-					cost += cfg.Gamma
-				}
-				visit(cell{x, ny, l}, d+cost, step.mv)
+		if flags&colStitch == 0 {
+			costY := costYl[l]
+			if cfg.StitchAware && flags&colEscape != 0 {
+				costY += cfg.Gamma
+			}
+			if y+1 <= win.Y1 && free(gi+X) {
+				visit(i+W, x, y+1, l, d+costY, mvYPos)
+			}
+			if y-1 >= win.Y0 && free(gi-X) {
+				visit(i-W, x, y-1, l, d+costY, mvYNeg)
 			}
 		}
 		// z moves: vias forbidden on stitching columns except at pins.
-		if !f.IsStitchCol(x) || pinCells[[2]int{x, y}] {
-			for _, step := range [2]struct {
-				dl int
-				mv int8
-			}{{1, mvZPos}, {-1, mvZNeg}} {
-				nl := l + step.dl
-				if nl < 0 || nl >= L || !r.cellFree(x, y, nl, id) {
-					continue
-				}
-				cost := cfg.ViaCost
-				if cfg.StitchAware {
-					switch {
-					case f.IsStitchCol(x):
-						// Allowed only at a fixed pin, but it is still a
-						// via violation: take it only as a last resort.
-						cost += 2 * cfg.Beta
-					case f.InSUR(x):
-						cost += cfg.Beta
-					}
-					if f.InEscape(x) {
-						cost += cfg.Gamma
-					}
-				}
-				visit(cell{x, y, nl}, d+cost, step.mv)
+		if flags&colStitch == 0 || pinCells.has(x, y) {
+			costZ := costZCol[x]
+			if l+1 < L && free(gi+XY) {
+				visit(i+W*H, x, y, l+1, d+costZ, mvZPos)
+			}
+			if l-1 >= 0 && free(gi-XY) {
+				visit(i-W*H, x, y, l-1, d+costZ, mvZNeg)
 			}
 		}
 	}
@@ -228,14 +395,15 @@ func (r *Router) astar(t *routeTask, src, targets []cell, win geom.Rect) ([]cell
 		return nil, false
 	}
 	// Reconstruct.
-	var rev []cell
+	rev := sc.rev[:0]
 	c := goal
 	for {
 		rev = append(rev, c)
-		mv := r.prevMv[lidx(c)]
+		mv := nodes[lidx(c)].prevMv
 		switch mv {
 		case mvNone:
 			// reached a source cell
+			sc.rev = rev
 			path := make([]cell, len(rev))
 			for i := range rev {
 				path[i] = rev[len(rev)-1-i]
@@ -255,61 +423,95 @@ func (r *Router) astar(t *routeTask, src, targets []cell, win geom.Rect) ([]cell
 			c.l++
 		}
 		if len(rev) > 4*(W*H*L+4) {
+			sc.rev = rev
 			return nil, false // corrupt backtrace; fail safe
 		}
 	}
 }
 
-// cellHeap is a binary min-heap of (window index, priority).
-type cellHeap struct {
-	idx  []int32
-	prio []float64
+// pinSet is a net's pin (x, y) set, packed for the A* via rule. Nets
+// have at most a handful of pins, so a linear scan over packed keys
+// beats a map lookup in the expansion loop.
+type pinSet []uint64
+
+func pinKey(x, y int) uint64 { return uint64(uint32(x))<<32 | uint64(uint32(y)) }
+
+func (s pinSet) has(x, y int) bool {
+	k := pinKey(x, y)
+	for _, p := range s {
+		if p == k {
+			return true
+		}
+	}
+	return false
 }
 
-func newCellHeap() *cellHeap { return &cellHeap{} }
+// Column classification bits, precomputed per x track in Router.colFlags.
+const (
+	colStitch = 1 << iota // on a stitching line
+	colSUR                // in a stitch-unfriendly region
+	colEscape             // in an escape region
+)
 
-func (h *cellHeap) len() int { return len(h.idx) }
+// cellHeap is a binary min-heap of (window index, priority). It is owned
+// by a searchCtx and reused across searches via reset. The sift loops
+// move a hole instead of swapping (half the writes of a swap-based
+// heap), but run the exact comparison sequence of the classic swap
+// formulation, so the pop order — including among equal priorities,
+// which the router's tie-breaks depend on — is unchanged.
+type cellHeap struct {
+	e []heapEntry
+}
 
-func (h *cellHeap) push(i int, p float64) {
-	h.idx = append(h.idx, int32(i))
-	h.prio = append(h.prio, p)
-	j := len(h.idx) - 1
+// heapEntry is 16 bytes: pos rides in what would otherwise be padding
+// after idx, so carrying the packed cell coordinates costs no space.
+type heapEntry struct {
+	prio float64
+	idx  int32
+	pos  uint32
+}
+
+func (h *cellHeap) reset() { h.e = h.e[:0] }
+
+func (h *cellHeap) len() int { return len(h.e) }
+
+func (h *cellHeap) push(i int, pos uint32, p float64) {
+	h.e = append(h.e, heapEntry{})
+	j := len(h.e) - 1
 	for j > 0 {
 		parent := (j - 1) / 2
-		if h.prio[parent] <= h.prio[j] {
+		if h.e[parent].prio <= p {
 			break
 		}
-		h.swap(parent, j)
+		h.e[j] = h.e[parent]
 		j = parent
 	}
+	h.e[j] = heapEntry{prio: p, idx: int32(i), pos: pos}
 }
 
-func (h *cellHeap) pop() (int, float64) {
-	i, p := h.idx[0], h.prio[0]
-	last := len(h.idx) - 1
-	h.swap(0, last)
-	h.idx = h.idx[:last]
-	h.prio = h.prio[:last]
+func (h *cellHeap) pop() (int, uint32, float64) {
+	top := h.e[0]
+	last := len(h.e) - 1
+	v := h.e[last]
+	h.e = h.e[:last]
 	j := 0
 	for {
 		l, rr := 2*j+1, 2*j+2
-		small := j
-		if l < last && h.prio[l] < h.prio[small] {
-			small = l
+		small, sp := j, v.prio
+		if l < last && h.e[l].prio < sp {
+			small, sp = l, h.e[l].prio
 		}
-		if rr < last && h.prio[rr] < h.prio[small] {
-			small = rr
+		if rr < last && h.e[rr].prio < sp {
+			small, sp = rr, h.e[rr].prio
 		}
 		if small == j {
 			break
 		}
-		h.swap(j, small)
+		h.e[j] = h.e[small]
 		j = small
 	}
-	return int(i), p
-}
-
-func (h *cellHeap) swap(i, j int) {
-	h.idx[i], h.idx[j] = h.idx[j], h.idx[i]
-	h.prio[i], h.prio[j] = h.prio[j], h.prio[i]
+	if last > 0 {
+		h.e[j] = v
+	}
+	return int(top.idx), top.pos, top.prio
 }

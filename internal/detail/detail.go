@@ -21,6 +21,7 @@ package detail
 
 import (
 	"context"
+	"runtime"
 	"sort"
 
 	"stitchroute/internal/geom"
@@ -52,6 +53,14 @@ type Config struct {
 	// reroute them (bounded rip-up negotiation). Off by default; the
 	// recorded experiment tables use the paper's plain rip-up.
 	Negotiate bool
+	// Workers bounds the number of concurrent detailed-routing workers.
+	// 0 means GOMAXPROCS; 1 forces the plain sequential router. Every
+	// value produces byte-identical routes: parallel batches only ever
+	// route nets whose declared search regions are pairwise disjoint,
+	// and anything that falls outside that proof drains through a
+	// strictly ordered sequential lane (see sched.go and
+	// docs/PERFORMANCE.md for the determinism argument).
+	Workers int
 }
 
 // DefaultConfig returns the paper's detailed-routing parameters.
@@ -84,14 +93,23 @@ type Router struct {
 	cfg     Config
 	X, Y, L int
 	occ     []int32 // net ID + 1 per cell; 0 = free
+	// colFlags caches the per-x-track stitch/SUR/escape classification
+	// (pure functions of x), replacing repeated integer divisions in the
+	// A* expansion loop. Read-only after NewRouter.
+	colFlags []uint8
+	// costZCol caches the per-x-track via cost (cfg.ViaCost plus the
+	// stitch-aware column penalties of eq. 10). Computed with the same
+	// floating-point operation sequence the expansion loop used inline,
+	// so the cached values are bit-identical. Read-only after NewRouter.
+	costZCol []float64
 
-	// scratch buffers for the A* over a search box
-	dist     []float64
-	prevMv   []int8
-	stamp    []int32
-	curStamp int32
+	// arenas holds the per-worker search contexts (scratch + per-worker
+	// statistics); arenas[0] doubles as the sequential router's scratch.
+	arenas []*searchCtx
 
-	// search statistics accumulated across the run
+	// search statistics accumulated across the run, merged from accepted
+	// batch attempts and sequential-lane work only, so the totals always
+	// equal what a Workers=1 run reports.
 	connects   int
 	expansions int64
 }
@@ -100,6 +118,39 @@ type Router struct {
 func NewRouter(f *grid.Fabric, cfg Config) *Router {
 	r := &Router{f: f, cfg: cfg, X: f.XTracks, Y: f.YTracks, L: f.Layers}
 	r.occ = make([]int32, r.X*r.Y*r.L)
+	r.colFlags = make([]uint8, r.X)
+	for x := 0; x < r.X; x++ {
+		var fl uint8
+		if f.IsStitchCol(x) {
+			fl |= colStitch
+		}
+		if f.InSUR(x) {
+			fl |= colSUR
+		}
+		if f.InEscape(x) {
+			fl |= colEscape
+		}
+		r.colFlags[x] = fl
+	}
+	r.costZCol = make([]float64, r.X)
+	for x := 0; x < r.X; x++ {
+		fl := r.colFlags[x]
+		costZ := cfg.ViaCost
+		if cfg.StitchAware {
+			switch {
+			case fl&colStitch != 0:
+				// Allowed only at a fixed pin, but it is still a via
+				// violation: take it only as a last resort.
+				costZ += 2 * cfg.Beta
+			case fl&colSUR != 0:
+				costZ += cfg.Beta
+			}
+			if fl&colEscape != 0 {
+				costZ += cfg.Gamma
+			}
+		}
+		r.costZCol[x] = costZ
+	}
 	return r
 }
 
@@ -119,9 +170,10 @@ func (r *Router) Run(c *netlist.Circuit, plans []*plan.NetPlan) *Result {
 }
 
 // RunContext is Run with cancellation: ctx is checked at the top of the
-// per-net routing loop, so a cancelled run returns after at most one more
-// net's worth of A* work. On cancellation it returns the partial result
-// (nets not reached are recorded as unrouted) together with ctx's error.
+// per-net routing loop (per batch when Workers > 1), so a cancelled run
+// returns after at most one more net's (or batch's) worth of A* work. On
+// cancellation it returns the partial result (nets not reached are
+// recorded as unrouted) together with ctx's error.
 func (r *Router) RunContext(ctx context.Context, c *netlist.Circuit, plans []*plan.NetPlan) (*Result, error) {
 	res := &Result{Routes: make([]plan.NetRoute, len(c.Nets))}
 
@@ -131,7 +183,16 @@ func (r *Router) RunContext(ctx context.Context, c *netlist.Circuit, plans []*pl
 		if plans != nil {
 			p = plans[i]
 		}
-		nets[i] = &routeTask{net: n, plan: p, slot: i}
+		t := &routeTask{net: n, plan: p, slot: i}
+		// Hoisted from the per-astar-call path: the pin-cell set is a
+		// property of the net, built once instead of once per connect
+		// attempt (read-only afterwards, so safe to share across workers).
+		for _, pin := range n.Pins {
+			if !t.pinCells.has(pin.X, pin.Y) {
+				t.pinCells = append(t.pinCells, pinKey(pin.X, pin.Y))
+			}
+		}
+		nets[i] = t
 	}
 
 	// Reserve pin cells first so no planned wire or route of another net
@@ -190,43 +251,15 @@ func (r *Router) RunContext(ctx context.Context, c *netlist.Circuit, plans []*pl
 			Vias:   t.vias,
 		}
 	}
+	workers := r.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	var ctxErr error
-	for oi, t := range order {
-		if err := ctx.Err(); err != nil {
-			// Record the nets not reached as unrouted and stop.
-			ctxErr = err
-			for _, rest := range order[oi:] {
-				record(rest, false)
-			}
-			break
-		}
-		ok := r.routeNet(t)
-		if !ok {
-			// Rip up the planned geometry and route the net directly.
-			r.clearNet(t)
-			t.wires = nil
-			t.vias = nil
-			res.Ripped++
-			ok = r.routeNet(t)
-			if !ok {
-				r.clearNet(t)
-				t.wires = nil
-				t.vias = nil
-				if r.cfg.Negotiate {
-					var affected []*routeTask
-					ok, affected = r.negotiate(t, nets)
-					for _, v := range affected {
-						record(v, len(v.wires) > 0)
-					}
-				}
-			} else {
-				r.trimNet(t)
-			}
-		} else {
-			r.trimNet(t)
-		}
-		r.releaseEscapes(t)
-		record(t, ok)
+	if workers > 1 && len(order) > 1 {
+		ctxErr = r.runBatches(ctx, order, nets, res, record, workers)
+	} else {
+		ctxErr = r.runSequential(ctx, order, nets, res, record)
 	}
 	// A negotiation can change earlier nets' status; count failures from
 	// the final record.
@@ -241,6 +274,60 @@ func (r *Router) RunContext(ctx context.Context, c *netlist.Circuit, plans []*pl
 	return res, ctxErr
 }
 
+// runSequential is the Workers=1 net loop: every net runs the full
+// sequential body in stitch-aware order.
+func (r *Router) runSequential(ctx context.Context, order, nets []*routeTask, res *Result, record func(*routeTask, bool)) error {
+	sc := r.arena(0)
+	for oi, t := range order {
+		if err := ctx.Err(); err != nil {
+			// Record the nets not reached as unrouted and stop.
+			for _, rest := range order[oi:] {
+				record(rest, false)
+			}
+			return err
+		}
+		r.routeOne(sc, t, nets, res, record)
+	}
+	return nil
+}
+
+// routeOne is the full sequential loop body for one net: first attempt,
+// rip-up and direct reroute on failure, optional negotiation, escape
+// release, and result recording. Its arena's statistics delta is folded
+// into the Router totals — sequential work always counts.
+func (r *Router) routeOne(sc *searchCtx, t *routeTask, nets []*routeTask, res *Result, record func(*routeTask, bool)) {
+	c0, e0 := sc.connects, sc.expansions
+	ok := r.routeNet(sc, t, r.f.Bounds()) == netRouted
+	if !ok {
+		// Rip up the planned geometry and route the net directly.
+		r.clearNet(t)
+		t.wires = nil
+		t.vias = nil
+		res.Ripped++
+		ok = r.routeNet(sc, t, r.f.Bounds()) == netRouted
+		if !ok {
+			r.clearNet(t)
+			t.wires = nil
+			t.vias = nil
+			if r.cfg.Negotiate {
+				var affected []*routeTask
+				ok, affected = r.negotiate(sc, t, nets)
+				for _, v := range affected {
+					record(v, len(v.wires) > 0)
+				}
+			}
+		} else {
+			r.trimNet(sc, t)
+		}
+	} else {
+		r.trimNet(sc, t)
+	}
+	r.releaseEscapes(t)
+	record(t, ok)
+	r.connects += sc.connects - c0
+	r.expansions += sc.expansions - e0
+}
+
 // routeTask is the per-net routing state.
 type routeTask struct {
 	net     *netlist.Net
@@ -249,6 +336,9 @@ type routeTask struct {
 	wires   []geom.Segment
 	vias    []plan.Via
 	escapes []cell // reserved via-escape cells above pins
+	// pinCells is the net's pin (x, y) set, used by the A* via rule.
+	// Built once per net at task creation; read-only afterwards.
+	pinCells pinSet
 }
 
 // releaseEscapes frees reserved pin-escape cells the routed net did not
@@ -405,14 +495,13 @@ type cell struct {
 }
 
 // components groups the net's current geometry (wires and pins) into
-// connected components; vias connect adjacent layers.
-func (t *routeTask) components() [][]cell {
-	type item struct {
-		cells []cell
-	}
-	var items []item
+// connected components; vias connect adjacent layers. It runs once per
+// connection search, so the cell-sharing analysis uses the arena's
+// stamped scratch grid instead of maps.
+func (r *Router) components(sc *searchCtx, t *routeTask) [][]cell {
+	items := make([][]cell, 0, len(t.wires)+len(t.net.Pins))
 	for _, w := range t.wires {
-		var cs []cell
+		cs := make([]cell, 0, w.Span.Len())
 		if w.Orient == geom.Horizontal {
 			for x := w.Span.Lo; x <= w.Span.Hi; x++ {
 				cs = append(cs, cell{x, w.Fixed, w.Layer - 1})
@@ -422,67 +511,89 @@ func (t *routeTask) components() [][]cell {
 				cs = append(cs, cell{w.Fixed, y, w.Layer - 1})
 			}
 		}
-		items = append(items, item{cs})
+		items = append(items, cs)
 	}
 	for _, p := range t.net.Pins {
-		items = append(items, item{[]cell{{p.X, p.Y, p.Layer - 1}}})
+		items = append(items, []cell{{p.X, p.Y, p.Layer - 1}})
 	}
 	// Union by shared cell or via link.
-	parent := make([]int, len(items))
-	for i := range parent {
-		parent[i] = i
+	if cap(sc.parent) < len(items) {
+		sc.parent = make([]int32, len(items))
 	}
-	var find func(int) int
-	find = func(x int) int {
-		for parent[x] != x {
+	parent := sc.parent[:len(items)]
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	find := func(x int) int {
+		for int(parent[x]) != x {
 			parent[x] = parent[parent[x]]
-			x = parent[x]
+			x = int(parent[x])
 		}
 		return x
 	}
-	union := func(a, b int) { parent[find(a)] = find(b) }
+	union := func(a, b int) { parent[find(a)] = int32(find(b)) }
 
-	owner := map[cell]int{}
-	for i, it := range items {
-		for _, c := range it.cells {
-			if j, ok := owner[c]; ok {
-				union(i, j)
+	// owner[gi] holds the first item that covered chip cell gi this epoch.
+	stamp := sc.growMark(r.X * r.Y * r.L)
+	owner := sc.mark
+	for i, cs := range items {
+		for _, c := range cs {
+			gi := r.idx(c.x, c.y, c.l)
+			if owner[gi].stamp == stamp {
+				union(i, int(owner[gi].val))
 			} else {
-				owner[c] = i
+				owner[gi] = stampVal{stamp: stamp, val: int32(i)}
 			}
 		}
 	}
 	for _, v := range t.vias {
-		a, okA := owner[cell{v.X, v.Y, v.Layer - 1}]
-		b, okB := owner[cell{v.X, v.Y, v.Layer}]
-		if okA && okB {
-			union(a, b)
+		if v.Layer < 1 || v.Layer >= r.L {
+			continue // no cell on one side; the map version missed too
+		}
+		a := owner[r.idx(v.X, v.Y, v.Layer-1)]
+		b := owner[r.idx(v.X, v.Y, v.Layer)]
+		if a.stamp == stamp && b.stamp == stamp {
+			union(int(a.val), int(b.val))
 		}
 	}
-	groups := map[int][]cell{}
-	for i, it := range items {
+	// Emit groups in ascending root order, cells in item order — the same
+	// ordering the sorted-map formulation produced.
+	buckets := make([][]cell, len(items))
+	for i, cs := range items {
 		root := find(i)
-		groups[root] = append(groups[root], it.cells...)
+		buckets[root] = append(buckets[root], cs...)
 	}
-	var out [][]cell
-	roots := make([]int, 0, len(groups))
-	for root := range groups {
-		roots = append(roots, root)
-	}
-	sort.Ints(roots)
-	for _, root := range roots {
-		out = append(out, groups[root])
+	out := make([][]cell, 0, 4)
+	for _, b := range buckets {
+		if len(b) > 0 {
+			out = append(out, b)
+		}
 	}
 	return out
 }
 
-// routeNet connects all components of the net. Returns false on failure;
-// partial geometry stays recorded (the caller rips it).
-func (r *Router) routeNet(t *routeTask) bool {
+// routeStatus is the outcome of one routeNet attempt.
+type routeStatus int8
+
+const (
+	// netRouted: every component connected.
+	netRouted routeStatus = iota
+	// netFailed: an A* search found no path (rip-up territory).
+	netFailed
+	// netEscaped: a retry window left the caller's declared region, so
+	// the attempt was abandoned before searching outside it. Only batch
+	// attempts can see this; the net re-routes in the sequential lane.
+	netEscaped
+)
+
+// routeNet connects all components of the net, keeping every search
+// window inside region. Partial geometry stays recorded on failure (the
+// caller rips it or rolls it back).
+func (r *Router) routeNet(sc *searchCtx, t *routeTask, region geom.Rect) routeStatus {
 	for {
-		comps := t.components()
+		comps := r.components(sc, t)
 		if len(comps) <= 1 {
-			return true
+			return netRouted
 		}
 		// Connect the first component to the nearest other component
 		// (tight target boxes keep the A* heuristic sharp).
@@ -494,11 +605,14 @@ func (r *Router) routeNet(t *routeTask) bool {
 				best, bestD = ci, d
 			}
 		}
-		path, ok := r.connect(t, src, comps[best])
-		if !ok {
-			return false
+		path, ok, escaped := r.connect(sc, t, src, comps[best], region)
+		if escaped {
+			return netEscaped
 		}
-		r.commitPath(t, path)
+		if !ok {
+			return netFailed
+		}
+		r.commitPath(sc, t, path)
 	}
 }
 
@@ -506,13 +620,14 @@ func (r *Router) routeNet(t *routeTask) bool {
 // path touches ends up covered by metal: straight runs become wires, and
 // cells a via stack merely passes through get single-cell pads, so the
 // occupancy grid and the geometric connectivity stay exact.
-func (r *Router) commitPath(t *routeTask, path []cell) {
+func (r *Router) commitPath(sc *searchCtx, t *routeTask, path []cell) {
 	id := int32(t.net.ID)
-	metal := make(map[cell]bool, len(path))
+	stamp := sc.growMark(r.X * r.Y * r.L)
+	metal := sc.mark
 	addWire := func(w geom.Segment) {
 		t.wires = append(t.wires, w)
 		r.markWire(w, id)
-		forEachCell(w, func(c cell) { metal[c] = true })
+		forEachCell(w, func(c cell) { metal[r.idx(c.x, c.y, c.l)].stamp = stamp })
 	}
 	for i := 0; i+1 < len(path); {
 		a, b := path[i], path[i+1]
@@ -541,7 +656,7 @@ func (r *Router) commitPath(t *routeTask, path []cell) {
 	}
 	// Pad cells traversed without metal (via endpoints, lone terminals).
 	for _, c := range path {
-		if !metal[c] {
+		if metal[r.idx(c.x, c.y, c.l)].stamp != stamp {
 			addWire(geom.HSeg(c.l+1, c.y, c.x, c.x))
 		}
 	}

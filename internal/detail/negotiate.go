@@ -19,7 +19,7 @@ const maxVictims = 3
 // small nets inside its region, then rerouting them. It returns whether t
 // ended up routed, plus every victim whose geometry changed (the caller
 // refreshes their result entries).
-func (r *Router) negotiate(t *routeTask, tasks []*routeTask) (bool, []*routeTask) {
+func (r *Router) negotiate(sc *searchCtx, t *routeTask, tasks []*routeTask) (bool, []*routeTask) {
 	region := t.pinBBox().Expand(8).Intersect(r.f.Bounds())
 
 	// Collect candidate victims: routed nets with geometry in the region,
@@ -73,8 +73,8 @@ func (r *Router) negotiate(t *routeTask, tasks []*routeTask) (bool, []*routeTask
 	restore := func() {
 		for _, v := range victims {
 			if len(v.task.wires) == 0 {
-				if r.routeNet(v.task) {
-					r.trimNet(v.task)
+				if r.routeNet(sc, v.task, r.f.Bounds()) == netRouted {
+					r.trimNet(sc, v.task)
 				} else {
 					r.clearNet(v.task)
 					v.task.wires = nil
@@ -83,14 +83,14 @@ func (r *Router) negotiate(t *routeTask, tasks []*routeTask) (bool, []*routeTask
 			}
 		}
 	}
-	if !r.routeNet(t) {
+	if r.routeNet(sc, t, r.f.Bounds()) != netRouted {
 		r.clearNet(t)
 		t.wires = nil
 		t.vias = nil
 		restore()
 		return false, affected
 	}
-	r.trimNet(t)
+	r.trimNet(sc, t)
 	restore()
 	return true, affected
 }

@@ -1,0 +1,179 @@
+package detail_test
+
+// Parallel-vs-sequential equivalence tests for the batch scheduler
+// (sched.go): Workers=1 and Workers=8 must produce byte-identical routed
+// geometry — at the detail-router level (pure A*, no plans) and through
+// the full pipeline on seeded harness circuits. Run these under the race
+// detector (`make race-fast`) to also certify the disjoint-region
+// concurrency argument.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"stitchroute/internal/bench"
+	"stitchroute/internal/core"
+	"stitchroute/internal/detail"
+	"stitchroute/internal/global"
+	"stitchroute/internal/harness"
+	"stitchroute/internal/netlist"
+	"stitchroute/internal/nlio"
+	"stitchroute/internal/plan"
+)
+
+// routesHash hashes routed geometry, failing the test on error.
+func routesHash(t testing.TB, routes []plan.NetRoute) string {
+	t.Helper()
+	h, err := nlio.RoutesHash(routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// detailInputs runs the pipeline up to detailed routing so the detail
+// stage can be re-run in isolation with different worker counts.
+func detailInputs(t testing.TB, c *netlist.Circuit, cfg core.Config) []*plan.NetPlan {
+	t.Helper()
+	gr := global.NewRouter(c.Fabric, cfg.Global)
+	plans, err := gr.RouteAllContext(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gr.RefineContext(context.Background(), c, plans, cfg.RefinePasses); err != nil {
+		t.Fatal(err)
+	}
+	core.AssignLayers(c, plans, cfg.LayerAlgo)
+	core.AssignTracks(c, plans, cfg.TrackAlgo)
+	return plans
+}
+
+// runDetail routes the circuit's detail stage with the given worker count
+// on a fresh router.
+func runDetail(c *netlist.Circuit, plans []*plan.NetPlan, cfg detail.Config, workers int) *detail.Result {
+	cfg.Workers = workers
+	return detail.NewRouter(c.Fabric, cfg).Run(c, plans)
+}
+
+// TestParallelWorkersEquivalence asserts the tentpole property on seeded
+// harness circuits: the full pipeline with Detail.Workers=8 produces the
+// same nlio.RoutesHash as Detail.Workers=1, and the same search totals.
+func TestParallelWorkersEquivalence(t *testing.T) {
+	specs := harness.ShortGrid()
+	if testing.Short() {
+		specs = specs[:2]
+	}
+	for _, spec := range specs {
+		spec := spec
+		spec.Seed = 7
+		t.Run(spec.String(), func(t *testing.T) {
+			t.Parallel()
+			route := func(workers int) (*core.Result, string) {
+				cfg := core.StitchAware()
+				cfg.Detail.Workers = workers
+				res, err := core.Route(harness.Generate(spec), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res, routesHash(t, res.Routes)
+			}
+			seq, seqHash := route(1)
+			par, parHash := route(8)
+			if seqHash != parHash {
+				t.Errorf("Workers=8 diverged from Workers=1: %s vs %s", parHash[:12], seqHash[:12])
+			}
+			if seq.DetailConnects != par.DetailConnects || seq.DetailExpansions != par.DetailExpansions {
+				t.Errorf("search statistics diverged: seq %d/%d vs par %d/%d connects/expansions",
+					seq.DetailConnects, seq.DetailExpansions, par.DetailConnects, par.DetailExpansions)
+			}
+			if seq.FailedNets != par.FailedNets || seq.RippedNets != par.RippedNets {
+				t.Errorf("failure accounting diverged: seq failed=%d ripped=%d, par failed=%d ripped=%d",
+					seq.FailedNets, seq.RippedNets, par.FailedNets, par.RippedNets)
+			}
+		})
+	}
+}
+
+// TestParallelDetailOnlyEquivalence drives the detail router directly
+// (plans=nil, pure rip-up A* routing) across worker counts, including
+// counts above the batch cap's worker fan-out, on a denser circuit than
+// the full-pipeline test can afford under -race.
+func TestParallelDetailOnlyEquivalence(t *testing.T) {
+	spec := harness.ShortGrid()[0]
+	spec.Seed = 11
+	spec.Nets = 40
+	c := harness.Generate(spec)
+	cfg := detail.DefaultConfig(true)
+
+	ref := runDetail(c, nil, cfg, 1)
+	refHash := routesHash(t, ref.Routes)
+	for _, workers := range []int{2, 3, 8, 16} {
+		got := runDetail(harness.Generate(spec), nil, cfg, workers)
+		if h := routesHash(t, got.Routes); h != refHash {
+			t.Errorf("Workers=%d diverged from Workers=1: %s vs %s", workers, h[:12], refHash[:12])
+		}
+		if got.Expansions != ref.Expansions || got.Connects != ref.Connects {
+			t.Errorf("Workers=%d stats diverged: %d/%d vs %d/%d connects/expansions",
+				workers, got.Connects, got.Expansions, ref.Connects, ref.Expansions)
+		}
+	}
+}
+
+// TestParallelCancellation checks the per-batch cancellation contract: a
+// pre-cancelled context routes nothing, and every net is recorded
+// unrouted rather than dropped.
+func TestParallelCancellation(t *testing.T) {
+	spec := harness.ShortGrid()[0]
+	spec.Seed = 3
+	c := harness.Generate(spec)
+	cfg := detail.DefaultConfig(true)
+	cfg.Workers = 8
+	r := detail.NewRouter(c.Fabric, cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := r.RunContext(ctx, c, nil)
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if len(res.Routes) != len(c.Nets) {
+		t.Fatalf("cancelled run recorded %d routes for %d nets", len(res.Routes), len(c.Nets))
+	}
+	for i := range res.Routes {
+		if res.Routes[i].Routed {
+			t.Fatalf("net %d marked routed under a pre-cancelled context", i)
+		}
+	}
+}
+
+// BenchmarkDetailWorkers measures the detailed-routing stage of a golden
+// circuit at 1/2/4/8 workers, reporting A* expansions per second. CI runs
+// it with -benchtime=1x as a smoke test so the parallel path is exercised
+// on every push.
+func BenchmarkDetailWorkers(b *testing.B) {
+	spec, err := bench.ByName("S9234")
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := bench.Generate(spec)
+	cfg := core.StitchAware()
+	plans := detailInputs(b, c, cfg)
+
+	var refHash string
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("%d", workers), func(b *testing.B) {
+			var expansions int64
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := runDetail(c, plans, cfg.Detail, workers)
+				expansions += res.Expansions
+				if h := routesHash(b, res.Routes); refHash == "" {
+					refHash = h
+				} else if h != refHash {
+					b.Fatalf("Workers=%d diverged from reference geometry", workers)
+				}
+			}
+			b.ReportMetric(float64(expansions)/b.Elapsed().Seconds(), "expansions/s")
+		})
+	}
+}

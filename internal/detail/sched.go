@@ -1,0 +1,216 @@
+package detail
+
+// Deterministic parallel detailed routing.
+//
+// The scheduler walks the stitch-aware net order and greedily forms a
+// batch: the longest prefix (capped at maxBatch) of not-yet-routed nets
+// whose declared search regions are pairwise disjoint. A net's declared
+// region is the bounding box of everything it currently owns — pins,
+// materialized planned wires, reserved escape cells — expanded by the
+// largest connect retry margin (maxRetryMargin) and clipped to the chip.
+//
+// Why in-batch order cannot matter: a first routing attempt only ever
+// reads and writes occupancy cells inside its search windows; connect
+// aborts an attempt (netEscaped) before running any window that is not
+// contained in the declared region, so an attempt's entire footprint is
+// inside its region. Disjoint regions therefore mean no attempt can
+// observe another in-flight attempt, and every attempt sees exactly the
+// occupancy a sequential run would have shown it — by induction, every
+// accepted attempt commits exactly the geometry the sequential router
+// would have committed.
+//
+// Anything outside that proof drains through a strictly ordered
+// sequential lane: when a batch member fails its attempt (A* failure that
+// needs rip-up/negotiation, or a window escape), that net and every later
+// batch member are rolled back to their pre-batch state, the failed net
+// runs the full sequential body (unbounded windows, rip-up semantics
+// unchanged), and batching resumes after it. Rolled-back members are
+// re-attempted in a later batch against the then-current occupancy — the
+// same state a sequential run would show them. Statistics from discarded
+// attempts are dropped, so Connects/Expansions also match Workers=1.
+//
+// Batch formation depends only on net order and geometry — never on the
+// worker count or goroutine scheduling — so Workers=2 and Workers=64
+// take the identical sequence of batches and produce byte-identical
+// routes (asserted by the harness's parallel-equivalence property).
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"stitchroute/internal/geom"
+	"stitchroute/internal/plan"
+)
+
+// maxBatch caps one batch. The cap is a fixed constant (independent of
+// the worker count, keeping batch formation worker-count-invariant) that
+// bounds how much accepted work one sequential-lane fallback can roll
+// back.
+const maxBatch = 64
+
+// attempt is one net's speculative routing state within a batch.
+type attempt struct {
+	t      *routeTask
+	region geom.Rect
+	// pre-batch snapshots for rollback
+	preWires []geom.Segment
+	preVias  []plan.Via
+	// outcome
+	status     routeStatus
+	connects   int
+	expansions int64
+}
+
+// taskRegion declares the region a first routing attempt for t may
+// touch: the bounding box of the net's pins and current geometry,
+// expanded by the largest retry margin and clipped to the chip. Escape
+// cells share their pin's (x, y), so the pin box covers them.
+func (r *Router) taskRegion(t *routeTask) geom.Rect {
+	b := t.pinBBox()
+	for _, w := range t.wires {
+		b = b.Union(w.Bounds())
+	}
+	return b.Expand(maxRetryMargin).Intersect(r.f.Bounds())
+}
+
+// formBatch returns the longest disjoint-region prefix of pending
+// (capped at maxBatch), with pre-batch snapshots taken.
+func (r *Router) formBatch(pending []*routeTask) []*attempt {
+	batch := make([]*attempt, 0, min(maxBatch, len(pending)))
+	for _, t := range pending {
+		if len(batch) == maxBatch {
+			break
+		}
+		reg := r.taskRegion(t)
+		conflict := false
+		for _, a := range batch {
+			if a.region.Overlaps(reg) {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			break // prefix rule: the batch ends at the first overlap
+		}
+		batch = append(batch, &attempt{
+			t:        t,
+			region:   reg,
+			preWires: append([]geom.Segment(nil), t.wires...),
+			preVias:  append([]plan.Via(nil), t.vias...),
+		})
+	}
+	return batch
+}
+
+// attemptNet runs one net's speculative first attempt inside its declared
+// region, recording the outcome and the arena-statistics delta.
+func (r *Router) attemptNet(sc *searchCtx, a *attempt) {
+	c0, e0 := sc.connects, sc.expansions
+	a.status = r.routeNet(sc, a.t, a.region)
+	if a.status == netRouted {
+		r.trimNet(sc, a.t)
+	}
+	a.connects = sc.connects - c0
+	a.expansions = sc.expansions - e0
+}
+
+// rollback restores a task to its pre-batch state: the attempt's commits
+// are erased from the occupancy grid, the snapshot geometry is re-marked,
+// and the pin/escape reservations are restored. Sound because the
+// attempt only ever wrote cells inside the task's declared region, and
+// it never freed or overwrote cells owned by other nets.
+func (r *Router) rollback(a *attempt) {
+	t := a.t
+	r.clearNet(t)
+	t.wires = a.preWires
+	t.vias = a.preVias
+	id := int32(t.net.ID)
+	for _, w := range t.wires {
+		r.markWire(w, id)
+	}
+	for _, p := range t.net.Pins {
+		if i := r.idx(p.X, p.Y, p.Layer-1); r.occ[i] == 0 {
+			r.occ[i] = id + 1
+		}
+	}
+	for _, c := range t.escapes {
+		if i := r.idx(c.x, c.y, c.l); r.occ[i] == 0 {
+			r.occ[i] = id + 1
+		}
+	}
+}
+
+// runBatches is the parallel net loop. Cancellation is honored at batch
+// granularity: ctx is checked before each batch (and each sequential-lane
+// net); nets not reached are recorded as unrouted.
+func (r *Router) runBatches(ctx context.Context, order, nets []*routeTask, res *Result, record func(*routeTask, bool), workers int) error {
+	// Allocate every arena up front: r.arenas is not goroutine-safe.
+	laneSC := r.arena(0)
+	for w := 0; w < workers; w++ {
+		r.arena(w + 1)
+	}
+	pos := 0
+	for pos < len(order) {
+		if err := ctx.Err(); err != nil {
+			for _, rest := range order[pos:] {
+				record(rest, false)
+			}
+			return err
+		}
+		batch := r.formBatch(order[pos:])
+		if len(batch) == 1 {
+			// Nothing to overlap with: route it on the lane directly.
+			r.routeOne(laneSC, batch[0].t, nets, res, record)
+			pos++
+			continue
+		}
+
+		// Speculative phase: workers pull attempts off a shared counter.
+		// Assignment order is scheduling-dependent, results are not — the
+		// attempts touch pairwise-disjoint state.
+		var next int64
+		var wg sync.WaitGroup
+		nw := min(workers, len(batch))
+		for w := 0; w < nw; w++ {
+			sc := r.arenas[w+1]
+			wg.Add(1)
+			go func(sc *searchCtx) {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt64(&next, 1)) - 1
+					if i >= len(batch) {
+						return
+					}
+					r.attemptNet(sc, batch[i])
+				}
+			}(sc)
+		}
+		wg.Wait()
+
+		// Commit phase: accept the successful prefix in net order.
+		acc := 0
+		for acc < len(batch) && batch[acc].status == netRouted {
+			a := batch[acc]
+			r.releaseEscapes(a.t)
+			record(a.t, true)
+			r.connects += a.connects
+			r.expansions += a.expansions
+			acc++
+		}
+		pos += acc
+		if acc < len(batch) {
+			// The first failed net drains through the sequential lane with
+			// full rip-up semantics. Its unbounded windows may touch state
+			// the later members' attempts were proven against, so those
+			// attempts are discarded too (in reverse order; rollbacks only
+			// touch their own disjoint regions, so order is cosmetic).
+			for i := len(batch) - 1; i >= acc; i-- {
+				r.rollback(batch[i])
+			}
+			r.routeOne(laneSC, batch[acc].t, nets, res, record)
+			pos++
+		}
+	}
+	return nil
+}

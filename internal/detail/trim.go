@@ -10,21 +10,37 @@ import (
 // tails carry no current. An end cell can be trimmed when it is not a pin,
 // not under a via, and not shared with another wire of the net. Trimming
 // never disconnects the net because only leaf cells are removed.
-func (r *Router) trimNet(t *routeTask) {
+func (r *Router) trimNet(sc *searchCtx, t *routeTask) {
 	id := int32(t.net.ID)
 
-	// Coverage counts per cell over the net's wires.
-	cover := map[cell]int{}
-	for _, w := range t.wires {
-		forEachCell(w, func(c cell) { cover[c]++ })
+	// Coverage counts per cell over the net's wires (stamped scratch
+	// grids replace per-call maps — trimming runs once per routed net).
+	stamp := sc.growMark(r.X * r.Y * r.L)
+	cover := sc.mark
+	coverAt := func(c cell) int32 {
+		if s := cover[r.idx(c.x, c.y, c.l)]; s.stamp == stamp {
+			return s.val
+		}
+		return 0
 	}
-	anchor := map[cell]bool{}
+	for _, w := range t.wires {
+		forEachCell(w, func(c cell) {
+			i := r.idx(c.x, c.y, c.l)
+			if cover[i].stamp != stamp {
+				cover[i] = stampVal{stamp: stamp, val: 0}
+			}
+			cover[i].val++
+		})
+	}
+	anchor := sc.mark2
+	mark := func(x, y, l int) { anchor[r.idx(x, y, l)].stamp = stamp }
+	isAnchor := func(c cell) bool { return anchor[r.idx(c.x, c.y, c.l)].stamp == stamp }
 	for _, p := range t.net.Pins {
-		anchor[cell{p.X, p.Y, p.Layer - 1}] = true
+		mark(p.X, p.Y, p.Layer-1)
 	}
 	for _, v := range t.vias {
-		anchor[cell{v.X, v.Y, v.Layer - 1}] = true
-		anchor[cell{v.X, v.Y, v.Layer}] = true
+		mark(v.X, v.Y, v.Layer-1)
+		mark(v.X, v.Y, v.Layer)
 	}
 
 	free := func(c cell) { r.occ[r.idx(c.x, c.y, c.l)] = 0 }
@@ -39,10 +55,10 @@ func (r *Router) trimNet(t *routeTask) {
 			}
 			for {
 				lo := endCell(*w, true)
-				if w.Span.Empty() || anchor[lo] || cover[lo] > 1 {
+				if w.Span.Empty() || isAnchor(lo) || coverAt(lo) > 1 {
 					break
 				}
-				cover[lo]--
+				cover[r.idx(lo.x, lo.y, lo.l)].val--
 				free(lo)
 				w.Span.Lo++
 				changed = true
@@ -52,10 +68,10 @@ func (r *Router) trimNet(t *routeTask) {
 					break
 				}
 				hi := endCell(*w, false)
-				if anchor[hi] || cover[hi] > 1 {
+				if isAnchor(hi) || coverAt(hi) > 1 {
 					break
 				}
-				cover[hi]--
+				cover[r.idx(hi.x, hi.y, hi.l)].val--
 				free(hi)
 				w.Span.Hi--
 				changed = true

@@ -125,6 +125,13 @@ func (r Rect) Contains(p Point) bool {
 	return r.X0 <= p.X && p.X <= r.X1 && r.Y0 <= p.Y && p.Y <= r.Y1
 }
 
+// ContainsRect reports whether o lies entirely inside the closed
+// rectangle. An empty o is contained in everything.
+func (r Rect) ContainsRect(o Rect) bool {
+	return o.Empty() ||
+		(r.X0 <= o.X0 && o.X1 <= r.X1 && r.Y0 <= o.Y0 && o.Y1 <= r.Y1)
+}
+
 // Overlaps reports whether the two closed rectangles share a point.
 func (r Rect) Overlaps(o Rect) bool {
 	return !r.Empty() && !o.Empty() &&

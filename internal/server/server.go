@@ -208,6 +208,10 @@ func (s *Server) buildJob(req *JobRequest) (*Job, *apiError) {
 	default:
 		return nil, badRequest("unknown track algorithm %q (want \"conventional\", \"ilp\", or \"graph\")", req.Track)
 	}
+	if req.Workers < 0 {
+		return nil, badRequest("workers must be >= 0, got %d", req.Workers)
+	}
+	cfg.Detail.Workers = req.Workers
 
 	timeout := s.cfg.DefaultTimeout
 	if req.Timeout != "" {

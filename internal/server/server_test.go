@@ -315,6 +315,41 @@ func TestCacheHitOnResubmission(t *testing.T) {
 	}
 }
 
+func TestWorkersField(t *testing.T) {
+	ts := newTestServer(t, Config{Workers: 2})
+
+	// A negative worker count is rejected up front.
+	resp, data := ts.do(t, "POST", "/v1/jobs", JobRequest{Circuit: tinyCircuit("w"), Workers: -1})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("workers=-1 = %d, want 400: %s", resp.StatusCode, data)
+	}
+
+	// The worker count is echoed in the job view and the routed geometry
+	// is identical across counts (the scheduler's equivalence guarantee).
+	seq := ts.submit(t, JobRequest{Circuit: tinyCircuit("w"), Workers: 1}, http.StatusAccepted)
+	if seq.Workers != 1 {
+		t.Errorf("job view workers = %d, want 1", seq.Workers)
+	}
+	ts.waitState(t, seq.ID, StateDone)
+
+	// A resubmission differing only in workers is a cache hit: the count
+	// is normalized out of the cache key because it cannot change the
+	// result, only the wall time.
+	par := ts.submit(t, JobRequest{Circuit: tinyCircuit("w"), Workers: 8}, http.StatusOK)
+	if par.State != StateDone || !par.CacheHit {
+		t.Fatalf("workers=8 resubmission state=%q cacheHit=%v, want done from cache", par.State, par.CacheHit)
+	}
+
+	// Forcing a fresh 8-worker route still produces identical geometry.
+	fresh := ts.submit(t, JobRequest{Circuit: tinyCircuit("w"), Workers: 8, NoCache: true}, http.StatusAccepted)
+	ts.waitState(t, fresh.ID, StateDone)
+	_, r1 := ts.do(t, "GET", "/v1/jobs/"+seq.ID+"/routes", nil)
+	_, r2 := ts.do(t, "GET", "/v1/jobs/"+fresh.ID+"/routes", nil)
+	if !bytes.Equal(r1, r2) {
+		t.Error("workers=8 job routed different geometry than workers=1")
+	}
+}
+
 func TestCacheLRUBound(t *testing.T) {
 	c := newResultCache(2)
 	res := &core.Result{}
