@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint stitchvet test test-short race race-fast serve bench bench-json bench-smoke tables figures coverage fuzz soak clean help
+.PHONY: all build vet lint stitchvet lint-fixtures test test-short race race-fast serve bench bench-json bench-smoke tables figures coverage fuzz soak clean help
 
 all: build vet test ## build + vet + full tests
 
@@ -14,11 +14,12 @@ vet: ## go vet over the whole repo
 	$(GO) vet ./...
 
 # Static-analysis gate. stitchvet is the repo's own go/analysis-style
-# linter (cmd/stitchvet, see docs/LINTING.md): it enforces the router's
-# determinism (mapiterorder), cancellation (ctxflow), concurrency
-# (lockdiscipline), and float-comparison (floateq) invariants and exits
-# nonzero on any diagnostic. staticcheck runs too when installed (CI
-# installs a pinned version; the offline dev container may not have it).
+# linter (cmd/stitchvet, see docs/LINTING.md): four syntactic analyzers
+# (mapiterorder, ctxflow, lockdiscipline, floateq) plus three
+# flow-sensitive ones built on the CFG + dataflow engine (nondeterm,
+# hotalloc, leakcheck). It exits nonzero on any unsuppressed diagnostic.
+# staticcheck runs too when installed (CI installs a pinned version; the
+# offline dev container may not have it).
 lint: vet stitchvet ## vet + stitchvet + staticcheck (if installed)
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		echo "staticcheck ./..."; staticcheck ./...; \
@@ -29,6 +30,12 @@ lint: vet stitchvet ## vet + stitchvet + staticcheck (if installed)
 stitchvet: ## build and run the repo's invariant linter
 	$(GO) build -o bin/stitchvet ./cmd/stitchvet
 	./bin/stitchvet ./...
+
+# The analyzers' own regression suite: fixture expectations for all seven
+# analyzers, the CFG builder's structural tests, the dataflow lattice and
+# call-summary unit tests, and the driver's suppression/JSON semantics.
+lint-fixtures: ## test the analyzers themselves (fixtures, CFG, dataflow)
+	$(GO) test ./internal/analysis/...
 
 test: ## full test suite
 	$(GO) test ./...

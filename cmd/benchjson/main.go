@@ -151,7 +151,13 @@ func run() int {
 	}
 	buf = append(buf, '\n')
 	if *out == "-" {
-		os.Stdout.Write(buf)
+		// A report nobody received is a failed run: a broken pipe or a
+		// full disk downstream must surface as a nonzero exit, not as a
+		// silently truncated JSON document.
+		if _, err := os.Stdout.Write(buf); err != nil {
+			log.Print(err)
+			return 1
+		}
 		return 0
 	}
 	if err := os.WriteFile(*out, buf, 0o644); err != nil {

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"log"
@@ -59,6 +60,11 @@ func main() {
 
 	type job struct{ spec harness.GenSpec }
 	jobs := make(chan job)
+	// A soak whose output went nowhere proves nothing: every stdout write
+	// is checked (via the buffered writer's sticky error on Flush) and a
+	// failed write makes the exit nonzero. stdout is shared between
+	// workers and only touched under mu.
+	stdout := bufio.NewWriter(os.Stdout)
 	var (
 		mu       sync.Mutex
 		ran      int
@@ -67,6 +73,7 @@ func main() {
 		totalSP  [2]int // stitch, baseline
 		start    = time.Now()
 		failures []string
+		writeErr error
 	)
 	var wg sync.WaitGroup
 	for w := 0; w < max(*workers, 1); w++ {
@@ -93,10 +100,13 @@ func main() {
 						failures = append(failures, fmt.Sprintf("%s: %s", o.Name, v))
 					}
 				} else if *verbose {
-					fmt.Printf("ok   %-42s rout %6.2f%%  SP %d/%d  WL %d\n",
+					fmt.Fprintf(stdout, "ok   %-42s rout %6.2f%%  SP %d/%d  WL %d\n",
 						o.Name, o.Stitch.Report.Routability(),
 						o.Stitch.Report.ShortPolygons, o.Baseline.Report.ShortPolygons,
 						o.Stitch.Report.Wirelength)
+					if err := stdout.Flush(); err != nil && writeErr == nil {
+						writeErr = err
+					}
 				}
 				mu.Unlock()
 			}
@@ -113,10 +123,19 @@ func main() {
 	wg.Wait()
 
 	for _, f := range failures {
-		fmt.Fprintf(os.Stderr, "FAIL %s\n", f)
+		if _, err := fmt.Fprintf(os.Stderr, "FAIL %s\n", f); err != nil && writeErr == nil {
+			writeErr = err
+		}
 	}
-	fmt.Printf("%d circuits (%d grid points x %d seeds) in %.1fs: %d failed; %d nets routed; SP stitch/baseline %d/%d\n",
+	fmt.Fprintf(stdout, "%d circuits (%d grid points x %d seeds) in %.1fs: %d failed; %d nets routed; SP stitch/baseline %d/%d\n",
 		ran, len(specs), *seeds, time.Since(start).Seconds(), failed, routed, totalSP[0], totalSP[1])
+	if err := stdout.Flush(); err != nil && writeErr == nil {
+		writeErr = err
+	}
+	if writeErr != nil {
+		log.Printf("writing results: %v", writeErr)
+		os.Exit(1)
+	}
 	if failed > 0 {
 		os.Exit(1)
 	}

@@ -4,12 +4,14 @@
 //
 // Usage:
 //
-//	stitchvet [-only name,name] [-v] [packages...]
+//	stitchvet [-only name,name] [-json] [-v] [packages...]
 //
-// Packages default to ./.... Exit status is 1 if any diagnostic is
-// reported, 2 on driver errors. See docs/LINTING.md for what each
-// analyzer guards and how to suppress a false positive with
-// //lint:ignore.
+// Packages default to ./.... Exit status is 1 if any unsuppressed
+// diagnostic is reported, 2 on driver errors. With -json, diagnostics
+// are emitted one JSON object per line (including suppressed ones,
+// marked as such); the schema is documented in docs/LINTING.md, along
+// with what each analyzer guards and how to suppress a false positive
+// with //lint:ignore.
 package main
 
 import (
@@ -22,23 +24,30 @@ import (
 	"stitchroute/internal/analysis/ctxflow"
 	"stitchroute/internal/analysis/driver"
 	"stitchroute/internal/analysis/floateq"
+	"stitchroute/internal/analysis/hotalloc"
+	"stitchroute/internal/analysis/leakcheck"
 	"stitchroute/internal/analysis/lockdiscipline"
 	"stitchroute/internal/analysis/mapiterorder"
+	"stitchroute/internal/analysis/nondeterm"
 )
 
 var analyzers = []*analysis.Analyzer{
 	ctxflow.Analyzer,
 	floateq.Analyzer,
+	hotalloc.Analyzer,
+	leakcheck.Analyzer,
 	lockdiscipline.Analyzer,
 	mapiterorder.Analyzer,
+	nondeterm.Analyzer,
 }
 
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit one JSON object per diagnostic line (see docs/LINTING.md)")
 	verbose := flag.Bool("v", false, "print each package as it is checked")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: stitchvet [-only name,name] [-v] [packages...]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: stitchvet [-only name,name] [-json] [-v] [packages...]\n\nAnalyzers:\n")
 		for _, a := range analyzers {
 			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, firstLine(a.Doc))
 		}
@@ -56,7 +65,7 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	opts := driver.Options{Verbose: *verbose}
+	opts := driver.Options{Verbose: *verbose, JSON: *jsonOut}
 	if *only != "" {
 		opts.Only = strings.Split(*only, ",")
 	}

@@ -1,0 +1,292 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// build parses a function body and constructs its graph.
+func build(t *testing.T, body string) *Graph {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := file.Decls[0].(*ast.FuncDecl)
+	return New(fn.Body)
+}
+
+// expect compares the graph against a hand-written block/edge list.
+func expect(t *testing.T, g *Graph, want string) {
+	t.Helper()
+	got := strings.TrimSpace(g.DebugString())
+	want = strings.TrimSpace(want)
+	if got != want {
+		t.Errorf("graph mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestStraightLine(t *testing.T) {
+	g := build(t, "x := 1\nx++\nreturn")
+	expect(t, g, `
+b0 entry -> b1
+b1 exit
+`)
+	if n := len(g.Entry.Nodes); n != 3 {
+		t.Errorf("entry nodes = %d, want 3", n)
+	}
+}
+
+func TestIfElse(t *testing.T) {
+	g := build(t, "x := 1\nif x > 0 {\n\tx = 2\n} else {\n\tx = 3\n}\nx++")
+	expect(t, g, `
+b0 entry -> b3 b4
+b1 exit
+b2 if.after -> b1
+b3 if.then -> b2
+b4 if.else -> b2
+`)
+}
+
+// TestForNoPost is the `for {}` edge case: no condition means no exit
+// edge from the head — for.after is reachable only via break, and with no
+// break it has no predecessors at all.
+func TestForNoPost(t *testing.T) {
+	g := build(t, "x := 0\nfor {\n\tx++\n}")
+	expect(t, g, `
+b0 entry -> b2
+b1 exit
+b2 for.head -> b3
+b3 for.body -> b2
+b4 for.after -> b1
+`)
+	if len(g.Blocks[4].Preds) != 0 {
+		t.Errorf("for.after of an infinite loop must have no preds, got %d", len(g.Blocks[4].Preds))
+	}
+	in := g.InLoop()
+	for i, want := range []bool{false, false, true, true, false} {
+		if in[i] != want {
+			t.Errorf("InLoop[b%d] = %v, want %v", i, in[i], want)
+		}
+	}
+}
+
+func TestForNoPostWithBreak(t *testing.T) {
+	g := build(t, "x := 0\nfor {\n\tif x > 3 {\n\t\tbreak\n\t}\n\tx++\n}")
+	expect(t, g, `
+b0 entry -> b2
+b1 exit
+b2 for.head -> b3
+b3 for.body -> b5 b6
+b4 for.after -> b1
+b5 if.after -> b2
+b6 if.then -> b4
+`)
+}
+
+func TestForFull(t *testing.T) {
+	g := build(t, "for i := 0; i < 3; i++ {\n\t_ = i\n}")
+	expect(t, g, `
+b0 entry -> b2
+b1 exit
+b2 for.head -> b3 b4
+b3 for.body -> b5
+b4 for.after -> b1
+b5 for.post -> b2
+`)
+	in := g.InLoop()
+	for i, want := range []bool{false, false, true, true, false, true} {
+		if in[i] != want {
+			t.Errorf("InLoop[b%d] = %v, want %v", i, in[i], want)
+		}
+	}
+}
+
+// TestSwitchFallthrough: the fallthrough edge runs from the first case
+// block straight into the second case's body, never through switch.after.
+func TestSwitchFallthrough(t *testing.T) {
+	g := build(t, "x := 0\nswitch x {\ncase 0:\n\tx = 1\n\tfallthrough\ncase 1:\n\tx = 2\ndefault:\n\tx = 3\n}")
+	expect(t, g, `
+b0 entry -> b3 b4 b5
+b1 exit
+b2 switch.after -> b1
+b3 switch.case -> b4
+b4 switch.case -> b2
+b5 switch.default -> b2
+`)
+}
+
+// TestSwitchNoDefault: without a default clause the head keeps a direct
+// edge to switch.after (no case may match).
+func TestSwitchNoDefault(t *testing.T) {
+	g := build(t, "x := 0\nswitch x {\ncase 0:\n\tx = 1\n}")
+	expect(t, g, `
+b0 entry -> b2 b3
+b1 exit
+b2 switch.after -> b1
+b3 switch.case -> b2
+`)
+}
+
+// TestLabeledBreakContinue: `continue outer` from the inner loop targets
+// the outer loop's post block (b6); `break outer` targets the outer
+// loop's after block (b5), not the inner one.
+func TestLabeledBreakContinue(t *testing.T) {
+	g := build(t, `outer:
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if j == 1 {
+				continue outer
+			}
+			if j == 2 {
+				break outer
+			}
+		}
+	}`)
+	expect(t, g, `
+b0 entry -> b2
+b1 exit
+b2 label.outer -> b3
+b3 for.head -> b4 b5
+b4 for.body -> b7
+b5 for.after -> b1
+b6 for.post -> b3
+b7 for.head -> b8 b9
+b8 for.body -> b11 b12
+b9 for.after -> b6
+b10 for.post -> b7
+b11 if.after -> b13 b14
+b12 if.then -> b6
+b13 if.after -> b10
+b14 if.then -> b5
+`)
+}
+
+// TestDeferInLoop: the defer statement sits in the loop body block (its
+// arguments are evaluated there every iteration) and is collected on
+// Graph.Defers exactly once.
+func TestDeferInLoop(t *testing.T) {
+	g := build(t, "for i := 0; i < 3; i++ {\n\tdefer println(i)\n}")
+	expect(t, g, `
+b0 entry -> b2
+b1 exit
+b2 for.head -> b3 b4
+b3 for.body -> b5
+b4 for.after -> b1
+b5 for.post -> b2
+`)
+	if len(g.Defers) != 1 {
+		t.Fatalf("Defers = %d, want 1", len(g.Defers))
+	}
+	found := false
+	for _, n := range g.Blocks[3].Nodes {
+		if n == g.Defers[0] {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("defer statement not recorded in the for.body block")
+	}
+	if !g.InLoop()[3] {
+		t.Errorf("defer-in-loop body block must be InLoop")
+	}
+}
+
+func TestRange(t *testing.T) {
+	g := build(t, "s := []int{1}\nfor _, v := range s {\n\t_ = v\n}")
+	expect(t, g, `
+b0 entry -> b2
+b1 exit
+b2 range.head -> b3 b4
+b3 range.body -> b2
+b4 range.after -> b1
+`)
+	// The RangeStmt itself is the head's only node.
+	if n := len(g.Blocks[2].Nodes); n != 1 {
+		t.Fatalf("range.head nodes = %d, want 1", n)
+	}
+	if _, ok := g.Blocks[2].Nodes[0].(*ast.RangeStmt); !ok {
+		t.Errorf("range.head node is %T, want *ast.RangeStmt", g.Blocks[2].Nodes[0])
+	}
+}
+
+// TestGotoBackward: a backward goto forms a loop that InLoop detects even
+// though no for statement exists.
+func TestGotoBackward(t *testing.T) {
+	g := build(t, "x := 0\nloop:\n\tx++\nif x < 3 {\n\tgoto loop\n}")
+	expect(t, g, `
+b0 entry -> b2
+b1 exit
+b2 label.loop -> b3 b4
+b3 if.after -> b1
+b4 if.then -> b2
+`)
+	in := g.InLoop()
+	if !in[2] || !in[4] {
+		t.Errorf("goto loop must mark label and branch blocks InLoop, got %v", in)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	g := build(t, "var a, b chan int\nselect {\ncase <-a:\n\t_ = 1\ncase v := <-b:\n\t_ = v\n}")
+	expect(t, g, `
+b0 entry -> b3 b4
+b1 exit
+b2 select.after -> b1
+b3 select.case -> b2
+b4 select.case -> b2
+`)
+}
+
+func TestReturnMakesUnreachable(t *testing.T) {
+	g := build(t, "return\nx := 1\n_ = x")
+	expect(t, g, `
+b0 entry -> b1
+b1 exit
+b2 unreachable -> b1
+`)
+	rpo := g.RevPostorder()
+	if rpo[0] != g.Entry {
+		t.Errorf("RevPostorder must start at entry")
+	}
+	// Unreachable blocks come last.
+	if rpo[len(rpo)-1].Kind != "unreachable" {
+		t.Errorf("unreachable block must sort last in RevPostorder, got %s", rpo[len(rpo)-1].Kind)
+	}
+}
+
+func TestPanicTerminates(t *testing.T) {
+	g := build(t, "x := 1\nif x > 0 {\n\tpanic(\"no\")\n}\n_ = x")
+	// The then-block must edge to exit, not to if.after.
+	var then *Block
+	for _, blk := range g.Blocks {
+		if blk.Kind == "if.then" {
+			then = blk
+		}
+	}
+	if then == nil {
+		t.Fatal("no if.then block")
+	}
+	if len(then.Succs) != 1 || then.Succs[0] != g.Exit {
+		t.Errorf("panic block must edge only to exit, got %v", then.Succs)
+	}
+}
+
+func TestRevPostorderVisitsLoopHeadFirst(t *testing.T) {
+	g := build(t, "for i := 0; i < 3; i++ {\n\t_ = i\n}")
+	rpo := g.RevPostorder()
+	pos := map[string]int{}
+	for i, blk := range rpo {
+		if _, ok := pos[blk.Kind]; !ok {
+			pos[blk.Kind] = i
+		}
+	}
+	if !(pos["entry"] < pos["for.head"] && pos["for.head"] < pos["for.body"]) {
+		t.Errorf("bad reverse postorder: %v", pos)
+	}
+}

@@ -1,0 +1,131 @@
+// Package dataflow is a generic forward dataflow engine over the CFGs of
+// package cfg: a worklist fixpoint solver parameterized by a
+// join-semilattice of facts, plus a reusable taint lattice (taint.go) and
+// intra-package call summaries (summary.go) so facts propagate through
+// helper calls.
+//
+// The solver is deliberately classical: facts attach to block boundaries,
+// In[b] is the join of the predecessors' Out facts, Out[b] is the
+// transfer function folded over the block's nodes, and blocks re-enter
+// the worklist until nothing changes. Reverse postorder seeding makes the
+// common (reducible) case converge in very few passes.
+package dataflow
+
+import (
+	"go/ast"
+
+	"stitchroute/internal/analysis/cfg"
+)
+
+// Problem describes one forward analysis over one function.
+type Problem[F any] struct {
+	Graph *cfg.Graph
+
+	// Entry is the fact at function entry (e.g. parameter taint).
+	Entry F
+
+	// Bottom produces the least element (the fact for a block with no
+	// processed predecessors — unreachable code).
+	Bottom func() F
+
+	// Join combines two facts; it must not mutate its arguments.
+	Join func(a, b F) F
+
+	// Equal decides convergence.
+	Equal func(a, b F) bool
+
+	// Transfer applies one CFG node to a fact and returns the fact after
+	// it; it must not mutate its argument.
+	Transfer func(n ast.Node, in F) F
+}
+
+// Solution holds the fixpoint: the fact at entry and exit of each block.
+type Solution[F any] struct {
+	In, Out map[*cfg.Block]F
+}
+
+// Solve runs the worklist to a fixpoint. The iteration order is reverse
+// postorder and the worklist is a deterministic FIFO over block indexes,
+// so the solver itself can never introduce nondeterminism into analyzer
+// output — the same property stitchvet polices in the router.
+func Solve[F any](p Problem[F]) *Solution[F] {
+	sol := &Solution[F]{
+		In:  make(map[*cfg.Block]F, len(p.Graph.Blocks)),
+		Out: make(map[*cfg.Block]F, len(p.Graph.Blocks)),
+	}
+	rpo := p.Graph.RevPostorder()
+	order := make(map[*cfg.Block]int, len(rpo))
+	for i, b := range rpo {
+		order[b] = i
+	}
+	for _, b := range p.Graph.Blocks {
+		sol.In[b] = p.Bottom()
+		sol.Out[b] = p.Bottom()
+	}
+	sol.In[p.Graph.Entry] = p.Entry
+
+	inList := make([]bool, len(p.Graph.Blocks))
+	work := make([]*cfg.Block, len(rpo))
+	copy(work, rpo)
+	for _, b := range work {
+		inList[b.Index] = true
+	}
+	// Safety bound: a finite-height lattice converges long before this;
+	// the cap only guards against a Join/Equal pair that fails to form a
+	// semilattice.
+	budget := (len(p.Graph.Blocks) + 1) * 256
+	for len(work) > 0 && budget > 0 {
+		budget--
+		b := work[0]
+		work = work[1:]
+		inList[b.Index] = false
+
+		in := sol.In[b]
+		if b != p.Graph.Entry {
+			in = p.Bottom()
+			for _, pred := range b.Preds {
+				in = p.Join(in, sol.Out[pred])
+			}
+			sol.In[b] = in
+		}
+		out := in
+		for _, n := range b.Nodes {
+			out = p.Transfer(n, out)
+		}
+		if p.Equal(out, sol.Out[b]) {
+			continue
+		}
+		sol.Out[b] = out
+		for _, s := range b.Succs {
+			if !inList[s.Index] {
+				inList[s.Index] = true
+				// Insert keeping the worklist sorted by RPO position:
+				// deterministic and loop-friendly.
+				pos := len(work)
+				for i, w := range work {
+					if order[s] < order[w] {
+						pos = i
+						break
+					}
+				}
+				work = append(work, nil)
+				copy(work[pos+1:], work[pos:])
+				work[pos] = s
+			}
+		}
+	}
+	return sol
+}
+
+// ForEachNode replays the transfer function over every block, calling fn
+// with each node and the fact in force immediately before it. This is how
+// analyzers run their sink checks after Solve converges.
+func ForEachNode[F any](p Problem[F], sol *Solution[F], fn func(n ast.Node, before F)) {
+	for _, b := range p.Graph.Blocks {
+		f := sol.In[b]
+		for _, n := range b.Nodes {
+			fn(n, f)
+			f = p.Transfer(n, f)
+		}
+	}
+}

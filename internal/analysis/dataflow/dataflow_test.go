@@ -1,0 +1,404 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"stitchroute/internal/analysis/cfg"
+)
+
+// check typechecks a self-contained source file (no imports, so no
+// importer is needed) and returns its AST and type info.
+func check(t *testing.T, src string) (*ast.File, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Error: func(error) {}}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return file, info
+}
+
+// testConfig hooks calls to functions literally named "now" (a Value
+// source) and "pick" (an Order source), standing in for time.Now and
+// map-draw helpers without needing imports.
+func testConfig(info *types.Info) TaintConfig {
+	return TaintConfig{
+		Info: info,
+		SourceCall: func(call *ast.CallExpr) (Taint, bool) {
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok {
+				return Taint{}, false
+			}
+			switch id.Name {
+			case "now":
+				return Taint{Kind: Value, Why: "now()", Pos: call.Pos()}, true
+			case "pick":
+				return Taint{Kind: Order, Why: "pick()", Pos: call.Pos()}, true
+			}
+			return Taint{}, false
+		},
+	}
+}
+
+// funcNamed returns the declaration of the named function.
+func funcNamed(t *testing.T, file *ast.File, name string) *ast.FuncDecl {
+	t.Helper()
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd
+		}
+	}
+	t.Fatalf("no function %q", name)
+	return nil
+}
+
+// solveFunc runs the taint analysis over the named function and returns
+// the problem, solution, and a lookup from variable name to object.
+func solveFunc(t *testing.T, file *ast.File, info *types.Info, conf TaintConfig, name string) (Problem[Fact], *Solution[Fact], func(string) types.Object) {
+	t.Helper()
+	fd := funcNamed(t, file, name)
+	p := Problem[Fact]{
+		Graph:    cfg.New(fd.Body),
+		Entry:    Fact{},
+		Bottom:   BottomFact,
+		Join:     JoinFacts,
+		Equal:    EqualFacts,
+		Transfer: conf.Transfer,
+	}
+	sol := Solve(p)
+	objs := map[string]types.Object{}
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				objs[id.Name] = obj
+			}
+		}
+		return true
+	})
+	return p, sol, func(s string) types.Object {
+		obj := objs[s]
+		if obj == nil {
+			t.Fatalf("no local %q in %s", s, name)
+		}
+		return obj
+	}
+}
+
+// atExit is the fact on the edge into the exit block.
+func atExit(p Problem[Fact], sol *Solution[Fact]) Fact {
+	f := BottomFact()
+	for _, pred := range p.Graph.Exit.Preds {
+		f = JoinFacts(f, sol.Out[pred])
+	}
+	return f
+}
+
+const commonSrc = `package p
+
+func now() int64 { return 0 }
+func pick() int { return 0 }
+`
+
+func TestTwoStepValueChain(t *testing.T) {
+	file, info := check(t, commonSrc+`
+func f() int64 {
+	t := now()
+	u := t + 1
+	return u
+}
+`)
+	conf := testConfig(info)
+	p, sol, obj := solveFunc(t, file, info, conf, "f")
+	f := atExit(p, sol)
+	if f[obj("u")].Kind&Value == 0 {
+		t.Errorf("u must be Value-tainted through the assignment chain, got %+v", f[obj("u")])
+	}
+	if f[obj("u")].Why != "now()" {
+		t.Errorf("taint must remember its source, got %q", f[obj("u")].Why)
+	}
+}
+
+func TestStrongUpdateKills(t *testing.T) {
+	file, info := check(t, commonSrc+`
+func f() int64 {
+	t := now()
+	t = 0
+	return t
+}
+`)
+	conf := testConfig(info)
+	p, sol, obj := solveFunc(t, file, info, conf, "f")
+	f := atExit(p, sol)
+	if !f[obj("t")].Zero() {
+		t.Errorf("reassignment to a constant must kill the taint, got %+v", f[obj("t")])
+	}
+}
+
+func TestBranchJoin(t *testing.T) {
+	file, info := check(t, commonSrc+`
+func f(c bool) int64 {
+	var t int64
+	if c {
+		t = now()
+	} else {
+		t = 0
+	}
+	return t
+}
+`)
+	conf := testConfig(info)
+	p, sol, obj := solveFunc(t, file, info, conf, "f")
+	f := atExit(p, sol)
+	if f[obj("t")].Kind&Value == 0 {
+		t.Errorf("join of tainted and clean branches must stay tainted, got %+v", f[obj("t")])
+	}
+}
+
+func TestLoopCarriedTaint(t *testing.T) {
+	file, info := check(t, commonSrc+`
+func f() int64 {
+	var acc int64
+	var t int64
+	for i := 0; i < 4; i++ {
+		acc = acc + t
+		t = now()
+	}
+	return acc
+}
+`)
+	conf := testConfig(info)
+	p, sol, obj := solveFunc(t, file, info, conf, "f")
+	f := atExit(p, sol)
+	// acc only becomes tainted on the second iteration; a single forward
+	// pass without the fixpoint would miss it.
+	if f[obj("acc")].Kind&Value == 0 {
+		t.Errorf("loop-carried taint requires the fixpoint, got %+v", f[obj("acc")])
+	}
+}
+
+func TestMapRangeOrderTaint(t *testing.T) {
+	file, info := check(t, commonSrc+`
+func f(m map[int]int) int {
+	last := 0
+	for k := range m {
+		last = k
+	}
+	return last
+}
+`)
+	conf := testConfig(info)
+	p, sol, obj := solveFunc(t, file, info, conf, "f")
+	f := atExit(p, sol)
+	if f[obj("last")].Kind&Order == 0 {
+		t.Errorf("value drawn from map range must be Order-tainted, got %+v", f[obj("last")])
+	}
+	if f[obj("last")].Kind&Value != 0 {
+		t.Errorf("map range is order- not value-nondeterministic, got %+v", f[obj("last")])
+	}
+}
+
+func TestSortKillsOrderTaint(t *testing.T) {
+	file, info := check(t, commonSrc+`
+type list []int
+
+func (l list) Sort() {}
+
+func f(m map[int]int) list {
+	var keys list
+	for k := range m {
+		keys = append(keys, k)
+	}
+	keys.Sort()
+	return keys
+}
+`)
+	conf := testConfig(info)
+	p, sol, obj := solveFunc(t, file, info, conf, "f")
+	f := atExit(p, sol)
+	if f[obj("keys")].Kind&Order != 0 {
+		t.Errorf("sorting must launder order taint, got %+v", f[obj("keys")])
+	}
+}
+
+func TestSortDoesNotKillValueTaint(t *testing.T) {
+	file, info := check(t, commonSrc+`
+type list []int64
+
+func (l list) Sort() {}
+
+func f() list {
+	var xs list
+	xs = append(xs, now())
+	xs.Sort()
+	return xs
+}
+`)
+	conf := testConfig(info)
+	p, sol, obj := solveFunc(t, file, info, conf, "f")
+	f := atExit(p, sol)
+	if f[obj("xs")].Kind&Value == 0 {
+		t.Errorf("sorting must not launder value taint, got %+v", f[obj("xs")])
+	}
+}
+
+func TestCommutativeIntAccumulation(t *testing.T) {
+	file, info := check(t, commonSrc+`
+func f(m map[int]int, w map[int]float64) (int, float64) {
+	sum := 0
+	var fsum float64
+	for k, v := range m {
+		sum += k
+		_ = v
+	}
+	for _, x := range w {
+		fsum += x
+	}
+	return sum, fsum
+}
+`)
+	conf := testConfig(info)
+	p, sol, obj := solveFunc(t, file, info, conf, "f")
+	f := atExit(p, sol)
+	if f[obj("sum")].Kind&Order != 0 {
+		t.Errorf("integer += over a map range is order-independent, got %+v", f[obj("sum")])
+	}
+	if f[obj("fsum")].Kind&Order == 0 {
+		t.Errorf("float += is order-sensitive in the last ulp, got %+v", f[obj("fsum")])
+	}
+}
+
+func TestSummaries(t *testing.T) {
+	file, info := check(t, commonSrc+`
+func wrap() int64 { return now() }
+
+func id(x int64) int64 { return x }
+
+func deep() int64 { return wrap() }
+
+func f() (int64, int64, int64, int64) {
+	a := wrap()
+	b := id(now())
+	c := id(1)
+	d := deep()
+	return a, b, c, d
+}
+`)
+	conf := testConfig(info)
+	conf.Summaries = ComputeSummaries([]*ast.File{file}, conf)
+	p, sol, obj := solveFunc(t, file, info, conf, "f")
+	f := atExit(p, sol)
+	if f[obj("a")].Kind&Value == 0 {
+		t.Errorf("a: helper containing a source must taint its result, got %+v", f[obj("a")])
+	}
+	if f[obj("b")].Kind&Value == 0 {
+		t.Errorf("b: identity helper must carry argument taint through, got %+v", f[obj("b")])
+	}
+	if !f[obj("c")].Zero() {
+		t.Errorf("c: clean argument through identity helper must stay clean, got %+v", f[obj("c")])
+	}
+	if f[obj("d")].Kind&Value == 0 {
+		t.Errorf("d: two-level helper chain needs the summary fixpoint, got %+v", f[obj("d")])
+	}
+}
+
+func TestSelectRecvOrder(t *testing.T) {
+	src := commonSrc + `
+func f(a, b chan int) int {
+	var got int
+	select {
+	case v := <-a:
+		got = v
+	case v := <-b:
+		got = v
+	}
+	return got
+}
+`
+	file, info := check(t, src)
+	conf := testConfig(info)
+	conf.SelectRecv = map[ast.Stmt]bool{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		comm := 0
+		for _, cl := range sel.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
+				comm++
+			}
+		}
+		if comm >= 2 {
+			for _, cl := range sel.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
+					conf.SelectRecv[cc.Comm] = true
+				}
+			}
+		}
+		return true
+	})
+	p, sol, obj := solveFunc(t, file, info, conf, "f")
+	f := atExit(p, sol)
+	if f[obj("got")].Kind&Order == 0 {
+		t.Errorf("select over two channels must order-taint the received value, got %+v", f[obj("got")])
+	}
+	_ = strings.TrimSpace
+}
+
+func TestSolverDeterminism(t *testing.T) {
+	// Run the same analysis many times; the fact maps must be identical
+	// each time (the solver's whole reason to exist).
+	src := commonSrc + `
+func f(m map[int]int) (int, int64) {
+	last := 0
+	t := now()
+	for k := range m {
+		last = k
+	}
+	u := t + 1
+	return last, u
+}
+`
+	var first string
+	for i := 0; i < 20; i++ {
+		file, info := check(t, src)
+		conf := testConfig(info)
+		p, sol, _ := solveFunc(t, file, info, conf, "f")
+		f := atExit(p, sol)
+		var parts []string
+		for obj, taint := range f {
+			parts = append(parts, obj.Name()+":"+taint.Why)
+		}
+		// Sort for comparison only; the underlying facts must agree.
+		sortStrings(parts)
+		s := strings.Join(parts, ",")
+		if i == 0 {
+			first = s
+		} else if s != first {
+			t.Fatalf("run %d diverged: %q vs %q", i, s, first)
+		}
+	}
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -14,6 +14,7 @@
 package driver
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
@@ -27,11 +28,14 @@ import (
 )
 
 // Diagnostic is a driver-level finding: an analyzer diagnostic bound to
-// its position and analyzer name.
+// its position and analyzer name. Suppressed marks diagnostics waived by
+// a //lint:ignore directive; they are retained (and emitted in JSON mode)
+// so suppressions stay auditable, but do not count toward the exit code.
 type Diagnostic struct {
-	Analyzer string
-	Pos      token.Position
-	Message  string
+	Analyzer   string
+	Pos        token.Position
+	Message    string
+	Suppressed bool
 }
 
 // Options configures a Run.
@@ -41,6 +45,19 @@ type Options struct {
 	Only []string
 	// Verbose adds a per-package progress line to Out.
 	Verbose bool
+	// JSON switches output to one JSON object per line (the schema is
+	// documented in docs/LINTING.md), including suppressed diagnostics.
+	JSON bool
+}
+
+// jsonDiagnostic is the wire form of one diagnostic in -json mode.
+type jsonDiagnostic struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
 }
 
 // directive is one parsed //lint:ignore comment.
@@ -168,7 +185,8 @@ func Run(analyzers []*analysis.Analyzer, patterns []string, out io.Writer, opts 
 				}
 				for _, dir := range dirs {
 					if dir.matches(diag) {
-						return
+						diag.Suppressed = true
+						break
 					}
 				}
 				diags = append(diags, diag)
@@ -196,12 +214,30 @@ func Run(analyzers []*analysis.Analyzer, patterns []string, out io.Writer, opts 
 		return a.Analyzer < b.Analyzer
 	})
 	cwd, _ := filepath.Abs(".")
+	unsuppressed := 0
+	enc := json.NewEncoder(out)
 	for _, d := range diags {
 		name := d.Pos.Filename
 		if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
 			name = rel
 		}
-		fmt.Fprintf(out, "%s:%d:%d: %s: %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		if !d.Suppressed {
+			unsuppressed++
+		}
+		if opts.JSON {
+			if err := enc.Encode(jsonDiagnostic{
+				File:       name,
+				Line:       d.Pos.Line,
+				Col:        d.Pos.Column,
+				Analyzer:   d.Analyzer,
+				Message:    d.Message,
+				Suppressed: d.Suppressed,
+			}); err != nil {
+				return unsuppressed, err
+			}
+		} else if !d.Suppressed {
+			fmt.Fprintf(out, "%s:%d:%d: %s: %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
 	}
-	return len(diags), nil
+	return unsuppressed, nil
 }

@@ -2,6 +2,7 @@ package driver
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -40,6 +41,42 @@ func TestSuppression(t *testing.T) {
 		if strings.Contains(got, absent) {
 			t.Errorf("output should not contain %q (suppressed):\n%s", absent, got)
 		}
+	}
+}
+
+// TestJSONOutput reruns the same fixture in -json mode: every diagnostic
+// — suppressed ones included — comes out as one object per line with the
+// documented fields, and the returned count still excludes suppressed
+// findings.
+func TestJSONOutput(t *testing.T) {
+	var out bytes.Buffer
+	n, err := Run([]*analysis.Analyzer{floateq.Analyzer}, []string{"./testdata/ignoredemo"}, &out, Options{JSON: true})
+	if err != nil {
+		t.Fatalf("driver.Run: %v", err)
+	}
+	if n != 4 {
+		t.Errorf("got %d unsuppressed diagnostics, want 4:\n%s", n, out.String())
+	}
+	var suppressed, active int
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		var d jsonDiagnostic
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			t.Fatalf("bad JSON line %q: %v", line, err)
+		}
+		if d.File == "" || d.Line == 0 || d.Analyzer == "" || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %q", line)
+		}
+		if d.Suppressed {
+			suppressed++
+		} else {
+			active++
+		}
+	}
+	// The fixture has three honored directives (same-line, preceding-line,
+	// wildcard — suppressed but kept in the JSON stream) and four
+	// surviving findings.
+	if active != 4 || suppressed != 3 {
+		t.Errorf("got %d active + %d suppressed, want 4 + 3:\n%s", active, suppressed, out.String())
 	}
 }
 

@@ -1,0 +1,12 @@
+package leakcheck_test
+
+import (
+	"testing"
+
+	"stitchroute/internal/analysis/analyzertest"
+	"stitchroute/internal/analysis/leakcheck"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analyzertest.Run(t, "../testdata", leakcheck.Analyzer, "leakcheck")
+}

@@ -1,0 +1,73 @@
+// Fixture for the hotalloc analyzer. It mirrors the shape of
+// internal/detail: a routeNet root whose loop body must stay
+// allocation-free, arenas (searchCtx) whose growth is sanctioned, and a
+// helper that hides an allocation behind a call — the case no syntactic
+// analyzer can connect to the search loop.
+package hotalloc
+
+type cell struct{ x, y int }
+
+type searchCtx struct {
+	nodes []int
+	rev   []cell
+}
+
+// grow is arena growth: the allocation lands in an arena field, which is
+// the sanctioned way to allocate. Must not flag even though grow is
+// called from inside the search loop.
+func (sc *searchCtx) grow(n int) {
+	if len(sc.nodes) < n {
+		sc.nodes = make([]int, n)
+	}
+}
+
+// helperAlloc hides a per-iteration allocation behind a call. The PR 3
+// syntactic analyzers never flag this — only call-graph reachability
+// connects it to routeNet's loop.
+func helperAlloc() []cell {
+	return make([]cell, 8) // want `make in helperAlloc, which runs per search-loop iteration`
+}
+
+func box(v interface{}) { _ = v }
+
+type router struct{ occ []int }
+
+func (r *router) routeNet(sc *searchCtx, nets []cell) {
+	// One-time setup dominated by function entry: allowed.
+	buf := make([]cell, 0, len(nets))
+	_ = buf
+	for i := 0; i < len(nets); i++ {
+		sc.grow(i)
+		spill := helperAlloc()
+		_ = spill
+		tmp := make([]cell, 4) // want `make inside the per-net search loop`
+		_ = tmp
+		// Arena-derived reslice + append reuses arena capacity: allowed.
+		rev := sc.rev[:0]
+		rev = append(rev, nets[i])
+		sc.rev = rev
+		// A fresh slice growing per iteration is a heap allocation.
+		var out []cell
+		out = append(out, nets[i]) // want `append growth of non-arena slice`
+		_ = out
+		fn := func() int { return i } // want `closure created inside the per-net search loop`
+		_ = fn()
+		box(i)             // want `interface boxing of int argument`
+		lit := []int{1, 2} // want `slice literal inside the per-net search loop`
+		_ = lit
+	}
+	// Entry-created closure: one-time setup, allowed.
+	done := func() {}
+	done()
+}
+
+// coldPath allocates freely: it is not reachable from routeNet, so none
+// of this is hot.
+func coldPath() [][]int {
+	var all [][]int
+	for i := 0; i < 4; i++ {
+		m := make([]int, i)
+		all = append(all, m)
+	}
+	return all
+}

@@ -1,0 +1,171 @@
+// Fixture for the leakcheck analyzer. It mirrors the repo's real spawn
+// shapes: the sched.go fan-out joined by wg.Wait, the server pool's
+// WaitGroup-field protocol split across New/worker/Shutdown, the
+// meblserved errc+select shape, and ctx-done self-terminating monitors —
+// plus the leaks: spawn-and-forget through a helper call, and a receive
+// that exists in the function but is CFG-unreachable from the spawn.
+package leakcheck
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {
+	for i := 0; i < 1000; i++ {
+		_ = i
+	}
+}
+
+// spawnAndForget leaks through a call: the goroutine body is the
+// package-local function work, which never blocks. A syntactic check
+// would have to see through the call to know the body has no exit
+// condition — this is the two-step case.
+func spawnAndForget() {
+	go work() // want `goroutine is never joined`
+}
+
+// busyLoop leaks in the literal itself.
+func busyLoop() {
+	go func() { // want `goroutine is never joined`
+		for {
+			_ = 1
+		}
+	}()
+}
+
+// joinBeforeSpawn has a receive in the function, but on no CFG path
+// after the spawn — a textual scan for "go + <-" would pass it.
+func joinBeforeSpawn(c chan int) {
+	<-c
+	go work() // want `goroutine is never joined`
+}
+
+// fakeJoin's receive is inside a function literal that is never the
+// spawner's own control flow.
+func fakeJoin(c chan int) {
+	go work() // want `goroutine is never joined`
+	cb := func() { <-c }
+	_ = cb
+}
+
+// localWaitGroup is the sched.go shape: Add, spawn, Wait in one
+// function. The Wait after the spawn joins.
+func localWaitGroup(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// deferredWait joins at function exit; defers run on every path.
+func deferredWait() {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// errcReceive is the meblserved shape: the spawner blocks in a select on
+// either the goroutine's error or cancellation.
+func errcReceive(ctx context.Context, run func() error) error {
+	errc := make(chan error, 1)
+	go func() { errc <- run() }()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case err := <-errc:
+		return err
+	}
+}
+
+// monitor self-terminates: its body observes ctx.Done, so cancellation
+// reaps it even though the spawner never joins.
+func monitor(ctx context.Context, tick chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick:
+			}
+		}
+	}()
+}
+
+// drain resolves the goroutine body through a static callee: drainChan
+// ranges over the channel, so closing it terminates the goroutine.
+func drainChan(c chan int) {
+	for range c {
+	}
+}
+
+func drain(c chan int) {
+	go drainChan(c)
+}
+
+// pool is the server shape: the spawn site (start), the Wait (stop), and
+// the Done (worker) live in three different functions, tied together by
+// the WaitGroup struct field.
+type pool struct {
+	wg   sync.WaitGroup
+	jobs chan int
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for range p.jobs {
+	}
+}
+
+func (p *pool) start(n int) {
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go p.worker()
+	}
+}
+
+func (p *pool) stop() {
+	close(p.jobs)
+	p.wg.Wait()
+}
+
+// batch exercises the field protocol with a body that never blocks on a
+// channel: only the Add-here/Wait-elsewhere pairing on the same struct
+// field makes this safe.
+type batch struct {
+	wg sync.WaitGroup
+}
+
+func (b *batch) run(n int) {
+	b.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer b.wg.Done()
+			work()
+		}()
+	}
+}
+
+func (b *batch) join() {
+	b.wg.Wait()
+}
+
+// orphan has a WaitGroup field too, but nothing in the package ever
+// Waits on it, so the protocol does not hold.
+type orphan struct {
+	wg sync.WaitGroup
+}
+
+func (o *orphan) start() {
+	o.wg.Add(1)
+	go work() // want `goroutine is never joined`
+}

@@ -50,6 +50,14 @@ type searchCtx struct {
 	mcur  int32
 	// parent is union-find scratch for components.
 	parent []int32
+	// compCnt/compCur/compBuf/comps are components' output scratch: cell
+	// counts and write cursors per union-find root, the flat cell buffer
+	// the groups are packed into, and the group headers. Reused across
+	// calls; callers consume the result before the next call.
+	compCnt []int32
+	compCur []int32
+	compBuf []cell
+	comps   [][]cell
 
 	// costXl/costYl are per-layer axis move costs, filled at the start
 	// of each search (they depend only on the layer's preferred
@@ -394,21 +402,19 @@ func (r *Router) astar(sc *searchCtx, t *routeTask, src, targets []cell, win geo
 	if !found {
 		return nil, false
 	}
-	// Reconstruct.
+	// Reconstruct goal-first into the arena's path scratch, then reverse
+	// in place. The returned path aliases the arena: callers consume it
+	// before the next search on this arena (routeNet commits it
+	// immediately), so the steady-state search allocates nothing.
 	rev := sc.rev[:0]
 	c := goal
 	for {
 		rev = append(rev, c)
 		mv := nodes[lidx(c)].prevMv
+		if mv == mvNone {
+			break // reached a source cell
+		}
 		switch mv {
-		case mvNone:
-			// reached a source cell
-			sc.rev = rev
-			path := make([]cell, len(rev))
-			for i := range rev {
-				path[i] = rev[len(rev)-1-i]
-			}
-			return path, true
 		case mvXPos:
 			c.x--
 		case mvXNeg:
@@ -427,6 +433,11 @@ func (r *Router) astar(sc *searchCtx, t *routeTask, src, targets []cell, win geo
 			return nil, false // corrupt backtrace; fail safe
 		}
 	}
+	sc.rev = rev
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, true
 }
 
 // pinSet is a net's pin (x, y) set, packed for the A* via rule. Nets

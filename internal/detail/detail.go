@@ -499,28 +499,17 @@ type cell struct {
 // connection search, so the cell-sharing analysis uses the arena's
 // stamped scratch grid instead of maps.
 func (r *Router) components(sc *searchCtx, t *routeTask) [][]cell {
-	items := make([][]cell, 0, len(t.wires)+len(t.net.Pins))
-	for _, w := range t.wires {
-		cs := make([]cell, 0, w.Span.Len())
-		if w.Orient == geom.Horizontal {
-			for x := w.Span.Lo; x <= w.Span.Hi; x++ {
-				cs = append(cs, cell{x, w.Fixed, w.Layer - 1})
-			}
-		} else {
-			for y := w.Span.Lo; y <= w.Span.Hi; y++ {
-				cs = append(cs, cell{w.Fixed, y, w.Layer - 1})
-			}
-		}
-		items = append(items, cs)
+	// Items are the net's wires (in order) followed by its pins; an item's
+	// cells enumerate in the same order the old slice materialization
+	// produced, so the union sequence — and therefore the component
+	// grouping — is unchanged. Everything lives in the arena: no per-call
+	// slices, no per-item slices.
+	nw := len(t.wires)
+	nItems := nw + len(t.net.Pins)
+	if cap(sc.parent) < nItems {
+		sc.parent = make([]int32, nItems)
 	}
-	for _, p := range t.net.Pins {
-		items = append(items, []cell{{p.X, p.Y, p.Layer - 1}})
-	}
-	// Union by shared cell or via link.
-	if cap(sc.parent) < len(items) {
-		sc.parent = make([]int32, len(items))
-	}
-	parent := sc.parent[:len(items)]
+	parent := sc.parent[:nItems]
 	for i := range parent {
 		parent[i] = int32(i)
 	}
@@ -533,18 +522,33 @@ func (r *Router) components(sc *searchCtx, t *routeTask) [][]cell {
 	}
 	union := func(a, b int) { parent[find(a)] = int32(find(b)) }
 
-	// owner[gi] holds the first item that covered chip cell gi this epoch.
+	// Pass 1: union items sharing a chip cell. owner[gi] holds the first
+	// item that covered chip cell gi this epoch.
 	stamp := sc.growMark(r.X * r.Y * r.L)
 	owner := sc.mark
-	for i, cs := range items {
-		for _, c := range cs {
-			gi := r.idx(c.x, c.y, c.l)
-			if owner[gi].stamp == stamp {
-				union(i, int(owner[gi].val))
-			} else {
-				owner[gi] = stampVal{stamp: stamp, val: int32(i)}
+	visit := func(i int, c cell) {
+		gi := r.idx(c.x, c.y, c.l)
+		if owner[gi].stamp == stamp {
+			union(i, int(owner[gi].val))
+		} else {
+			owner[gi] = stampVal{stamp: stamp, val: int32(i)}
+		}
+	}
+	for i := 0; i < nw; i++ {
+		w := t.wires[i]
+		l := w.Layer - 1
+		if w.Orient == geom.Horizontal {
+			for x := w.Span.Lo; x <= w.Span.Hi; x++ {
+				visit(i, cell{x, w.Fixed, l})
+			}
+		} else {
+			for y := w.Span.Lo; y <= w.Span.Hi; y++ {
+				visit(i, cell{w.Fixed, y, l})
 			}
 		}
+	}
+	for pi, p := range t.net.Pins {
+		visit(nw+pi, cell{p.X, p.Y, p.Layer - 1})
 	}
 	for _, v := range t.vias {
 		if v.Layer < 1 || v.Layer >= r.L {
@@ -556,19 +560,76 @@ func (r *Router) components(sc *searchCtx, t *routeTask) [][]cell {
 			union(int(a.val), int(b.val))
 		}
 	}
-	// Emit groups in ascending root order, cells in item order — the same
-	// ordering the sorted-map formulation produced.
-	buckets := make([][]cell, len(items))
-	for i, cs := range items {
-		root := find(i)
-		buckets[root] = append(buckets[root], cs...)
+
+	// Pass 2: per-root cell counts.
+	if cap(sc.compCnt) < nItems {
+		sc.compCnt = make([]int32, nItems)
+		sc.compCur = make([]int32, nItems)
 	}
-	out := make([][]cell, 0, 4)
-	for _, b := range buckets {
-		if len(b) > 0 {
-			out = append(out, b)
+	cnt := sc.compCnt[:nItems]
+	cur := sc.compCur[:nItems]
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	total := 0
+	for i := 0; i < nw; i++ {
+		n := t.wires[i].Span.Len()
+		cnt[find(i)] += int32(n)
+		total += n
+	}
+	for pi := range t.net.Pins {
+		cnt[find(nw+pi)]++
+		total++
+	}
+
+	// Pass 3: contiguous regions in ascending root order; cur is the
+	// per-root write cursor.
+	if cap(sc.compBuf) < total {
+		sc.compBuf = make([]cell, total)
+	}
+	buf := sc.compBuf[:total]
+	off := int32(0)
+	for i := range cnt {
+		cur[i] = off
+		off += cnt[i]
+	}
+
+	// Pass 4: fill cells in item order, so each root's region holds its
+	// items' cells in the order the old bucket concatenation produced.
+	place := func(i int, c cell) {
+		root := find(i)
+		buf[cur[root]] = c
+		cur[root]++
+	}
+	for i := 0; i < nw; i++ {
+		w := t.wires[i]
+		l := w.Layer - 1
+		if w.Orient == geom.Horizontal {
+			for x := w.Span.Lo; x <= w.Span.Hi; x++ {
+				place(i, cell{x, w.Fixed, l})
+			}
+		} else {
+			for y := w.Span.Lo; y <= w.Span.Hi; y++ {
+				place(i, cell{w.Fixed, y, l})
+			}
 		}
 	}
+	for pi, p := range t.net.Pins {
+		place(nw+pi, cell{p.X, p.Y, p.Layer - 1})
+	}
+
+	// Emit groups in ascending root order, cells in item order — the same
+	// ordering the sorted-map formulation produced. The group headers and
+	// the cells alias the arena; routeNet consumes them before the next
+	// components call on this arena.
+	out := sc.comps[:0]
+	for i := range cnt {
+		if cnt[i] > 0 {
+			end := cur[i]
+			out = append(out, buf[end-cnt[i]:end:end])
+		}
+	}
+	sc.comps = out
 	return out
 }
 
@@ -625,6 +686,7 @@ func (r *Router) commitPath(sc *searchCtx, t *routeTask, path []cell) {
 	stamp := sc.growMark(r.X * r.Y * r.L)
 	metal := sc.mark
 	addWire := func(w geom.Segment) {
+		//lint:ignore hotalloc the committed wire list is the route's output, not scratch: it outlives the search, so it cannot live in the per-search arena
 		t.wires = append(t.wires, w)
 		r.markWire(w, id)
 		forEachCell(w, func(c cell) { metal[r.idx(c.x, c.y, c.l)].stamp = stamp })
@@ -636,6 +698,7 @@ func (r *Router) commitPath(sc *searchCtx, t *routeTask, path []cell) {
 			if b.l < lo {
 				lo = b.l
 			}
+			//lint:ignore hotalloc the committed via list is the route's output, not scratch: it outlives the search, so it cannot live in the per-search arena
 			t.vias = append(t.vias, plan.Via{X: a.x, Y: a.y, Layer: lo + 1})
 			i++
 			continue

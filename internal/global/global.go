@@ -166,22 +166,26 @@ func (r *Router) RouteNet(net *netlist.Net) *plan.NetPlan {
 	f := r.f
 	np := &plan.NetPlan{NetID: net.ID, Level: plan.Level(net.BBox(), f)}
 
-	// Deduplicate pin tiles.
+	// Deduplicate pin tiles, then sort: the map is only a membership
+	// set, and sorting before anything reads the collection keeps its
+	// iteration order out of the plan.
 	tileSet := make(map[plan.TilePoint]bool, len(net.Pins))
 	for _, p := range net.Pins {
 		tx, ty := f.TileOf(p.Point)
 		tileSet[plan.TilePoint{TX: tx, TY: ty}] = true
 	}
+	tiles := make([]plan.TilePoint, 0, len(tileSet))
 	for tp := range tileSet {
-		np.PinTiles = append(np.PinTiles, tp)
+		tiles = append(tiles, tp)
 	}
-	sort.Slice(np.PinTiles, func(i, j int) bool {
-		a, b := np.PinTiles[i], np.PinTiles[j]
+	sort.Slice(tiles, func(i, j int) bool {
+		a, b := tiles[i], tiles[j]
 		if a.TX != b.TX {
 			return a.TX < b.TX
 		}
 		return a.TY < b.TY
 	})
+	np.PinTiles = tiles
 	if len(np.PinTiles) <= 1 {
 		return np // local net: detailed routing handles it directly
 	}
@@ -201,15 +205,18 @@ func (r *Router) RouteNet(net *netlist.Net) *plan.NetPlan {
 
 	// Prim-style: grow a tree from the first pin tile, connecting the
 	// nearest unconnected target each step with an A* search from the
-	// whole current tree.
+	// whole current tree. treeList mirrors the membership map in
+	// insertion order so the nearest-target scan below iterates
+	// deterministically (and faster than ranging the map).
 	inTree := map[plan.TilePoint]bool{targets[0]: true}
+	treeList := []plan.TilePoint{targets[0]}
 	remaining := append([]plan.TilePoint(nil), targets[1:]...)
 	var edges []plan.TileEdge
 	for len(remaining) > 0 {
 		// Nearest remaining pin tile by Manhattan distance to tree.
 		bestIdx, bestD := -1, 1<<30
 		for i, tp := range remaining {
-			for q := range inTree {
+			for _, q := range treeList {
 				d := abs(tp.TX-q.TX) + abs(tp.TY-q.TY)
 				if d < bestD {
 					bestD, bestIdx = d, i
@@ -229,7 +236,10 @@ func (r *Router) RouteNet(net *netlist.Net) *plan.NetPlan {
 			path = r.astar(inTree, target)
 		}
 		for _, tp := range path {
-			inTree[tp] = true
+			if !inTree[tp] {
+				inTree[tp] = true
+				treeList = append(treeList, tp)
+			}
 		}
 		edges = append(edges, plan.PathToEdges(path)...)
 	}

@@ -1,6 +1,10 @@
 package global
 
-import "stitchroute/internal/plan"
+import (
+	"sort"
+
+	"stitchroute/internal/plan"
+)
 
 // Pattern routing: before the maze (A*) search, try the two L-shaped
 // paths from the nearest tree tile to the target. If either is "clean" —
@@ -13,12 +17,25 @@ import "stitchroute/internal/plan"
 // patternRoute returns a clean L path from the source set to the target,
 // or nil when no clean L exists.
 func (r *Router) patternRoute(sources map[plan.TilePoint]bool, target plan.TilePoint) []plan.TilePoint {
-	// Nearest source tile.
+	// Nearest source tile. Sort the candidates first: with strict <,
+	// the lexicographically smallest tile wins distance ties, same as
+	// the old inline tie-break, but the map's iteration order never
+	// reaches the route.
+	srcs := make([]plan.TilePoint, 0, len(sources))
+	for s := range sources {
+		srcs = append(srcs, s)
+	}
+	sort.Slice(srcs, func(i, j int) bool {
+		if srcs[i].TX != srcs[j].TX {
+			return srcs[i].TX < srcs[j].TX
+		}
+		return srcs[i].TY < srcs[j].TY
+	})
 	var src plan.TilePoint
 	best := 1 << 30
-	for s := range sources {
+	for _, s := range srcs {
 		d := abs(s.TX-target.TX) + abs(s.TY-target.TY)
-		if d < best || (d == best && (s.TX < src.TX || (s.TX == src.TX && s.TY < src.TY))) {
+		if d < best {
 			best = d
 			src = s
 		}
