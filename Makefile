@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint stitchvet lint-fixtures test test-short race race-fast serve bench bench-json bench-smoke tables figures coverage fuzz soak clean help
+.PHONY: all build vet lint stitchvet lint-fixtures test test-short race race-fast serve bench bench-json bench-fracture-json bench-smoke tables figures coverage fuzz soak fracture-golden clean help
 
 all: build vet test ## build + vet + full tests
 
@@ -69,6 +69,11 @@ bench-json: ## regenerate BENCH_detail.json (see docs/PERFORMANCE.md)
 		$(if $(BASELINE_NOTE),-baseline-note "$(BASELINE_NOTE)") \
 		-out BENCH_detail.json
 
+# Regenerate the checked-in write-prep fracturing benchmark report
+# (shot throughput per mode plus the L-shape shot-count reduction).
+bench-fracture-json: ## regenerate BENCH_fracture.json (write-prep stage)
+	$(GO) run ./cmd/benchjson -stage fracture -runs $(BENCH_RUNS) -out BENCH_fracture.json
+
 # One-iteration benchmark smoke: proves the worker-count benchmarks (and
 # their cross-worker routes-hash assertion) still run; takes seconds.
 bench-smoke: ## run BenchmarkDetailWorkers once per worker count
@@ -103,6 +108,12 @@ coverage: ## short-mode coverage with the COVER_FLOOR gate
 FUZZTIME ?= 30s
 fuzz: ## short fuzz session over the routing pipeline
 	$(GO) test -fuzz=FuzzRoute -fuzztime=$(FUZZTIME) -run '^$$' ./internal/harness/
+
+# Write-prep regression gate: shot-count goldens plus the raster
+# differential (fractured shots must rasterize identically to the
+# unfractured geometry). UPDATE=1 refreshes the golden file.
+fracture-golden: ## run the write-prep golden + raster differential gate (UPDATE=1 to refresh)
+	$(GO) test ./internal/harness/ -run 'TestFracture(Golden|RasterDifferential)' $(if $(UPDATE),-update)
 
 # Multi-seed end-to-end correctness soak (full invariant battery over the
 # harness parameter grid).

@@ -1,19 +1,27 @@
-// Command benchjson measures the detailed-routing stage on golden
-// benchmark circuits across worker counts and writes a machine-readable
-// JSON report. BENCH_detail.json at the repository root is the
-// checked-in copy; docs/PERFORMANCE.md documents the regeneration
-// protocol, including how the seed baselines passed via -baseline are
-// measured.
+// Command benchjson measures one pipeline stage on golden benchmark
+// circuits and writes a machine-readable JSON report. -stage selects
+// the stage:
 //
-// Every (circuit, workers) point runs the full router -runs times and
-// keeps the fastest detail-stage wall time (best-of-N absorbs scheduler
-// noise on shared machines). The report fails unless every run of a
-// circuit — at every worker count — produced byte-identical routed
-// geometry, so the numbers can never come from divergent routes.
+//   - detail (default): the detailed-routing stage across worker
+//     counts. BENCH_detail.json at the repository root is the
+//     checked-in copy; docs/PERFORMANCE.md documents the regeneration
+//     protocol, including how the seed baselines passed via -baseline
+//     are measured.
+//   - fracture: the write-prep fracturing stage in both modes (rect
+//     and lshape) on the already-routed geometry, reporting shot
+//     throughput (shots/s) and the L-shape shot-count reduction.
+//     BENCH_fracture.json is the checked-in copy.
+//
+// Every measured point runs -runs times and keeps the fastest wall
+// time (best-of-N absorbs scheduler noise on shared machines). The
+// report fails unless every run produced byte-identical output —
+// routed geometry for detail, canonical shot lists for fracture — so
+// the numbers can never come from divergent results.
 //
 // Usage:
 //
-//	benchjson [-circuits Primary1,S5378,S9234] [-workers 1,4] [-runs 5]
+//	benchjson [-stage detail|fracture] [-circuits Primary1,S5378,S9234]
+//	          [-workers 1,4] [-runs 5]
 //	          [-baseline Primary1=0.18,S5378=0.63,S9234=0.55] [-baseline-note ...]
 //	          [-out BENCH_detail.json]
 package main
@@ -31,6 +39,7 @@ import (
 
 	"stitchroute/internal/bench"
 	"stitchroute/internal/core"
+	"stitchroute/internal/fracture"
 	"stitchroute/internal/netlist"
 	"stitchroute/internal/nlio"
 )
@@ -73,6 +82,40 @@ type point struct {
 	FailedNets       int     `json:"failedNets"`
 }
 
+// fractureReport is the top-level JSON document for -stage fracture.
+type fractureReport struct {
+	Generated    string            `json:"generated"`
+	GoVersion    string            `json:"goVersion"`
+	GOOS         string            `json:"goos"`
+	GOARCH       string            `json:"goarch"`
+	NumCPU       int               `json:"numCPU"`
+	RunsPerPoint int               `json:"runsPerPoint"`
+	Methodology  string            `json:"methodology"`
+	Circuits     []fractureCircuit `json:"circuits"`
+}
+
+type fractureCircuit struct {
+	Circuit    string `json:"circuit"`
+	Nets       int    `json:"nets"`
+	RoutesHash string `json:"routesHash"`
+	// ShotsHash is the canonical hash of the L-shape shot list; every
+	// timed repetition must reproduce it.
+	ShotsHash   string `json:"shotsHash"`
+	RectShots   int    `json:"rectShots"`
+	LShapeShots int    `json:"lshapeShots"`
+	// LShapeReduction is 1 − lshapeShots/rectShots: the fraction of VSB
+	// shots the L-shape mode removes.
+	LShapeReduction float64         `json:"lshapeReduction"`
+	Points          []fracturePoint `json:"points"`
+}
+
+type fracturePoint struct {
+	Mode            string  `json:"mode"`
+	Shots           int     `json:"shots"`
+	FractureSeconds float64 `json:"fractureSeconds"`
+	ShotsPerSecond  float64 `json:"shotsPerSecond"`
+}
+
 const methodology = "Per point: the full stitch-aware router runs -runs times on a freshly " +
 	"generated circuit and the fastest detail-stage wall time is kept (best-of-N). " +
 	"All runs of a circuit must produce byte-identical routed geometry (routesHash) " +
@@ -82,6 +125,14 @@ const methodology = "Per point: the full stitch-aware router runs -runs times on
 	"(speedupVsSeed) comes from the per-worker search arenas and allocation-free " +
 	"scratch the parallel refactor introduced."
 
+const fractureMethodology = "Per circuit: the stitch-aware router produces routed geometry once " +
+	"(untimed), then each fracturing mode (rect, lshape) runs -runs times on that geometry " +
+	"and the fastest wall time is kept (best-of-N). Every repetition must produce the " +
+	"byte-identical canonical shot list (shotsHash checked per mode) or the report fails. " +
+	"shotsPerSecond divides the mode's emitted shot count by its best wall time; " +
+	"lshapeReduction is the fraction of VSB shots the L-shape pairing removes versus " +
+	"the rectangle baseline."
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
@@ -90,16 +141,25 @@ func main() {
 
 func run() int {
 	var (
+		stage        = flag.String("stage", "detail", "pipeline stage to measure: detail or fracture")
 		circuitsFlag = flag.String("circuits", "Primary1,S5378,S9234", "comma-separated benchmark circuits")
-		workersFlag  = flag.String("workers", "1,4", "comma-separated detailed-routing worker counts")
-		runs         = flag.Int("runs", 5, "runs per (circuit, workers) point; fastest is kept")
-		baselineFlag = flag.String("baseline", "", "comma-separated name=seconds seed detail baselines")
+		workersFlag  = flag.String("workers", "1,4", "comma-separated detailed-routing worker counts (detail stage)")
+		runs         = flag.Int("runs", 5, "runs per measured point; fastest is kept")
+		baselineFlag = flag.String("baseline", "", "comma-separated name=seconds seed detail baselines (detail stage)")
 		baselineNote = flag.String("baseline-note", "", "provenance of the -baseline numbers, recorded verbatim")
 		out          = flag.String("out", "-", "output file (- = stdout)")
 	)
 	flag.Parse()
 	if *runs < 1 {
 		log.Printf("runs must be >= 1, got %d", *runs)
+		return 2
+	}
+	switch *stage {
+	case "detail":
+	case "fracture":
+		return runFracture(*circuitsFlag, *runs, *out)
+	default:
+		log.Printf("unknown -stage %q (want detail or fracture)", *stage)
 		return 2
 	}
 
@@ -144,13 +204,18 @@ func run() int {
 		log.Printf("%s done", name)
 	}
 
-	buf, err := json.MarshalIndent(&rep, "", "  ")
+	return writeReport(&rep, *out)
+}
+
+// writeReport marshals the report and writes it to out ("-" = stdout).
+func writeReport(rep any, out string) int {
+	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		log.Print(err)
 		return 1
 	}
 	buf = append(buf, '\n')
-	if *out == "-" {
+	if out == "-" {
 		// A report nobody received is a failed run: a broken pipe or a
 		// full disk downstream must surface as a nonzero exit, not as a
 		// silently truncated JSON document.
@@ -160,12 +225,97 @@ func run() int {
 		}
 		return 0
 	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
 		log.Print(err)
 		return 1
 	}
-	log.Printf("wrote %s", *out)
+	log.Printf("wrote %s", out)
 	return 0
+}
+
+// runFracture measures the write-prep fracturing stage (-stage fracture).
+func runFracture(circuitsFlag string, runs int, out string) int {
+	rep := fractureReport{
+		Generated:    time.Now().UTC().Format(time.RFC3339),
+		GoVersion:    runtime.Version(),
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+		NumCPU:       runtime.NumCPU(),
+		RunsPerPoint: runs,
+		Methodology:  fractureMethodology,
+	}
+	for _, name := range strings.Split(circuitsFlag, ",") {
+		name = strings.TrimSpace(name)
+		fc, err := measureFracture(name, runs)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		rep.Circuits = append(rep.Circuits, *fc)
+		log.Printf("%s done", name)
+	}
+	return writeReport(&rep, out)
+}
+
+// measureFracture routes the named circuit once, then times both
+// fracturing modes best-of-N on the routed geometry, verifying every
+// repetition reproduces the identical canonical shot list.
+func measureFracture(name string, runs int) (*fractureCircuit, error) {
+	spec, err := bench.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	c := bench.Generate(spec)
+	res, err := core.Route(c, core.StitchAware())
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	fc := &fractureCircuit{Circuit: name, Nets: len(c.Nets)}
+	if fc.RoutesHash, err = nlio.RoutesHash(res.Routes); err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	for _, mode := range []fracture.Mode{fracture.ModeRect, fracture.ModeLShape} {
+		// One untimed warm-up so the first measured repetition does not
+		// pay for heap growth.
+		warm := fracture.Fracture(res.Routes, c.Fabric.Layers, mode, fracture.Options{})
+		hash, err := fracture.ShotsHash(warm.Shots)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", name, mode, err)
+		}
+		p := fracturePoint{Mode: mode.String(), Shots: warm.ShotCount}
+		for i := 0; i < runs; i++ {
+			start := time.Now()
+			fr := fracture.Fracture(res.Routes, c.Fabric.Layers, mode, fracture.Options{})
+			secs := time.Since(start).Seconds()
+			h, err := fracture.ShotsHash(fr.Shots)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", name, mode, err)
+			}
+			if h != hash {
+				return nil, fmt.Errorf("%s/%s run %d: shots hash %s differs from %s",
+					name, mode, i, h, hash)
+			}
+			if i == 0 || secs < p.FractureSeconds {
+				p.FractureSeconds = secs
+			}
+		}
+		if p.FractureSeconds > 0 {
+			p.ShotsPerSecond = round3(float64(p.Shots) / p.FractureSeconds)
+		}
+		p.FractureSeconds = round3(p.FractureSeconds)
+		switch mode {
+		case fracture.ModeRect:
+			fc.RectShots = p.Shots
+		case fracture.ModeLShape:
+			fc.LShapeShots = p.Shots
+			fc.ShotsHash = hash
+		}
+		fc.Points = append(fc.Points, p)
+	}
+	if fc.RectShots > 0 {
+		fc.LShapeReduction = round3(1 - float64(fc.LShapeShots)/float64(fc.RectShots))
+	}
+	return fc, nil
 }
 
 // measureCircuit runs every worker count on the named circuit and checks

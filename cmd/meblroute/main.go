@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	meblroute -circuit S9234 [-mode stitch|baseline] [-track graph|ilp|conventional] [-workers N] [-timeout 30s] [-cpuprofile f] [-memprofile f] [-v]
+//	meblroute -circuit S9234 [-mode stitch|baseline] [-track graph|ilp|conventional] [-workers N] [-fracture rect|lshape] [-stencil] [-timeout 30s] [-cpuprofile f] [-memprofile f] [-v]
 package main
 
 import (
@@ -21,10 +21,12 @@ import (
 	"stitchroute/internal/bench"
 	"stitchroute/internal/core"
 	"stitchroute/internal/drc"
+	"stitchroute/internal/fracture"
 	"stitchroute/internal/geom"
 	"stitchroute/internal/netlist"
 	"stitchroute/internal/nlio"
 	"stitchroute/internal/place"
+	"stitchroute/internal/stencil"
 	"stitchroute/internal/track"
 	"stitchroute/internal/viz"
 )
@@ -39,20 +41,22 @@ func main() {
 // the process exits with a nonzero status.
 func run() int {
 	var (
-		circuit = flag.String("circuit", "S9234", "benchmark circuit name (see cmd/benchgen -list)")
-		inFile  = flag.String("in", "", "route a circuit from an nlio text file instead of a benchmark")
-		doPlace = flag.Bool("place", false, "run stitch-aware placement refinement before routing")
-		mode    = flag.String("mode", "stitch", "router mode: stitch or baseline")
-		trk     = flag.String("track", "", "override track assignment: conventional, ilp, or graph")
-		workers = flag.Int("workers", 0, "detailed-routing workers (0 = GOMAXPROCS, 1 = sequential); results are identical for every value")
-		verbose = flag.Bool("v", false, "print per-stage detail")
-		outFile = flag.String("routes", "", "write the routed geometry to this file (nlio routes format)")
-		jsonOut = flag.Bool("json", false, "print the result summary as JSON (machine-readable)")
-		svgOut  = flag.String("svg", "", "write the routed layout as SVG to this file")
-		checkIn = flag.String("check", "", "skip routing: DRC-check this routes file against the circuit")
-		timeout = flag.Duration("timeout", 0, "abort routing after this long (0 = no limit)")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		circuit  = flag.String("circuit", "S9234", "benchmark circuit name (see cmd/benchgen -list)")
+		inFile   = flag.String("in", "", "route a circuit from an nlio text file instead of a benchmark")
+		doPlace  = flag.Bool("place", false, "run stitch-aware placement refinement before routing")
+		mode     = flag.String("mode", "stitch", "router mode: stitch or baseline")
+		trk      = flag.String("track", "", "override track assignment: conventional, ilp, or graph")
+		workers  = flag.Int("workers", 0, "detailed-routing workers (0 = GOMAXPROCS, 1 = sequential); results are identical for every value")
+		verbose  = flag.Bool("v", false, "print per-stage detail")
+		outFile  = flag.String("routes", "", "write the routed geometry to this file (nlio routes format)")
+		jsonOut  = flag.Bool("json", false, "print the result summary as JSON (machine-readable)")
+		svgOut   = flag.String("svg", "", "write the routed layout as SVG to this file")
+		checkIn  = flag.String("check", "", "skip routing: DRC-check this routes file against the circuit")
+		fracMode = flag.String("fracture", "", "run write-prep fracturing on the routed geometry: rect or lshape")
+		doSten   = flag.Bool("stencil", false, "plan a CP stencil from the fractured shots (requires -fracture)")
+		timeout  = flag.Duration("timeout", 0, "abort routing after this long (0 = no limit)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	cfg := core.StitchAware()
@@ -79,6 +83,17 @@ func run() int {
 		return 2
 	}
 	cfg.Detail.Workers = *workers
+	var fmode fracture.Mode
+	if *fracMode != "" {
+		var err error
+		if fmode, err = fracture.ParseMode(*fracMode); err != nil {
+			log.Print(err)
+			return 2
+		}
+	} else if *doSten {
+		log.Print("-stencil requires -fracture")
+		return 2
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -194,6 +209,14 @@ func run() int {
 		return 1
 	}
 	rep := res.Report
+	var fres *fracture.Result
+	var splan *stencil.Plan
+	if *fracMode != "" {
+		fres = fracture.Fracture(res.Routes, c.Fabric.Layers, fmode, fracture.Options{})
+		if *doSten {
+			splan = stencil.Build(fres.Shots, stencil.Options{})
+		}
+	}
 	if *jsonOut {
 		summary := map[string]any{
 			"circuit":             c.Name,
@@ -216,6 +239,34 @@ func run() int {
 			"detailSeconds":       res.Times.Detail.Seconds(),
 			"cpuSeconds":          res.Times.Total().Seconds(),
 		}
+		if fres != nil {
+			hash, err := fracture.ShotsHash(fres.Shots)
+			if err != nil {
+				log.Print(err)
+				return 1
+			}
+			summary["fracture"] = map[string]any{
+				"mode":      fres.Mode.String(),
+				"shots":     fres.ShotCount,
+				"rectShots": fres.RectShots,
+				"lShots":    fres.LShots,
+				"slivers":   fres.Slivers,
+				"area":      fres.Area,
+				"reduction": fres.LShapeReduction(),
+				"shotsHash": hash,
+			}
+		}
+		if splan != nil {
+			summary["stencil"] = map[string]any{
+				"characters": len(splan.Placements),
+				"candidates": splan.Candidates,
+				"cpFlashes":  splan.CPFlashes,
+				"vsbTime":    splan.VSBTime,
+				"cpTime":     splan.CPTime,
+				"saving":     splan.Saving,
+				"reduction":  splan.Reduction(),
+			}
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(summary); err != nil {
@@ -226,6 +277,18 @@ func run() int {
 		fmt.Printf("Rout. %.2f%%  #VV %d  #SP %d  WL %d  CPU %.2fs\n",
 			rep.Routability(), rep.ViaViolations, rep.ShortPolygons, rep.Wirelength,
 			res.Times.Total().Seconds())
+		if fres != nil {
+			fmt.Printf("fracture (%s): %d shots", fres.Mode, fres.ShotCount)
+			if fres.Mode == fracture.ModeLShape {
+				fmt.Printf(" (%d rect baseline, %.1f%% saved)", fres.RectShots, 100*fres.LShapeReduction())
+			}
+			fmt.Printf(", %d slivers\n", fres.Slivers)
+		}
+		if splan != nil {
+			fmt.Printf("stencil: %d characters, %d CP flashes, write time %.1f -> %.1f (%.1f%% saved)\n",
+				len(splan.Placements), splan.CPFlashes, splan.VSBTime, splan.CPTime,
+				100*splan.Reduction())
+		}
 		if *verbose {
 			fmt.Printf("  global:  %8.2fs  WL %d  TVOF %d  MVOF %d  edge-overflow %d\n",
 				res.Times.Global.Seconds(), res.GlobalWL, res.TVOF, res.MVOF, res.EdgeOverflow)

@@ -24,7 +24,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tablegen: ")
 	var (
-		table    = flag.Int("table", 0, "table number 1-8 (0 = all)")
+		table    = flag.Int("table", 0, "table number 1-9 (0 = all)")
 		circuits = flag.String("circuits", "small", `"small", "all", "hard", or a comma-separated list`)
 		ablation = flag.String("ablation", "", "run the design-choice ablation on the named circuit instead of tables")
 		physical = flag.String("physical", "", "run the rasterization-level validation on the named circuit")
@@ -75,6 +75,11 @@ func main() {
 			rows, err := experiments.Table8(names)
 			check(err)
 			experiments.FprintTable8(w, rows)
+		case 9:
+			fmt.Fprintln(w, "Table IX — MEBL write-prep: fracturing + stencil planning (extension)")
+			rows, err := experiments.Table9(names)
+			check(err)
+			experiments.FprintTable9(w, rows)
 		default:
 			log.Fatalf("unknown table %d", n)
 		}
@@ -111,7 +116,7 @@ func main() {
 		run(*table)
 		return
 	}
-	for n := 1; n <= 8; n++ {
+	for n := 1; n <= 9; n++ {
 		run(n)
 	}
 }

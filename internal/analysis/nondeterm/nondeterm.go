@@ -53,6 +53,7 @@ var Analyzer = &analysis.Analyzer{
 	Packages: []string{
 		"internal/global", "internal/detail", "internal/core",
 		"internal/steiner", "internal/track", "internal/plan",
+		"internal/fracture", "internal/stencil",
 	},
 	Run: run,
 }

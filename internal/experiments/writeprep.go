@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"stitchroute/internal/core"
+	"stitchroute/internal/fracture"
+	"stitchroute/internal/stencil"
+)
+
+// ---------------------------------------------------------------------
+// Table IX (extension): downstream MEBL write-prep — fracturing and
+// stencil planning on the stitch-aware router's output.
+
+// Table9Row reports the write-prep pipeline on one circuit: both
+// fracturing modes plus the stencil plan built on the L-shape shots.
+type Table9Row struct {
+	Circuit     string
+	RectShots   int           // rectangle-only baseline shot count
+	LShapeShots int           // shot count with L-shape pairing
+	LShots      int           // how many of those are L-shape shots
+	Slivers     int           // sub-SliverLen shots remaining (lshape mode)
+	Characters  int           // stencil characters packed onto the plate
+	Clusters    int           // aperture windows in the layout
+	CPFlashes   int           // clusters printing as a CP character
+	WriteSaving float64       // fractional write-time reduction of the plan
+	CPU         time.Duration // fracture (both modes) + stencil wall time
+}
+
+// ShotReduction is the fractional VSB shot-count reduction of L-shape
+// fracturing versus the rectangle baseline.
+func (r Table9Row) ShotReduction() float64 {
+	return 1 - ratio(float64(r.LShapeShots), float64(r.RectShots))
+}
+
+// Table9 routes the named circuits with the stitch-aware flow and runs
+// the full write-prep pipeline on the committed routes. Circuits run in
+// parallel; each circuit's write-prep stages run serially so the CPU
+// column stays meaningful.
+func Table9(circuits []string) ([]Table9Row, error) {
+	rows := make([]Table9Row, len(circuits))
+	err := forEachCircuit(circuits, func(i int, name string) error {
+		c, res, err := RouteCircuit(name, core.StitchAware())
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		rect := fracture.Fracture(res.Routes, c.Fabric.Layers, fracture.ModeRect, fracture.Options{})
+		ls := fracture.Fracture(res.Routes, c.Fabric.Layers, fracture.ModeLShape, fracture.Options{})
+		plan := stencil.Build(ls.Shots, stencil.Options{})
+		rows[i] = Table9Row{
+			Circuit:     name,
+			RectShots:   rect.ShotCount,
+			LShapeShots: ls.ShotCount,
+			LShots:      ls.LShots,
+			Slivers:     ls.Slivers,
+			Characters:  len(plan.Placements),
+			Clusters:    plan.Clusters,
+			CPFlashes:   plan.CPFlashes,
+			WriteSaving: plan.Reduction(),
+			CPU:         time.Since(start),
+		}
+		return nil
+	})
+	return rows, err
+}
+
+// FprintTable9 renders the write-prep table.
+func FprintTable9(w io.Writer, rows []Table9Row) {
+	fmt.Fprintf(w, "%-10s | %9s %9s %7s | %6s %8s %9s %8s | %8s\n",
+		"Circuit", "RectShots", "L-Shots", "Red%", "#Char", "CP/Clust", "WriteRed%", "Slivers", "CPU(s)")
+	var rectTot, lsTot int
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s | %9d %9d %7.2f | %6d %4d/%-4d %9.2f %8d | %8.2f\n",
+			r.Circuit, r.RectShots, r.LShapeShots, 100*r.ShotReduction(),
+			r.Characters, r.CPFlashes, r.Clusters, 100*r.WriteSaving,
+			r.Slivers, r.CPU.Seconds())
+		rectTot += r.RectShots
+		lsTot += r.LShapeShots
+	}
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%-10s | %9d %9d %7.2f |\n",
+		"Total", rectTot, lsTot, 100*(1-ratio(float64(lsTot), float64(rectTot))))
+}

@@ -1,0 +1,443 @@
+// Package fracture implements the first stage of the MEBL write-prep
+// pipeline: converting committed routed geometry into e-beam shots.
+//
+// A variable-shaped-beam (VSB) or character-projection (CP) writer cannot
+// expose arbitrary rectilinear polygons; mask data preparation fractures
+// each layer's polygons into shots, and the shot count is the dominant
+// term of write time. This package provides two fracturing modes over the
+// per-layer union of routed wires and via pads:
+//
+//   - ModeRect — the rectangle-only baseline: a horizontal sweep
+//     decomposition that emits one maximal-height rectangle per maximal
+//     run of identical row coverage.
+//   - ModeLShape — L-shape fracturing after "L-Shape Based Layout
+//     Fracturing for E-Beam Lithography" (arXiv 1402.2420): vertically
+//     adjacent sweep rectangles whose union is an L-shape (exactly one
+//     aligned side, six corners) are paired, and a maximum matching over
+//     the pairing graph merges each matched pair into a single two-
+//     rectangle L shot, strictly reducing the shot count.
+//
+// The pairing graph is solved exactly per connected component: bipartite
+// components through the Hungarian assignment (internal/matching), odd
+// components through the branch-and-bound solver (internal/ilp). Only
+// components beyond the exact-size caps fall back to a deterministic
+// greedy matching, and Result.GreedyComponents reports when that
+// happened.
+//
+// All input orderings are explicit and every tie is broken by geometry,
+// so fracturing the same routes twice yields byte-identical shot lists —
+// the same determinism contract the router itself carries.
+package fracture
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"stitchroute/internal/geom"
+	"stitchroute/internal/plan"
+)
+
+// Mode selects the fracturing algorithm.
+type Mode int
+
+const (
+	// ModeRect is the rectangle-only horizontal sweep baseline.
+	ModeRect Mode = iota
+	// ModeLShape additionally merges rectangle pairs into L-shape shots.
+	ModeLShape
+)
+
+// ParseMode maps the CLI/API spelling of a mode ("rect" or "lshape").
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "rect":
+		return ModeRect, nil
+	case "lshape":
+		return ModeLShape, nil
+	}
+	return 0, fmt.Errorf("fracture: unknown mode %q (want \"rect\" or \"lshape\")", s)
+}
+
+func (m Mode) String() string {
+	if m == ModeLShape {
+		return "lshape"
+	}
+	return "rect"
+}
+
+// Shot is one e-beam exposure. A rectangle shot has only A and an empty
+// B; an L-shape shot is the union of the two disjoint rectangles A and B
+// (A is the one with the smaller (Y0, X0)). Note the zero Rect is the
+// 1×1 cell at the origin, not empty, so rectangle shots carry noRect.
+type Shot struct {
+	Layer int
+	A     geom.Rect
+	B     geom.Rect
+}
+
+// noRect is the canonical empty B of a rectangle shot.
+var noRect = geom.Rect{X0: 0, Y0: 0, X1: -1, Y1: -1}
+
+// IsL reports whether the shot is an L-shape (two-rectangle) shot.
+func (s Shot) IsL() bool { return !s.B.Empty() }
+
+// Area returns the number of grid cells the shot exposes.
+func (s Shot) Area() int {
+	a := s.A.Area()
+	if s.IsL() {
+		a += s.B.Area()
+	}
+	return a
+}
+
+// longest returns the longer bounding dimension of the shot's union.
+func (s Shot) longest() int {
+	r := s.A
+	if s.IsL() {
+		r = r.Union(s.B)
+	}
+	if w, h := r.W(), r.H(); w > h {
+		return w
+	} else {
+		return h
+	}
+}
+
+// Options tunes fracturing.
+type Options struct {
+	// SliverLen is the sliver threshold: a shot whose union spans fewer
+	// than SliverLen tracks in its longer dimension counts as a sliver
+	// (the write-prep analog of the router's short polygons: tiny
+	// exposures whose edge dose error is a large fraction of the
+	// feature). 0 means DefaultSliverLen.
+	SliverLen int
+	// MaxHungarian caps the component size solved exactly with the
+	// Hungarian assignment; 0 means DefaultMaxHungarian.
+	MaxHungarian int
+	// MaxOddExact caps the (non-bipartite) component size solved exactly
+	// with branch and bound; 0 means DefaultMaxOddExact.
+	MaxOddExact int
+}
+
+// Defaults for Options.
+const (
+	DefaultSliverLen    = 3
+	DefaultMaxHungarian = 256
+	DefaultMaxOddExact  = 24
+)
+
+func (o Options) withDefaults() Options {
+	if o.SliverLen <= 0 {
+		o.SliverLen = DefaultSliverLen
+	}
+	if o.MaxHungarian <= 0 {
+		o.MaxHungarian = DefaultMaxHungarian
+	}
+	if o.MaxOddExact <= 0 {
+		o.MaxOddExact = DefaultMaxOddExact
+	}
+	return o
+}
+
+// LayerStats is the per-layer fracturing summary.
+type LayerStats struct {
+	Layer   int   `json:"layer"`
+	Rects   int   `json:"rects"`   // sweep rectangles (= rect-only shots)
+	Shots   int   `json:"shots"`   // shots emitted in the selected mode
+	LShots  int   `json:"lShots"`  // L-shape shots among them
+	Slivers int   `json:"slivers"` // shots under the sliver threshold
+	Area    int64 `json:"area"`    // exposed cells (equals the union area)
+}
+
+// Result is the fractured shot list with its statistics.
+type Result struct {
+	Mode  Mode
+	Shots []Shot
+	// Layers holds per-layer stats, ascending by layer; layers with no
+	// geometry are omitted.
+	Layers []LayerStats
+
+	// RectShots is the rectangle-only baseline count (the sweep
+	// rectangle total); in ModeRect it equals ShotCount.
+	RectShots int
+	ShotCount int
+	LShots    int
+	Slivers   int
+	Area      int64
+
+	// GreedyComponents counts pairing components beyond the exact-size
+	// caps that were matched greedily; 0 means the matching is a proven
+	// maximum. MatchNodes is the total branch-and-bound node count.
+	GreedyComponents int
+	MatchNodes       int
+}
+
+// LShapeReduction returns the fractional shot-count reduction of the
+// result against its rectangle-only baseline (0 for ModeRect).
+func (r *Result) LShapeReduction() float64 {
+	if r.RectShots == 0 {
+		return 0
+	}
+	return float64(r.RectShots-r.ShotCount) / float64(r.RectShots)
+}
+
+// Fracture fractures the routed geometry of layers 1..layers.
+func Fracture(routes []plan.NetRoute, layers int, mode Mode, opts Options) *Result {
+	res, err := FractureContext(context.Background(), routes, layers, mode, opts)
+	if err != nil {
+		// Only context cancellation produces an error, and the background
+		// context cannot be cancelled.
+		panic("fracture: background context cancelled: " + err.Error())
+	}
+	return res
+}
+
+// FractureContext is Fracture under a context: cancellation is observed
+// between layers and inside the branch-and-bound pairing search, and a
+// cancelled run returns the context's error.
+func FractureContext(ctx context.Context, routes []plan.NetRoute, layers int, mode Mode, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	res := &Result{Mode: mode}
+	for l := 1; l <= layers; l++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("fracture: %w", err)
+		}
+		rows := layerRows(routes, l)
+		if len(rows) == 0 {
+			continue
+		}
+		rects := sweep(rows)
+		ls := LayerStats{Layer: l, Rects: len(rects)}
+		for _, r := range rects {
+			ls.Area += int64(r.Area())
+		}
+
+		var shots []Shot
+		if mode == ModeLShape {
+			pairing, err := matchLPairs(ctx, rects, opts, res)
+			if err != nil {
+				return nil, err
+			}
+			shots = emitShots(l, rects, pairing)
+		} else {
+			shots = emitShots(l, rects, nil)
+		}
+		for _, s := range shots {
+			if s.IsL() {
+				ls.LShots++
+			}
+			if s.longest() < opts.SliverLen {
+				ls.Slivers++
+			}
+		}
+		ls.Shots = len(shots)
+
+		res.Shots = append(res.Shots, shots...)
+		res.Layers = append(res.Layers, ls)
+		res.RectShots += ls.Rects
+		res.ShotCount += ls.Shots
+		res.LShots += ls.LShots
+		res.Slivers += ls.Slivers
+		res.Area += ls.Area
+	}
+	return res, nil
+}
+
+// emitShots converts the sweep rectangles and the pairing (pairing[i] = j
+// means rects i and j merge into one L shot; -1 or nil pairing = single)
+// into the canonical shot list, ordered by (A.Y0, A.X0, A.Y1, A.X1).
+func emitShots(layer int, rects []geom.Rect, pairing []int) []Shot {
+	shots := make([]Shot, 0, len(rects))
+	for i, r := range rects {
+		if pairing != nil && pairing[i] >= 0 {
+			j := pairing[i]
+			if j < i {
+				continue // emitted with its partner
+			}
+			shots = append(shots, Shot{Layer: layer, A: r, B: rects[j]})
+			continue
+		}
+		shots = append(shots, Shot{Layer: layer, A: r, B: noRect})
+	}
+	sort.Slice(shots, func(i, j int) bool {
+		a, b := shots[i], shots[j]
+		if a.A.Y0 != b.A.Y0 {
+			return a.A.Y0 < b.A.Y0
+		}
+		if a.A.X0 != b.A.X0 {
+			return a.A.X0 < b.A.X0
+		}
+		if a.A.Y1 != b.A.Y1 {
+			return a.A.Y1 < b.A.Y1
+		}
+		return a.A.X1 < b.A.X1
+	})
+	return shots
+}
+
+// InputRects returns the raw, possibly overlapping rectangles of the
+// routed geometry on one layer: every wire as a one-track-wide rectangle
+// and every via as a 1×1 landing pad on both layers it joins. This is
+// the exact geometry Fracture decomposes, exposed so the raster
+// differential gate can render the unfractured reference.
+func InputRects(routes []plan.NetRoute, layer int) []geom.Rect {
+	var out []geom.Rect
+	for i := range routes {
+		for _, w := range routes[i].Wires {
+			if w.Layer != layer {
+				continue
+			}
+			a, b := w.Ends()
+			out = append(out, geom.NewRect(a, b))
+		}
+		for _, v := range routes[i].Vias {
+			if v.Layer == layer || v.Layer+1 == layer {
+				p := geom.Point{X: v.X, Y: v.Y}
+				out = append(out, geom.NewRect(p, p))
+			}
+		}
+	}
+	return out
+}
+
+// ShotRects appends the rectangles of every shot on the layer to dst:
+// one per rectangle shot, two per L shot. The rectangles of a correct
+// fracturing are pairwise disjoint and cover exactly the layer's union.
+func ShotRects(dst []geom.Rect, shots []Shot, layer int) []geom.Rect {
+	for _, s := range shots {
+		if s.Layer != layer {
+			continue
+		}
+		dst = append(dst, s.A)
+		if s.IsL() {
+			dst = append(dst, s.B)
+		}
+	}
+	return dst
+}
+
+// layerRows builds the exact cell coverage of one layer as maximal
+// horizontal runs: rows[k] is row ys[k]'s sorted, disjoint, non-adjacent
+// interval list. Wires contribute their one-track-wide footprint and
+// vias a 1×1 pad on both layers they join.
+func layerRows(routes []plan.NetRoute, layer int) []row {
+	raw := map[int][]geom.Interval{}
+	add := func(y int, iv geom.Interval) { raw[y] = append(raw[y], iv) }
+	for i := range routes {
+		for _, w := range routes[i].Wires {
+			if w.Layer != layer {
+				continue
+			}
+			if w.Orient == geom.Horizontal {
+				add(w.Fixed, w.Span)
+			} else {
+				for y := w.Span.Lo; y <= w.Span.Hi; y++ {
+					add(y, geom.Interval{Lo: w.Fixed, Hi: w.Fixed})
+				}
+			}
+		}
+		for _, v := range routes[i].Vias {
+			if v.Layer == layer || v.Layer+1 == layer {
+				add(v.Y, geom.Interval{Lo: v.X, Hi: v.X})
+			}
+		}
+	}
+	ys := make([]int, 0, len(raw))
+	for y := range raw {
+		ys = append(ys, y)
+	}
+	sort.Ints(ys)
+	rows := make([]row, 0, len(ys))
+	for _, y := range ys {
+		rows = append(rows, row{y: y, runs: mergeRuns(raw[y])})
+	}
+	return rows
+}
+
+// row is one grid row's coverage: sorted maximal runs.
+type row struct {
+	y    int
+	runs []geom.Interval
+}
+
+// mergeRuns sorts the intervals and merges overlapping or cell-adjacent
+// ones in place, returning the maximal-run list.
+func mergeRuns(ivs []geom.Interval) []geom.Interval {
+	if len(ivs) == 0 {
+		return ivs
+	}
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].Lo != ivs[j].Lo {
+			return ivs[i].Lo < ivs[j].Lo
+		}
+		return ivs[i].Hi < ivs[j].Hi
+	})
+	out := 0
+	for i := 1; i < len(ivs); i++ {
+		if ivs[i].Lo <= ivs[out].Hi+1 {
+			if ivs[i].Hi > ivs[out].Hi {
+				ivs[out].Hi = ivs[i].Hi
+			}
+			continue
+		}
+		out++
+		ivs[out] = ivs[i]
+	}
+	return ivs[:out+1]
+}
+
+// sweep decomposes the row coverage into maximal-height rectangles: a
+// run that repeats with the identical span on the next row extends the
+// open rectangle; any other transition closes it. The result is sorted
+// by (Y0, X0) and is exactly the rectangle-only shot list.
+func sweep(rows []row) []geom.Rect {
+	type open struct {
+		span geom.Interval
+		y0   int
+	}
+	var rects []geom.Rect
+	var active []open
+	closeAll := func(y1 int) {
+		for _, a := range active {
+			rects = append(rects, geom.Rect{X0: a.span.Lo, Y0: a.y0, X1: a.span.Hi, Y1: y1})
+		}
+		active = active[:0]
+	}
+	prevY := 0
+	var next []open
+	for ri, r := range rows {
+		if ri > 0 && r.y != prevY+1 {
+			closeAll(prevY)
+		}
+		// Merge-join the sorted open rectangles against the sorted runs:
+		// identical spans extend, everything else closes/opens.
+		next = next[:0]
+		ai := 0
+		for _, run := range r.runs {
+			for ai < len(active) && active[ai].span.Lo < run.Lo {
+				rects = append(rects, geom.Rect{X0: active[ai].span.Lo, Y0: active[ai].y0, X1: active[ai].span.Hi, Y1: prevY})
+				ai++
+			}
+			if ai < len(active) && active[ai].span == run {
+				next = append(next, open{span: run, y0: active[ai].y0})
+				ai++
+			} else {
+				next = append(next, open{span: run, y0: r.y})
+			}
+		}
+		for ; ai < len(active); ai++ {
+			rects = append(rects, geom.Rect{X0: active[ai].span.Lo, Y0: active[ai].y0, X1: active[ai].span.Hi, Y1: prevY})
+		}
+		active, next = next, active
+		prevY = r.y
+	}
+	closeAll(prevY)
+	sort.Slice(rects, func(i, j int) bool {
+		if rects[i].Y0 != rects[j].Y0 {
+			return rects[i].Y0 < rects[j].Y0
+		}
+		return rects[i].X0 < rects[j].X0
+	})
+	return rects
+}

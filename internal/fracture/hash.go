@@ -1,0 +1,38 @@
+package fracture
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+)
+
+// WriteShots serializes the shot list in a canonical text form: one shot
+// per line, layer then rectangle(s), in list order. Fracture emits shots
+// in a canonical order, so two fracturing runs are byte-identical exactly
+// when their serializations (and hence ShotsHash values) match.
+func WriteShots(w io.Writer, shots []Shot) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range shots {
+		if s.IsL() {
+			fmt.Fprintf(bw, "L %d %d %d %d %d %d %d %d %d\n", s.Layer,
+				s.A.X0, s.A.Y0, s.A.X1, s.A.Y1, s.B.X0, s.B.Y0, s.B.X1, s.B.Y1)
+		} else {
+			fmt.Fprintf(bw, "R %d %d %d %d %d\n", s.Layer,
+				s.A.X0, s.A.Y0, s.A.X1, s.A.Y1)
+		}
+	}
+	return bw.Flush()
+}
+
+// ShotsHash returns the SHA-256 of the canonical shot serialization —
+// the write-prep analog of nlio.RoutesHash, used by the harness to
+// assert that fracturing is deterministic.
+func ShotsHash(shots []Shot) (string, error) {
+	h := sha256.New()
+	if err := WriteShots(h, shots); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

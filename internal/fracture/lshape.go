@@ -1,0 +1,285 @@
+// L-shape pairing: which sweep rectangles merge into two-rectangle L
+// shots, and the maximum matching that picks a best disjoint set of
+// merges. Every matched pair saves exactly one shot, so maximizing the
+// matching minimizes the shot count over this merge family — the
+// rectangle-pairing view of arXiv 1402.2420's concave-vertex matching.
+package fracture
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"stitchroute/internal/geom"
+	"stitchroute/internal/ilp"
+	"stitchroute/internal/matching"
+)
+
+// lMergeable reports whether the union of two sweep rectangles is an
+// L-shape shot. In a horizontal sweep decomposition two distinct
+// rectangles can only touch across a row boundary, so the condition is:
+// vertically adjacent, x-spans sharing at least one column, and exactly
+// one vertical side aligned (both aligned would be a plain rectangle,
+// which the sweep already merged; neither aligned is an 8-corner T/Z).
+func lMergeable(a, b geom.Rect) bool {
+	if a.Y1+1 != b.Y0 && b.Y1+1 != a.Y0 {
+		return false
+	}
+	if a.X0 > b.X1 || b.X0 > a.X1 {
+		return false
+	}
+	return (a.X0 == b.X0) != (a.X1 == b.X1)
+}
+
+// matchLPairs builds the pairing graph over the sweep rectangles and
+// returns pairing[i] = j for matched pairs (mutual; -1 for unmatched).
+// Components are solved exactly where the size caps allow — bipartite
+// ones with the Hungarian assignment, odd ones with branch and bound —
+// and greedily beyond the caps; res accumulates the solver statistics.
+func matchLPairs(ctx context.Context, rects []geom.Rect, opts Options, res *Result) ([]int, error) {
+	n := len(rects)
+	pairing := make([]int, n)
+	for i := range pairing {
+		pairing[i] = -1
+	}
+	if n < 2 {
+		return pairing, nil
+	}
+
+	// Candidate edges: rects is sorted by (Y0, X0), so bucket rectangle
+	// indices by their starting row and probe each rectangle's ending
+	// boundary. Adjacency lists come out sorted by construction.
+	startRow := map[int][]int{}
+	for i, r := range rects {
+		startRow[r.Y0] = append(startRow[r.Y0], i)
+	}
+	adj := make([][]int, n)
+	for i, r := range rects {
+		for _, j := range startRow[r.Y1+1] {
+			if lMergeable(r, rects[j]) {
+				adj[i] = append(adj[i], j)
+				adj[j] = append(adj[j], i)
+			}
+		}
+	}
+
+	// Connected components over the pairing graph, in index order.
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var queue []int
+	for i := 0; i < n; i++ {
+		if comp[i] >= 0 || len(adj[i]) == 0 {
+			continue
+		}
+		var nodes []int
+		comp[i] = i
+		queue = append(queue[:0], i)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			nodes = append(nodes, v)
+			for _, u := range adj[v] {
+				if comp[u] < 0 {
+					comp[u] = i
+					queue = append(queue, u)
+				}
+			}
+		}
+		sort.Ints(nodes)
+		if err := matchComponent(ctx, nodes, adj, pairing, opts, res); err != nil {
+			return nil, err
+		}
+	}
+	return pairing, nil
+}
+
+// matchComponent maximum-matches one connected component and writes the
+// result into pairing.
+func matchComponent(ctx context.Context, nodes []int, adj [][]int, pairing []int, opts Options, res *Result) error {
+	if len(nodes) == 2 {
+		pairing[nodes[0]] = nodes[1]
+		pairing[nodes[1]] = nodes[0]
+		return nil
+	}
+	if sideA, sideB, ok := twoColor(nodes, adj); ok {
+		if len(nodes) <= opts.MaxHungarian {
+			matchBipartite(sideA, sideB, adj, pairing)
+			return nil
+		}
+	} else if len(nodes) <= opts.MaxOddExact {
+		return matchBnB(ctx, nodes, adj, pairing, res)
+	}
+	res.GreedyComponents++
+	matchGreedy(nodes, adj, pairing)
+	return nil
+}
+
+// twoColor attempts to 2-color the component; on success it returns the
+// two color classes in ascending index order.
+func twoColor(nodes []int, adj [][]int) (sideA, sideB []int, ok bool) {
+	color := make(map[int]int, len(nodes))
+	queue := []int{nodes[0]}
+	color[nodes[0]] = 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range adj[v] {
+			if c, seen := color[u]; seen {
+				if c == color[v] {
+					return nil, nil, false
+				}
+				continue
+			}
+			color[u] = 1 - color[v]
+			queue = append(queue, u)
+		}
+	}
+	for _, v := range nodes {
+		if color[v] == 0 {
+			sideA = append(sideA, v)
+		} else {
+			sideB = append(sideB, v)
+		}
+	}
+	return sideA, sideB, true
+}
+
+// matchBipartite solves maximum matching on a bipartite component as a
+// min-cost perfect assignment: pad both sides to equal size, charge 0
+// for a real mergeable pair and 1 for anything else; the Hungarian
+// minimum then uses as many real pairs as possible.
+func matchBipartite(sideA, sideB []int, adj [][]int, pairing []int) {
+	n := len(sideA)
+	if len(sideB) > n {
+		n = len(sideB)
+	}
+	posB := make(map[int]int, len(sideB))
+	for bi, v := range sideB {
+		posB[v] = bi
+	}
+	cost := make([][]int64, n)
+	for i := range cost {
+		cost[i] = make([]int64, n)
+		for j := range cost[i] {
+			cost[i][j] = 1
+		}
+	}
+	for ai, v := range sideA {
+		for _, u := range adj[v] {
+			cost[ai][posB[u]] = 0
+		}
+	}
+	assign, _ := matching.MinCostPerfect(cost)
+	for ai, bi := range assign {
+		if ai < len(sideA) && bi < len(sideB) && cost[ai][bi] == 0 {
+			a, b := sideA[ai], sideB[bi]
+			pairing[a] = b
+			pairing[b] = a
+		}
+	}
+}
+
+// matchProblem is the branch-and-bound model for exact maximum matching
+// on a small odd component: variables are the component's rectangles in
+// index order; each is either covered by an earlier pair (cost 0), left
+// single (cost 1 — one shot), or paired with a later unmatched neighbor
+// (cost 1 — one shot for two rectangles). The minimum total cost is the
+// component's minimum shot count.
+type matchProblem struct {
+	nodes   []int       // sorted rectangle indices
+	pos     map[int]int // rectangle index -> variable
+	nbrs    [][]int     // per variable: neighbor variables, ascending
+	matched []bool      // by variable, maintained via Apply/Undo
+}
+
+// Candidate values: -2 = covered by an earlier pair, -1 = single,
+// >= 0 = the partner variable of a new pair.
+func (p *matchProblem) NumVars() int { return len(p.nodes) }
+
+func (p *matchProblem) Candidates(v int, dst []ilp.Candidate) []ilp.Candidate {
+	if p.matched[v] {
+		return append(dst, ilp.Candidate{Value: -2, Cost: 0})
+	}
+	for _, u := range p.nbrs[v] {
+		if u > v && !p.matched[u] {
+			dst = append(dst, ilp.Candidate{Value: u, Cost: 1})
+		}
+	}
+	return append(dst, ilp.Candidate{Value: -1, Cost: 1})
+}
+
+func (p *matchProblem) Apply(v, val int) {
+	if val >= 0 {
+		p.matched[v] = true
+		p.matched[val] = true
+	}
+}
+
+func (p *matchProblem) Undo(v, val int) {
+	if val >= 0 {
+		p.matched[v] = false
+		p.matched[val] = false
+	}
+}
+
+// bnbNodeBudget bounds the branch-and-bound search per component. The
+// cap exists only as a backstop: components at MaxOddExact size stay far
+// below it, so the matching remains exact in practice.
+const bnbNodeBudget = 1 << 20
+
+func matchBnB(ctx context.Context, nodes []int, adj [][]int, pairing []int, res *Result) error {
+	p := &matchProblem{
+		nodes:   nodes,
+		pos:     make(map[int]int, len(nodes)),
+		nbrs:    make([][]int, len(nodes)),
+		matched: make([]bool, len(nodes)),
+	}
+	for vi, v := range nodes {
+		p.pos[v] = vi
+	}
+	for vi, v := range nodes {
+		for _, u := range adj[v] {
+			p.nbrs[vi] = append(p.nbrs[vi], p.pos[u])
+		}
+		sort.Ints(p.nbrs[vi])
+	}
+	sol := ilp.SolveContext(ctx, p, bnbNodeBudget, 0)
+	res.MatchNodes += sol.Nodes
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("fracture: %w", err)
+	}
+	if sol.Values == nil {
+		// Cannot happen — every variable always has the single candidate —
+		// but fall back to greedy rather than drop the component.
+		res.GreedyComponents++
+		matchGreedy(nodes, adj, pairing)
+		return nil
+	}
+	for vi, val := range sol.Values {
+		if val >= 0 {
+			a, b := nodes[vi], nodes[val]
+			pairing[a] = b
+			pairing[b] = a
+		}
+	}
+	return nil
+}
+
+// matchGreedy is the deterministic fallback for oversized components:
+// scan rectangles in index order and take the first available neighbor.
+func matchGreedy(nodes []int, adj [][]int, pairing []int) {
+	for _, v := range nodes {
+		if pairing[v] >= 0 {
+			continue
+		}
+		for _, u := range adj[v] {
+			if pairing[u] < 0 {
+				pairing[v] = u
+				pairing[u] = v
+				break
+			}
+		}
+	}
+}

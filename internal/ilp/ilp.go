@@ -8,6 +8,7 @@
 package ilp
 
 import (
+	"context"
 	"math"
 	"time"
 )
@@ -47,13 +48,24 @@ type Result struct {
 // Solve runs branch and bound. nodeBudget bounds the number of search
 // nodes expanded (<= 0 means unlimited).
 func Solve(p Problem, nodeBudget int) Result {
-	return SolveDeadline(p, nodeBudget, 0)
+	return SolveContext(context.Background(), p, nodeBudget, 0)
 }
 
 // SolveDeadline is Solve with an additional wall-clock budget
 // (<= 0 means unlimited). The deadline is checked every few thousand
 // nodes; exceeding it truncates the search like the node budget does.
 func SolveDeadline(p Problem, nodeBudget int, deadline time.Duration) Result {
+	return SolveContext(context.Background(), p, nodeBudget, deadline)
+}
+
+// SolveContext is SolveDeadline under a context: cancellation is checked
+// inside the DFS on the same cadence as the wall-clock deadline, so a
+// cancelled caller (a deleted server job, an expired request) gets its
+// worker back within a few thousand nodes instead of after the full
+// search. A cancelled run returns the best assignment found so far with
+// Optimal=false, exactly like a node-budget truncation — the solver's
+// incumbent is always a feasible (if not proven optimal) answer.
+func SolveContext(ctx context.Context, p Problem, nodeBudget int, deadline time.Duration) Result {
 	s := &solver{
 		p:       p,
 		n:       p.NumVars(),
@@ -63,6 +75,11 @@ func SolveDeadline(p Problem, nodeBudget int, deadline time.Duration) Result {
 	}
 	if deadline > 0 {
 		s.deadline = time.Now().Add(deadline)
+	}
+	// The background context can never be cancelled; skip the per-node
+	// Done checks entirely for Solve/SolveDeadline callers.
+	if ctx != nil && ctx.Done() != nil {
+		s.ctx = ctx
 	}
 	s.dfs(0, 0)
 	res := Result{Cost: s.best, Optimal: !s.truncated, Nodes: s.nodes}
@@ -81,6 +98,7 @@ type solver struct {
 	nodes     int
 	truncated bool
 	deadline  time.Time
+	ctx       context.Context
 
 	best     float64
 	found    bool
@@ -88,6 +106,11 @@ type solver struct {
 	bestVals []int
 	scratch  []Candidate
 }
+
+// checkEvery is how often (in expanded nodes) the deadline and context
+// are polled; both checks share the cadence so cancellation costs one
+// comparison per node in the common case.
+const checkEvery = 4096
 
 func (s *solver) dfs(v int, cost float64) {
 	if s.truncated {
@@ -107,9 +130,19 @@ func (s *solver) dfs(v int, cost float64) {
 		s.truncated = true
 		return
 	}
-	if !s.deadline.IsZero() && s.nodes%4096 == 0 && time.Now().After(s.deadline) {
-		s.truncated = true
-		return
+	if s.nodes%checkEvery == 0 {
+		if !s.deadline.IsZero() && time.Now().After(s.deadline) {
+			s.truncated = true
+			return
+		}
+		if s.ctx != nil {
+			select {
+			case <-s.ctx.Done():
+				s.truncated = true
+				return
+			default:
+			}
+		}
 	}
 	cands := s.p.Candidates(v, s.scratch[:0])
 	sortCandidates(cands)

@@ -1,6 +1,7 @@
 package ilp
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -148,5 +149,43 @@ func TestZeroVars(t *testing.T) {
 	res := Solve(p, 0)
 	if res.Cost != 0 || len(res.Values) != 0 || !res.Optimal {
 		t.Errorf("empty problem: %+v", res)
+	}
+}
+
+// wideProblem is a large permutation instance whose full search space is
+// far beyond any test-sized node budget, so a cancelled context must be
+// what stops it.
+func wideProblem(n int) *permProblem {
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			// Anti-diagonal costs defeat the sorted-candidate prune so the
+			// search actually expands nodes.
+			cost[i][j] = float64((i*j)%7) + float64(j%3)
+		}
+	}
+	return &permProblem{cost: cost, used: make([]bool, n)}
+}
+
+func TestSolveContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: the first periodic check must stop the DFS
+	res := SolveContext(ctx, wideProblem(12), 0, 0)
+	if res.Optimal {
+		t.Error("cancelled search reported optimal")
+	}
+	// The check cadence bounds how long a cancelled search can keep
+	// running: a handful of check windows, not the full factorial tree.
+	if res.Nodes > 4*checkEvery {
+		t.Errorf("cancelled search expanded %d nodes, want <= %d", res.Nodes, 4*checkEvery)
+	}
+}
+
+func TestSolveContextBackgroundMatchesSolve(t *testing.T) {
+	a := Solve(wideProblem(7), 0)
+	b := SolveContext(context.Background(), wideProblem(7), 0, 0)
+	if a.Cost != b.Cost || !a.Optimal || !b.Optimal || a.Nodes != b.Nodes {
+		t.Errorf("Solve %+v and SolveContext(Background) %+v diverge", a, b)
 	}
 }

@@ -6,7 +6,9 @@ import (
 	"time"
 
 	"stitchroute/internal/core"
+	"stitchroute/internal/fracture"
 	"stitchroute/internal/netlist"
+	"stitchroute/internal/stencil"
 )
 
 // State is a job's lifecycle state. The machine is:
@@ -55,6 +57,77 @@ type JobRequest struct {
 	Workers int `json:"workers,omitempty"`
 	// NoCache skips the result-cache lookup (the result is still stored).
 	NoCache bool `json:"noCache,omitempty"`
+	// Fracture runs write-prep fracturing on the routed geometry: "rect"
+	// or "lshape". Fracturing is a pure post-pass over the routes, so it
+	// does not participate in the result-cache key.
+	Fracture string `json:"fracture,omitempty"`
+	// Stencil additionally plans a CP stencil from the fractured shots;
+	// requires Fracture.
+	Stencil bool `json:"stencil,omitempty"`
+}
+
+// StencilSummary is the stencil-planning slice of a job's write-prep
+// stage.
+type StencilSummary struct {
+	Characters int     `json:"characters"`
+	Candidates int     `json:"candidates"`
+	CPFlashes  int     `json:"cpFlashes"`
+	VSBTime    float64 `json:"vsbTime"`
+	CPTime     float64 `json:"cpTime"`
+	Saving     float64 `json:"saving"`
+	Reduction  float64 `json:"reduction"`
+}
+
+// WritePrep is the write-prep (fracture + optional stencil) summary of a
+// finished job.
+type WritePrep struct {
+	Mode      string          `json:"mode"`
+	Shots     int             `json:"shots"`
+	RectShots int             `json:"rectShots"`
+	LShots    int             `json:"lShots"`
+	Slivers   int             `json:"slivers"`
+	Area      int64           `json:"area"`
+	Reduction float64         `json:"reduction"`
+	ShotsHash string          `json:"shotsHash"`
+	Stencil   *StencilSummary `json:"stencil,omitempty"`
+}
+
+// buildWritePrep runs the write-prep stage over a routing result.
+func buildWritePrep(ctx context.Context, res *core.Result, layers int, mode fracture.Mode, sten bool) (*WritePrep, error) {
+	fres, err := fracture.FractureContext(ctx, res.Routes, layers, mode, fracture.Options{})
+	if err != nil {
+		return nil, err
+	}
+	hash, err := fracture.ShotsHash(fres.Shots)
+	if err != nil {
+		return nil, err
+	}
+	wp := &WritePrep{
+		Mode:      fres.Mode.String(),
+		Shots:     fres.ShotCount,
+		RectShots: fres.RectShots,
+		LShots:    fres.LShots,
+		Slivers:   fres.Slivers,
+		Area:      fres.Area,
+		Reduction: fres.LShapeReduction(),
+		ShotsHash: hash,
+	}
+	if sten {
+		plan, err := stencil.BuildContext(ctx, fres.Shots, stencil.Options{})
+		if err != nil {
+			return nil, err
+		}
+		wp.Stencil = &StencilSummary{
+			Characters: len(plan.Placements),
+			Candidates: plan.Candidates,
+			CPFlashes:  plan.CPFlashes,
+			VSBTime:    plan.VSBTime,
+			CPTime:     plan.CPTime,
+			Saving:     plan.Saving,
+			Reduction:  plan.Reduction(),
+		}
+	}
+	return wp, nil
 }
 
 // Summary is the Table III-style result summary of a finished job.
@@ -108,12 +181,13 @@ func summarize(res *core.Result) *Summary {
 type Job struct {
 	mu sync.Mutex
 
-	id      string
-	req     JobRequest // normalized (defaults applied)
-	circuit *netlist.Circuit
-	cfg     core.Config
-	timeout time.Duration
-	key     string // content-addressed cache key
+	id       string
+	req      JobRequest // normalized (defaults applied)
+	circuit  *netlist.Circuit
+	cfg      core.Config
+	fracMode fracture.Mode // valid when req.Fracture != ""
+	timeout  time.Duration
+	key      string // content-addressed cache key
 
 	state           State
 	errMsg          string
@@ -124,26 +198,28 @@ type Job struct {
 	cancelRequested bool
 	cacheHit        bool
 	result          *core.Result
+	writePrep       *WritePrep
 }
 
 // JobView is the JSON representation of a job returned by the API.
 type JobView struct {
-	ID       string     `json:"id"`
-	State    State      `json:"state"`
-	Circuit  string     `json:"circuit"`
-	Nets     int        `json:"nets"`
-	Pins     int        `json:"pins"`
-	Mode     string     `json:"mode"`
-	Track    string     `json:"track,omitempty"`
-	Place    bool       `json:"place,omitempty"`
-	Workers  int        `json:"workers,omitempty"`
-	Timeout  string     `json:"timeout,omitempty"`
-	CacheHit bool       `json:"cacheHit"`
-	Error    string     `json:"error,omitempty"`
-	Created  time.Time  `json:"created"`
-	Started  *time.Time `json:"started,omitempty"`
-	Finished *time.Time `json:"finished,omitempty"`
-	Summary  *Summary   `json:"summary,omitempty"`
+	ID        string     `json:"id"`
+	State     State      `json:"state"`
+	Circuit   string     `json:"circuit"`
+	Nets      int        `json:"nets"`
+	Pins      int        `json:"pins"`
+	Mode      string     `json:"mode"`
+	Track     string     `json:"track,omitempty"`
+	Place     bool       `json:"place,omitempty"`
+	Workers   int        `json:"workers,omitempty"`
+	Timeout   string     `json:"timeout,omitempty"`
+	CacheHit  bool       `json:"cacheHit"`
+	Error     string     `json:"error,omitempty"`
+	Created   time.Time  `json:"created"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	Summary   *Summary   `json:"summary,omitempty"`
+	WritePrep *WritePrep `json:"writePrep,omitempty"`
 }
 
 // view snapshots the job for serialization.
@@ -177,6 +253,7 @@ func (j *Job) view() JobView {
 	}
 	if j.state == StateDone && j.result != nil {
 		v.Summary = summarize(j.result)
+		v.WritePrep = j.writePrep
 	}
 	return v
 }

@@ -39,28 +39,36 @@ func (s *Server) runJob(j *Job) {
 	j.cancel = cancel
 	j.state = StateRunning
 	j.started = time.Now()
-	circuit, cfg := j.circuit, j.cfg
+	circuit, cfg, req, fmode := j.circuit, j.cfg, j.req, j.fracMode
 	j.mu.Unlock()
 
 	res, err := s.route(ctx, circuit, cfg)
+	// Write-prep rides the same job context, so a cancel or timeout during
+	// fracturing classifies exactly like one during routing.
+	var wp *WritePrep
+	if err == nil && req.Fracture != "" {
+		wp, err = buildWritePrep(ctx, res, circuit.Fabric.Layers, fmode, req.Stencil)
+	}
 	cancel()
 
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.finished = time.Now()
+	cancelled := errors.Is(err, core.ErrCancelled) || errors.Is(err, context.Canceled)
 	switch {
 	case err == nil:
 		j.state = StateDone
 		j.result = res
+		j.writePrep = wp
 		s.cache.put(j.key, res)
 		s.metrics.addStages(res.Times)
-	case j.cancelRequested && errors.Is(err, core.ErrCancelled):
+	case j.cancelRequested && cancelled:
 		j.state = StateCancelled
 		j.errMsg = "cancelled by request"
 	case errors.Is(err, context.DeadlineExceeded):
 		j.state = StateFailed
 		j.errMsg = fmt.Sprintf("timeout: exceeded %v: %v", j.timeout, err)
-	case errors.Is(err, core.ErrCancelled):
+	case cancelled:
 		// Base-context cancellation: the server is shutting down.
 		j.state = StateCancelled
 		j.errMsg = "cancelled: server shutting down"

@@ -30,6 +30,7 @@ import (
 
 	"stitchroute/internal/bench"
 	"stitchroute/internal/core"
+	"stitchroute/internal/fracture"
 	"stitchroute/internal/geom"
 	"stitchroute/internal/netlist"
 	"stitchroute/internal/nlio"
@@ -212,6 +213,15 @@ func (s *Server) buildJob(req *JobRequest) (*Job, *apiError) {
 		return nil, badRequest("workers must be >= 0, got %d", req.Workers)
 	}
 	cfg.Detail.Workers = req.Workers
+	var fmode fracture.Mode
+	if req.Fracture != "" {
+		var err error
+		if fmode, err = fracture.ParseMode(req.Fracture); err != nil {
+			return nil, badRequest("%v", err)
+		}
+	} else if req.Stencil {
+		return nil, badRequest("\"stencil\" requires \"fracture\"")
+	}
 
 	timeout := s.cfg.DefaultTimeout
 	if req.Timeout != "" {
@@ -250,12 +260,13 @@ func (s *Server) buildJob(req *JobRequest) (*Job, *apiError) {
 		return nil, &apiError{code: http.StatusInternalServerError, msg: err.Error()}
 	}
 	return &Job{
-		req:     *req,
-		circuit: c,
-		cfg:     cfg,
-		timeout: timeout,
-		key:     key,
-		created: time.Now(),
+		req:      *req,
+		circuit:  c,
+		cfg:      cfg,
+		fracMode: fmode,
+		timeout:  timeout,
+		key:      key,
+		created:  time.Now(),
 	}, nil
 }
 
@@ -361,6 +372,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// is born done, without occupying a worker.
 	if !req.NoCache {
 		if res, ok := s.cache.get(j.key); ok {
+			// Write-prep is a cheap pure post-pass over the routes, outside
+			// the cache key; recompute it inline for the hit.
+			if req.Fracture != "" {
+				wp, err := buildWritePrep(r.Context(), res, j.circuit.Fabric.Layers, j.fracMode, req.Stencil)
+				if err != nil {
+					writeErr(w, http.StatusInternalServerError, err.Error())
+					return
+				}
+				j.writePrep = wp
+			}
 			j.state = StateDone
 			j.cacheHit = true
 			j.result = res

@@ -673,3 +673,57 @@ func TestRealCancellationEndToEnd(t *testing.T) {
 		t.Errorf("cancellation took %v, want prompt abort", elapsed)
 	}
 }
+
+func TestWritePrepStage(t *testing.T) {
+	ts := newTestServer(t, Config{Workers: 2})
+	v := ts.submit(t, JobRequest{Circuit: tinyCircuit("wp"), Fracture: "lshape", Stencil: true},
+		http.StatusAccepted)
+	done := ts.waitState(t, v.ID, StateDone)
+	wp := done.WritePrep
+	if wp == nil {
+		t.Fatal("done job has no writePrep")
+	}
+	if wp.Mode != "lshape" || wp.Shots == 0 || wp.RectShots < wp.Shots {
+		t.Fatalf("writePrep = %+v", wp)
+	}
+	if wp.ShotsHash == "" {
+		t.Error("writePrep missing shots hash")
+	}
+	if wp.Stencil == nil {
+		t.Fatal("writePrep missing stencil summary")
+	}
+	if wp.Stencil.VSBTime <= 0 || wp.Stencil.CPTime > wp.Stencil.VSBTime {
+		t.Errorf("stencil write-time model inconsistent: %+v", wp.Stencil)
+	}
+
+	// A cache hit recomputes write-prep inline and is born done with the
+	// identical shot hash (fracturing is deterministic).
+	hit := ts.submit(t, JobRequest{Circuit: tinyCircuit("wp"), Fracture: "lshape", Stencil: true},
+		http.StatusOK)
+	if !hit.CacheHit {
+		t.Fatal("resubmission missed the cache")
+	}
+	if hit.WritePrep == nil || hit.WritePrep.ShotsHash != wp.ShotsHash {
+		t.Fatalf("cache-hit writePrep = %+v, want hash %s", hit.WritePrep, wp.ShotsHash)
+	}
+
+	// Jobs without the fracture field carry no write-prep stage.
+	plain := ts.submit(t, JobRequest{Circuit: tinyCircuit("plain")}, http.StatusAccepted)
+	if done := ts.waitState(t, plain.ID, StateDone); done.WritePrep != nil {
+		t.Error("plain job unexpectedly has writePrep")
+	}
+}
+
+func TestWritePrepValidation(t *testing.T) {
+	ts := newTestServer(t, Config{Workers: 1})
+	resp, data := ts.do(t, "POST", "/v1/jobs",
+		JobRequest{Circuit: tinyCircuit("x"), Fracture: "diagonal"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad fracture mode accepted: %d %s", resp.StatusCode, data)
+	}
+	resp, data = ts.do(t, "POST", "/v1/jobs",
+		JobRequest{Circuit: tinyCircuit("x"), Stencil: true})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("stencil without fracture accepted: %d %s", resp.StatusCode, data)
+	}
+}

@@ -1,0 +1,31 @@
+package stencil
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+)
+
+// WritePlan serializes the plan's placements in canonical text form: one
+// character per line with its plate position, in packed order.
+func WritePlan(w io.Writer, p *Plan) error {
+	bw := bufio.NewWriter(w)
+	for _, pl := range p.Placements {
+		fmt.Fprintf(bw, "%s %d %d %dx%d x%d\n",
+			pl.Char.Hash, pl.X, pl.Y, pl.Char.W, pl.Char.H, pl.Char.Count)
+	}
+	return bw.Flush()
+}
+
+// PlanHash returns the SHA-256 of the canonical plan serialization — the
+// stencil analog of fracture.ShotsHash, used to assert that planning is
+// deterministic.
+func PlanHash(p *Plan) (string, error) {
+	h := sha256.New()
+	if err := WritePlan(h, p); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

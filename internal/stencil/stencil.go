@@ -1,0 +1,363 @@
+// Package stencil implements the second stage of the MEBL write-prep
+// pipeline: overlapping-aware stencil planning for character projection.
+//
+// A character-projection (CP) writer exposes a whole pre-etched stencil
+// character in one flash, while a variable-shaped-beam (VSB) writer needs
+// one flash per rectangle (two per L-shape shot). Given the fractured
+// shot library, the planner
+//
+//  1. clusters shots into aperture-sized windows and content-hashes each
+//     window's bbox-normalized pattern, so repeated patterns across the
+//     layout collapse into character candidates;
+//  2. selects the candidate set that maximizes write-time saving under
+//     the stencil area capacity, with the branch-and-bound solver
+//     (internal/ilp) — each repeated pattern saves
+//     count × (flashes × TVSB − TCP) when promoted to a character;
+//  3. packs the selected characters onto the stencil with E-BLOW-style
+//     overlapping-aware 1D row packing (arXiv 1502.00621): neighboring
+//     characters share their blank halos, so a row fits more characters
+//     than naive per-character margins would allow. Characters that
+//     still miss the stencil are dropped deterministically (lowest
+//     saving first) until the plan fits.
+//
+// Every shot then writes either as its CP character (1 flash per cluster
+// occurrence) or as VSB rectangles, and the plan reports both write
+// times under a simple per-flash throughput model. Like the router and
+// the fracturer, planning is deterministic: byte-identical plans for
+// byte-identical shot lists.
+package stencil
+
+import (
+	"bufio"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+
+	"stitchroute/internal/fracture"
+	"stitchroute/internal/geom"
+)
+
+// Options tunes stencil planning. The zero value of any field selects
+// its default.
+type Options struct {
+	// StencilW, StencilH are the stencil plate dimensions in track units.
+	StencilW, StencilH int
+	// Aperture is the maximum character window side: a cluster of shots
+	// only becomes a character candidate if its bbox fits Aperture².
+	Aperture int
+	// Halo is the blank margin a character needs around its pattern.
+	// Overlapping-aware packing lets neighboring characters share it.
+	Halo int
+	// TVSB and TCP are the per-flash write times (arbitrary units) of a
+	// VSB rectangle flash and a CP character flash.
+	TVSB, TCP float64
+	// MaxCandidates caps how many candidates (by saving, descending) the
+	// exact selection considers; the rest are never profitable enough to
+	// matter and are skipped outright.
+	MaxCandidates int
+}
+
+// Defaults for Options.
+const (
+	DefaultStencilW      = 400
+	DefaultStencilH      = 400
+	DefaultAperture      = 40
+	DefaultHalo          = 2
+	DefaultTVSB          = 1.0
+	DefaultTCP           = 1.5
+	DefaultMaxCandidates = 64
+)
+
+func (o Options) withDefaults() Options {
+	if o.StencilW <= 0 {
+		o.StencilW = DefaultStencilW
+	}
+	if o.StencilH <= 0 {
+		o.StencilH = DefaultStencilH
+	}
+	if o.Aperture <= 0 {
+		o.Aperture = DefaultAperture
+	}
+	if o.Halo <= 0 {
+		o.Halo = DefaultHalo
+	}
+	if o.TVSB <= 0 {
+		o.TVSB = DefaultTVSB
+	}
+	if o.TCP <= 0 {
+		o.TCP = DefaultTCP
+	}
+	if o.MaxCandidates <= 0 {
+		o.MaxCandidates = DefaultMaxCandidates
+	}
+	return o
+}
+
+// Character is one stencil character candidate: a repeated bbox-
+// normalized shot pattern.
+type Character struct {
+	// Hash identifies the normalized pattern (content address).
+	Hash string `json:"hash"`
+	// W, H are the pattern bbox dimensions.
+	W int `json:"w"`
+	H int `json:"h"`
+	// Count is how many clusters in the layout print this pattern.
+	Count int `json:"count"`
+	// Flashes is the VSB flash count of one pattern instance.
+	Flashes int `json:"flashes"`
+	// Saving is Count × (Flashes × TVSB − TCP): the write-time saved by
+	// promoting the pattern to a CP character.
+	Saving float64 `json:"saving"`
+
+	shots []fracture.Shot // normalized to the bbox origin, layer 0
+}
+
+// Placement is one packed character on the stencil plate.
+type Placement struct {
+	Char Character `json:"char"`
+	X    int       `json:"x"`
+	Y    int       `json:"y"`
+}
+
+// Plan is the stencil planning result.
+type Plan struct {
+	// Placements is the packed character set, row-major on the plate.
+	Placements []Placement `json:"placements"`
+	// Candidates is how many repeated patterns were worth considering;
+	// Selected ≤ Candidates were chosen, Dropped of those missed the
+	// plate during packing and write as VSB after all.
+	Candidates int `json:"candidates"`
+	Selected   int `json:"selected"`
+	Dropped    int `json:"dropped"`
+
+	// Clusters is the total number of aperture windows; CPFlashes of
+	// them print as a stencil character.
+	Clusters  int `json:"clusters"`
+	CPFlashes int `json:"cpFlashes"`
+
+	// VSBTime is the write time with every shot as VSB flashes; CPTime
+	// is the write time under this plan; Saving = VSBTime − CPTime.
+	VSBTime float64 `json:"vsbTime"`
+	CPTime  float64 `json:"cpTime"`
+	Saving  float64 `json:"saving"`
+
+	// SharedBlank is the plate area (track² units) the overlapping-aware
+	// packing recovered versus naive per-character halos.
+	SharedBlank int `json:"sharedBlank"`
+	// SelectionOptimal is false when the branch-and-bound selection hit
+	// its node budget and the character set is merely the incumbent.
+	SelectionOptimal bool `json:"selectionOptimal"`
+}
+
+// Reduction returns the fractional write-time reduction of the plan.
+func (p *Plan) Reduction() float64 {
+	if p.VSBTime == 0 {
+		return 0
+	}
+	return p.Saving / p.VSBTime
+}
+
+// Build plans a stencil for the fractured shot list.
+func Build(shots []fracture.Shot, opts Options) *Plan {
+	p, err := BuildContext(context.Background(), shots, opts)
+	if err != nil {
+		panic("stencil: background context cancelled: " + err.Error())
+	}
+	return p
+}
+
+// BuildContext is Build under a context: cancellation is observed
+// between stages and inside the selection search.
+func BuildContext(ctx context.Context, shots []fracture.Shot, opts Options) (*Plan, error) {
+	opts = opts.withDefaults()
+	clusters := clusterShots(shots, opts.Aperture)
+	cands, classOf := characterCandidates(clusters, opts)
+	plan := &Plan{
+		Candidates:       len(cands),
+		Clusters:         len(clusters),
+		SelectionOptimal: true,
+	}
+	for _, s := range shots {
+		plan.VSBTime += flashes(s) * opts.TVSB
+	}
+	plan.CPTime = plan.VSBTime
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("stencil: %w", err)
+	}
+	if len(cands) > 0 {
+		selected, optimal, err := selectCharacters(ctx, cands, opts)
+		if err != nil {
+			return nil, err
+		}
+		plan.SelectionOptimal = optimal
+		packed, shared := pack(selected, opts)
+		plan.Placements = packed
+		plan.Selected = len(selected)
+		plan.Dropped = len(selected) - len(packed)
+		plan.SharedBlank = shared
+
+		onStencil := make(map[string]bool, len(packed))
+		for _, pl := range packed {
+			onStencil[pl.Char.Hash] = true
+			plan.Saving += pl.Char.Saving
+		}
+		plan.CPTime = plan.VSBTime - plan.Saving
+		for _, cl := range classOf {
+			if onStencil[cl] {
+				plan.CPFlashes++
+			}
+		}
+	}
+	return plan, nil
+}
+
+// flashes returns the VSB flash count of one shot: an L-shape shot
+// exposes as its two rectangles.
+func flashes(s fracture.Shot) float64 {
+	if s.IsL() {
+		return 2
+	}
+	return 1
+}
+
+// cluster is one aperture window: a run of canonically-ordered shots on
+// one layer whose combined bbox fits the aperture.
+type cluster struct {
+	shots []fracture.Shot
+	bbox  geom.Rect
+}
+
+// clusterShots greedily windows the canonical shot list per layer:
+// consecutive shots join the open cluster while the union bbox still
+// fits Aperture²; any overflow closes it. Greedy on a canonical order is
+// what keeps the clustering — and hence the whole plan — deterministic.
+func clusterShots(shots []fracture.Shot, aperture int) []cluster {
+	var out []cluster
+	var cur *cluster
+	for _, s := range shots {
+		b := s.A
+		if s.IsL() {
+			b = b.Union(s.B)
+		}
+		if cur != nil && s.Layer == cur.shots[0].Layer {
+			u := cur.bbox.Union(b)
+			if u.W() <= aperture && u.H() <= aperture {
+				cur.shots = append(cur.shots, s)
+				cur.bbox = u
+				continue
+			}
+		}
+		out = append(out, cluster{shots: []fracture.Shot{s}, bbox: b})
+		cur = &out[len(out)-1]
+	}
+	// A pattern that alone exceeds the aperture can never be a character.
+	kept := out[:0]
+	for _, c := range out {
+		if c.bbox.W() <= aperture && c.bbox.H() <= aperture {
+			kept = append(kept, c)
+		}
+	}
+	return kept
+}
+
+// patternKey serializes the cluster's shots translated to the bbox
+// origin, layer-agnostic — clusters printing the same ink in the same
+// arrangement collapse to one key regardless of position or layer.
+func patternKey(c cluster) string {
+	h := sha256.New()
+	bw := bufio.NewWriter(h)
+	writeNormalized(bw, c)
+	bw.Flush()
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func writeNormalized(w io.Writer, c cluster) {
+	dx, dy := -c.bbox.X0, -c.bbox.Y0
+	for _, s := range c.shots {
+		a := shiftRect(s.A, dx, dy)
+		if s.IsL() {
+			b := shiftRect(s.B, dx, dy)
+			fmt.Fprintf(w, "L %d %d %d %d %d %d %d %d\n",
+				a.X0, a.Y0, a.X1, a.Y1, b.X0, b.Y0, b.X1, b.Y1)
+		} else {
+			fmt.Fprintf(w, "R %d %d %d %d\n", a.X0, a.Y0, a.X1, a.Y1)
+		}
+	}
+}
+
+func shiftRect(r geom.Rect, dx, dy int) geom.Rect {
+	return geom.Rect{X0: r.X0 + dx, Y0: r.Y0 + dy, X1: r.X1 + dx, Y1: r.Y1 + dy}
+}
+
+// normalizedShots returns the cluster's shots translated to the bbox
+// origin with the layer cleared.
+func normalizedShots(c cluster) []fracture.Shot {
+	dx, dy := -c.bbox.X0, -c.bbox.Y0
+	out := make([]fracture.Shot, len(c.shots))
+	for i, s := range c.shots {
+		out[i] = fracture.Shot{A: shiftRect(s.A, dx, dy), B: s.B}
+		if s.IsL() {
+			out[i].B = shiftRect(s.B, dx, dy)
+		}
+	}
+	return out
+}
+
+// characterCandidates groups the clusters by pattern key and returns the
+// profitable repeated patterns (count ≥ 2, positive saving) sorted by
+// saving descending, plus each cluster's pattern key for the flash
+// accounting. Map iteration is confined to key collection; every output
+// ordering is sorted.
+func characterCandidates(clusters []cluster, opts Options) ([]Character, []string) {
+	classOf := make([]string, len(clusters))
+	byKey := map[string]*Character{}
+	for i, c := range clusters {
+		key := patternKey(c)
+		classOf[i] = key
+		ch := byKey[key]
+		if ch == nil {
+			fl := 0
+			for _, s := range c.shots {
+				fl += int(flashes(s))
+			}
+			ch = &Character{
+				Hash:    key,
+				W:       c.bbox.W(),
+				H:       c.bbox.H(),
+				Flashes: fl,
+				shots:   normalizedShots(c),
+			}
+			byKey[key] = ch
+		}
+		ch.Count++
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var cands []Character
+	for _, k := range keys {
+		ch := *byKey[k]
+		ch.Saving = float64(ch.Count) * (float64(ch.Flashes)*opts.TVSB - opts.TCP)
+		if ch.Count >= 2 && ch.Saving > 0 {
+			cands = append(cands, ch)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Saving > cands[j].Saving {
+			return true
+		}
+		if cands[i].Saving < cands[j].Saving {
+			return false
+		}
+		return cands[i].Hash < cands[j].Hash
+	})
+	if len(cands) > opts.MaxCandidates {
+		cands = cands[:opts.MaxCandidates]
+	}
+	return cands, classOf
+}

@@ -30,6 +30,7 @@ import (
 	"stitchroute/internal/bench"
 	"stitchroute/internal/core"
 	"stitchroute/internal/drc"
+	"stitchroute/internal/fracture"
 	"stitchroute/internal/gds"
 	"stitchroute/internal/geom"
 	"stitchroute/internal/grid"
@@ -37,6 +38,7 @@ import (
 	"stitchroute/internal/nlio"
 	"stitchroute/internal/place"
 	"stitchroute/internal/plan"
+	"stitchroute/internal/stencil"
 	"stitchroute/internal/viz"
 )
 
@@ -132,6 +134,60 @@ func RefinePlacement(c *Circuit) (*Circuit, PlaceStats) { return place.Refine(c)
 // standard layout tools (KLayout etc.).
 func WriteGDS(w io.Writer, routes []NetRoute, libName, cellName string) error {
 	return gds.Write(w, routes, gds.Options{LibName: libName, CellName: cellName})
+}
+
+// Write-prep types: the downstream MEBL mask-data-preparation pipeline
+// that turns routed geometry into e-beam shots and a CP stencil plan.
+type (
+	// FractureMode selects rectangle-only or L-shape fracturing.
+	FractureMode = fracture.Mode
+	// FractureOptions tunes fracturing.
+	FractureOptions = fracture.Options
+	// FractureResult is the fractured shot list with its statistics.
+	FractureResult = fracture.Result
+	// Shot is one e-beam exposure (a rectangle or an L-shape).
+	Shot = fracture.Shot
+	// StencilOptions tunes CP stencil planning.
+	StencilOptions = stencil.Options
+	// StencilPlan is the packed character set and its write-time model.
+	StencilPlan = stencil.Plan
+)
+
+// Fracturing modes.
+const (
+	// FractureRect is the rectangle-only sweep baseline.
+	FractureRect = fracture.ModeRect
+	// FractureLShape merges rectangle pairs into L-shape shots.
+	FractureLShape = fracture.ModeLShape
+)
+
+// ParseFractureMode maps the CLI/API spelling ("rect" or "lshape").
+func ParseFractureMode(s string) (FractureMode, error) { return fracture.ParseMode(s) }
+
+// Fracture converts routed geometry into e-beam shots: the per-layer
+// union of wires and via pads is decomposed into rectangle shots (and,
+// in FractureLShape mode, L-shape shots via maximum matching). The shot
+// list is deterministic and area-exact — it rasterizes identically to
+// the unfractured geometry.
+func Fracture(routes []NetRoute, layers int, mode FractureMode, opts FractureOptions) *FractureResult {
+	return fracture.Fracture(routes, layers, mode, opts)
+}
+
+// FractureContext is Fracture with cancellation.
+func FractureContext(ctx context.Context, routes []NetRoute, layers int, mode FractureMode, opts FractureOptions) (*FractureResult, error) {
+	return fracture.FractureContext(ctx, routes, layers, mode, opts)
+}
+
+// PlanStencil plans a CP stencil for a fractured shot list: repeated
+// shot patterns become characters, selected and packed overlapping-aware
+// to minimize write time under the plate capacity.
+func PlanStencil(shots []Shot, opts StencilOptions) *StencilPlan {
+	return stencil.Build(shots, opts)
+}
+
+// PlanStencilContext is PlanStencil with cancellation.
+func PlanStencilContext(ctx context.Context, shots []Shot, opts StencilOptions) (*StencilPlan, error) {
+	return stencil.BuildContext(ctx, shots, opts)
 }
 
 // ReadCircuit parses a circuit in the nlio text format.
