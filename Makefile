@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint stitchvet lint-fixtures test test-short race race-fast serve bench bench-json bench-fracture-json bench-smoke tables figures coverage fuzz soak fracture-golden clean help
+.PHONY: all build vet lint stitchvet lint-fixtures test test-short race race-fast serve bench bench-json bench-fracture-json bench-eco-json bench-smoke tables figures coverage fuzz fuzz-eco soak fracture-golden eco-golden clean help
 
 all: build vet test ## build + vet + full tests
 
@@ -74,6 +74,12 @@ bench-json: ## regenerate BENCH_detail.json (see docs/PERFORMANCE.md)
 bench-fracture-json: ## regenerate BENCH_fracture.json (write-prep stage)
 	$(GO) run ./cmd/benchjson -stage fracture -runs $(BENCH_RUNS) -out BENCH_fracture.json
 
+# Regenerate the checked-in incremental-rerouting benchmark report
+# (per-edit cold/replay/patch timings with the replay hash-equality and
+# patch determinism gates wired in as hard failures; see docs/ECO.md).
+bench-eco-json: ## regenerate BENCH_eco.json (incremental ECO stage)
+	$(GO) run ./cmd/benchjson -stage eco -runs $(BENCH_RUNS) -out BENCH_eco.json
+
 # One-iteration benchmark smoke: proves the worker-count benchmarks (and
 # their cross-worker routes-hash assertion) still run; takes seconds.
 bench-smoke: ## run BenchmarkDetailWorkers once per worker count
@@ -109,11 +115,23 @@ FUZZTIME ?= 30s
 fuzz: ## short fuzz session over the routing pipeline
 	$(GO) test -fuzz=FuzzRoute -fuzztime=$(FUZZTIME) -run '^$$' ./internal/harness/
 
+# Fuzz the ECO edit-script surface: arbitrary scripts against a fixed
+# committed circuit, asserting replay==cold byte equality, patch
+# determinism, and the DRC battery (docs/ECO.md).
+fuzz-eco: ## short fuzz session over ECO edit scripts
+	$(GO) test -fuzz=FuzzECO -fuzztime=$(FUZZTIME) -run '^$$' ./internal/harness/
+
 # Write-prep regression gate: shot-count goldens plus the raster
 # differential (fractured shots must rasterize identically to the
 # unfractured geometry). UPDATE=1 refreshes the golden file.
 fracture-golden: ## run the write-prep golden + raster differential gate (UPDATE=1 to refresh)
 	$(GO) test ./internal/harness/ -run 'TestFracture(Golden|RasterDifferential)' $(if $(UPDATE),-update)
+
+# Incremental-rerouting regression gate: exact cold/replay/patch hashes
+# and reuse counters on the golden benchmarks, plus the replay==cold
+# equivalence invariant (docs/ECO.md). UPDATE=1 refreshes the snapshot.
+eco-golden: ## run the ECO golden gate (UPDATE=1 to refresh)
+	$(GO) test ./internal/harness/ -run TestECOGolden $(if $(UPDATE),-update)
 
 # Multi-seed end-to-end correctness soak (full invariant battery over the
 # harness parameter grid).

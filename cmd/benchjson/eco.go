@@ -1,0 +1,264 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"strings"
+	"time"
+
+	"stitchroute/internal/bench"
+	"stitchroute/internal/core"
+	"stitchroute/internal/eco"
+	"stitchroute/internal/geom"
+	"stitchroute/internal/netlist"
+	"stitchroute/internal/nlio"
+)
+
+// ecoReport is the top-level JSON document for -stage eco.
+type ecoReport struct {
+	Generated    string       `json:"generated"`
+	GoVersion    string       `json:"goVersion"`
+	GOOS         string       `json:"goos"`
+	GOARCH       string       `json:"goarch"`
+	NumCPU       int          `json:"numCPU"`
+	RunsPerPoint int          `json:"runsPerPoint"`
+	Methodology  string       `json:"methodology"`
+	Circuits     []ecoCircuit `json:"circuits"`
+}
+
+type ecoCircuit struct {
+	Circuit       string `json:"circuit"`
+	Nets          int    `json:"nets"`
+	EditsMeasured int    `json:"editsMeasured"`
+	// ColdMsPerEdit is the mean best-of-N wall time of routing each
+	// edited circuit from scratch — the baseline both engines divide.
+	ColdMsPerEdit float64 `json:"coldMsPerEdit"`
+	// Replay engine: byte-for-byte the cold reroute. ReplayHashEqual is
+	// the hash-equality gate — every replayed edit's route hash matched
+	// the cold rehash, or the report fails.
+	ReplayMsPerEdit float64 `json:"replayMsPerEdit"`
+	ReplaySpeedup   float64 `json:"replaySpeedup"`
+	ReplayHashEqual bool    `json:"replayHashEqual"`
+	// Patch engine: graft onto the parent grid. PatchDeterministic is
+	// the reproducibility gate — every repetition of an edit produced
+	// the identical route hash, or the report fails.
+	PatchMsPerEdit     float64        `json:"patchMsPerEdit"`
+	PatchSpeedup       float64        `json:"patchSpeedup"`
+	PatchDeterministic bool           `json:"patchDeterministic"`
+	Edits              []ecoEditPoint `json:"edits"`
+}
+
+type ecoEditPoint struct {
+	// Net is the edited net's ID (a single-pin move to a free cell).
+	Net           int     `json:"net"`
+	ColdMs        float64 `json:"coldMs"`
+	ReplayMs      float64 `json:"replayMs"`
+	ReplaySpeedup float64 `json:"replaySpeedup"`
+	PatchMs       float64 `json:"patchMs"`
+	PatchSpeedup  float64 `json:"patchSpeedup"`
+	// PatchRerouted is how many nets the graft ripped up and re-ran —
+	// the working set the ms/edit cost scales with.
+	PatchRerouted int `json:"patchRerouted"`
+}
+
+const ecoMethodology = "Per circuit: the stitch-aware router commits a parent route once (untimed), " +
+	"then each representative single-net edit (one pin moved to the nearest free cell — an ECO is " +
+	"a local engineering change) is rerouted three " +
+	"ways, best-of-N each: cold (full pipeline on the edited circuit), eco replay, and eco patch. " +
+	"The hash-equality gate requires every replay run's route hash to equal the cold rehash of the " +
+	"same edited circuit (the equivalence guarantee, replayHashEqual); patch runs must reproduce " +
+	"their own hash exactly across repetitions (patchDeterministic) — either failure aborts the " +
+	"report. msPerEdit averages the per-edit best times; speedups divide the cold mean by the " +
+	"engine mean. Patch cost scales with the dirty working set (patchRerouted), not the circuit."
+
+// ecoEditNets picks the representative nets to edit: fixed indices
+// spread across the net list, deduplicated for small circuits.
+var ecoEditIndices = []int{3, 10, 50, 100, 200}
+
+// runECO measures the incremental-rerouting stage (-stage eco).
+func runECO(circuitsFlag string, runs int, out string) int {
+	rep := ecoReport{
+		Generated:    time.Now().UTC().Format(time.RFC3339),
+		GoVersion:    runtime.Version(),
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+		NumCPU:       runtime.NumCPU(),
+		RunsPerPoint: runs,
+		Methodology:  ecoMethodology,
+	}
+	for _, name := range strings.Split(circuitsFlag, ",") {
+		name = strings.TrimSpace(name)
+		ec, err := measureECO(name, runs)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		rep.Circuits = append(rep.Circuits, *ec)
+		log.Printf("%s done: cold %.1fms, replay %.1fms (%.1fx), patch %.1fms (%.1fx)",
+			name, ec.ColdMsPerEdit, ec.ReplayMsPerEdit, ec.ReplaySpeedup,
+			ec.PatchMsPerEdit, ec.PatchSpeedup)
+	}
+	return writeReport(&rep, out)
+}
+
+// ecoFreeCell returns the pin-free cell nearest (px, py) in a
+// deterministic ring scan — the target the measured pin move lands on.
+// An ECO edit is a local engineering change, so the representative edit
+// moves a pin a few tracks, not across the chip.
+func ecoFreeCell(c *netlist.Circuit, px, py int) (int, int) {
+	used := make(map[geom.Point]bool)
+	for _, n := range c.Nets {
+		for _, p := range n.Pins {
+			used[p.Point] = true
+		}
+	}
+	inb := func(x, y int) bool {
+		return x >= 0 && x < c.Fabric.XTracks && y >= 0 && y < c.Fabric.YTracks
+	}
+	for r := 1; r < c.Fabric.XTracks+c.Fabric.YTracks; r++ {
+		for dy := -r; dy <= r; dy++ {
+			for dx := -r; dx <= r; dx++ {
+				if max(abs(dx), abs(dy)) != r {
+					continue
+				}
+				x, y := px+dx, py+dy
+				if inb(x, y) && !used[geom.Point{X: x, Y: y}] {
+					return x, y
+				}
+			}
+		}
+	}
+	return c.Fabric.XTracks / 2, c.Fabric.YTracks / 2
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// measureECO commits a parent route for the named circuit, then times
+// cold / replay / patch rerouting for each representative single-net
+// edit, enforcing the hash-equality and determinism gates.
+func measureECO(name string, runs int) (*ecoCircuit, error) {
+	spec, err := bench.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	c := bench.Generate(spec)
+	cfg := core.StitchAware()
+	parent, err := core.Route(c, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s: parent route: %w", name, err)
+	}
+
+	ec := &ecoCircuit{Circuit: name, Nets: len(c.Nets), ReplayHashEqual: true, PatchDeterministic: true}
+	var coldSum, replaySum, patchSum float64
+	picked := make(map[int]bool)
+	for _, idx := range ecoEditIndices {
+		i := idx % len(c.Nets)
+		if picked[i] {
+			continue
+		}
+		picked[i] = true
+		p0 := c.Nets[i].Pins[0]
+		x, y := ecoFreeCell(c, p0.X, p0.Y)
+		script := &eco.Script{Edits: []eco.Edit{
+			{Op: eco.OpMovePin, ID: c.Nets[i].ID, Pin: 0, X: x, Y: y},
+		}}
+		pt := ecoEditPoint{Net: c.Nets[i].ID}
+
+		// Cold baseline: full pipeline on the edited circuit.
+		var coldHash string
+		for r := 0; r < runs; r++ {
+			edited, err := script.Apply(c)
+			if err != nil {
+				return nil, fmt.Errorf("%s net %d: apply: %w", name, pt.Net, err)
+			}
+			start := time.Now()
+			cold, err := core.Route(edited, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s net %d: cold route: %w", name, pt.Net, err)
+			}
+			ms := float64(time.Since(start).Microseconds()) / 1000
+			h, err := nlio.RoutesHash(cold.Routes)
+			if err != nil {
+				return nil, err
+			}
+			if coldHash == "" {
+				coldHash = h
+			} else if h != coldHash {
+				return nil, fmt.Errorf("%s net %d: cold reroute nondeterministic", name, pt.Net)
+			}
+			if r == 0 || ms < pt.ColdMs {
+				pt.ColdMs = ms
+			}
+		}
+
+		// Replay engine, gated on byte equality with the cold rehash.
+		for r := 0; r < runs; r++ {
+			start := time.Now()
+			er, err := eco.Reroute(parent, c, script, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s net %d: replay: %w", name, pt.Net, err)
+			}
+			ms := float64(time.Since(start).Microseconds()) / 1000
+			h, err := nlio.RoutesHash(er.Result.Routes)
+			if err != nil {
+				return nil, err
+			}
+			if h != coldHash {
+				return nil, fmt.Errorf("%s net %d run %d: HASH GATE FAILED: replay hash %.12s != cold rehash %.12s",
+					name, pt.Net, r, h, coldHash)
+			}
+			if r == 0 || ms < pt.ReplayMs {
+				pt.ReplayMs = ms
+			}
+		}
+
+		// Patch engine, gated on run-to-run determinism.
+		var patchHash string
+		for r := 0; r < runs; r++ {
+			start := time.Now()
+			pr, err := eco.ReroutePatch(parent, c, script, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s net %d: patch: %w", name, pt.Net, err)
+			}
+			ms := float64(time.Since(start).Microseconds()) / 1000
+			h, err := nlio.RoutesHash(pr.Result.Routes)
+			if err != nil {
+				return nil, err
+			}
+			if patchHash == "" {
+				patchHash = h
+			} else if h != patchHash {
+				return nil, fmt.Errorf("%s net %d run %d: DETERMINISM GATE FAILED: patch hash %.12s != %.12s",
+					name, pt.Net, r, h, patchHash)
+			}
+			if r == 0 || ms < pt.PatchMs {
+				pt.PatchMs = ms
+			}
+			pt.PatchRerouted = pr.Stats.DetailRouted
+		}
+
+		pt.ReplaySpeedup = round3(pt.ColdMs / pt.ReplayMs)
+		pt.PatchSpeedup = round3(pt.ColdMs / pt.PatchMs)
+		coldSum += pt.ColdMs
+		replaySum += pt.ReplayMs
+		patchSum += pt.PatchMs
+		pt.ColdMs = round3(pt.ColdMs)
+		pt.ReplayMs = round3(pt.ReplayMs)
+		pt.PatchMs = round3(pt.PatchMs)
+		ec.Edits = append(ec.Edits, pt)
+	}
+	n := float64(len(ec.Edits))
+	ec.EditsMeasured = len(ec.Edits)
+	ec.ColdMsPerEdit = round3(coldSum / n)
+	ec.ReplayMsPerEdit = round3(replaySum / n)
+	ec.PatchMsPerEdit = round3(patchSum / n)
+	ec.ReplaySpeedup = round3(coldSum / replaySum)
+	ec.PatchSpeedup = round3(coldSum / patchSum)
+	return ec, nil
+}

@@ -11,6 +11,11 @@
 //     and lshape) on the already-routed geometry, reporting shot
 //     throughput (shots/s) and the L-shape shot-count reduction.
 //     BENCH_fracture.json is the checked-in copy.
+//   - eco: incremental (ECO) rerouting of representative single-net
+//     edits, comparing both engines (replay, patch) against a cold
+//     reroute of the edited circuit — ms/edit, ECO-vs-cold speedup,
+//     and the hash-equality gate (the replay route hash must match the
+//     cold rehash). BENCH_eco.json is the checked-in copy.
 //
 // Every measured point runs -runs times and keeps the fastest wall
 // time (best-of-N absorbs scheduler noise on shared machines). The
@@ -20,7 +25,7 @@
 //
 // Usage:
 //
-//	benchjson [-stage detail|fracture] [-circuits Primary1,S5378,S9234]
+//	benchjson [-stage detail|fracture|eco] [-circuits Primary1,S5378,S9234]
 //	          [-workers 1,4] [-runs 5]
 //	          [-baseline Primary1=0.18,S5378=0.63,S9234=0.55] [-baseline-note ...]
 //	          [-out BENCH_detail.json]
@@ -141,7 +146,7 @@ func main() {
 
 func run() int {
 	var (
-		stage        = flag.String("stage", "detail", "pipeline stage to measure: detail or fracture")
+		stage        = flag.String("stage", "detail", "pipeline stage to measure: detail, fracture, or eco")
 		circuitsFlag = flag.String("circuits", "Primary1,S5378,S9234", "comma-separated benchmark circuits")
 		workersFlag  = flag.String("workers", "1,4", "comma-separated detailed-routing worker counts (detail stage)")
 		runs         = flag.Int("runs", 5, "runs per measured point; fastest is kept")
@@ -158,8 +163,10 @@ func run() int {
 	case "detail":
 	case "fracture":
 		return runFracture(*circuitsFlag, *runs, *out)
+	case "eco":
+		return runECO(*circuitsFlag, *runs, *out)
 	default:
-		log.Printf("unknown -stage %q (want detail or fracture)", *stage)
+		log.Printf("unknown -stage %q (want detail, fracture, or eco)", *stage)
 		return 2
 	}
 

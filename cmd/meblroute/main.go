@@ -21,6 +21,7 @@ import (
 	"stitchroute/internal/bench"
 	"stitchroute/internal/core"
 	"stitchroute/internal/drc"
+	"stitchroute/internal/eco"
 	"stitchroute/internal/fracture"
 	"stitchroute/internal/geom"
 	"stitchroute/internal/netlist"
@@ -52,6 +53,8 @@ func run() int {
 		jsonOut  = flag.Bool("json", false, "print the result summary as JSON (machine-readable)")
 		svgOut   = flag.String("svg", "", "write the routed layout as SVG to this file")
 		checkIn  = flag.String("check", "", "skip routing: DRC-check this routes file against the circuit")
+		ecoFile  = flag.String("eco", "", "after routing, apply this JSON edit script ({\"edits\":[...]}) and reroute incrementally")
+		ecoMode  = flag.String("eco-mode", "replay", "ECO engine: replay (byte-equal to a cold reroute) or patch (graft, fastest)")
 		fracMode = flag.String("fracture", "", "run write-prep fracturing on the routed geometry: rect or lshape")
 		doSten   = flag.Bool("stencil", false, "plan a CP stencil from the fractured shots (requires -fracture)")
 		timeout  = flag.Duration("timeout", 0, "abort routing after this long (0 = no limit)")
@@ -209,6 +212,44 @@ func run() int {
 		return 1
 	}
 	rep := res.Report
+	var ecoRes *eco.Result
+	if *ecoFile != "" {
+		f, err := os.Open(*ecoFile)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		script, err := eco.ParseScript(f)
+		f.Close()
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		coldTime := res.Times.Total()
+		switch *ecoMode {
+		case "replay":
+			ecoRes, err = eco.RerouteContext(ctx, res, c, script, cfg)
+		case "patch":
+			ecoRes, err = eco.ReroutePatchContext(ctx, res, c, script, cfg)
+		default:
+			log.Printf("unknown -eco-mode %q (want replay or patch)", *ecoMode)
+			return 2
+		}
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		fmt.Fprintf(status, "eco (%s): %d edits, %d/%d nets rerouted, %.1fms vs %.1fms cold (%.1fx)\n",
+			*ecoMode, len(script.Edits), ecoRes.Stats.DetailRouted, len(ecoRes.Edited.Nets),
+			float64(ecoRes.Times.Total().Microseconds())/1000,
+			float64(coldTime.Microseconds())/1000,
+			float64(coldTime)/float64(ecoRes.Times.Total()))
+		// Downstream output (-json, -routes, -svg, -fracture) describes
+		// the edited circuit's routing.
+		c = ecoRes.Edited
+		res = ecoRes.Result
+		rep = res.Report
+	}
 	var fres *fracture.Result
 	var splan *stencil.Plan
 	if *fracMode != "" {
@@ -238,6 +279,17 @@ func run() int {
 			"detailExpansions":    res.DetailExpansions,
 			"detailSeconds":       res.Times.Detail.Seconds(),
 			"cpuSeconds":          res.Times.Total().Seconds(),
+		}
+		if ecoRes != nil {
+			summary["eco"] = map[string]any{
+				"mode":         *ecoMode,
+				"editedNets":   ecoRes.Stats.EditedNets,
+				"fallback":     ecoRes.Stats.Fallback,
+				"detailReused": ecoRes.Stats.DetailReused,
+				"detailRouted": ecoRes.Stats.DetailRouted,
+				"globalReused": ecoRes.Stats.GlobalReused,
+				"ecoSeconds":   ecoRes.Times.Total().Seconds(),
+			}
 		}
 		if fres != nil {
 			hash, err := fracture.ShotsHash(fres.Shots)

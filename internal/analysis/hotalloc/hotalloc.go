@@ -46,7 +46,7 @@ var Analyzer = &analysis.Analyzer{
 	Name: "hotalloc",
 	Doc: "flag make/new/append-growth/closure/boxing allocations reachable inside the per-net search loops\n\n" +
 		"The PR 4 arenas make the steady-state search allocation-free; this analyzer walks the call graph from routeNet and keeps it that way.",
-	Packages: []string{"internal/detail", "internal/fracture", "internal/stencil"},
+	Packages: []string{"internal/detail", "internal/fracture", "internal/stencil", "internal/eco"},
 	Run:      run,
 }
 

@@ -53,7 +53,7 @@ var Analyzer = &analysis.Analyzer{
 	Packages: []string{
 		"internal/global", "internal/detail", "internal/core",
 		"internal/steiner", "internal/track", "internal/plan",
-		"internal/fracture", "internal/stencil",
+		"internal/fracture", "internal/stencil", "internal/eco",
 	},
 	Run: run,
 }

@@ -104,6 +104,37 @@ type Result struct {
 	DetailExpansions       int64
 
 	Times StageTimes
+
+	// ECO is the recording the incremental engine (internal/eco) replays
+	// against when this result is used as the parent of a delta reroute.
+	// It is attached to every complete run (the recording is
+	// observation-only and cheap); nil when the run was cancelled or the
+	// global config disables tracing (pattern routing).
+	ECO *ECOState
+}
+
+// ECOState is the per-run recording consumed by internal/eco: the global
+// router's read-set/route trace, the detailed router's per-net activity
+// rects and rip-up state, and an echo of the config the run used (an ECO
+// reroute must use the same config, or it falls back to a cold run).
+type ECOState struct {
+	Cfg    Config
+	Global *global.Trace
+	// Indexed like Routes/Plans (the parent circuit's net slots). The
+	// footprints are detail's actTile bucket bitsets.
+	Acts      [][]uint64
+	WActs     [][]uint64
+	Ripped    []bool
+	FreedPins [][]detail.Cell
+	MatWires  [][]geom.Segment
+}
+
+// NormalizeCfg returns cfg with the fields that do not affect routing
+// output zeroed, so configs can be compared for ECO compatibility (and
+// hashed for caching): Workers only changes scheduling, never routes.
+func NormalizeCfg(cfg Config) Config {
+	cfg.Detail.Workers = 0
+	return cfg
 }
 
 // ErrCancelled is wrapped into the error RouteContext returns when the
@@ -185,6 +216,17 @@ func RouteContext(ctx context.Context, c *netlist.Circuit, cfg Config) (*Result,
 	res.Times.Detail = time.Since(t0)
 
 	res.Report = drc.Check(c, res.Routes)
+	if gt := gr.Trace(); gt != nil {
+		res.ECO = &ECOState{
+			Cfg:       NormalizeCfg(cfg),
+			Global:    gt,
+			Acts:      dres.Acts,
+			WActs:     dres.WActs,
+			Ripped:    dres.NetRipped,
+			FreedPins: dres.FreedPins,
+			MatWires:  dres.MatWires,
+		}
+	}
 	return res, nil
 }
 

@@ -353,6 +353,15 @@ func (r *Router) astar(sc *searchCtx, t *routeTask, src, targets []cell, win geo
 		if n.stamp != stamp || fval-h(x, y) > n.dist+1e-9 {
 			continue
 		}
+		// ECO act: the search reads occupancy only at popped cells'
+		// neighbors, so the popped tiles (dilated by one tile when the
+		// recording is folded — see collectECO) bound its read set far
+		// tighter than the whole window. Tasks built outside prepare
+		// (tests) carry no bitset.
+		if t.sact != nil {
+			ab := (y>>actTileShift)*r.atw + x>>actTileShift
+			t.sact[ab>>6] |= 1 << (uint(ab) & 63)
+		}
 		if n.tstamp == stamp {
 			goal = c
 			found = true

@@ -85,6 +85,33 @@ type Result struct {
 	// Search statistics.
 	Connects   int   // A* connection searches run
 	Expansions int64 // total A* node expansions
+
+	// ECO recording (memo.go), indexed like Routes. Acts is each net's
+	// activity rect: the union of its pin bbox, every planned-wire
+	// candidate it materialized (accepted or conflicted — both read
+	// cells), and every search window it ran — i.e. a superset of every
+	// occupancy cell the net's processing read or wrote, as an actTile
+	// bucket bitset (memo.go). WActs is the write footprint alone: pin
+	// bbox, accepted candidates, and committed wires (including ones a
+	// later rip-up cleared) — every cell whose occupancy the net's
+	// processing ever changed. NetRipped marks nets whose planned
+	// geometry was ripped up, and FreedPins lists pin cells whose
+	// reservation ended up released (see replayNet in memo.go for why
+	// that is the one non-local bit of rip-up state).
+	Acts      [][]uint64
+	WActs     [][]uint64
+	NetRipped []bool
+	FreedPins [][]Cell
+	// MatWires is each net's post-materialization candidate set (the
+	// planned wires that survived the conflict check), recorded so an
+	// ECO run can detect prepare-phase divergence.
+	MatWires [][]geom.Segment
+}
+
+// Cell is an exported grid coordinate (0-based layer), used by the ECO
+// recording fields.
+type Cell struct {
+	X, Y, L int
 }
 
 // Router carries the occupancy grid.
@@ -93,6 +120,10 @@ type Router struct {
 	cfg     Config
 	X, Y, L int
 	occ     []int32 // net ID + 1 per cell; 0 = free
+	// ECO footprint-bitset geometry: the fabric divided into actTile ×
+	// actTile buckets, atw × ath of them, awords uint64 words per bitset
+	// (see memo.go). Read-only after NewRouter.
+	atw, ath, awords int
 	// colFlags caches the per-x-track stitch/SUR/escape classification
 	// (pure functions of x), replacing repeated integer divisions in the
 	// A* expansion loop. Read-only after NewRouter.
@@ -118,6 +149,9 @@ type Router struct {
 func NewRouter(f *grid.Fabric, cfg Config) *Router {
 	r := &Router{f: f, cfg: cfg, X: f.XTracks, Y: f.YTracks, L: f.Layers}
 	r.occ = make([]int32, r.X*r.Y*r.L)
+	r.atw = (r.X + actTile - 1) / actTile
+	r.ath = (r.Y + actTile - 1) / actTile
+	r.awords = (r.atw*r.ath + 63) / 64
 	r.colFlags = make([]uint8, r.X)
 	for x := 0; x < r.X; x++ {
 		var fl uint8
@@ -175,9 +209,30 @@ func (r *Router) Run(c *netlist.Circuit, plans []*plan.NetPlan) *Result {
 // cancellation it returns the partial result (nets not reached are
 // recorded as unrouted) together with ctx's error.
 func (r *Router) RunContext(ctx context.Context, c *netlist.Circuit, plans []*plan.NetPlan) (*Result, error) {
-	res := &Result{Routes: make([]plan.NetRoute, len(c.Nets))}
+	res, nets, order, record := r.prepare(c, plans)
+	workers := r.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var ctxErr error
+	if workers > 1 && len(order) > 1 {
+		ctxErr = r.runBatches(ctx, order, nets, res, record, workers)
+	} else {
+		ctxErr = r.runSequential(ctx, order, nets, res, record)
+	}
+	r.finish(res, nets)
+	return res, ctxErr
+}
 
-	nets := make([]*routeTask, len(c.Nets))
+// prepare runs everything that precedes the per-net routing loop: task
+// construction, pin + escape reservation, planned-wire materialization,
+// and the stitch-aware net ordering. It is shared verbatim by the cold
+// run (RunContext) and the memoized ECO run (RunMemo) — the ECO
+// equivalence argument relies on this phase being identical.
+func (r *Router) prepare(c *netlist.Circuit, plans []*plan.NetPlan) (res *Result, nets, order []*routeTask, record func(*routeTask, bool)) {
+	res = &Result{Routes: make([]plan.NetRoute, len(c.Nets))}
+
+	nets = make([]*routeTask, len(c.Nets))
 	for i, n := range c.Nets {
 		var p *plan.NetPlan
 		if plans != nil {
@@ -191,6 +246,18 @@ func (r *Router) RunContext(ctx context.Context, c *netlist.Circuit, plans []*pl
 			if !t.pinCells.has(pin.X, pin.Y) {
 				t.pinCells = append(t.pinCells, pinKey(pin.X, pin.Y))
 			}
+		}
+		t.act = make([]uint64, r.awords)
+		t.wact = make([]uint64, r.awords)
+		t.sact = make([]uint64, r.awords)
+		// Prepare touches occupancy only at each pin cell and its via
+		// escape directly above (same x,y) — mark those tiles, not the
+		// whole multi-pin bounding box, which for a spread net would
+		// blanket the fabric and defeat the ECO overlap test.
+		for _, pin := range n.Pins {
+			pr := geom.Rect{X0: pin.X, Y0: pin.Y, X1: pin.X, Y1: pin.Y}
+			r.markAct(t.act, pr)
+			r.markAct(t.wact, pr)
 		}
 		nets[i] = t
 	}
@@ -221,8 +288,17 @@ func (r *Router) RunContext(ctx context.Context, c *netlist.Circuit, plans []*pl
 	for _, t := range nets {
 		r.materialize(t)
 	}
+	// ECO recording: each net's materialization outcome. A conflict
+	// check's verdict depends on other nets' cells, so an edit can flip
+	// it — RunMemo compares these against the edited run's post-prepare
+	// candidates to catch divergence that happens before the routing
+	// loop's clean checks (see the pre-loop seeding in memo.go).
+	res.MatWires = make([][]geom.Segment, len(nets))
+	for i, t := range nets {
+		res.MatWires[i] = append([]geom.Segment(nil), t.wires...)
+	}
 
-	order := make([]*routeTask, len(nets))
+	order = make([]*routeTask, len(nets))
 	copy(order, nets)
 	sort.SliceStable(order, func(a, b int) bool {
 		ta, tb := order[a], order[b]
@@ -243,7 +319,7 @@ func (r *Router) RunContext(ctx context.Context, c *netlist.Circuit, plans []*pl
 		return ta.net.ID < tb.net.ID
 	})
 
-	record := func(t *routeTask, routed bool) {
+	record = func(t *routeTask, routed bool) {
 		res.Routes[t.slot] = plan.NetRoute{
 			NetID:  t.net.ID,
 			Routed: routed,
@@ -251,18 +327,13 @@ func (r *Router) RunContext(ctx context.Context, c *netlist.Circuit, plans []*pl
 			Vias:   t.vias,
 		}
 	}
-	workers := r.cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	var ctxErr error
-	if workers > 1 && len(order) > 1 {
-		ctxErr = r.runBatches(ctx, order, nets, res, record, workers)
-	} else {
-		ctxErr = r.runSequential(ctx, order, nets, res, record)
-	}
-	// A negotiation can change earlier nets' status; count failures from
-	// the final record.
+	return res, nets, order, record
+}
+
+// finish fills the result fields derived after the routing loop. A
+// negotiation can change earlier nets' status; count failures from the
+// final record.
+func (r *Router) finish(res *Result, nets []*routeTask) {
 	res.Failed = 0
 	for i := range res.Routes {
 		if !res.Routes[i].Routed {
@@ -271,7 +342,33 @@ func (r *Router) RunContext(ctx context.Context, c *netlist.Circuit, plans []*pl
 	}
 	res.Connects = r.connects
 	res.Expansions = r.expansions
-	return res, ctxErr
+	r.collectECO(res, nets)
+}
+
+// collectECO copies the per-task ECO recording into the result.
+func (r *Router) collectECO(res *Result, nets []*routeTask) {
+	res.Acts = make([][]uint64, len(nets))
+	res.WActs = make([][]uint64, len(nets))
+	res.NetRipped = make([]bool, len(nets))
+	res.FreedPins = make([][]Cell, len(nets))
+	for i, t := range nets {
+		res.Acts[i] = r.foldAct(t.act, t.sact)
+		res.WActs[i] = t.wact
+		res.NetRipped[i] = t.ripped
+		res.FreedPins[i] = t.freedPins
+	}
+}
+
+// recordFreedPins notes which of the net's pin cells it does not own
+// after routing: cells another net held at reserve time, or reservations
+// a rip-up's clearNet released and no final wire re-covered.
+func (r *Router) recordFreedPins(t *routeTask) {
+	id := int32(t.net.ID) + 1
+	for _, p := range t.net.Pins {
+		if r.occ[r.idx(p.X, p.Y, p.Layer-1)] != id {
+			t.freedPins = append(t.freedPins, Cell{X: p.X, Y: p.Y, L: p.Layer - 1})
+		}
+	}
 }
 
 // runSequential is the Workers=1 net loop: every net runs the full
@@ -304,6 +401,7 @@ func (r *Router) routeOne(sc *searchCtx, t *routeTask, nets []*routeTask, res *R
 		t.wires = nil
 		t.vias = nil
 		res.Ripped++
+		t.ripped = true
 		ok = r.routeNet(sc, t, r.f.Bounds()) == netRouted
 		if !ok {
 			r.clearNet(t)
@@ -323,6 +421,7 @@ func (r *Router) routeOne(sc *searchCtx, t *routeTask, nets []*routeTask, res *R
 		r.trimNet(sc, t)
 	}
 	r.releaseEscapes(t)
+	r.recordFreedPins(t)
 	record(t, ok)
 	r.connects += sc.connects - c0
 	r.expansions += sc.expansions - e0
@@ -339,6 +438,24 @@ type routeTask struct {
 	// pinCells is the net's pin (x, y) set, used by the A* via rule.
 	// Built once per net at task creation; read-only afterwards.
 	pinCells pinSet
+	// ECO recording: act is the net's activity bitset — every cell its
+	// processing read or wrote (pin bbox, materialized candidates, search
+	// windows), rounded up to actTile buckets; wact the write footprint
+	// only — every cell it ever occupied or released (pin bbox, accepted
+	// candidates, committed wires, including ones a later rip-up
+	// cleared). act certifies a net clean; wact is what a changed net
+	// dirties for others. ripped and freedPins record the rip-up outcome.
+	// See Result's ECO fields and memo.go.
+	// sact collects the tiles of cells the net's A* searches popped;
+	// folded into the activity footprint with a one-tile dilation at
+	// collectECO time (a popped cell reads its neighbours' occupancy, so
+	// the dilated popped tiles bound the search's true read set far
+	// tighter than the retry windows).
+	act       []uint64
+	wact      []uint64
+	sact      []uint64
+	ripped    bool
+	freedPins []Cell
 }
 
 // releaseEscapes frees reserved pin-escape cells the routed net did not
@@ -386,6 +503,9 @@ func (r *Router) materialize(t *routeTask) {
 		if w.Span.Empty() {
 			return
 		}
+		// ECO act: the conflict check below reads every candidate cell,
+		// so rejected candidates are part of the footprint too.
+		r.markAct(t.act, w.Bounds())
 		// Check conflicts cell by cell; drop the wire if any cell is taken.
 		l := w.Layer - 1
 		if w.Orient == geom.Horizontal {
@@ -394,6 +514,7 @@ func (r *Router) materialize(t *routeTask) {
 					return
 				}
 			}
+			r.markAct(t.wact, w.Bounds())
 			for x := w.Span.Lo; x <= w.Span.Hi; x++ {
 				r.occ[r.idx(x, w.Fixed, l)] = id + 1
 			}
@@ -403,6 +524,7 @@ func (r *Router) materialize(t *routeTask) {
 					return
 				}
 			}
+			r.markAct(t.wact, w.Bounds())
 			for y := w.Span.Lo; y <= w.Span.Hi; y++ {
 				r.occ[r.idx(w.Fixed, y, l)] = id + 1
 			}
@@ -688,6 +810,7 @@ func (r *Router) commitPath(sc *searchCtx, t *routeTask, path []cell) {
 	addWire := func(w geom.Segment) {
 		//lint:ignore hotalloc the committed wire list is the route's output, not scratch: it outlives the search, so it cannot live in the per-search arena
 		t.wires = append(t.wires, w)
+		r.markAct(t.wact, w.Bounds())
 		r.markWire(w, id)
 		forEachCell(w, func(c cell) { metal[r.idx(c.x, c.y, c.l)].stamp = stamp })
 	}

@@ -193,6 +193,7 @@ func (r *Router) runBatches(ctx context.Context, order, nets []*routeTask, res *
 		for acc < len(batch) && batch[acc].status == netRouted {
 			a := batch[acc]
 			r.releaseEscapes(a.t)
+			r.recordFreedPins(a.t)
 			record(a.t, true)
 			r.connects += a.connects
 			r.expansions += a.expansions

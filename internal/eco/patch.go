@@ -1,0 +1,180 @@
+package eco
+
+import (
+	"context"
+	"time"
+
+	"stitchroute/internal/core"
+	"stitchroute/internal/detail"
+	"stitchroute/internal/drc"
+	"stitchroute/internal/geom"
+	"stitchroute/internal/netlist"
+	"stitchroute/internal/plan"
+)
+
+// PatchMargin is the retry margin, in grid cells, added around the
+// edited nets' committed routes when computing the dirty region for
+// patch-mode rerouting. Kept nets whose routes intersect the inflated
+// region are ripped up alongside the edited nets so the graft has room
+// to move neighbours out of the way.
+const PatchMargin = 8
+
+// canPatch reports whether the parent result carries enough committed
+// state for a graft: one route and one freed-pin record per parent net.
+// Patch mode does not replay searches, so unlike canMemo it needs no
+// recorded read-sets, no global trace, and no config match.
+func canPatch(parent *core.Result, pc *netlist.Circuit) bool {
+	return parent != nil && parent.ECO != nil &&
+		len(parent.Routes) == len(pc.Nets) &&
+		len(parent.Plans) == len(pc.Nets) &&
+		len(parent.ECO.FreedPins) == len(pc.Nets)
+}
+
+// ReroutePatch is ReroutePatchContext with a background context.
+func ReroutePatch(parent *core.Result, pc *netlist.Circuit, s *Script, cfg core.Config) (*Result, error) {
+	return ReroutePatchContext(context.Background(), parent, pc, s, cfg)
+}
+
+// ReroutePatchContext applies the edit script and grafts the re-routed
+// dirty nets onto the parent's committed grid instead of re-executing
+// the pipeline. The dirty set is the edited nets plus every kept net
+// whose committed route intersects the edited nets' old routes and new
+// pins inflated by PatchMargin; everything else keeps its parent route
+// byte-for-byte. The cost therefore scales with the edit, not the
+// circuit. The result is deterministic (same parent + same script =>
+// same result) and is re-checked by the full DRC battery, but it is NOT
+// byte-identical to a cold reroute of the edited circuit — use Reroute
+// for the provably-equivalent (and slower) replay. Global-stage metrics
+// and plans are carried over from the parent; edited nets route from
+// their pins without a global plan.
+func ReroutePatchContext(ctx context.Context, parent *core.Result, pc *netlist.Circuit, s *Script, cfg core.Config) (*Result, error) {
+	edited, err := s.Apply(pc)
+	if err != nil {
+		return nil, err
+	}
+	editedIDs := s.DirtyIDs()
+
+	if !canPatch(parent, pc) {
+		cold, err := core.RouteContext(ctx, edited, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Result: cold, Edited: edited,
+			Stats: Stats{Fallback: true, EditedNets: len(editedIDs), GlobalRouted: len(edited.Nets), DetailRouted: len(edited.Nets)}}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, cancelErr(err)
+	}
+
+	// Dirty region: the edited nets' committed geometry and old pin
+	// positions (the space they vacate) plus their new pin positions
+	// (the space they must newly reach), inflated by the retry margin.
+	margin := s.Margin
+	if margin <= 0 {
+		margin = PatchMargin
+	}
+	var region []geom.Rect
+	addRect := func(rc geom.Rect) { region = append(region, rc.Expand(margin)) }
+	for i, n := range pc.Nets {
+		if !editedIDs[n.ID] {
+			continue
+		}
+		for _, w := range parent.Routes[i].Wires {
+			addRect(w.Bounds())
+		}
+		for _, p := range n.Pins {
+			addRect(geom.Rect{X0: p.X, Y0: p.Y, X1: p.X, Y1: p.Y})
+		}
+	}
+	for _, n := range edited.Nets {
+		if !editedIDs[n.ID] {
+			continue
+		}
+		for _, p := range n.Pins {
+			addRect(geom.Rect{X0: p.X, Y0: p.Y, X1: p.X, Y1: p.Y})
+		}
+	}
+	intersects := func(rc geom.Rect) bool {
+		for _, rg := range region {
+			if rg.Overlaps(rc) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Rip up the edited nets plus every kept net whose committed route
+	// crosses the region. Parent-failed nets have no route to cross it;
+	// they are retried only when edited (their pins moved).
+	dirty := make(map[int]bool, len(editedIDs))
+	keep := make(map[int]plan.NetRoute, len(pc.Nets))
+	freed := make(map[int][]detail.Cell, len(pc.Nets))
+	pPlan := make(map[int]*plan.NetPlan, len(pc.Nets))
+	for i, n := range pc.Nets {
+		id := n.ID
+		pPlan[id] = parent.Plans[i]
+		if editedIDs[id] {
+			dirty[id] = true
+			continue
+		}
+		hit := false
+		for _, w := range parent.Routes[i].Wires {
+			if intersects(w.Bounds()) {
+				hit = true
+				break
+			}
+		}
+		if hit {
+			dirty[id] = true
+			continue
+		}
+		keep[id] = parent.Routes[i]
+		freed[id] = parent.ECO.FreedPins[i]
+	}
+
+	// Plans: kept and ripped-neighbour nets reuse their parent plan
+	// (their pins are unchanged, so the plan is still valid guidance);
+	// edited nets have none and route from pins alone.
+	plans := make([]*plan.NetPlan, len(edited.Nets))
+	for i, n := range edited.Nets {
+		if !editedIDs[n.ID] {
+			plans[i] = pPlan[n.ID]
+		}
+	}
+
+	res := &core.Result{Plans: plans}
+	st := Stats{EditedNets: len(editedIDs), GlobalReused: len(edited.Nets)}
+
+	t0 := time.Now()
+	dr := detail.NewRouter(edited.Fabric, cfg.Detail)
+	dres, grafted, err := dr.RunPatch(ctx, edited, plans, &detail.Patch{
+		Dirty: dirty, Keep: keep, FreedPins: freed,
+	})
+	if err != nil {
+		return nil, cancelErr(err)
+	}
+	res.Routes = dres.Routes
+	res.RippedNets = dres.Ripped
+	res.FailedNets = dres.Failed
+	res.DetailConnects = dres.Connects
+	res.DetailExpansions = dres.Expansions
+	res.Times.Detail = time.Since(t0)
+	st.DetailReused = grafted
+	st.DetailRouted = len(edited.Nets) - grafted
+
+	// Global-stage metrics describe the carried-over plans.
+	res.TVOF, res.MVOF = parent.TVOF, parent.MVOF
+	res.GlobalWL = parent.GlobalWL
+	res.EdgeOverflow = parent.EdgeOverflow
+	res.TrackStats = parent.TrackStats
+
+	res.Report = drc.Check(edited, res.Routes)
+	// A patch result carries enough state for further patches (routes +
+	// freed pins) but no replay recording: chaining a strict Reroute off
+	// it falls back to a cold route.
+	res.ECO = &core.ECOState{
+		Cfg:       core.NormalizeCfg(cfg),
+		FreedPins: dres.FreedPins,
+	}
+	return &Result{Result: res, Edited: edited, Stats: st}, nil
+}

@@ -81,6 +81,12 @@ type Router struct {
 	// History penalties accumulated by the rip-up/reroute refinement on
 	// overflowed resources (PathFinder-style negotiation).
 	hHist, vHist, endHist []float64
+
+	// ECO recording (trace.go). trace holds the last RouteAll pass's
+	// per-net records; rec, when non-nil, is the bitset the current
+	// net's searches mark popped tiles into.
+	trace *Trace
+	rec   []uint64
 }
 
 // NewRouter builds the routing graph for the fabric.
@@ -163,29 +169,8 @@ const (
 // The returned plan carries the route tree, its segments, and the net's
 // multilevel level.
 func (r *Router) RouteNet(net *netlist.Net) *plan.NetPlan {
-	f := r.f
-	np := &plan.NetPlan{NetID: net.ID, Level: plan.Level(net.BBox(), f)}
-
-	// Deduplicate pin tiles, then sort: the map is only a membership
-	// set, and sorting before anything reads the collection keeps its
-	// iteration order out of the plan.
-	tileSet := make(map[plan.TilePoint]bool, len(net.Pins))
-	for _, p := range net.Pins {
-		tx, ty := f.TileOf(p.Point)
-		tileSet[plan.TilePoint{TX: tx, TY: ty}] = true
-	}
-	tiles := make([]plan.TilePoint, 0, len(tileSet))
-	for tp := range tileSet {
-		tiles = append(tiles, tp)
-	}
-	sort.Slice(tiles, func(i, j int) bool {
-		a, b := tiles[i], tiles[j]
-		if a.TX != b.TX {
-			return a.TX < b.TX
-		}
-		return a.TY < b.TY
-	})
-	np.PinTiles = tiles
+	np := &plan.NetPlan{NetID: net.ID, Level: plan.Level(net.BBox(), r.f)}
+	np.PinTiles = r.pinTiles(net)
 	if len(np.PinTiles) <= 1 {
 		return np // local net: detailed routing handles it directly
 	}
@@ -245,8 +230,36 @@ func (r *Router) RouteNet(net *netlist.Net) *plan.NetPlan {
 	}
 	np.Edges = plan.DedupeEdges(edges)
 	np.Segs = plan.Segmentize(net.ID, np.Edges)
+	r.commit(np)
+	return np
+}
 
-	// Commit demands.
+// pinTiles returns the net's deduplicated pin tiles in sorted order.
+// The map is only a membership set, and sorting before anything reads
+// the collection keeps its iteration order out of the plan.
+func (r *Router) pinTiles(net *netlist.Net) []plan.TilePoint {
+	tileSet := make(map[plan.TilePoint]bool, len(net.Pins))
+	for _, p := range net.Pins {
+		tx, ty := r.f.TileOf(p.Point)
+		tileSet[plan.TilePoint{TX: tx, TY: ty}] = true
+	}
+	tiles := make([]plan.TilePoint, 0, len(tileSet))
+	for tp := range tileSet {
+		tiles = append(tiles, tp)
+	}
+	sort.Slice(tiles, func(i, j int) bool {
+		a, b := tiles[i], tiles[j]
+		if a.TX != b.TX {
+			return a.TX < b.TX
+		}
+		return a.TY < b.TY
+	})
+	return tiles
+}
+
+// commit adds the plan's demands to the graph: one per route edge, one
+// line-end per vertical segment endpoint.
+func (r *Router) commit(np *plan.NetPlan) {
 	for _, e := range np.Edges {
 		if e.Horizontal() {
 			r.hDem[e.A.TY*(r.tw-1)+e.A.TX]++
@@ -257,7 +270,6 @@ func (r *Router) RouteNet(net *netlist.Net) *plan.NetPlan {
 	for _, le := range plan.LineEnds(np.Segs) {
 		r.endDem[le.TY*r.tw+le.TX]++
 	}
-	return np
 }
 
 // astar searches from the source tile set to the target, minimizing
@@ -300,6 +312,10 @@ func (r *Router) astar(sources map[plan.TilePoint]bool, target plan.TilePoint) [
 		v, d := st/nd, st%nd
 		if f-h(v) > dist[st]+1e-12 {
 			continue
+		}
+		if r.rec != nil {
+			// ECO read-set: every popped tile (see trace.go).
+			r.rec[v>>6] |= 1 << (uint(v) & 63)
 		}
 		if v == goal {
 			// Terminating with a vertical arrival adds a final line end;
@@ -394,13 +410,29 @@ func (r *Router) RouteAllContext(ctx context.Context, c *netlist.Circuit) ([]*pl
 	for i, n := range c.Nets {
 		byID[n.ID] = i
 	}
+	// Record the ECO trace (trace.go) unless pattern routing is on —
+	// patternRoute reads edge costs without popping, so the popped-tile
+	// read-set would under-approximate its reads.
+	record := !r.cfg.Pattern
+	if record {
+		r.trace = &Trace{TW: r.tw, TH: r.th, Nets: make(map[int]*NetTrace, len(c.Nets))}
+	}
+	words := (r.tw*r.th + 63) / 64
 	for i, e := range mlevel.Schedule(c) {
 		if i%ctxCheckStride == 0 {
 			if err := ctx.Err(); err != nil {
 				return plans, err
 			}
 		}
-		plans[byID[e.Net.ID]] = r.RouteNet(e.Net)
+		if record {
+			r.rec = make([]uint64, words)
+		}
+		np := r.RouteNet(e.Net)
+		if record {
+			r.trace.Nets[e.Net.ID] = &NetTrace{ReadSet: r.rec, Edges: plan.CopyEdges(np.Edges)}
+			r.rec = nil
+		}
+		plans[byID[e.Net.ID]] = np
 	}
 	return plans, nil
 }

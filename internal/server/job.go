@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"stitchroute/internal/core"
+	"stitchroute/internal/eco"
 	"stitchroute/internal/fracture"
 	"stitchroute/internal/netlist"
 	"stitchroute/internal/stencil"
@@ -199,6 +200,19 @@ type Job struct {
 	cacheHit        bool
 	result          *core.Result
 	writePrep       *WritePrep
+
+	// ECO fork fields (set when the job was submitted via
+	// POST /v1/jobs/{id}/eco): the parent job's id, the engine mode,
+	// the edit script, and the parent circuit/result the script applies
+	// to. ecoStats is written once on completion, under mu.
+	ecoParent string
+	ecoMode   string
+	ecoEdited int
+	ecoScript *eco.Script
+	ecoBase   *netlist.Circuit
+	ecoFrom   *core.Result
+	ecoStats  *eco.Stats
+	ecoTime   time.Duration
 }
 
 // JobView is the JSON representation of a job returned by the API.
@@ -220,6 +234,7 @@ type JobView struct {
 	Finished  *time.Time `json:"finished,omitempty"`
 	Summary   *Summary   `json:"summary,omitempty"`
 	WritePrep *WritePrep `json:"writePrep,omitempty"`
+	ECO       *ECOView   `json:"eco,omitempty"`
 }
 
 // view snapshots the job for serialization.
@@ -254,6 +269,17 @@ func (j *Job) view() JobView {
 	if j.state == StateDone && j.result != nil {
 		v.Summary = summarize(j.result)
 		v.WritePrep = j.writePrep
+	}
+	if j.ecoMode != "" {
+		ev := &ECOView{Parent: j.ecoParent, Mode: j.ecoMode, EditedNets: j.ecoEdited}
+		if j.ecoStats != nil {
+			ev.Fallback = j.ecoStats.Fallback
+			ev.GlobalReused = j.ecoStats.GlobalReused
+			ev.DetailReused = j.ecoStats.DetailReused
+			ev.DetailRouted = j.ecoStats.DetailRouted
+			ev.ECOSeconds = j.ecoTime.Seconds()
+		}
+		v.ECO = ev
 	}
 	return v
 }

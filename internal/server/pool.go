@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"stitchroute/internal/core"
+	"stitchroute/internal/eco"
 )
 
 // worker drains the job queue until it is closed (Shutdown). A job that
@@ -40,9 +41,31 @@ func (s *Server) runJob(j *Job) {
 	j.state = StateRunning
 	j.started = time.Now()
 	circuit, cfg, req, fmode := j.circuit, j.cfg, j.req, j.fracMode
+	ecoScript, ecoBase, ecoFrom, ecoMode := j.ecoScript, j.ecoBase, j.ecoFrom, j.ecoMode
 	j.mu.Unlock()
 
-	res, err := s.route(ctx, circuit, cfg)
+	var res *core.Result
+	var err error
+	var ecoStats *eco.Stats
+	var ecoTime time.Duration
+	if ecoScript != nil {
+		// ECO fork: incremental reroute from the parent's committed
+		// result instead of a cold pipeline run.
+		t0 := time.Now()
+		var er *eco.Result
+		if ecoMode == "patch" {
+			er, err = eco.ReroutePatchContext(ctx, ecoFrom, ecoBase, ecoScript, cfg)
+		} else {
+			er, err = eco.RerouteContext(ctx, ecoFrom, ecoBase, ecoScript, cfg)
+		}
+		if err == nil {
+			res = er.Result
+			ecoStats = &er.Stats
+			ecoTime = time.Since(t0)
+		}
+	} else {
+		res, err = s.route(ctx, circuit, cfg)
+	}
 	// Write-prep rides the same job context, so a cancel or timeout during
 	// fracturing classifies exactly like one during routing.
 	var wp *WritePrep
@@ -60,7 +83,14 @@ func (s *Server) runJob(j *Job) {
 		j.state = StateDone
 		j.result = res
 		j.writePrep = wp
-		s.cache.put(j.key, res)
+		j.ecoStats = ecoStats
+		j.ecoTime = ecoTime
+		// Patch-mode ECO jobs carry no key: their result is not
+		// byte-identical to a cold reroute and must not populate the
+		// content-addressed cold-route cache.
+		if j.key != "" {
+			s.cache.put(j.key, res)
+		}
 		s.metrics.addStages(res.Times)
 	case j.cancelRequested && cancelled:
 		j.state = StateCancelled

@@ -11,6 +11,7 @@
 //	GET    /v1/jobs            list jobs
 //	GET    /v1/jobs/{id}       job status + Table III-style summary
 //	DELETE /v1/jobs/{id}       cancel a queued or running job
+//	POST   /v1/jobs/{id}/eco   fork a done job: incremental (ECO) reroute
 //	GET    /v1/jobs/{id}/routes  routed geometry (nlio routes format)
 //	GET    /v1/jobs/{id}/svg   routed layout rendering
 //	GET    /v1/benchmarks      bundled benchmark circuits
@@ -136,6 +137,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/eco", s.handleECO)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/routes", s.handleRoutes)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/svg", s.handleSVG)
 	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
@@ -181,6 +183,26 @@ func (s *Server) lookup(r *http.Request) (*Job, bool) {
 	return j, ok
 }
 
+// jobTimeout resolves a requested timeout string against the server's
+// default and cap.
+func (s *Server) jobTimeout(req string) (time.Duration, *apiError) {
+	timeout := s.cfg.DefaultTimeout
+	if req != "" {
+		d, err := time.ParseDuration(req)
+		if err != nil {
+			return 0, badRequest("bad timeout %q: %v", req, err)
+		}
+		if d <= 0 {
+			return 0, badRequest("timeout must be positive, got %q", req)
+		}
+		timeout = d
+	}
+	if s.cfg.MaxTimeout > 0 && (timeout == 0 || timeout > s.cfg.MaxTimeout) {
+		timeout = s.cfg.MaxTimeout
+	}
+	return timeout, nil
+}
+
 // buildJob validates the request and constructs the (still unqueued)
 // job: circuit, config, timeout, and cache key.
 func (s *Server) buildJob(req *JobRequest) (*Job, *apiError) {
@@ -223,19 +245,9 @@ func (s *Server) buildJob(req *JobRequest) (*Job, *apiError) {
 		return nil, badRequest("\"stencil\" requires \"fracture\"")
 	}
 
-	timeout := s.cfg.DefaultTimeout
-	if req.Timeout != "" {
-		d, err := time.ParseDuration(req.Timeout)
-		if err != nil {
-			return nil, badRequest("bad timeout %q: %v", req.Timeout, err)
-		}
-		if d <= 0 {
-			return nil, badRequest("timeout must be positive, got %q", req.Timeout)
-		}
-		timeout = d
-	}
-	if s.cfg.MaxTimeout > 0 && (timeout == 0 || timeout > s.cfg.MaxTimeout) {
-		timeout = s.cfg.MaxTimeout
+	timeout, apiErr := s.jobTimeout(req.Timeout)
+	if apiErr != nil {
+		return nil, apiErr
 	}
 
 	var c *netlist.Circuit

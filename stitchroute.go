@@ -30,6 +30,7 @@ import (
 	"stitchroute/internal/bench"
 	"stitchroute/internal/core"
 	"stitchroute/internal/drc"
+	"stitchroute/internal/eco"
 	"stitchroute/internal/fracture"
 	"stitchroute/internal/gds"
 	"stitchroute/internal/geom"
@@ -188,6 +189,67 @@ func PlanStencil(shots []Shot, opts StencilOptions) *StencilPlan {
 // PlanStencilContext is PlanStencil with cancellation.
 func PlanStencilContext(ctx context.Context, shots []Shot, opts StencilOptions) (*StencilPlan, error) {
 	return stencil.BuildContext(ctx, shots, opts)
+}
+
+// ECO types: incremental rerouting of an already-routed circuit under a
+// small edit script — see docs/ECO.md.
+type (
+	// ECOEdit is one edit operation (add/delete/move/movepin).
+	ECOEdit = eco.Edit
+	// ECOScript is an ordered edit list with an optional patch margin.
+	ECOScript = eco.Script
+	// ECOPin is a pin location inside an edit.
+	ECOPin = eco.Pin
+	// ECOResult is an incremental reroute's outcome: a full Result for
+	// the edited circuit plus replay statistics.
+	ECOResult = eco.Result
+	// ECOStats summarizes how much of the parent result was reused.
+	ECOStats = eco.Stats
+)
+
+// ECO edit ops.
+const (
+	ECOAdd     = eco.OpAdd
+	ECODelete  = eco.OpDelete
+	ECOMove    = eco.OpMove
+	ECOMovePin = eco.OpMovePin
+)
+
+// ParseECOScript decodes a JSON edit script ({"edits":[...]}).
+func ParseECOScript(r io.Reader) (*ECOScript, error) { return eco.ParseScript(r) }
+
+// RouteECO incrementally reroutes the parent result's circuit under the
+// edit script by replaying the committed searches everywhere the edit
+// provably cannot have changed them. The result is byte-for-byte the
+// cold reroute of the edited circuit (same routes, plans, DRC report) —
+// see docs/ECO.md for the equivalence argument. When the parent carries
+// no usable recording the call falls back to a cold route
+// (ECOResult.Stats.Fallback).
+func RouteECO(parent *Result, c *Circuit, s *ECOScript, cfg Config) (*ECOResult, error) {
+	return eco.Reroute(parent, c, s, cfg)
+}
+
+// RouteECOContext is RouteECO with cancellation (stage boundaries and
+// per-net loop checks, like RouteContext).
+func RouteECOContext(ctx context.Context, parent *Result, c *Circuit, s *ECOScript, cfg Config) (*ECOResult, error) {
+	return eco.RerouteContext(ctx, parent, c, s, cfg)
+}
+
+// RouteECOPatch incrementally reroutes by grafting: the parent's
+// committed grid is kept verbatim and only the edited nets plus the
+// nets whose routes intersect the edit's dirty region (inflated by the
+// script's margin) are ripped up and rerouted. The cost scales with the
+// edit, not the circuit — typically well over 10x faster than a cold
+// reroute — and the result is deterministic and re-checked by the full
+// DRC battery, but NOT byte-identical to a cold reroute; use RouteECO
+// for the provably-equivalent replay.
+func RouteECOPatch(parent *Result, c *Circuit, s *ECOScript, cfg Config) (*ECOResult, error) {
+	return eco.ReroutePatch(parent, c, s, cfg)
+}
+
+// RouteECOPatchContext is RouteECOPatch with cancellation.
+func RouteECOPatchContext(ctx context.Context, parent *Result, c *Circuit, s *ECOScript, cfg Config) (*ECOResult, error) {
+	return eco.ReroutePatchContext(ctx, parent, c, s, cfg)
 }
 
 // ReadCircuit parses a circuit in the nlio text format.
