@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint stitchvet lint-fixtures test test-short race race-fast serve bench bench-json bench-fracture-json bench-eco-json bench-smoke tables figures coverage fuzz fuzz-eco soak fracture-golden eco-golden clean help
+.PHONY: all build vet lint stitchvet lint-fix lint-audit lint-fixtures test test-short race race-fast serve bench bench-json bench-fracture-json bench-eco-json bench-smoke tables figures coverage fuzz fuzz-eco soak fracture-golden eco-golden clean help
 
 all: build vet test ## build + vet + full tests
 
@@ -15,11 +15,12 @@ vet: ## go vet over the whole repo
 
 # Static-analysis gate. stitchvet is the repo's own go/analysis-style
 # linter (cmd/stitchvet, see docs/LINTING.md): four syntactic analyzers
-# (mapiterorder, ctxflow, lockdiscipline, floateq) plus three
-# flow-sensitive ones built on the CFG + dataflow engine (nondeterm,
-# hotalloc, leakcheck). It exits nonzero on any unsuppressed diagnostic.
-# staticcheck runs too when installed (CI installs a pinned version; the
-# offline dev container may not have it).
+# (mapiterorder, ctxflow, lockdiscipline, floateq), three flow-sensitive
+# ones built on the CFG + dataflow engine (nondeterm, hotalloc,
+# leakcheck), and three interprocedural ones built on the whole-module
+# call graph (lockorder, narrowconv, errflow). It exits nonzero on any
+# unsuppressed diagnostic. staticcheck runs too when installed (CI
+# installs a pinned version; the offline dev container may not have it).
 lint: vet stitchvet ## vet + stitchvet + staticcheck (if installed)
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		echo "staticcheck ./..."; staticcheck ./...; \
@@ -31,9 +32,22 @@ stitchvet: ## build and run the repo's invariant linter
 	$(GO) build -o bin/stitchvet ./cmd/stitchvet
 	./bin/stitchvet ./...
 
-# The analyzers' own regression suite: fixture expectations for all seven
+# Applies every suggested fix carried by an unsuppressed finding
+# (atomic per-file edits + gofmt), then the driver re-analyzes; the
+# second plain run proves the tree converged to clean.
+lint-fix: ## apply stitchvet suggested fixes, then verify a clean re-run
+	$(GO) build -o bin/stitchvet ./cmd/stitchvet
+	./bin/stitchvet -fix ./...
+	./bin/stitchvet ./...
+
+lint-audit: ## check every //lint:ignore directive for name + reason hygiene
+	$(GO) build -o bin/stitchvet ./cmd/stitchvet
+	./bin/stitchvet -audit
+
+# The analyzers' own regression suite: fixture expectations for all ten
 # analyzers, the CFG builder's structural tests, the dataflow lattice and
-# call-summary unit tests, and the driver's suppression/JSON semantics.
+# call-summary unit tests, the call-graph tests, and the driver's
+# suppression/JSON/SARIF/fix/audit semantics.
 lint-fixtures: ## test the analyzers themselves (fixtures, CFG, dataflow)
 	$(GO) test ./internal/analysis/...
 

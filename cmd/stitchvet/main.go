@@ -4,14 +4,24 @@
 //
 // Usage:
 //
-//	stitchvet [-only name,name] [-json] [-v] [packages...]
+//	stitchvet [-only name,name] [-json|-sarif] [-fix] [-audit] [-v] [packages...]
 //
 // Packages default to ./.... Exit status is 1 if any unsuppressed
 // diagnostic is reported, 2 on driver errors. With -json, diagnostics
 // are emitted one JSON object per line (including suppressed ones,
-// marked as such); the schema is documented in docs/LINTING.md, along
-// with what each analyzer guards and how to suppress a false positive
-// with //lint:ignore.
+// marked as such); with -sarif a single SARIF 2.1.0 document is emitted
+// for CI annotation; the schemas are documented in docs/LINTING.md,
+// along with what each analyzer guards and how to suppress a false
+// positive with //lint:ignore.
+//
+// -fix applies each finding's suggested fix (where the analyzer attached
+// one), formats the touched files, and re-analyzes: the exit status
+// reflects what is left AFTER the fixes.
+//
+// -audit walks the tree and fails on any //lint:ignore directive that
+// has no reason text or names an unknown analyzer: a suppression without
+// a recorded justification is a future bug report with the evidence
+// deleted.
 package main
 
 import (
@@ -23,21 +33,27 @@ import (
 	"stitchroute/internal/analysis"
 	"stitchroute/internal/analysis/ctxflow"
 	"stitchroute/internal/analysis/driver"
+	"stitchroute/internal/analysis/errflow"
 	"stitchroute/internal/analysis/floateq"
 	"stitchroute/internal/analysis/hotalloc"
 	"stitchroute/internal/analysis/leakcheck"
 	"stitchroute/internal/analysis/lockdiscipline"
+	"stitchroute/internal/analysis/lockorder"
 	"stitchroute/internal/analysis/mapiterorder"
+	"stitchroute/internal/analysis/narrowconv"
 	"stitchroute/internal/analysis/nondeterm"
 )
 
 var analyzers = []*analysis.Analyzer{
 	ctxflow.Analyzer,
+	errflow.Analyzer,
 	floateq.Analyzer,
 	hotalloc.Analyzer,
 	leakcheck.Analyzer,
 	lockdiscipline.Analyzer,
+	lockorder.Analyzer,
 	mapiterorder.Analyzer,
+	narrowconv.Analyzer,
 	nondeterm.Analyzer,
 }
 
@@ -45,9 +61,12 @@ func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
 	jsonOut := flag.Bool("json", false, "emit one JSON object per diagnostic line (see docs/LINTING.md)")
+	sarifOut := flag.Bool("sarif", false, "emit a SARIF 2.1.0 document (for CI annotation)")
+	fix := flag.Bool("fix", false, "apply suggested fixes, gofmt the touched files, and re-analyze")
+	audit := flag.Bool("audit", false, "audit //lint:ignore directives for missing reasons and unknown analyzers, then exit")
 	verbose := flag.Bool("v", false, "print each package as it is checked")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: stitchvet [-only name,name] [-json] [-v] [packages...]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: stitchvet [-only name,name] [-json|-sarif] [-fix] [-audit] [-v] [packages...]\n\nAnalyzers:\n")
 		for _, a := range analyzers {
 			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, firstLine(a.Doc))
 		}
@@ -61,11 +80,28 @@ func main() {
 		return
 	}
 
+	if *audit {
+		valid := map[string]bool{}
+		for _, a := range analyzers {
+			valid[a.Name] = true
+		}
+		n, err := driver.AuditIgnores(".", valid, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stitchvet:", err)
+			os.Exit(2)
+		}
+		if n > 0 {
+			fmt.Fprintf(os.Stderr, "stitchvet: %d unjustified suppression(s)\n", n)
+			os.Exit(1)
+		}
+		return
+	}
+
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	opts := driver.Options{Verbose: *verbose, JSON: *jsonOut}
+	opts := driver.Options{Verbose: *verbose, JSON: *jsonOut, SARIF: *sarifOut, Fix: *fix}
 	if *only != "" {
 		opts.Only = strings.Split(*only, ",")
 	}

@@ -1,0 +1,483 @@
+// Package callgraph builds a whole-module static call graph over the
+// first-party packages loaded for a stitchvet run, and condenses it into
+// strongly connected components ordered for bottom-up summary
+// computation.
+//
+// The loader (internal/analysis/load) type-checks each package
+// separately, resolving imports through gc export data. A consequence is
+// that one function is represented by *different* *types.Func objects in
+// its defining package and at cross-package call sites. The graph
+// therefore keys every function by a canonical string ID —
+// "path/to/pkg.Name" for package functions, "(path/to/pkg.Recv).Name" /
+// "(*path/to/pkg.Recv).Name" for methods — which is identical however the
+// function is reached. FuncID computes it from any *types.Func, local or
+// imported, and generic instantiations collapse to their origin.
+//
+// Resolution is static and deliberately conservative:
+//
+//   - direct calls to package-level functions (local or imported
+//     first-party) and to methods on named non-interface types resolve to
+//     their node;
+//   - a *ast.FuncLit gets its own node; an immediately-invoked literal,
+//     and calls through a local variable the literal was assigned to,
+//     resolve to it;
+//   - method values (f := x.M; f()) and function values (f := pkgFunc)
+//     tracked through local single-name assignments resolve to the
+//     underlying function — if a variable is assigned several callables
+//     every one becomes an edge;
+//   - interface method calls, calls through parameters, struct fields,
+//     channels, or maps do not resolve (no edge). Analyzers must treat an
+//     unresolved call as an unknown callee, not as a no-op.
+//
+// A `go` statement's callee is NOT an edge: the body runs on another
+// goroutine, outside the caller's lock set and error scope. The launched
+// function is still a node and is analyzed in its own right; Node.Spawns
+// records the launch sites. Deferred calls are ordinary edges (they run
+// in the caller's goroutine).
+package callgraph
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"stitchroute/internal/analysis/load"
+)
+
+// Node is one function in the module: a declared function/method or a
+// function literal.
+type Node struct {
+	// ID is the canonical identity (see FuncID). FuncLit nodes use the
+	// enclosing declaration's ID plus a "$litN" suffix in source order.
+	ID string
+
+	Pkg  *load.Package
+	Func *types.Func   // nil for function literals
+	Decl *ast.FuncDecl // nil for function literals
+	Lit  *ast.FuncLit  // nil for declared functions
+
+	// Sites maps every call expression inside this function's body
+	// (excluding nested literal bodies — those belong to the literal's
+	// node) to its resolved callee node, when resolution succeeded.
+	Sites map[*ast.CallExpr]*Node
+
+	// Spawns lists the nodes this function launches with `go`, with the
+	// launch position. They are not Callees: they run concurrently.
+	Spawns []Spawn
+
+	// Callees and Callers are deduplicated adjacency lists in
+	// deterministic (first-encounter, then ID) order.
+	Callees []*Node
+	Callers []*Node
+
+	// SCC is the index of this node's component in Graph.SCCs.
+	SCC int
+
+	calleeSet map[*Node]bool
+}
+
+// Spawn records one `go` launch site.
+type Spawn struct {
+	Callee *Node
+	Pos    token.Pos
+}
+
+// Body returns the function's body block.
+func (n *Node) Body() *ast.BlockStmt {
+	if n.Decl != nil {
+		return n.Decl.Body
+	}
+	return n.Lit.Body
+}
+
+// Pos returns the function's declaration position.
+func (n *Node) Pos() token.Pos {
+	if n.Decl != nil {
+		return n.Decl.Pos()
+	}
+	return n.Lit.Pos()
+}
+
+// String renders a short human-readable name for diagnostics: the ID
+// without the module-path prefix noise.
+func (n *Node) String() string { return n.ID }
+
+// Graph is the module call graph.
+type Graph struct {
+	// Nodes, keyed by ID.
+	Nodes map[string]*Node
+
+	// SCCs is the condensation in bottom-up (reverse topological)
+	// order: every callee's component appears before its callers'.
+	// Summary-based analyses iterate SCCs in slice order and have each
+	// callee's summary ready when they reach a caller; within one
+	// component they iterate to a local fixpoint.
+	SCCs [][]*Node
+
+	byLit map[*ast.FuncLit]*Node
+}
+
+// FuncID returns the canonical module-wide identity of fn, or "" when fn
+// has none (nil, builtins). Imported and locally-checked objects for the
+// same function produce the same ID; generic instantiations map to their
+// origin.
+func FuncID(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	fn = fn.Origin()
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		ptr := ""
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+			ptr = "*"
+		}
+		named, isNamed := t.(*types.Named)
+		if !isNamed {
+			return ""
+		}
+		return "(" + ptr + fn.Pkg().Path() + "." + named.Obj().Name() + ")." + fn.Name()
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// NodeOf resolves fn — from any package's type info — to its node, or
+// nil for functions outside the module.
+func (g *Graph) NodeOf(fn *types.Func) *Node {
+	return g.Nodes[FuncID(fn)]
+}
+
+// NodeOfLit returns the node of a function literal, or nil.
+func (g *Graph) NodeOfLit(lit *ast.FuncLit) *Node { return g.byLit[lit] }
+
+// Build constructs the call graph over pkgs.
+func Build(pkgs []*load.Package) *Graph {
+	g := &Graph{Nodes: make(map[string]*Node), byLit: make(map[*ast.FuncLit]*Node)}
+
+	// Pass 1: create a node per declared function and per function
+	// literal. Literal IDs count per enclosing declaration in source
+	// order, so they are stable across runs.
+	var order []*Node // creation order: deterministic walk order
+	var roots []*Node // top-level walk roots (decls and package-level lits)
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Body == nil {
+						continue
+					}
+					fn, _ := pkg.TypesInfo.Defs[d.Name].(*types.Func)
+					id := FuncID(fn)
+					if id == "" || g.Nodes[id] != nil {
+						continue
+					}
+					n := &Node{ID: id, Pkg: pkg, Func: fn, Decl: d, Sites: map[*ast.CallExpr]*Node{}, calleeSet: map[*Node]bool{}}
+					g.Nodes[id] = n
+					order = append(order, n)
+					roots = append(roots, n)
+					order = append(order, g.addLits(pkg, id, d.Body)...)
+				case *ast.GenDecl:
+					// Package-level `var f = func(...) {...}`.
+					for _, spec := range d.Specs {
+						vs, ok := spec.(*ast.ValueSpec)
+						if !ok {
+							continue
+						}
+						for vi, v := range vs.Values {
+							name := "init"
+							if vi < len(vs.Names) {
+								name = vs.Names[vi].Name
+							}
+							lits := g.addLits(pkg, pkg.PkgPath+"."+name, v)
+							order = append(order, lits...)
+							for _, ln := range lits {
+								if _, direct := ast.Unparen(v).(*ast.FuncLit); direct && ln.Lit == ast.Unparen(v) {
+									roots = append(roots, ln)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 2: resolve call sites and build edges. A declaration and its
+	// nested literals are walked as one tree with a shared view of
+	// which locals hold which callables, so a closure calling a
+	// captured function value still resolves.
+	for _, n := range roots {
+		resolveTree(g, n)
+	}
+
+	g.condense(order)
+	return g
+}
+
+// addLits creates nodes for every function literal under root (which is
+// not itself a literal body), numbered in source order under baseID.
+func (g *Graph) addLits(pkg *load.Package, baseID string, root ast.Node) []*Node {
+	var created []*Node
+	i := 0
+	ast.Inspect(root, func(x ast.Node) bool {
+		lit, ok := x.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		id := fmt.Sprintf("%s$lit%d", baseID, i)
+		i++
+		n := &Node{ID: id, Pkg: pkg, Lit: lit, Sites: map[*ast.CallExpr]*Node{}, calleeSet: map[*Node]bool{}}
+		g.Nodes[id] = n
+		g.byLit[lit] = n
+		created = append(created, n)
+		return true // nested literals get their own nodes too
+	})
+	return created
+}
+
+// callTargets tracks, per top-level declaration walk, the callable
+// values a local variable was observed to hold. It is shared between a
+// declaration and its nested literals so captured function values
+// resolve inside closures.
+type callTargets map[types.Object][]*Node
+
+// resolveTree walks root's body, attributing each call to the innermost
+// enclosing function node (root itself or one of its nested literals).
+func resolveTree(g *Graph, root *Node) {
+	info := root.Pkg.TypesInfo
+	targets := callTargets{}
+
+	var walkFrom func(cur *Node, n ast.Node)
+	walkFrom = func(cur *Node, n ast.Node) {
+		ast.Inspect(n, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.FuncLit:
+				if ln := g.byLit[x]; ln != nil && ln != cur {
+					walkFrom(ln, x.Body)
+					return false
+				}
+			case *ast.AssignStmt:
+				// f := func() {...} / f := x.M / f := pkgFunc: remember
+				// every callable the variable is observed to hold.
+				if len(x.Lhs) == len(x.Rhs) {
+					for i, lhs := range x.Lhs {
+						id, ok := ast.Unparen(lhs).(*ast.Ident)
+						if !ok {
+							continue
+						}
+						obj := info.ObjectOf(id)
+						if obj == nil {
+							continue
+						}
+						if t := valueTarget(g, info, x.Rhs[i]); t != nil {
+							targets[obj] = append(targets[obj], t)
+						}
+					}
+				}
+			case *ast.GoStmt:
+				if callee := resolveCallee(g, info, targets, x.Call); callee != nil {
+					cur.Spawns = append(cur.Spawns, Spawn{Callee: callee, Pos: x.Pos()})
+				}
+				// Arguments are evaluated in the caller; the call itself
+				// is not an edge. A literal launched directly still gets
+				// its body walked as its own node.
+				if fl, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit); ok {
+					if ln := g.byLit[fl]; ln != nil {
+						walkFrom(ln, fl.Body)
+					}
+				}
+				for _, a := range x.Call.Args {
+					walkFrom(cur, a)
+				}
+				return false
+			case *ast.CallExpr:
+				if callee := resolveCallee(g, info, targets, x); callee != nil {
+					cur.Sites[x] = callee
+					cur.addCallee(callee)
+				}
+			}
+			return true
+		})
+	}
+
+	if body := root.Body(); body != nil {
+		walkFrom(root, body)
+	}
+}
+
+func (n *Node) addCallee(c *Node) {
+	if n.calleeSet[c] {
+		return
+	}
+	n.calleeSet[c] = true
+	n.Callees = append(n.Callees, c)
+	c.Callers = append(c.Callers, n)
+}
+
+// valueTarget resolves an expression used as a callable *value* (RHS of
+// an assignment): a function literal, a method value x.M, or a reference
+// to a declared function.
+func valueTarget(g *Graph, info *types.Info, e ast.Expr) *Node {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.FuncLit:
+		return g.byLit[e]
+	case *ast.Ident:
+		if fn, ok := info.Uses[e].(*types.Func); ok {
+			return g.NodeOf(fn)
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[e.Sel].(*types.Func); ok {
+			return g.NodeOf(fn) // method value or qualified function
+		}
+	}
+	return nil
+}
+
+// resolveCallee resolves the static callee of one call expression, or
+// nil (unknown callee, type conversion, builtin, interface dispatch).
+func resolveCallee(g *Graph, info *types.Info, targets callTargets, call *ast.CallExpr) *Node {
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return nil // conversion
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return g.byLit[fun] // immediately invoked
+	case *ast.Ident:
+		switch obj := info.Uses[fun].(type) {
+		case *types.Func:
+			return g.NodeOf(obj)
+		case *types.Var:
+			// Call through a tracked local holding a single known
+			// callable. Multiple candidates still produce edges (via
+			// resolveMulti below) but no unique site resolution.
+			if ts := targets[obj]; len(ts) == 1 {
+				return ts[0]
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return g.NodeOf(fn)
+		}
+		// Index expressions (generic instantiation f[T](...)) keep the
+		// *types.Func in Uses of the underlying ident.
+	case *ast.IndexExpr:
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			if fn, ok := info.Uses[id].(*types.Func); ok {
+				return g.NodeOf(fn)
+			}
+		}
+	case *ast.IndexListExpr:
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			if fn, ok := info.Uses[id].(*types.Func); ok {
+				return g.NodeOf(fn)
+			}
+		}
+	}
+	return nil
+}
+
+// condense runs Tarjan's algorithm over the nodes. Tarjan emits each
+// strongly connected component only after every component reachable from
+// it has been emitted, so the emission order is exactly the bottom-up
+// (callees-first) summary order the analyzers need.
+func (g *Graph) condense(order []*Node) {
+	// Deterministic root order: creation order is already deterministic,
+	// but sort by ID for insensitivity to file ordering.
+	roots := append([]*Node(nil), order...)
+	sort.Slice(roots, func(i, j int) bool { return roots[i].ID < roots[j].ID })
+
+	index := make(map[*Node]int, len(roots))
+	low := make(map[*Node]int, len(roots))
+	onStack := make(map[*Node]bool, len(roots))
+	var stack []*Node
+	next := 0
+
+	var strongconnect func(v *Node)
+	strongconnect = func(v *Node) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range v.Callees {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []*Node
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				w.SCC = len(g.SCCs)
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Slice(scc, func(i, j int) bool { return scc[i].ID < scc[j].ID })
+			g.SCCs = append(g.SCCs, scc)
+		}
+	}
+	for _, v := range roots {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+}
+
+// DebugString renders the graph one caller per line with sorted callees,
+// for tests:
+//
+//	pkg.A -> pkg.B (pkg2.C)
+//
+// Spawned (go-launched) nodes appear in parentheses.
+func (g *Graph) DebugString() string {
+	ids := make([]string, 0, len(g.Nodes))
+	for id := range g.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var sb strings.Builder
+	for _, id := range ids {
+		n := g.Nodes[id]
+		if len(n.Callees) == 0 && len(n.Spawns) == 0 {
+			continue
+		}
+		sb.WriteString(id)
+		sb.WriteString(" ->")
+		callees := make([]string, 0, len(n.Callees))
+		for _, c := range n.Callees {
+			callees = append(callees, c.ID)
+		}
+		sort.Strings(callees)
+		for _, c := range callees {
+			sb.WriteByte(' ')
+			sb.WriteString(c)
+		}
+		if len(n.Spawns) > 0 {
+			spawned := make([]string, 0, len(n.Spawns))
+			for _, s := range n.Spawns {
+				spawned = append(spawned, s.Callee.ID)
+			}
+			sort.Strings(spawned)
+			sb.WriteString(" (")
+			sb.WriteString(strings.Join(spawned, " "))
+			sb.WriteString(")")
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,156 @@
+package callgraph
+
+import (
+	"go/types"
+	"strings"
+	"testing"
+
+	"stitchroute/internal/analysis/load"
+)
+
+const fixBase = "stitchroute/internal/analysis/callgraph/testdata/mod/"
+
+func buildFixture(t *testing.T) *Graph {
+	t.Helper()
+	pkgs, err := load.Packages("./testdata/mod/a", "./testdata/mod/b", "./testdata/mod/c")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	for _, p := range pkgs {
+		if len(p.TypeErrors) > 0 {
+			t.Fatalf("fixture %s does not type-check: %v", p.PkgPath, p.TypeErrors[0])
+		}
+	}
+	return Build(pkgs)
+}
+
+// TestCrossPackageEdges checks that a call chain spanning three packages
+// — including a method on a named type and a captured function value
+// called inside a closure — is fully connected.
+func TestCrossPackageEdges(t *testing.T) {
+	g := buildFixture(t)
+
+	edges := []struct{ from, to string }{
+		// Top() invokes the literal it built.
+		{fixBase + "a.Top", fixBase + "a.Top$lit0"},
+		// The literal calls the captured f := b.Helper.
+		{fixBase + "a.Top$lit0", fixBase + "b.Helper"},
+		// Cross-package method resolution on a named type.
+		{fixBase + "b.Helper", "(*" + fixBase + "c.T).M"},
+		{"(*" + fixBase + "c.T).M", fixBase + "c.Leaf"},
+		// Generic instantiation resolves to the origin.
+		{fixBase + "a.UseGeneric", fixBase + "a.generic"},
+		{fixBase + "a.UseGeneric", fixBase + "b.Helper"},
+		// Method value m := s.V; m().
+		{fixBase + "a.MethodValue", "(" + fixBase + "a.S).V"},
+	}
+	for _, e := range edges {
+		from := g.Nodes[e.from]
+		if from == nil {
+			t.Fatalf("no node %q;\n%s", e.from, g.DebugString())
+		}
+		found := false
+		for _, c := range from.Callees {
+			if c.ID == e.to {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing edge %s -> %s\ngraph:\n%s", e.from, e.to, g.DebugString())
+		}
+	}
+
+	// go spawned() must be a spawn, not a call edge.
+	top := g.Nodes[fixBase+"a.Top"]
+	for _, c := range top.Callees {
+		if c.ID == fixBase+"a.spawned" {
+			t.Errorf("go-launched callee recorded as a call edge")
+		}
+	}
+	if len(top.Spawns) != 1 || top.Spawns[0].Callee.ID != fixBase+"a.spawned" {
+		t.Errorf("Top spawns = %v, want one launch of a.spawned", top.Spawns)
+	}
+}
+
+// TestFuncIDUnifiesImports checks the core identity property: the
+// imported types.Func for b.Helper (seen from package a) and the locally
+// checked one (in package b) map to the same node.
+func TestFuncIDUnifiesImports(t *testing.T) {
+	g := buildFixture(t)
+	helper := g.Nodes[fixBase+"b.Helper"]
+	if helper == nil {
+		t.Fatal("no node for b.Helper")
+	}
+	// Its callers span package a (two-hop through the closure) —
+	// resolution used the imported object; the node came from b's check.
+	callerIDs := map[string]bool{}
+	for _, c := range helper.Callers {
+		callerIDs[c.ID] = true
+	}
+	if !callerIDs[fixBase+"a.Top$lit0"] || !callerIDs[fixBase+"a.UseGeneric"] {
+		t.Errorf("b.Helper callers = %v, want a.Top$lit0 and a.UseGeneric", callerIDs)
+	}
+	if helper.Func == nil || helper.Func.Pkg().Path() != fixBase+"b" {
+		t.Errorf("node object should come from the defining package")
+	}
+}
+
+// TestSCCOrder checks the condensation: Rec/Rec2 share a component, and
+// every callee's component precedes its callers' (bottom-up order).
+func TestSCCOrder(t *testing.T) {
+	g := buildFixture(t)
+	rec, rec2 := g.Nodes[fixBase+"b.Rec"], g.Nodes[fixBase+"b.Rec2"]
+	if rec == nil || rec2 == nil {
+		t.Fatal("missing Rec nodes")
+	}
+	if rec.SCC != rec2.SCC {
+		t.Errorf("Rec (scc %d) and Rec2 (scc %d) must share a component", rec.SCC, rec2.SCC)
+	}
+	for _, n := range g.Nodes {
+		for _, c := range n.Callees {
+			if c.SCC > n.SCC {
+				t.Errorf("callee %s (scc %d) ordered after caller %s (scc %d)", c.ID, c.SCC, n.ID, n.SCC)
+			}
+		}
+	}
+	// SCCs slice is consistent with the indexes.
+	for i, scc := range g.SCCs {
+		for _, n := range scc {
+			if n.SCC != i {
+				t.Errorf("node %s records scc %d but lives in component %d", n.ID, n.SCC, i)
+			}
+		}
+	}
+}
+
+// TestFuncIDForms pins the ID grammar for the three declaration shapes.
+func TestFuncIDForms(t *testing.T) {
+	g := buildFixture(t)
+	for _, id := range []string{
+		fixBase + "c.Leaf",
+		"(*" + fixBase + "c.T).M",
+		"(" + fixBase + "a.S).V",
+		fixBase + "a.Top$lit0",
+	} {
+		if g.Nodes[id] == nil {
+			t.Errorf("expected node %q\ngraph has:\n%s", id, nodeList(g))
+		}
+	}
+	if got := FuncID((*types.Func)(nil)); got != "" {
+		t.Errorf("FuncID(nil) = %q, want \"\"", got)
+	}
+}
+
+func nodeList(g *Graph) string {
+	var ids []string
+	for id := range g.Nodes {
+		ids = append(ids, id)
+	}
+	var sb strings.Builder
+	for _, id := range ids {
+		sb.WriteString(id)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

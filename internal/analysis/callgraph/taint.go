@@ -1,0 +1,77 @@
+package callgraph
+
+import (
+	"stitchroute/internal/analysis/cfg"
+	"stitchroute/internal/analysis/dataflow"
+	"stitchroute/internal/analysis/load"
+)
+
+// ModuleTaintSummaries computes taint summaries for every declared
+// function in the module, iterating the SCC condensation bottom-up so
+// each function is summarized with all of its callees' summaries —
+// including cross-package ones — already final. Within a recursive
+// component the member summaries are iterated to a local fixpoint
+// (Kind/FromParams only grow, so convergence is bounded by the
+// component size).
+//
+// confFor builds the package-specific taint configuration (type info,
+// source classifiers); its Summaries field is overwritten with the
+// shared module-wide set.
+func ModuleTaintSummaries(g *Graph, confFor func(*load.Package) dataflow.TaintConfig) *dataflow.Summaries {
+	sums := dataflow.NewModuleSummaries(FuncID)
+	confs := map[*load.Package]dataflow.TaintConfig{}
+	conf := func(pkg *load.Package) dataflow.TaintConfig {
+		c, ok := confs[pkg]
+		if !ok {
+			c = confFor(pkg)
+			c.Summaries = sums
+			confs[pkg] = c
+		}
+		return c
+	}
+
+	summarize := func(n *Node) bool {
+		sum := dataflow.Summarize(n.Decl, cfg.New(n.Decl.Body), conf(n.Pkg))
+		old := sums.GetID(n.ID)
+		if old != nil && *old == *sum {
+			return false
+		}
+		sums.SetID(n.ID, sum)
+		return true
+	}
+
+	for _, scc := range g.SCCs {
+		// Non-recursive singleton: one pass suffices, every callee is
+		// in an earlier component.
+		if len(scc) == 1 && !selfRecursive(scc[0]) {
+			if scc[0].Decl != nil && scc[0].Decl.Body != nil {
+				summarize(scc[0])
+			}
+			continue
+		}
+		for pass := 0; pass <= len(scc); pass++ {
+			changed := false
+			for _, n := range scc {
+				if n.Decl == nil || n.Decl.Body == nil {
+					continue
+				}
+				if summarize(n) {
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+	return sums
+}
+
+func selfRecursive(n *Node) bool {
+	for _, c := range n.Callees {
+		if c == n {
+			return true
+		}
+	}
+	return false
+}

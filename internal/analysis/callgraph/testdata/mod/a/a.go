@@ -1,0 +1,35 @@
+// Package a is the top of the fixture call chain and exercises every
+// resolution mode: function values, literals, method values, generics,
+// and go-spawns.
+package a
+
+import "stitchroute/internal/analysis/callgraph/testdata/mod/b"
+
+// Top assigns an imported function to a local, closes over it in a
+// literal, spawns a goroutine, and invokes the literal.
+func Top() int {
+	f := b.Helper
+	lit := func() int { return f() }
+	go spawned()
+	return lit()
+}
+
+func spawned() {}
+
+func generic[T any](v T) T { return v }
+
+// UseGeneric calls an instantiated generic plus a cross-package helper.
+func UseGeneric() int { return generic(b.Helper()) }
+
+// S carries a value-receiver method for the method-value case.
+type S struct{}
+
+// V is taken as a method value in MethodValue.
+func (s S) V() int { return 0 }
+
+// MethodValue binds s.V to a local and calls it.
+func MethodValue() int {
+	var s S
+	m := s.V
+	return m()
+}

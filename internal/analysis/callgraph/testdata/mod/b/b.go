@@ -1,0 +1,21 @@
+// Package b is the middle hop of the fixture call chain.
+package b
+
+import "stitchroute/internal/analysis/callgraph/testdata/mod/c"
+
+// Helper reaches c through a method on a named type.
+func Helper() int {
+	var t c.T
+	return t.M()
+}
+
+// Rec and Rec2 form a two-node cycle (one SCC).
+func Rec(n int) int {
+	if n == 0 {
+		return 0
+	}
+	return Rec2(n - 1)
+}
+
+// Rec2 closes the cycle.
+func Rec2(n int) int { return Rec(n) }

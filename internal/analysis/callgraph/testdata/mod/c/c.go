@@ -1,0 +1,11 @@
+// Package c is the bottom of the fixture call chain.
+package c
+
+// Leaf is the terminal callee.
+func Leaf() int { return 1 }
+
+// T carries a method so method resolution crosses a package boundary.
+type T struct{}
+
+// M calls Leaf, giving a.Top -> b.Helper -> (c.T).M -> c.Leaf.
+func (t *T) M() int { return Leaf() }

@@ -290,3 +290,24 @@ func TestRevPostorderVisitsLoopHeadFirst(t *testing.T) {
 		t.Errorf("bad reverse postorder: %v", pos)
 	}
 }
+
+// TestRangeOverInt: Go 1.22 range-over-int builds the same loop shape as
+// ranging a slice — head with body/after successors and a back edge —
+// and InLoop marks head and body but not after.
+func TestRangeOverInt(t *testing.T) {
+	g := build(t, "total := 0\nfor i := range 10 {\n\ttotal += i\n}\n_ = total")
+	expect(t, g, `
+b0 entry -> b2
+b1 exit
+b2 range.head -> b3 b4
+b3 range.body -> b2
+b4 range.after -> b1
+`)
+	in := g.InLoop()
+	if !in[2] || !in[3] {
+		t.Errorf("range-over-int must mark head and body InLoop, got %v", in)
+	}
+	if in[4] {
+		t.Errorf("range.after must not be InLoop, got %v", in)
+	}
+}

@@ -402,3 +402,69 @@ func sortStrings(s []string) {
 		}
 	}
 }
+
+// TestMethodValueTaint: binding a method value (m := c.stamp) must carry
+// the method summary's Always taint to the eventual call — the call
+// graph resolves method values, and the dataflow side has to keep up.
+func TestMethodValueTaint(t *testing.T) {
+	file, info := check(t, commonSrc+`
+type clock struct{}
+
+func (clock) stamp() int64 { return now() }
+func (clock) fixed() int64 { return 7 }
+
+func f() (int64, int64) {
+	var c clock
+	m := c.stamp
+	k := c.fixed
+	a := m()
+	b := k()
+	return a, b
+}
+`)
+	conf := testConfig(info)
+	conf.Summaries = ComputeSummaries([]*ast.File{file}, conf)
+	p, sol, obj := solveFunc(t, file, info, conf, "f")
+	f := atExit(p, sol)
+	if f[obj("a")].Kind&Value == 0 {
+		t.Errorf("a: method value of a source-calling method must taint the call result, got %+v", f[obj("a")])
+	}
+	if !f[obj("b")].Zero() {
+		t.Errorf("b: method value of a clean method must stay clean, got %+v", f[obj("b")])
+	}
+	if f[obj("m")].Kind&Value == 0 {
+		t.Errorf("m: the binding itself must carry the summary taint, got %+v", f[obj("m")])
+	}
+}
+
+// TestGenericInstantiation: summaries are keyed on the generic origin
+// object, so they must resolve for inferred calls (idg(now())) and
+// explicitly instantiated ones (gstamp[int64]()) alike — the latter
+// reaches the callee through an *ast.IndexExpr.
+func TestGenericInstantiation(t *testing.T) {
+	file, info := check(t, commonSrc+`
+func idg[T any](x T) T { return x }
+
+func gstamp[T ~int64]() T { return T(now()) }
+
+func f() (int64, int64, int64) {
+	a := idg(now())
+	b := gstamp[int64]()
+	c := idg(int64(1))
+	return a, b, c
+}
+`)
+	conf := testConfig(info)
+	conf.Summaries = ComputeSummaries([]*ast.File{file}, conf)
+	p, sol, obj := solveFunc(t, file, info, conf, "f")
+	f := atExit(p, sol)
+	if f[obj("a")].Kind&Value == 0 {
+		t.Errorf("a: generic identity must carry argument taint through its summary, got %+v", f[obj("a")])
+	}
+	if f[obj("b")].Kind&Value == 0 {
+		t.Errorf("b: explicit instantiation must resolve the generic summary, got %+v", f[obj("b")])
+	}
+	if !f[obj("c")].Zero() {
+		t.Errorf("c: clean argument through a generic must stay clean, got %+v", f[obj("c")])
+	}
+}

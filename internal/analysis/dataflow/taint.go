@@ -210,6 +210,16 @@ func (c *TaintConfig) EvalExpr(f Fact, e ast.Expr) Taint {
 		if obj == nil {
 			return Taint{}
 		}
+		// A function referenced as a value carries its summary's Always
+		// taint: binding m := helper and calling m() later must not lose
+		// the source inside helper. Parameter-conditional taint cannot
+		// survive the indirection (arguments are unknown at bind time),
+		// so only Always flows.
+		if fn, ok := obj.(*types.Func); ok {
+			if sum := c.Summaries.Lookup(fn); sum != nil {
+				return sum.Always
+			}
+		}
 		return f[obj]
 	case *ast.BasicLit, *ast.FuncLit:
 		return Taint{}
@@ -231,6 +241,14 @@ func (c *TaintConfig) EvalExpr(f Fact, e ast.Expr) Taint {
 					return Taint{}
 				}
 				return f[obj]
+			}
+		}
+		// A method value (m := c.Stamp) closes over the receiver and the
+		// method body: it carries the receiver's taint plus the method
+		// summary's Always taint.
+		if fn, ok := c.Info.ObjectOf(e.Sel).(*types.Func); ok {
+			if sum := c.Summaries.Lookup(fn); sum != nil {
+				return sum.Always.merge(c.EvalExpr(f, e.X))
 			}
 		}
 		return c.EvalExpr(f, e.X)
@@ -287,10 +305,11 @@ func (c *TaintConfig) evalCall(f Fact, call *ast.CallExpr) Taint {
 			}
 		}
 	}
-	// Intra-package summary.
+	// Function summary: intra-package by object identity, module-wide
+	// by canonical ID.
 	if c.Summaries != nil {
 		if fn := c.calleeFunc(call); fn != nil {
-			if sum, ok := c.Summaries.funcs[fn]; ok {
+			if sum := c.Summaries.Lookup(fn); sum != nil {
 				t := sum.Always
 				for i, a := range call.Args {
 					if i < 64 && sum.FromParams&(1<<uint(i)) != 0 {
@@ -302,14 +321,22 @@ func (c *TaintConfig) evalCall(f Fact, call *ast.CallExpr) Taint {
 		}
 	}
 	// Unknown callee: conservatively propagate argument and receiver
-	// taint through the call (math.Abs(t) is as tainted as t).
+	// taint through the call (math.Abs(t) is as tainted as t). Calling
+	// through a function-valued variable also applies the taint the
+	// binding carried — the Always taint of a method value or function
+	// reference assigned earlier.
 	var t Taint
 	for _, a := range call.Args {
 		t = t.merge(c.EvalExpr(f, a))
 	}
-	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
-		if _, isPkg := c.pkgName(sel.X); !isPkg {
-			t = t.merge(c.EvalExpr(f, sel.X))
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if _, isPkg := c.pkgName(fun.X); !isPkg {
+			t = t.merge(c.EvalExpr(f, fun.X))
+		}
+	case *ast.Ident:
+		if _, isVar := c.Info.ObjectOf(fun).(*types.Var); isVar {
+			t = t.merge(c.EvalExpr(f, fun))
 		}
 	}
 	return t
@@ -324,9 +351,20 @@ func (c *TaintConfig) pkgName(e ast.Expr) (*types.PkgName, bool) {
 	return pn, ok
 }
 
-// calleeFunc resolves the called *types.Func, or nil.
+// calleeFunc resolves the called *types.Func, or nil. Explicit generic
+// instantiation (f[T](...) / f[T1, T2](...)) is unwrapped to the generic
+// function: go/types records the use against the origin object, which is
+// also what summaries are keyed on, so one summary covers every
+// instantiation.
 func (c *TaintConfig) calleeFunc(call *ast.CallExpr) *types.Func {
-	switch fun := ast.Unparen(call.Fun).(type) {
+	fun := ast.Unparen(call.Fun)
+	switch x := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(x.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(x.X)
+	}
+	switch fun := fun.(type) {
 	case *ast.Ident:
 		fn, _ := c.Info.ObjectOf(fun).(*types.Func)
 		return fn

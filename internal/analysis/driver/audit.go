@@ -1,0 +1,82 @@
+package driver
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// AuditIgnores walks every .go file under root (skipping testdata, .git,
+// vendor, and bin directories) and checks each //lint:ignore directive
+// for well-formedness: a mandatory reason and, when validNames is
+// non-nil, analyzer names drawn from the registered set. Unlike the
+// analysis run — which only parses the packages being linted — the audit
+// sees every file in the tree, so a reason-less suppression cannot hide
+// in a package a particular invocation skipped. Findings are written to
+// out; the count is returned.
+func AuditIgnores(root string, validNames map[string]bool, out io.Writer) (int, error) {
+	var files []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case "testdata", ".git", "vendor", "bin":
+				// Fixture trees deliberately contain malformed
+				// directives; generated/vendored trees are not ours.
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	sort.Strings(files)
+
+	count := 0
+	fset := token.NewFileSet()
+	for _, path := range files {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			// A file that does not parse fails the build elsewhere; the
+			// audit only cares about directives.
+			continue
+		}
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				text := c.Text
+				if !strings.HasPrefix(text, "//lint:ignore") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(text, "//lint:ignore"))
+				if len(fields) < 2 {
+					fmt.Fprintf(out, "%s:%d:%d: //lint:ignore directive is missing its mandatory reason\n", pos.Filename, pos.Line, pos.Column)
+					count++
+					continue
+				}
+				if validNames == nil || fields[0] == "*" {
+					continue
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					if !validNames[name] {
+						fmt.Fprintf(out, "%s:%d:%d: //lint:ignore names unknown analyzer %q\n", pos.Filename, pos.Line, pos.Column, name)
+						count++
+					}
+				}
+			}
+		}
+	}
+	return count, nil
+}

@@ -11,6 +11,13 @@
 // analyzer list may be "*" to suppress every analyzer. The reason is
 // mandatory: a bare directive is itself reported as a diagnostic, so every
 // suppression in the tree documents why the invariant is safe to waive.
+//
+// The driver runs two kinds of analyzers. Per-package analyzers
+// (Analyzer.Run) see one type-checked package at a time. Module analyzers
+// (Analyzer.RunModule) run once over the whole load with the
+// interprocedural call graph (internal/analysis/callgraph) attached, so
+// their facts flow across package boundaries; when an analyzer defines
+// both, the driver prefers the module form.
 package driver
 
 import (
@@ -24,30 +31,42 @@ import (
 	"strings"
 
 	"stitchroute/internal/analysis"
+	"stitchroute/internal/analysis/callgraph"
 	"stitchroute/internal/analysis/load"
 )
 
 // Diagnostic is a driver-level finding: an analyzer diagnostic bound to
 // its position and analyzer name. Suppressed marks diagnostics waived by
-// a //lint:ignore directive; they are retained (and emitted in JSON mode)
-// so suppressions stay auditable, but do not count toward the exit code.
+// a //lint:ignore directive; they are retained (and emitted in JSON and
+// SARIF modes) so suppressions stay auditable, but do not count toward
+// the exit code.
 type Diagnostic struct {
 	Analyzer   string
 	Pos        token.Position
 	Message    string
 	Suppressed bool
+
+	fixes []analysis.SuggestedFix
 }
 
 // Options configures a Run.
 type Options struct {
 	// Only, when non-empty, restricts the run to analyzers with these
-	// names.
+	// names. Unknown names are an error that lists the valid set.
 	Only []string
 	// Verbose adds a per-package progress line to Out.
 	Verbose bool
 	// JSON switches output to one JSON object per line (the schema is
 	// documented in docs/LINTING.md), including suppressed diagnostics.
 	JSON bool
+	// SARIF switches output to a single SARIF 2.1.0 document, the
+	// interchange format CI renders as inline annotations. Includes
+	// suppressed diagnostics, marked with an inSource suppression.
+	SARIF bool
+	// Fix applies each unsuppressed diagnostic's first suggested fix,
+	// formats the touched files, then re-analyzes to verify the
+	// findings are gone. The returned count is post-fix.
+	Fix bool
 }
 
 // jsonDiagnostic is the wire form of one diagnostic in -json mode.
@@ -63,6 +82,7 @@ type jsonDiagnostic struct {
 // directive is one parsed //lint:ignore comment.
 type directive struct {
 	analyzers map[string]bool // nil means "*"
+	file      string
 	line      int
 }
 
@@ -87,7 +107,7 @@ func parseDirectives(fset *token.FileSet, file *ast.File, report func(Diagnostic
 				})
 				continue
 			}
-			d := directive{line: pos.Line}
+			d := directive{file: pos.Filename, line: pos.Line}
 			if fields[0] != "*" {
 				d.analyzers = make(map[string]bool)
 				for _, name := range strings.Split(fields[0], ",") {
@@ -101,6 +121,9 @@ func parseDirectives(fset *token.FileSet, file *ast.File, report func(Diagnostic
 }
 
 func (d directive) matches(diag Diagnostic) bool {
+	if diag.Pos.Filename != d.file {
+		return false
+	}
 	if diag.Pos.Line != d.line && diag.Pos.Line != d.line+1 {
 		return false
 	}
@@ -110,62 +133,106 @@ func (d directive) matches(diag Diagnostic) bool {
 // packageMatch reports whether the analyzer's package filter admits the
 // given import path.
 func packageMatch(a *analysis.Analyzer, pkgPath string) bool {
-	if len(a.Packages) == 0 {
-		return true
-	}
-	for _, p := range a.Packages {
-		if pkgPath == p || strings.HasSuffix(pkgPath, "/"+p) {
-			return true
-		}
-	}
-	return false
+	return a.Matches(pkgPath)
 }
 
-// Run loads the packages matching patterns, applies the analyzers, and
-// writes file:line:col-prefixed diagnostics to out. It returns the number
-// of diagnostics after suppression; the caller turns a nonzero count into
-// a nonzero exit.
-func Run(analyzers []*analysis.Analyzer, patterns []string, out io.Writer, opts Options) (int, error) {
-	if len(opts.Only) > 0 {
-		keep := make(map[string]bool)
-		for _, name := range opts.Only {
-			keep[name] = true
-		}
-		var filtered []*analysis.Analyzer
-		for _, a := range analyzers {
-			if keep[a.Name] {
-				filtered = append(filtered, a)
-				delete(keep, a.Name)
-			}
-		}
-		if len(keep) > 0 {
-			var unknown []string
-			for name := range keep {
-				unknown = append(unknown, name)
-			}
-			sort.Strings(unknown)
-			return 0, fmt.Errorf("unknown analyzer(s): %s", strings.Join(unknown, ", "))
-		}
-		analyzers = filtered
+// selectAnalyzers applies -only filtering. Unknown names produce an
+// error that lists the valid analyzer set, so `stitchvet -only=typo`
+// exits 2 instead of silently checking nothing.
+func selectAnalyzers(analyzers []*analysis.Analyzer, only []string) ([]*analysis.Analyzer, error) {
+	if len(only) == 0 {
+		return analyzers, nil
 	}
+	keep := make(map[string]bool)
+	for _, name := range only {
+		keep[name] = true
+	}
+	var filtered []*analysis.Analyzer
+	for _, a := range analyzers {
+		if keep[a.Name] {
+			filtered = append(filtered, a)
+			delete(keep, a.Name)
+		}
+	}
+	if len(keep) > 0 {
+		var unknown []string
+		for name := range keep {
+			unknown = append(unknown, name)
+		}
+		sort.Strings(unknown)
+		valid := make([]string, len(analyzers))
+		for i, a := range analyzers {
+			valid[i] = a.Name
+		}
+		sort.Strings(valid)
+		return nil, fmt.Errorf("unknown analyzer(s): %s (valid analyzers: %s)",
+			strings.Join(unknown, ", "), strings.Join(valid, ", "))
+	}
+	return filtered, nil
+}
 
+// result is one full analysis pass over the load.
+type result struct {
+	diags []Diagnostic
+	fset  *token.FileSet
+}
+
+// analyze loads patterns and applies every analyzer — per-package ones
+// package by package, module ones once over the whole load with the call
+// graph built.
+func analyze(analyzers []*analysis.Analyzer, patterns []string, verbose bool, out io.Writer) (*result, error) {
 	pkgs, err := load.Packages(patterns...)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-
-	var diags []Diagnostic
+	if len(pkgs) == 0 {
+		return &result{fset: token.NewFileSet()}, nil
+	}
 	for _, pkg := range pkgs {
 		if len(pkg.TypeErrors) > 0 {
-			// A package that does not type-check cannot be
-			// reliably analyzed; surface the build breakage.
-			return 0, fmt.Errorf("package %s does not type-check: %v", pkg.PkgPath, pkg.TypeErrors[0])
+			// A package that does not type-check cannot be reliably
+			// analyzed; surface the build breakage.
+			return nil, fmt.Errorf("package %s does not type-check: %v", pkg.PkgPath, pkg.TypeErrors[0])
 		}
-		var dirs []directive
+	}
+	res := &result{fset: pkgs[0].Fset}
+
+	// Suppression directives are collected once, module-wide; matching
+	// is filename-aware so a directive only covers its own file.
+	var dirs []directive
+	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
-			dirs = append(dirs, parseDirectives(pkg.Fset, f, func(d Diagnostic) { diags = append(diags, d) })...)
+			dirs = append(dirs, parseDirectives(pkg.Fset, f, func(d Diagnostic) { res.diags = append(res.diags, d) })...)
 		}
+	}
+	record := func(name string, fset *token.FileSet, d analysis.Diagnostic) {
+		diag := Diagnostic{
+			Analyzer: name,
+			Pos:      fset.Position(d.Pos),
+			Message:  d.Message,
+			fixes:    d.SuggestedFixes,
+		}
+		for _, dir := range dirs {
+			if dir.matches(diag) {
+				diag.Suppressed = true
+				break
+			}
+		}
+		res.diags = append(res.diags, diag)
+	}
+
+	var moduleAnalyzers []*analysis.Analyzer
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			moduleAnalyzers = append(moduleAnalyzers, a)
+		}
+	}
+
+	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.RunModule != nil || a.Run == nil {
+				continue // module form preferred
+			}
 			if !packageMatch(a, pkg.PkgPath) {
 				continue
 			}
@@ -177,29 +244,42 @@ func Run(analyzers []*analysis.Analyzer, patterns []string, out io.Writer, opts 
 				TypesInfo: pkg.TypesInfo,
 			}
 			name := a.Name
-			pass.Report = func(d analysis.Diagnostic) {
-				diag := Diagnostic{
-					Analyzer: name,
-					Pos:      pkg.Fset.Position(d.Pos),
-					Message:  d.Message,
-				}
-				for _, dir := range dirs {
-					if dir.matches(diag) {
-						diag.Suppressed = true
-						break
-					}
-				}
-				diags = append(diags, diag)
-			}
+			pass.Report = func(d analysis.Diagnostic) { record(name, pkg.Fset, d) }
 			if _, err := a.Run(pass); err != nil {
-				return 0, fmt.Errorf("analyzer %s on %s: %v", a.Name, pkg.PkgPath, err)
+				return nil, fmt.Errorf("analyzer %s on %s: %v", a.Name, pkg.PkgPath, err)
 			}
 		}
-		if opts.Verbose {
+		if verbose {
 			fmt.Fprintf(out, "stitchvet: checked %s\n", pkg.PkgPath)
 		}
 	}
 
+	if len(moduleAnalyzers) > 0 {
+		graph := callgraph.Build(pkgs)
+		for _, a := range moduleAnalyzers {
+			mp := &analysis.ModulePass{
+				Analyzer: a,
+				Fset:     res.fset,
+				Packages: pkgs,
+				Graph:    graph,
+				Filter:   true,
+			}
+			name := a.Name
+			mp.Report = func(d analysis.Diagnostic) { record(name, res.fset, d) }
+			if err := a.RunModule(mp); err != nil {
+				return nil, fmt.Errorf("module analyzer %s: %v", a.Name, err)
+			}
+		}
+		if verbose {
+			fmt.Fprintf(out, "stitchvet: module analysis over %d packages (%d call-graph nodes)\n", len(pkgs), len(graph.Nodes))
+		}
+	}
+
+	sortDiags(res.diags)
+	return res, nil
+}
+
+func sortDiags(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -211,22 +291,69 @@ func Run(analyzers []*analysis.Analyzer, patterns []string, out io.Writer, opts 
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
+}
+
+// Run loads the packages matching patterns, applies the analyzers, and
+// writes file:line:col-prefixed diagnostics to out. It returns the number
+// of diagnostics after suppression; the caller turns a nonzero count into
+// a nonzero exit. With opts.Fix, suggested fixes are applied first and
+// the emitted diagnostics (and count) describe the post-fix state.
+func Run(analyzers []*analysis.Analyzer, patterns []string, out io.Writer, opts Options) (int, error) {
+	analyzers, err := selectAnalyzers(analyzers, opts.Only)
+	if err != nil {
+		return 0, err
+	}
+
+	res, err := analyze(analyzers, patterns, opts.Verbose, out)
+	if err != nil {
+		return 0, err
+	}
+
+	if opts.Fix {
+		edits, files, err := applyFixes(res)
+		if err != nil {
+			return 0, err
+		}
+		if edits > 0 {
+			fmt.Fprintf(out, "stitchvet: applied %d fix(es) in %d file(s); re-analyzing\n", edits, files)
+			// Verification pass: the fixes must leave a clean (or at
+			// least strictly reduced) tree, freshly parsed and
+			// type-checked.
+			res, err = analyze(analyzers, patterns, false, out)
+			if err != nil {
+				return 0, fmt.Errorf("re-analysis after -fix: %v", err)
+			}
+		}
+	}
+
 	cwd, _ := filepath.Abs(".")
 	unsuppressed := 0
-	enc := json.NewEncoder(out)
-	for _, d := range diags {
-		name := d.Pos.Filename
-		if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
-			name = rel
+	for i := range res.diags {
+		d := &res.diags[i]
+		if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			d.Pos.Filename = rel
 		}
 		if !d.Suppressed {
 			unsuppressed++
 		}
+	}
+
+	if opts.SARIF {
+		if err := writeSARIF(out, analyzers, res.diags); err != nil {
+			return unsuppressed, err
+		}
+		return unsuppressed, nil
+	}
+	enc := json.NewEncoder(out)
+	for _, d := range res.diags {
 		if opts.JSON {
 			if err := enc.Encode(jsonDiagnostic{
-				File:       name,
+				File:       d.Pos.Filename,
 				Line:       d.Pos.Line,
 				Col:        d.Pos.Column,
 				Analyzer:   d.Analyzer,
@@ -236,7 +363,7 @@ func Run(analyzers []*analysis.Analyzer, patterns []string, out io.Writer, opts 
 				return unsuppressed, err
 			}
 		} else if !d.Suppressed {
-			fmt.Fprintf(out, "%s:%d:%d: %s: %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+			fmt.Fprintf(out, "%s:%d:%d: %s: %s\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 		}
 	}
 	return unsuppressed, nil

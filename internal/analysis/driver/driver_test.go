@@ -3,10 +3,13 @@ package driver
 import (
 	"bytes"
 	"encoding/json"
+	"go/format"
+	"os"
 	"strings"
 	"testing"
 
 	"stitchroute/internal/analysis"
+	"stitchroute/internal/analysis/errflow"
 	"stitchroute/internal/analysis/floateq"
 )
 
@@ -108,5 +111,138 @@ func TestPackageMatch(t *testing.T) {
 	open := &analysis.Analyzer{}
 	if !packageMatch(open, "anything/at/all") {
 		t.Error("empty filter must match every package")
+	}
+}
+
+// TestOnlyListsValidNames: the unknown-analyzer error must teach the
+// valid vocabulary, not just reject.
+func TestOnlyListsValidNames(t *testing.T) {
+	var out bytes.Buffer
+	_, err := Run([]*analysis.Analyzer{floateq.Analyzer}, []string{"./testdata/ignoredemo"}, &out, Options{Only: []string{"nosuch"}})
+	if err == nil || !strings.Contains(err.Error(), "valid analyzers: floateq") {
+		t.Fatalf("error must list the valid analyzer names, got %v", err)
+	}
+}
+
+// TestFixRoundTrip applies errflow's suggested fixes to the fixdemo
+// fixture and checks the three-way contract: the rewritten file matches
+// the golden output, is gofmt-clean, and re-analyzes to zero findings.
+func TestFixRoundTrip(t *testing.T) {
+	const fixture = "testdata/mod/fixdemo/fixdemo.go"
+	orig, err := os.ReadFile(fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := os.WriteFile(fixture, orig, 0o644); err != nil {
+			t.Errorf("restoring fixture: %v", err)
+		}
+	})
+
+	var out bytes.Buffer
+	n, err := Run([]*analysis.Analyzer{errflow.Analyzer}, []string{"./testdata/mod/fixdemo"}, &out, Options{Fix: true})
+	if err != nil {
+		t.Fatalf("driver.Run -fix: %v", err)
+	}
+	if n != 0 {
+		t.Errorf("want 0 findings after -fix, got %d:\n%s", n, out.String())
+	}
+	if !strings.Contains(out.String(), "applied 3 fix(es) in 1 file(s)") {
+		t.Errorf("missing apply summary:\n%s", out.String())
+	}
+
+	got, err := os.ReadFile(fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile("testdata/fixdemo.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, golden) {
+		t.Errorf("fixed file does not match golden.\n--- got ---\n%s\n--- want ---\n%s", got, golden)
+	}
+	formatted, err := format.Source(got)
+	if err != nil {
+		t.Fatalf("fixed file does not parse: %v", err)
+	}
+	if !bytes.Equal(formatted, got) {
+		t.Errorf("fixed file is not gofmt-clean.\n--- on disk ---\n%s\n--- gofmt ---\n%s", got, formatted)
+	}
+}
+
+// TestSARIFOutput checks the CI interchange document: a single SARIF
+// 2.1.0 log where suppressed findings survive with an inSource marker.
+func TestSARIFOutput(t *testing.T) {
+	var out bytes.Buffer
+	n, err := Run([]*analysis.Analyzer{floateq.Analyzer}, []string{"./testdata/ignoredemo"}, &out, Options{SARIF: true})
+	if err != nil {
+		t.Fatalf("driver.Run -sarif: %v", err)
+	}
+	if n != 4 {
+		t.Errorf("got %d unsuppressed diagnostics, want 4", n)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(out.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "stitchvet" {
+		t.Errorf("tool name = %q", run.Tool.Driver.Name)
+	}
+	ruleIDs := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+	}
+	if !ruleIDs["floateq"] || !ruleIDs["stitchvet"] {
+		t.Errorf("rules missing floateq/stitchvet: %v", ruleIDs)
+	}
+	var active, suppressed int
+	for _, r := range run.Results {
+		if len(r.Locations) != 1 || r.Locations[0].PhysicalLocation.Region.StartLine == 0 {
+			t.Errorf("result without a location: %+v", r)
+		}
+		if len(r.Suppressions) > 0 {
+			suppressed++
+		} else {
+			active++
+		}
+	}
+	if active != 4 || suppressed != 3 {
+		t.Errorf("got %d active + %d suppressed results, want 4 + 3", active, suppressed)
+	}
+}
+
+// TestAuditIgnores drives the -audit fixture: two directives missing
+// their reason, one naming an unknown analyzer, and two healthy ones.
+func TestAuditIgnores(t *testing.T) {
+	var out bytes.Buffer
+	n, err := AuditIgnores("testdata/auditdemo", map[string]bool{"floateq": true}, &out)
+	if err != nil {
+		t.Fatalf("AuditIgnores: %v", err)
+	}
+	if n != 3 {
+		t.Errorf("got %d findings, want 3:\n%s", n, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"bad.go:5:1: //lint:ignore directive is missing its mandatory reason",
+		"bad.go:11:1: //lint:ignore names unknown analyzer \"nosuchanalyzer\"",
+		"bad.go:14:1: //lint:ignore directive is missing its mandatory reason",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	for _, absent := range []string{"bad.go:8", "bad.go:17"} {
+		if strings.Contains(got, absent) {
+			t.Errorf("healthy directive flagged: %q in\n%s", absent, got)
+		}
 	}
 }

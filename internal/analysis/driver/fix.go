@@ -1,0 +1,173 @@
+package driver
+
+import (
+	"fmt"
+	"go/format"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// offsetEdit is one suggested text edit resolved to byte offsets.
+type offsetEdit struct {
+	start, end int
+	newText    []byte
+}
+
+// applyFixes applies the first suggested fix of every unsuppressed
+// diagnostic, atomically per file (write to a temp file in the same
+// directory, then rename), gofmt-ing each result. Fixes whose edits
+// overlap an already-accepted edit are skipped — the re-analysis pass
+// picks the survivors up on the next run. Returns how many fixes were
+// applied and how many files changed.
+func applyFixes(res *result) (applied, files int, err error) {
+	type fix struct {
+		file  string
+		edits []offsetEdit
+	}
+	perFile := map[string][]fix{}
+	var names []string
+
+	for _, d := range res.diags {
+		if d.Suppressed || len(d.fixes) == 0 {
+			continue
+		}
+		sf := d.fixes[0]
+		var f fix
+		ok := true
+		for _, e := range sf.TextEdits {
+			if !e.Pos.IsValid() {
+				ok = false
+				break
+			}
+			start := res.fset.Position(e.Pos)
+			end := start
+			if e.End.IsValid() {
+				end = res.fset.Position(e.End)
+			}
+			if f.file == "" {
+				f.file = start.Filename
+			}
+			if start.Filename != f.file || end.Filename != f.file || end.Offset < start.Offset {
+				ok = false // a fix must stay within one file and be well-formed
+				break
+			}
+			f.edits = append(f.edits, offsetEdit{start: start.Offset, end: end.Offset, newText: e.NewText})
+		}
+		if !ok || f.file == "" {
+			continue
+		}
+		sort.Slice(f.edits, func(i, j int) bool { return f.edits[i].start < f.edits[j].start })
+		if _, seen := perFile[f.file]; !seen {
+			names = append(names, f.file)
+		}
+		perFile[f.file] = append(perFile[f.file], f)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		fixes := perFile[name]
+		// res.diags is position-sorted, so fixes arrive deterministic;
+		// accept greedily, skipping any fix overlapping accepted edits.
+		var accepted []offsetEdit
+		nApplied := 0
+		for _, f := range fixes {
+			if overlaps(f.edits, accepted) {
+				continue
+			}
+			accepted = append(accepted, f.edits...)
+			nApplied++
+		}
+		if nApplied == 0 {
+			continue
+		}
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return applied, files, fmt.Errorf("applying fixes: %v", err)
+		}
+		sort.Slice(accepted, func(i, j int) bool { return accepted[i].start > accepted[j].start })
+		for _, e := range accepted {
+			if e.end > len(src) {
+				return applied, files, fmt.Errorf("fix edit out of range in %s", name)
+			}
+			src = append(src[:e.start], append(append([]byte(nil), e.newText...), src[e.end:]...)...)
+		}
+		formatted, err := format.Source(src)
+		if err != nil {
+			return applied, files, fmt.Errorf("fixed %s does not parse (fix rejected): %v", name, err)
+		}
+		if err := atomicWrite(name, formatted); err != nil {
+			return applied, files, err
+		}
+		applied += nApplied
+		files++
+	}
+	return applied, files, nil
+}
+
+// overlaps reports whether any edit in a intersects any edit in b. Two
+// pure insertions at the same point do conflict (order would be
+// ambiguous).
+func overlaps(a, b []offsetEdit) bool {
+	for _, x := range a {
+		for _, y := range b {
+			xe, ye := x.end, y.end
+			if xe == x.start {
+				xe++ // treat insertion as covering its point
+			}
+			if ye == y.start {
+				ye++
+			}
+			if x.start < ye && y.start < xe {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// atomicWrite replaces path's contents via a same-directory temp file and
+// rename, preserving the original mode.
+func atomicWrite(path string, data []byte) error {
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".stitchvet-fix-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Chmod(info.Mode()); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// FixCount reports how many unsuppressed diagnostics in a run carry at
+// least one suggested fix; exposed for the CLI's dry-run summary.
+func FixCount(diags []Diagnostic) int {
+	n := 0
+	for _, d := range diags {
+		if !d.Suppressed && len(d.fixes) > 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,138 @@
+package driver
+
+import (
+	"encoding/json"
+	"io"
+
+	"stitchroute/internal/analysis"
+)
+
+// SARIF 2.1.0 wire types — the minimal subset CI annotation renderers
+// consume. Field names follow the spec exactly.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifToolComponent `json:"driver"`
+}
+
+type sarifToolComponent struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID       string             `json:"ruleId"`
+	Level        string             `json:"level"`
+	Message      sarifMessage       `json:"message"`
+	Locations    []sarifLocation    `json:"locations"`
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+type sarifSuppression struct {
+	Kind string `json:"kind"`
+}
+
+// writeSARIF emits the diagnostics as one SARIF 2.1.0 document. Findings
+// waived by //lint:ignore are present but carry an inSource suppression,
+// so SARIF viewers show them greyed out instead of losing them.
+func writeSARIF(out io.Writer, analyzers []*analysis.Analyzer, diags []Diagnostic) error {
+	rules := make([]sarifRule, 0, len(analyzers)+1)
+	for _, a := range analyzers {
+		doc := a.Doc
+		if i := indexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: doc}})
+	}
+	// The driver reports malformed directives under its own name.
+	rules = append(rules, sarifRule{ID: "stitchvet", ShortDescription: sarifMessage{Text: "driver-level diagnostics (malformed //lint:ignore directives)"}})
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		r := sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "warning",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysicalLocation{
+				ArtifactLocation: sarifArtifactLocation{URI: toURI(d.Pos.Filename), URIBaseID: "%SRCROOT%"},
+				Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+			}}},
+		}
+		if d.Suppressed {
+			r.Suppressions = []sarifSuppression{{Kind: "inSource"}}
+		}
+		results = append(results, r)
+	}
+
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifToolComponent{Name: "stitchvet", Rules: rules}},
+			Results: results,
+		}},
+	})
+}
+
+// toURI normalizes a (possibly OS-specific) relative path to the
+// forward-slash form SARIF requires.
+func toURI(path string) string {
+	out := make([]byte, len(path))
+	for i := 0; i < len(path); i++ {
+		c := path[i]
+		if c == '\\' {
+			c = '/'
+		}
+		out[i] = c
+	}
+	return string(out)
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}

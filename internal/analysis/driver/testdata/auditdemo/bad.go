@@ -1,0 +1,18 @@
+// Package auditdemo is the fixture for stitchvet -audit: directives in
+// every state of disrepair, plus one healthy specimen.
+package auditdemo
+
+//lint:ignore floateq
+var missingReason = 1
+
+//lint:ignore floateq comparing quantized grid costs is exact here
+var justified = 2
+
+//lint:ignore nosuchanalyzer the analyzer name is stale
+var unknownName = 3
+
+//lint:ignore
+var bare = 4
+
+//lint:ignore * wildcard with a reason is allowed
+var wildcard = 5

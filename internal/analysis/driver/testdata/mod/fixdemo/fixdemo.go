@@ -1,0 +1,22 @@
+// Package fixdemo exercises stitchvet -fix: every finding in use()
+// carries a suggested fix, and applying them must leave the package
+// finding-free and gofmt-clean. The test restores this file afterwards.
+package fixdemo
+
+import "errors"
+
+func fail() error {
+	return errors.New("boom")
+}
+
+func pair() (int, error) {
+	return 0, errors.New("boom")
+}
+
+func use(k int) {
+	fail()
+	pair()
+	if k > 0 {
+		fail()
+	}
+}

@@ -1,0 +1,444 @@
+// Package errflow defines a module-wide analyzer for errors that
+// vanish. A routing run that swallows an error keeps going with a
+// half-written arena or a stale plan, and the failure surfaces later as
+// a wrong answer instead of a message.
+//
+// The interprocedural foundation is a may-return-non-nil-error summary
+// per function, computed bottom-up over the whole-module call graph: a
+// function mayErr if any return statement puts something other than the
+// literal nil in the error slot — where a forwarded first-party call
+// contributes its callee's summary (across packages), and a call to
+// code outside the module is conservatively assumed fallible. A helper
+// that always returns nil is therefore safe to ignore everywhere, even
+// through two hops of forwarding.
+//
+// Findings:
+//
+//   - silently discarded error: an expression statement calls a
+//     first-party function that mayErr. An explicit `_ = f()` is a
+//     deliberate, reviewable discard and is not flagged; the bare call
+//     is invisible in review. This finding carries a machine-applicable
+//     suggested fix that inserts the explicit `_ = ` (or `_, _ = `,
+//     matching the result count) — `stitchvet -fix` applies it.
+//   - shadowed error variable: an inner `:=` declares an error variable
+//     with the same name as one in an enclosing scope, and the OUTER
+//     variable is read after the inner scope closes — the classic bug
+//     where the inner assignment was meant to reach the outer return.
+//   - error dropped at a goroutine boundary: `go f()` where f mayErr;
+//     the goroutine has no caller, so nothing can observe the failure.
+//
+// Deferred calls are exempt from the discard check (`defer f.Close()`
+// is idiomatic; flagging it would bury the real findings).
+package errflow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+
+	"stitchroute/internal/analysis"
+	"stitchroute/internal/analysis/callgraph"
+)
+
+// Analyzer reports discarded, shadowed, and goroutine-dropped errors,
+// with suggested fixes for the discard case.
+var Analyzer = &analysis.Analyzer{
+	Name: "errflow",
+	Doc: "report silently discarded errors, shadowed error variables, and errors dropped at goroutine boundaries, using whole-module may-error summaries\n\n" +
+		"A swallowed error turns a failed run into a silently wrong one; the summary-based check knows which helpers can actually fail, across packages.",
+	RunModule: runModule,
+}
+
+func runModule(mp *analysis.ModulePass) error {
+	may := computeMayErr(mp.Graph)
+
+	ids := make([]string, 0, len(mp.Graph.Nodes))
+	for id := range mp.Graph.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		n := mp.Graph.Nodes[id]
+		if n.Body() == nil || !mp.Match(n.Pkg.PkgPath) {
+			continue
+		}
+		checkDiscards(mp, n, may)
+		checkShadows(mp, n)
+	}
+	return nil
+}
+
+// ---- the may-error summary ----
+
+// computeMayErr records, for every function whose last result is error,
+// whether some return can put a non-nil value there.
+func computeMayErr(g *callgraph.Graph) map[string]bool {
+	may := map[string]bool{}
+	for _, scc := range g.SCCs {
+		for pass := 0; pass <= len(scc); pass++ {
+			changed := false
+			for _, n := range scc {
+				if n.Body() == nil || !returnsError(n) {
+					continue
+				}
+				if may[n.ID] {
+					continue
+				}
+				if mayReturnNonNil(n, may) {
+					may[n.ID] = true
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+	return may
+}
+
+// errorSlot returns the index of the trailing error result, or -1.
+func errorSlot(sig *types.Signature) int {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return -1
+	}
+	last := res.At(res.Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	if !ok || named.Obj().Pkg() != nil || named.Obj().Name() != "error" {
+		return -1
+	}
+	return res.Len() - 1
+}
+
+func signatureOf(n *callgraph.Node) *types.Signature {
+	if n.Func == nil {
+		return nil
+	}
+	sig, _ := n.Func.Type().(*types.Signature)
+	return sig
+}
+
+func returnsError(n *callgraph.Node) bool {
+	sig := signatureOf(n)
+	return sig != nil && errorSlot(sig) >= 0
+}
+
+// mayReturnNonNil inspects every return statement's error slot. Named
+// results with a bare `return` are conservatively fallible (the named
+// error may have been assigned anywhere above).
+func mayReturnNonNil(n *callgraph.Node, may map[string]bool) bool {
+	sig := signatureOf(n)
+	slot := errorSlot(sig)
+	found := false
+	ast.Inspect(n.Body(), func(nd ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := nd.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := nd.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		if len(ret.Results) == 0 {
+			found = true // bare return with named results
+			return false
+		}
+		var e ast.Expr
+		if len(ret.Results) == sig.Results().Len() {
+			e = ast.Unparen(ret.Results[slot])
+		} else if len(ret.Results) == 1 {
+			// return f() forwarding a multi-result call.
+			e = ast.Unparen(ret.Results[0])
+		}
+		if e == nil {
+			return true
+		}
+		switch e := e.(type) {
+		case *ast.Ident:
+			if e.Name == "nil" {
+				return true // this return is clean; keep looking
+			}
+			found = true
+		case *ast.CallExpr:
+			if callee := n.Sites[e]; callee != nil {
+				if returnsError(callee) && !may[callee.ID] {
+					return true // forwarded callee is known-clean
+				}
+				found = true
+			} else {
+				found = true // external or unresolved: assume fallible
+			}
+		default:
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// ---- discarded + goroutine-dropped errors ----
+
+func checkDiscards(mp *analysis.ModulePass, n *callgraph.Node, may map[string]bool) {
+	ast.Inspect(n.Body(), func(nd ast.Node) bool {
+		switch s := nd.(type) {
+		case *ast.FuncLit:
+			return false // its own node
+		case *ast.DeferStmt:
+			return false // deferred discards are idiomatic
+		case *ast.GoStmt:
+			// Spawned callees are not call edges; match the launch site.
+			for _, sp := range n.Spawns {
+				if sp.Pos == s.Pos() && returnsError(sp.Callee) && may[sp.Callee.ID] {
+					mp.Reportf(s.Pos(), "error result of %s is dropped at the goroutine boundary; no caller can observe the failure — send it on a channel or log it in the goroutine",
+						shortID(sp.Callee.ID))
+				}
+			}
+			return false
+		case *ast.ExprStmt:
+			call, ok := ast.Unparen(s.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := resolvedFallible(n, may, call)
+			if callee == nil {
+				return true
+			}
+			sig := signatureOf(callee)
+			mp.Report(analysis.Diagnostic{
+				Pos: s.Pos(),
+				Message: fmt.Sprintf("error result of %s is silently discarded; handle it or make the discard explicit",
+					shortID(callee.ID)),
+				SuggestedFixes: []analysis.SuggestedFix{{
+					Message: "make the discard explicit",
+					TextEdits: []analysis.TextEdit{{
+						Pos:     s.Pos(),
+						End:     s.Pos(),
+						NewText: []byte(discardPrefix(sig)),
+					}},
+				}},
+			})
+			return true
+		}
+		return true
+	})
+}
+
+// resolvedFallible returns the call's resolved first-party callee when
+// that callee may return a non-nil error, else nil.
+func resolvedFallible(n *callgraph.Node, may map[string]bool, call *ast.CallExpr) *callgraph.Node {
+	callee := n.Sites[call]
+	if callee == nil || !returnsError(callee) || !may[callee.ID] {
+		return nil
+	}
+	return callee
+}
+
+// discardPrefix renders the blank assignment matching the callee's
+// result count: "_ = " or "_, _ = ".
+func discardPrefix(sig *types.Signature) string {
+	s := "_"
+	for i := 1; i < sig.Results().Len(); i++ {
+		s += ", _"
+	}
+	return s + " = "
+}
+
+// ---- shadowed error variables ----
+
+// checkShadows reports an inner := redeclaring an error variable whose
+// outer namesake is still read after the inner scope ends. The flag is
+// deliberately precise about the bug shape — `err :=` where `err =` was
+// meant — and exempts the idioms that merely LOOK like shadowing:
+//
+//   - declarations in if/for/switch init clauses and range/comm clauses
+//     (`if err := f(); err != nil` is the canonical handled error);
+//   - declarations inside a statement list that ends in a terminating
+//     statement (the block leaves the function, so the outer variable's
+//     later reads are on a disjoint path);
+//   - function-literal bodies (a closure's err has its own lifetime;
+//     the literal is its own call-graph node);
+//   - later writes to the outer variable do not count as "read again":
+//     only a genuine read of the stale outer value makes the shadow a
+//     bug.
+func checkShadows(mp *analysis.ModulePass, n *callgraph.Node) {
+	info := n.Pkg.TypesInfo
+	// Every error-typed declaration (function literals excluded) is a
+	// potential OUTER victim; only block-level declarations in a
+	// non-terminating statement list are eligible as the INNER culprit.
+	type decl struct {
+		obj *types.Var
+		id  *ast.Ident
+	}
+	var outers []decl
+	ast.Inspect(n.Body(), func(nd ast.Node) bool {
+		if _, ok := nd.(*ast.FuncLit); ok {
+			return false
+		}
+		if id, ok := nd.(*ast.Ident); ok {
+			if v, isVar := info.Defs[id].(*types.Var); isVar && isErrorType(v.Type()) {
+				outers = append(outers, decl{v, id})
+			}
+		}
+		return true
+	})
+
+	var decls []decl
+	collect := func(s ast.Stmt, terminating bool) {
+		as, ok := s.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || terminating {
+			return
+		}
+		for _, lhs := range as.Lhs {
+			id, isIdent := lhs.(*ast.Ident)
+			if !isIdent {
+				continue
+			}
+			if v, isVar := info.Defs[id].(*types.Var); isVar && isErrorType(v.Type()) {
+				decls = append(decls, decl{v, id})
+			}
+		}
+	}
+	var walk func(list []ast.Stmt)
+	walk = func(list []ast.Stmt) {
+		terminating := len(list) > 0 && isTerminal(list[len(list)-1])
+		for _, s := range list {
+			for {
+				ls, ok := s.(*ast.LabeledStmt)
+				if !ok {
+					break
+				}
+				s = ls.Stmt
+			}
+			collect(s, terminating)
+			switch s := s.(type) {
+			case *ast.BlockStmt:
+				walk(s.List)
+			case *ast.IfStmt:
+				// s.Init is the exempt idiom; only the branches count.
+				walk(s.Body.List)
+				if s.Else != nil {
+					walk([]ast.Stmt{s.Else})
+				}
+			case *ast.ForStmt:
+				walk(s.Body.List)
+			case *ast.RangeStmt:
+				walk(s.Body.List)
+			case *ast.SwitchStmt:
+				for _, cl := range s.Body.List {
+					if cc, ok := cl.(*ast.CaseClause); ok {
+						walk(cc.Body)
+					}
+				}
+			case *ast.TypeSwitchStmt:
+				for _, cl := range s.Body.List {
+					if cc, ok := cl.(*ast.CaseClause); ok {
+						walk(cc.Body)
+					}
+				}
+			case *ast.SelectStmt:
+				for _, cl := range s.Body.List {
+					if cc, ok := cl.(*ast.CommClause); ok {
+						walk(cc.Body)
+					}
+				}
+				// Defer/Go statements and expressions (function literals
+				// included) cannot contain block-level declarations.
+			}
+		}
+	}
+	walk(n.Body().List)
+
+	writes := assignTargets(n.Body())
+	for _, inner := range decls {
+		innerScope := inner.obj.Parent()
+		if innerScope == nil {
+			continue
+		}
+		for _, cand := range outers {
+			if cand.obj == inner.obj || cand.obj.Name() != inner.obj.Name() {
+				continue
+			}
+			outerScope := cand.obj.Parent()
+			if outerScope == nil || outerScope == innerScope {
+				continue
+			}
+			// cand must enclose inner, textually and scope-wise.
+			if cand.obj.Pos() >= inner.obj.Pos() || !outerScope.Contains(inner.obj.Pos()) {
+				continue
+			}
+			if readAfter(info, cand.obj, innerScope.End(), writes) {
+				mp.Reportf(inner.id.Pos(),
+					"%s shadows the error variable declared at line %d, which is read again after this block; the error assigned here can never reach it",
+					inner.obj.Name(), mp.Fset.Position(cand.obj.Pos()).Line)
+				break
+			}
+		}
+	}
+}
+
+// isTerminal reports whether a statement unconditionally leaves the
+// enclosing statement list.
+func isTerminal(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := ast.Unparen(s.X).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	return false
+}
+
+// assignTargets collects the identifiers that are assignment targets:
+// being (re)written later is not "reading the stale outer value".
+func assignTargets(body ast.Node) map[*ast.Ident]bool {
+	writes := map[*ast.Ident]bool{}
+	ast.Inspect(body, func(nd ast.Node) bool {
+		as, ok := nd.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if id, isIdent := lhs.(*ast.Ident); isIdent {
+				writes[id] = true
+			}
+		}
+		return true
+	})
+	return writes
+}
+
+// readAfter reports whether the FIRST use of obj after the given
+// position is a read: if the variable is rewritten before it is next
+// read, the stale value from before the shadowing block is never
+// observable and the shadow is harmless.
+func readAfter(info *types.Info, obj *types.Var, after token.Pos, writes map[*ast.Ident]bool) bool {
+	var first *ast.Ident
+	for id, used := range info.Uses {
+		if used == obj && id.Pos() > after && (first == nil || id.Pos() < first.Pos()) {
+			first = id
+		}
+	}
+	return first != nil && !writes[first]
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+var pathSeg = regexp.MustCompile(`[\w.~-]+/`)
+
+func shortID(id string) string {
+	return pathSeg.ReplaceAllString(id, "")
+}

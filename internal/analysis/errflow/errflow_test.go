@@ -1,0 +1,20 @@
+package errflow_test
+
+import (
+	"testing"
+
+	"stitchroute/internal/analysis/analyzertest"
+	"stitchroute/internal/analysis/errflow"
+)
+
+// TestModule drives the fixture module where error origins are two
+// cross-package hops below the drop sites (app → wrap → inner): the
+// must-NOT-flag cases (wrap.Quiet can never fail) need the summary as
+// much as the must-flag ones.
+func TestModule(t *testing.T) {
+	analyzertest.RunModule(t, errflow.Analyzer,
+		"./testdata/mod/inner",
+		"./testdata/mod/wrap",
+		"./testdata/mod/app",
+	)
+}

@@ -1,0 +1,57 @@
+// Package app drops errors. Every judgement here needs the two-hop
+// summary: whether wrap.Forward or wrap.Quiet can actually fail is
+// decided in package inner, two call-graph hops away.
+package app
+
+import "stitchroute/internal/analysis/errflow/testdata/mod/wrap"
+
+func discards(k int) {
+	wrap.Forward() // want `error result of wrap\.Forward is silently discarded`
+	wrap.Quiet()
+	_ = wrap.Forward()
+	wrap.Both(k) // want `error result of wrap\.Both is silently discarded`
+}
+
+func deferred() {
+	defer wrap.Forward()
+}
+
+func spawned() {
+	go wrap.Forward() // want `error result of wrap\.Forward is dropped at the goroutine boundary`
+}
+
+// shadowed: the inner := can never reach the outer return.
+func shadowed(k int) error {
+	err := wrap.Forward()
+	if k > 0 {
+		err := wrap.Forward() // want `err shadows the error variable declared at line \d+`
+		if err != nil {
+			k++
+		}
+	}
+	return err
+}
+
+// idiom: the if-scoped err shadows nothing that is read later.
+func idiom() error {
+	if err := wrap.Forward(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// lastUse: the outer err is never read after the inner block, so the
+// shadowing is harmless.
+func lastUse() error {
+	err := wrap.Forward()
+	if err != nil {
+		return err
+	}
+	{
+		err := wrap.Forward()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

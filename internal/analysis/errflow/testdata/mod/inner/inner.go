@@ -1,0 +1,22 @@
+// Package inner is the error origin: the bottom of the two-hop chain.
+package inner
+
+import "errors"
+
+// Fail can return a non-nil error.
+func Fail() error {
+	return errors.New("boom")
+}
+
+// OK returns error in its signature but can never produce one.
+func OK() error {
+	return nil
+}
+
+// Load returns a value and may fail.
+func Load(k int) (int, error) {
+	if k < 0 {
+		return 0, errors.New("negative")
+	}
+	return k, nil
+}

@@ -1,0 +1,21 @@
+// Package wrap forwards inner's errors without creating any of its
+// own: whether a wrap function can fail is decided one package down.
+package wrap
+
+import "stitchroute/internal/analysis/errflow/testdata/mod/inner"
+
+// Forward may fail — but only because inner.Fail may.
+func Forward() error {
+	return inner.Fail()
+}
+
+// Quiet forwards a function that never fails: discarding its result is
+// fine, and only the cross-package summary knows that.
+func Quiet() error {
+	return inner.OK()
+}
+
+// Both forwards a multi-result fallible call.
+func Both(k int) (int, error) {
+	return inner.Load(k)
+}

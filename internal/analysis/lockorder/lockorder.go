@@ -1,0 +1,787 @@
+// Package lockorder defines a module-wide analyzer that tracks mutex
+// acquisition across function and package boundaries and reports the
+// three deadlock shapes an intra-procedural held-set walker
+// (lockdiscipline) cannot see:
+//
+//   - lock-order cycles: somewhere in the module lock A is acquired
+//     while B is held and somewhere else B is acquired while A is held;
+//     with the acquisitions in different functions — or different
+//     packages — no single-function analysis connects them.
+//   - re-acquisition through a call chain: a function holding a lock
+//     calls (possibly through several hops) a callee that acquires the
+//     same lock; sync.Mutex is not reentrant, so if both acquisitions
+//     hit the same instance the goroutine deadlocks against itself.
+//   - blocking operations reached through callees while a lock is held:
+//     lockdiscipline flags a channel send under a lock in the same body;
+//     this analyzer flags the call whose transitive callee performs it.
+//
+// Lock identity is the type+field pair — (pkg.T).mu for a field mutex,
+// pkg.mu for a package-level one — because a static analysis cannot name
+// instances. The identity is deliberately coarse, and the reporting
+// rules compensate:
+//
+//   - direct double acquisition of the same identity is NOT reported
+//     (x.mu.Lock(); y.mu.Lock() is hand-over-hand locking of two
+//     instances, not a self-deadlock), and self-edges never enter the
+//     order graph;
+//   - re-acquisition through a call chain is reported only when the
+//     lock is package-level (a unique instance, so the deadlock is
+//     certain) or the callee is a method on the very type that owns the
+//     held lock (the classic "public method calls private helper that
+//     locks again" bug);
+//   - each ordered pair of locks contributes one edge to the order
+//     graph, keyed on the first site seen in deterministic walk order,
+//     so a module-wide inversion is reported once per direction rather
+//     than once per call site.
+//
+// Summaries (locks a function may acquire, blocking operations it may
+// perform) are computed bottom-up over the whole-module call graph, so
+// facts propagate through any number of cross-package hops. Goroutine
+// bodies are excluded — a lock acquired in a spawned goroutine is a
+// different goroutine's lock set — and deferred calls other than
+// Unlock/RUnlock are skipped (they run after the walked body).
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"stitchroute/internal/analysis"
+	"stitchroute/internal/analysis/callgraph"
+)
+
+// Analyzer reports module-wide lock-order cycles, call-chain lock
+// re-acquisition, and blocking operations reached through callees under
+// a held lock.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "build the module-wide lock acquisition order graph over the call graph; report order cycles, call-chain re-acquisition, and blocking calls while a lock is held\n\n" +
+		"Deadlocks assemble themselves from acquisitions in different packages; only a whole-module view connects them.",
+	RunModule: runModule,
+}
+
+// acqInfo records one (representative) acquisition of a lock inside a
+// function or its transitive callees.
+type acqInfo struct {
+	disp string // display form of the lock, e.g. (core.Heap).mu
+	via  string // call chain, "" when the acquisition is direct
+}
+
+// blockInfo records one blocking operation a function may perform.
+type blockInfo struct {
+	what string // e.g. "channel send", "time.Sleep"
+	via  string // call chain, "" when direct
+}
+
+// summary is a function's lock-relevant behaviour as seen by callers.
+type summary struct {
+	acquires map[string]acqInfo // lock ID → representative acquisition
+	blocking map[string]blockInfo
+}
+
+const maxBlocking = 8 // per-summary cap; one report per call site anyway
+
+func runModule(mp *analysis.ModulePass) error {
+	sums := computeSummaries(mp.Graph)
+	g := newOrderGraph()
+
+	// Deterministic walk order: node IDs sort the same on every run.
+	ids := make([]string, 0, len(mp.Graph.Nodes))
+	for id := range mp.Graph.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		n := mp.Graph.Nodes[id]
+		if n.Body() == nil {
+			continue
+		}
+		w := &walker{
+			mp:   mp,
+			node: n,
+			sums: sums,
+			g:    g,
+		}
+		w.stmts(n.Body().List, nil)
+	}
+
+	reportCycles(mp, g)
+	return nil
+}
+
+// ---- summaries ----
+
+// computeSummaries walks the SCC condensation bottom-up so every callee
+// summary is final (or, inside a recursive component, iterated to a
+// fixpoint) before its callers are summarized.
+func computeSummaries(g *callgraph.Graph) map[string]*summary {
+	sums := make(map[string]*summary)
+	for _, scc := range g.SCCs {
+		for pass := 0; pass <= len(scc); pass++ {
+			changed := false
+			for _, n := range scc {
+				if n.Body() == nil {
+					continue
+				}
+				s := summarize(n, sums)
+				if !equalSummaries(sums[n.ID], s) {
+					sums[n.ID] = s
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+	return sums
+}
+
+func equalSummaries(a, b *summary) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if len(a.acquires) != len(b.acquires) || len(a.blocking) != len(b.blocking) {
+		return false
+	}
+	for k, v := range a.acquires {
+		if b.acquires[k] != v {
+			return false
+		}
+	}
+	for k, v := range a.blocking {
+		if b.blocking[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// summarize computes one function's summary: direct acquisitions and
+// blocking operations plus everything its resolved callees may do.
+func summarize(n *callgraph.Node, sums map[string]*summary) *summary {
+	info := n.Pkg.TypesInfo
+	s := &summary{acquires: map[string]acqInfo{}, blocking: map[string]blockInfo{}}
+	ast.Inspect(n.Body(), func(nd ast.Node) bool {
+		switch nd := nd.(type) {
+		case *ast.FuncLit:
+			return false // its own call-graph node
+		case *ast.GoStmt, *ast.DeferStmt:
+			return false // other goroutine / after-return
+		case *ast.SendStmt:
+			s.addBlocking("channel send", "")
+		case *ast.UnaryExpr:
+			if nd.Op == token.ARROW {
+				s.addBlocking("channel receive", "")
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(nd.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					s.addBlocking("range over channel", "")
+				}
+			}
+		case *ast.SelectStmt:
+			if !hasDefault(nd) {
+				s.addBlocking("blocking select", "")
+			}
+		case *ast.CallExpr:
+			if op, lockExpr := classify(info, nd); op != "" {
+				if op == "acquire" {
+					if id, disp := lockIdent(info, lockExpr); id != "" {
+						if _, ok := s.acquires[id]; !ok {
+							s.acquires[id] = acqInfo{disp: disp}
+						}
+					}
+				}
+				return true
+			}
+			if what, ok := blockingCall(info, nd); ok {
+				s.addBlocking(what, "")
+				return true
+			}
+			if callee := n.Sites[nd]; callee != nil {
+				s.merge(sums[callee.ID], shortID(callee.ID))
+			}
+		}
+		return true
+	})
+	return s
+}
+
+func (s *summary) addBlocking(what, via string) {
+	if len(s.blocking) >= maxBlocking {
+		return
+	}
+	key := what + "|" + via
+	if _, ok := s.blocking[key]; !ok {
+		s.blocking[key] = blockInfo{what: what, via: via}
+	}
+}
+
+// merge folds a callee's summary into s, extending the provenance chains
+// by one hop (capped at two rendered hops to keep messages readable).
+func (s *summary) merge(callee *summary, calleeName string) {
+	if callee == nil {
+		return
+	}
+	for id, a := range callee.acquires {
+		if _, ok := s.acquires[id]; ok {
+			continue
+		}
+		s.acquires[id] = acqInfo{disp: a.disp, via: chain(calleeName, a.via)}
+	}
+	for _, b := range callee.blocking {
+		s.addBlocking(b.what, chain(calleeName, b.via))
+	}
+}
+
+func chain(head, rest string) string {
+	if rest == "" {
+		return head
+	}
+	if strings.Count(rest, " → ") >= 1 {
+		// Two rendered hops already: elide the deeper tail.
+		if i := strings.Index(rest, " → "); i >= 0 {
+			rest = rest[:i] + " → …"
+		}
+	}
+	return head + " → " + rest
+}
+
+// ---- the held-set walk ----
+
+// heldLock is one entry of the walk's ordered held set.
+type heldLock struct {
+	id   string
+	disp string
+	pos  token.Pos
+}
+
+type walker struct {
+	mp   *analysis.ModulePass
+	node *callgraph.Node
+	sums map[string]*summary
+	g    *orderGraph
+}
+
+func (w *walker) report(pos token.Pos, format string, args ...interface{}) {
+	if w.mp.Match(w.node.Pkg.PkgPath) {
+		w.mp.Reportf(pos, format, args...)
+	}
+}
+
+// stmts interprets a statement list sequentially, threading the held
+// set. Nested control flow gets a copy of the state (conservative: a
+// branch-local unlock does not clear the lock for the fall-through
+// path, matching the lock-then-early-exit idiom).
+func (w *walker) stmts(list []ast.Stmt, held []heldLock) []heldLock {
+	for _, s := range list {
+		held = w.stmt(s, held)
+	}
+	return held
+}
+
+func snapshot(held []heldLock) []heldLock {
+	return append([]heldLock(nil), held...)
+}
+
+func (w *walker) stmt(stmt ast.Stmt, held []heldLock) []heldLock {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		return w.scan(s.X, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			held = w.scan(e, held)
+		}
+		for _, e := range s.Lhs {
+			held = w.scan(e, held)
+		}
+		return held
+	case *ast.DeclStmt, *ast.ReturnStmt, *ast.IncDecStmt, *ast.SendStmt:
+		// Direct blocking ops under a lock are lockdiscipline's report;
+		// here only the calls inside matter.
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				held = w.scan(e, held)
+				return false
+			}
+			return true
+		})
+		return held
+	case *ast.DeferStmt:
+		// `defer mu.Unlock()` keeps the lock to function end: no state
+		// change. Other deferred calls run after this body; skip them.
+		return held
+	case *ast.GoStmt:
+		// The spawned goroutine has its own lock set; its body is a
+		// separate call-graph node walked on its own.
+		return held
+	case *ast.BlockStmt:
+		return w.stmts(s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		held = w.scan(s.Cond, held)
+		w.stmts(s.Body.List, snapshot(held))
+		if s.Else != nil {
+			w.stmt(s.Else, snapshot(held))
+		}
+		return held
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			held = w.scan(s.Cond, held)
+		}
+		w.stmts(s.Body.List, snapshot(held))
+		return held
+	case *ast.RangeStmt:
+		held = w.scan(s.X, held)
+		w.stmts(s.Body.List, snapshot(held))
+		return held
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			held = w.scan(s.Tag, held)
+		}
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, snapshot(held))
+			}
+		}
+		return held
+	case *ast.TypeSwitchStmt:
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, snapshot(held))
+			}
+		}
+		return held
+	case *ast.SelectStmt:
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				w.stmts(cc.Body, snapshot(held))
+			}
+		}
+		return held
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, held)
+	}
+	return held
+}
+
+// scan visits the calls inside one expression in source order, updating
+// the held set at lock/unlock calls and applying callee summaries at
+// resolved call sites.
+func (w *walker) scan(expr ast.Expr, held []heldLock) []heldLock {
+	info := w.node.Pkg.TypesInfo
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if op, lockExpr := classify(info, call); op != "" {
+			id, disp := lockIdent(info, lockExpr)
+			if id == "" {
+				return true
+			}
+			switch op {
+			case "acquire":
+				held = w.acquire(held, id, disp, call.Pos(), "")
+			case "release":
+				held = release(held, id)
+			}
+			return true
+		}
+		if callee := w.node.Sites[call]; callee != nil && len(held) > 0 {
+			w.applyCallee(held, callee, call.Pos())
+		}
+		return true
+	})
+	return held
+}
+
+// acquire records order edges from every held lock to id and pushes it.
+func (w *walker) acquire(held []heldLock, id, disp string, pos token.Pos, via string) []heldLock {
+	for _, h := range held {
+		if h.id != id {
+			w.g.addEdge(h, id, disp, pos, w.node.Pkg.PkgPath, via)
+		}
+	}
+	return append(held, heldLock{id: id, disp: disp, pos: pos})
+}
+
+func release(held []heldLock, id string) []heldLock {
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i].id == id {
+			return append(held[:i:i], held[i+1:]...)
+		}
+	}
+	return held
+}
+
+// applyCallee folds a resolved callee's summary into the walk at a call
+// site where at least one lock is held.
+func (w *walker) applyCallee(held []heldLock, callee *callgraph.Node, pos token.Pos) {
+	sum := w.sums[callee.ID]
+	if sum == nil {
+		return
+	}
+	for _, id := range sortedKeys(sum.acquires) {
+		a := sum.acquires[id]
+		if h, isHeld := find(held, id); isHeld {
+			if definiteReacquire(id, callee) {
+				w.report(pos, "%s is already held (since line %d) and is acquired again %s; sync mutexes are not reentrant, so this self-deadlocks",
+					h.disp, w.mp.Fset.Position(h.pos).Line, renderVia(chain(shortID(callee.ID), a.via)))
+			}
+			continue
+		}
+		for _, h := range held {
+			w.g.addEdge(h, id, a.disp, pos, w.node.Pkg.PkgPath, chain(shortID(callee.ID), a.via))
+		}
+	}
+	// One blocking report per call site is enough.
+	if b, ok := firstBlocking(sum); ok {
+		h := held[0]
+		w.report(pos, "%s is held across %s %s; the critical section can stall every other goroutine contending for it",
+			h.disp, b.what, renderVia(chain(shortID(callee.ID), b.via)))
+	}
+}
+
+func find(held []heldLock, id string) (heldLock, bool) {
+	for _, h := range held {
+		if h.id == id {
+			return h, true
+		}
+	}
+	return heldLock{}, false
+}
+
+func sortedKeys(m map[string]acqInfo) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func firstBlocking(s *summary) (blockInfo, bool) {
+	keys := make([]string, 0, len(s.blocking))
+	for k := range s.blocking {
+		keys = append(keys, k)
+	}
+	if len(keys) == 0 {
+		return blockInfo{}, false
+	}
+	sort.Strings(keys)
+	return s.blocking[keys[0]], true
+}
+
+// definiteReacquire applies the coarse-identity compensation rule: a
+// package-level lock is a unique instance; for a field lock the callee
+// must be a method on the owning type for the re-acquisition to be the
+// classic self-deadlock rather than a sibling instance.
+func definiteReacquire(id string, callee *callgraph.Node) bool {
+	owner, isField := strings.CutPrefix(id, "(")
+	if !isField {
+		return true // package-level: unique instance
+	}
+	owner, _, _ = strings.Cut(owner, ")")
+	if callee.Func == nil {
+		return false
+	}
+	sig, ok := callee.Func.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path()+"."+named.Obj().Name() == owner
+}
+
+func renderVia(via string) string {
+	if via == "" {
+		return "here"
+	}
+	return "via call to " + via
+}
+
+// ---- the order graph ----
+
+type edge struct {
+	from, to         string
+	fromDisp, toDisp string
+	pos              token.Pos
+	pkg              string
+	via              string
+}
+
+type orderGraph struct {
+	edges map[[2]string]*edge
+	succ  map[string][]string
+}
+
+func newOrderGraph() *orderGraph {
+	return &orderGraph{edges: map[[2]string]*edge{}, succ: map[string][]string{}}
+}
+
+// addEdge records h.id → to; the first site seen (in deterministic walk
+// order) is kept as the pair's representative.
+func (g *orderGraph) addEdge(h heldLock, to, toDisp string, pos token.Pos, pkg, via string) {
+	key := [2]string{h.id, to}
+	if _, ok := g.edges[key]; ok {
+		return
+	}
+	g.edges[key] = &edge{from: h.id, to: to, fromDisp: h.disp, toDisp: toDisp, pos: pos, pkg: pkg, via: via}
+	g.succ[h.id] = append(g.succ[h.id], to)
+}
+
+// reportCycles finds strongly connected components of the lock order
+// graph and reports every edge inside one: each such acquisition site
+// participates in an inconsistent order that can deadlock.
+func reportCycles(mp *analysis.ModulePass, g *orderGraph) {
+	sccs := lockSCCs(g)
+	inCycle := map[string]int{}
+	for i, scc := range sccs {
+		if len(scc) >= 2 {
+			for _, id := range scc {
+				inCycle[id] = i
+			}
+		}
+	}
+	keys := make([][2]string, 0, len(g.edges))
+	for k := range g.edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		e := g.edges[k]
+		ci, ok := inCycle[e.from]
+		if !ok || inCycle[e.to] != ci {
+			continue
+		}
+		if !mp.Match(e.pkg) {
+			continue
+		}
+		other := ""
+		if rev, okRev := g.edges[[2]string{e.to, e.from}]; okRev {
+			other = fmt.Sprintf(" (reverse order at %s)", mp.Fset.Position(rev.pos))
+		}
+		mp.Reportf(e.pos, "lock order cycle: %s is acquired before %s %s, but the opposite order also occurs%s; two goroutines interleaving these paths deadlock",
+			e.fromDisp, e.toDisp, renderVia(e.via), other)
+	}
+}
+
+// lockSCCs is Tarjan over the lock-identity nodes.
+func lockSCCs(g *orderGraph) [][]string {
+	nodes := make([]string, 0, len(g.succ))
+	seen := map[string]bool{}
+	add := func(id string) {
+		if !seen[id] {
+			seen[id] = true
+			nodes = append(nodes, id)
+		}
+	}
+	for _, e := range g.edges {
+		add(e.from)
+		add(e.to)
+	}
+	sort.Strings(nodes)
+
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		succ := append([]string(nil), g.succ[v]...)
+		sort.Strings(succ)
+		for _, wId := range succ {
+			if _, ok := index[wId]; !ok {
+				strongconnect(wId)
+				if low[wId] < low[v] {
+					low[v] = low[wId]
+				}
+			} else if onStack[wId] && index[wId] < low[v] {
+				low[v] = index[wId]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				wId := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[wId] = false
+				scc = append(scc, wId)
+				if wId == v {
+					break
+				}
+			}
+			sort.Strings(scc)
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, v := range nodes {
+		if _, ok := index[v]; !ok {
+			strongconnect(v)
+		}
+	}
+	return sccs
+}
+
+// ---- classification helpers ----
+
+// classify recognizes sync mutex operations. TryLock/TryRLock are
+// non-blocking and impose no ordering constraint, so they are ignored.
+func classify(info *types.Info, call *ast.CallExpr) (op string, lockExpr ast.Expr) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", nil
+	}
+	f, isFunc := info.Uses[sel.Sel].(*types.Func)
+	if !isFunc || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return "", nil
+	}
+	recv := f.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", nil
+	}
+	t := recv.Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return "", nil
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex":
+	default:
+		return "", nil
+	}
+	switch f.Name() {
+	case "Lock", "RLock":
+		return "acquire", sel.X
+	case "Unlock", "RUnlock":
+		return "release", sel.X
+	}
+	return "", nil
+}
+
+// lockIdent maps a mutex operand to its module-wide type+field identity
+// and a short display form. Locks held in local variables have no
+// stable identity and are skipped.
+func lockIdent(info *types.Info, expr ast.Expr) (id, disp string) {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		v, isVar := info.ObjectOf(e.Sel).(*types.Var)
+		if isVar && v.IsField() {
+			t := info.TypeOf(e.X)
+			if p, isPtr := t.(*types.Pointer); isPtr {
+				t = p.Elem()
+			}
+			named, isNamed := t.(*types.Named)
+			if !isNamed || named.Obj().Pkg() == nil {
+				return "", ""
+			}
+			owner := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+			return "(" + owner + ")." + e.Sel.Name, "(" + shortID(owner) + ")." + e.Sel.Name
+		}
+		// Qualified package-level var: pkg.Mu.
+		if isVar && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name(), shortID(v.Pkg().Path() + "." + v.Name())
+		}
+	case *ast.Ident:
+		v, isVar := info.ObjectOf(e).(*types.Var)
+		if isVar && !v.IsField() && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name(), shortID(v.Pkg().Path() + "." + v.Name())
+		}
+	}
+	return "", ""
+}
+
+// blockingCall recognizes the well-known blocking calls lockdiscipline
+// also knows about.
+func blockingCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false
+	}
+	f, isFunc := info.Uses[sel.Sel].(*types.Func)
+	if !isFunc || f.Pkg() == nil {
+		return "", false
+	}
+	if f.Pkg().Path() == "time" && f.Name() == "Sleep" {
+		return "time.Sleep", true
+	}
+	if f.Pkg().Path() != "sync" {
+		return "", false
+	}
+	recv := f.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", false
+	}
+	t := recv.Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return "", false
+	}
+	switch named.Obj().Name() + "." + f.Name() {
+	case "WaitGroup.Wait", "Cond.Wait", "Once.Do":
+		return "(sync." + named.Obj().Name() + ")." + f.Name(), true
+	}
+	return "", false
+}
+
+func hasDefault(sel *ast.SelectStmt) bool {
+	for _, cl := range sel.Body.List {
+		if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// pathSeg matches a path prefix up to its last separator: applied
+// globally, "(stitchroute/internal/core.Heap).push" becomes
+// "(core.Heap).push".
+var pathSeg = regexp.MustCompile(`[\w.~-]+/`)
+
+func shortID(id string) string {
+	return pathSeg.ReplaceAllString(id, "")
+}

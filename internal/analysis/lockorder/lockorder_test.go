@@ -1,0 +1,20 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"stitchroute/internal/analysis/analyzertest"
+	"stitchroute/internal/analysis/lockorder"
+)
+
+// TestModule drives the fixture module where every deadlock ingredient
+// is split across packages: locks declares the mutex owners, ab is the
+// middle hop, use assembles the cycles. An intra-package analysis of
+// use sees only calls to ab.
+func TestModule(t *testing.T) {
+	analyzertest.RunModule(t, lockorder.Analyzer,
+		"./testdata/mod/locks",
+		"./testdata/mod/ab",
+		"./testdata/mod/use",
+	)
+}

@@ -1,0 +1,33 @@
+// Package ab is the middle hop: it never touches a mutex or a channel
+// directly in the functions that matter — everything is one call deeper.
+package ab
+
+import (
+	"time"
+
+	"stitchroute/internal/analysis/lockorder/testdata/mod/locks"
+)
+
+// With acquires (locks.B).Mu one more hop down.
+func With(b *locks.B) {
+	b.DeepLock()
+}
+
+// Notify performs a channel send.
+func Notify(ch chan int) {
+	ch <- 1
+}
+
+// Nap sleeps.
+func Nap() {
+	time.Sleep(time.Millisecond)
+}
+
+// LockGlobal acquires the unique package-level lock.
+func LockGlobal() {
+	locks.Global.Lock()
+	defer locks.Global.Unlock()
+	lockGlobalN++
+}
+
+var lockGlobalN int

@@ -1,0 +1,36 @@
+// Package locks declares the lock-owning types; the deadlocks are
+// assembled two packages up.
+package locks
+
+import "sync"
+
+type A struct {
+	Mu sync.Mutex
+	N  int
+}
+
+type B struct {
+	Mu sync.Mutex
+	N  int
+}
+
+type C struct {
+	Mu sync.Mutex
+	N  int
+}
+
+var Global sync.Mutex
+
+// DeepLock acquires B's lock: the bottom of the two-hop chain.
+func (b *B) DeepLock() {
+	b.Mu.Lock()
+	b.N++
+	b.Mu.Unlock()
+}
+
+// Touch locks and unlocks its own mutex.
+func (a *A) Touch() {
+	a.Mu.Lock()
+	a.N++
+	a.Mu.Unlock()
+}

@@ -1,0 +1,93 @@
+// Package use assembles the deadlocks: every offending acquisition or
+// blocking operation is at least one call — and one package — away, so
+// an intra-package analysis sees nothing here.
+package use
+
+import (
+	"stitchroute/internal/analysis/lockorder/testdata/mod/ab"
+	"stitchroute/internal/analysis/lockorder/testdata/mod/locks"
+)
+
+// Forward acquires A's lock, then B's — two hops down through ab.With.
+func Forward(a *locks.A, b *locks.B) {
+	a.Mu.Lock()
+	defer a.Mu.Unlock()
+	ab.With(b) // want `lock order cycle: \(locks\.A\)\.Mu is acquired before \(locks\.B\)\.Mu via call to ab\.With`
+}
+
+// Backward acquires the same pair in the opposite order.
+func Backward(a *locks.A, b *locks.B) {
+	b.Mu.Lock()
+	a.Mu.Lock() // want `lock order cycle: \(locks\.B\)\.Mu is acquired before \(locks\.A\)\.Mu here`
+	a.N++
+	b.N++
+	a.Mu.Unlock()
+	b.Mu.Unlock()
+}
+
+// DoubleGlobal re-acquires the unique package-level lock through a
+// callee: certain self-deadlock.
+func DoubleGlobal() {
+	locks.Global.Lock()
+	defer locks.Global.Unlock()
+	ab.LockGlobal() // want `locks\.Global is already held \(since line \d+\) and is acquired again via call to ab\.LockGlobal`
+}
+
+// Holds keeps A's lock across a callee that sends on a channel.
+func Holds(a *locks.A, ch chan int) {
+	a.Mu.Lock()
+	ab.Notify(ch) // want `\(locks\.A\)\.Mu is held across channel send via call to ab\.Notify`
+	a.Mu.Unlock()
+}
+
+// Sleepy keeps A's lock across a callee that sleeps.
+func Sleepy(a *locks.A) {
+	a.Mu.Lock()
+	defer a.Mu.Unlock()
+	ab.Nap() // want `\(locks\.A\)\.Mu is held across time\.Sleep via call to ab\.Nap`
+}
+
+// Consistent and ConsistentAgain acquire A before C everywhere: a
+// consistent order is not a cycle, so neither is flagged.
+func Consistent(a *locks.A, c *locks.C) {
+	a.Mu.Lock()
+	c.Mu.Lock()
+	c.Mu.Unlock()
+	a.Mu.Unlock()
+}
+
+func ConsistentAgain(a *locks.A, c *locks.C) {
+	a.Mu.Lock()
+	c.Mu.Lock()
+	c.N++
+	c.Mu.Unlock()
+	a.Mu.Unlock()
+}
+
+// ReleaseFirst drops the lock before the blocking callee: clean.
+func ReleaseFirst(a *locks.A, ch chan int) {
+	a.Mu.Lock()
+	a.N++
+	a.Mu.Unlock()
+	ab.Notify(ch)
+}
+
+// SameTypeTwo locks two distinct instances of one type: the type+field
+// identity collides, but hand-over-hand locking must not be flagged as
+// re-acquisition.
+func SameTypeTwo(x, y *locks.A) {
+	x.Mu.Lock()
+	y.Mu.Lock()
+	y.N++
+	y.Mu.Unlock()
+	x.Mu.Unlock()
+}
+
+// TouchOther holds A's lock and calls a method on a DIFFERENT type that
+// locks its own mutex of the same shape: an order edge, not a
+// re-acquisition (and A→B is the majority direction, so no new cycle).
+func TouchOther(a *locks.A, b *locks.B) {
+	a.Mu.Lock()
+	defer a.Mu.Unlock()
+	b.DeepLock()
+}

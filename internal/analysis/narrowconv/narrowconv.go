@@ -1,0 +1,341 @@
+// Package narrowconv defines a module-wide analyzer that flags integer
+// conversions which silently drop bits on the way into packed arena
+// state. Fabric coordinates are int64 end to end; the packed detail
+// grid, fracture trapezoid records, and stencil/raster buffers store
+// them in int32/int16/uint8 slots, and an unguarded conversion at that
+// boundary wraps instead of failing for a chip larger than the packed
+// range.
+//
+// A conversion T(x) with sizeof(T) < sizeof(type of x) is flagged when
+// the source is an explicitly 64-bit integer type (int64/uint64 or a
+// named type over them — the coordinate types). Plain int is exempt by
+// design: in this codebase an int is a grid index or count already
+// bounded by an allocation, and flagging every loop-index pack would
+// bury the coordinate truncations this analyzer exists for. A flagged
+// conversion is let through when the operand is visibly safe:
+//
+//   - a constant (the compiler already rejects non-representable
+//     constant conversions, so a constant that compiles fits);
+//   - guarded: an identifier in the operand was compared (<, <=, >, >=)
+//     earlier in the same function — the author established a range;
+//   - clamped: the operand is a call to the min/max builtins or a
+//     helper whose name says clamp/saturate/bound;
+//   - masked: the operand is x & <constant> or x >> <constant>, which
+//     bounds the value structurally.
+//
+// The interprocedural part rides on the whole-module call graph: a
+// per-function summary records whether a function's result derives
+// from unchecked multiplication or left shift — directly or through
+// any chain of callees, across packages. Narrowing such a result is
+// reported with the provenance chain ("derives from an unchecked
+// product via brg.Area → geom.RawArea"), because the overflow risk is
+// invisible at the conversion site: the product lives two hops away.
+package narrowconv
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"stitchroute/internal/analysis"
+	"stitchroute/internal/analysis/callgraph"
+)
+
+// Analyzer flags unchecked narrowing conversions of fabric coordinates
+// into packed state, with cross-package product provenance.
+var Analyzer = &analysis.Analyzer{
+	Name: "narrowconv",
+	Doc: "flag unchecked narrowing integer conversions into packed arena state; track overflow-prone products through the call graph\n\n" +
+		"Packed grids and trapezoid records store int64 coordinates in narrow slots; an unguarded conversion wraps silently for large fabrics.",
+	Packages: []string{
+		"internal/detail", "internal/fracture", "internal/stencil", "internal/raster",
+	},
+	RunModule: runModule,
+}
+
+// wideInfo summarizes a function whose result derives from unchecked
+// widening arithmetic (multiplication or left shift).
+type wideInfo struct {
+	via string // forwarding chain, "" when the product is in this body
+}
+
+var clampName = regexp.MustCompile(`(?i)(clamp|saturat|bound|^sat$|cap$)`)
+
+var sizes = types.StdSizes{WordSize: 8, MaxAlign: 8}
+
+func runModule(mp *analysis.ModulePass) error {
+	wide := computeWide(mp.Graph)
+
+	ids := make([]string, 0, len(mp.Graph.Nodes))
+	for id := range mp.Graph.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		n := mp.Graph.Nodes[id]
+		if n.Body() == nil || !mp.Match(n.Pkg.PkgPath) {
+			continue
+		}
+		checkNode(mp, n, wide)
+	}
+	return nil
+}
+
+// ---- the returns-wide summary ----
+
+// computeWide walks the SCC condensation bottom-up and records, for
+// every function, whether a returned value derives from unchecked
+// multiplication/left shift — in its own body or through callees.
+func computeWide(g *callgraph.Graph) map[string]wideInfo {
+	wide := map[string]wideInfo{}
+	for _, scc := range g.SCCs {
+		for pass := 0; pass <= len(scc); pass++ {
+			changed := false
+			for _, n := range scc {
+				if n.Body() == nil {
+					continue
+				}
+				if _, done := wide[n.ID]; done {
+					continue
+				}
+				if info, isWide := returnsWide(n, wide); isWide {
+					wide[n.ID] = info
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+	return wide
+}
+
+func returnsWide(n *callgraph.Node, wide map[string]wideInfo) (wideInfo, bool) {
+	info := n.Pkg.TypesInfo
+	var out wideInfo
+	found := false
+	ast.Inspect(n.Body(), func(nd ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := nd.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := nd.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, e := range ret.Results {
+			ast.Inspect(e, func(x ast.Node) bool {
+				if found {
+					return false
+				}
+				switch x := x.(type) {
+				case *ast.FuncLit:
+					return false
+				case *ast.BinaryExpr:
+					if (x.Op == token.MUL || x.Op == token.SHL) &&
+						isInteger(info.TypeOf(x)) && !isConst(info, x) {
+						out = wideInfo{}
+						found = true
+						return false
+					}
+				case *ast.CallExpr:
+					if callee := n.Sites[x]; callee != nil {
+						if w, isWide := wide[callee.ID]; isWide {
+							out = wideInfo{via: chain(shortID(callee.ID), w.via)}
+							found = true
+							return false
+						}
+					}
+				}
+				return true
+			})
+			if found {
+				break
+			}
+		}
+		return !found
+	})
+	return out, found
+}
+
+// ---- the conversion check ----
+
+func checkNode(mp *analysis.ModulePass, n *callgraph.Node, wide map[string]wideInfo) {
+	info := n.Pkg.TypesInfo
+	guards := guardPositions(info, n.Body())
+	ast.Inspect(n.Body(), func(nd ast.Node) bool {
+		if _, ok := nd.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := nd.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		tv, ok := info.Types[call.Fun]
+		if !ok || !tv.IsType() {
+			return true
+		}
+		dst := info.TypeOf(call)
+		operand := ast.Unparen(call.Args[0])
+		src := info.TypeOf(operand)
+		if !isInteger(dst) || !is64Bit(src) {
+			return true
+		}
+		if sizes.Sizeof(dst.Underlying()) >= sizes.Sizeof(src.Underlying()) {
+			return true
+		}
+		if isConst(info, operand) || clamped(info, operand) || masked(operand) {
+			return true
+		}
+		if guardedOperand(info, operand, call.Pos(), guards) {
+			return true
+		}
+		if inner, isCall := operand.(*ast.CallExpr); isCall {
+			if callee := n.Sites[inner]; callee != nil {
+				if w, isWide := wide[callee.ID]; isWide {
+					mp.Reportf(call.Pos(),
+						"narrowing conversion %s → %s of a value that derives from an unchecked product (via %s); clamp or range-check before packing",
+						typeName(src), typeName(dst), chain(shortID(callee.ID), w.via))
+					return true
+				}
+			}
+		}
+		mp.Reportf(call.Pos(),
+			"unchecked narrowing conversion %s → %s may silently truncate; guard or clamp the operand before packing",
+			typeName(src), typeName(dst))
+		return true
+	})
+}
+
+// guardPositions maps objects that appear as a comparison operand to
+// the position of their earliest comparison: a later narrowing of such
+// a value is taken as range-checked by the author.
+func guardPositions(info *types.Info, body ast.Node) map[types.Object]token.Pos {
+	guards := map[types.Object]token.Pos{}
+	ast.Inspect(body, func(nd ast.Node) bool {
+		be, ok := nd.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ:
+		default:
+			return true
+		}
+		for _, side := range []ast.Expr{be.X, be.Y} {
+			for _, obj := range rootVars(info, side) {
+				if old, seen := guards[obj]; !seen || be.Pos() < old {
+					guards[obj] = be.Pos()
+				}
+			}
+		}
+		return true
+	})
+	return guards
+}
+
+func guardedOperand(info *types.Info, operand ast.Expr, at token.Pos, guards map[types.Object]token.Pos) bool {
+	for _, obj := range rootVars(info, operand) {
+		if pos, ok := guards[obj]; ok && pos < at {
+			return true
+		}
+	}
+	return false
+}
+
+// rootVars collects the variables an expression reads.
+func rootVars(info *types.Info, e ast.Expr) []types.Object {
+	var out []types.Object
+	ast.Inspect(e, func(nd ast.Node) bool {
+		if id, ok := nd.(*ast.Ident); ok {
+			if v, isVar := info.Uses[id].(*types.Var); isVar {
+				out = append(out, v)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// clamped reports whether the operand is a call whose very shape bounds
+// the result: the min/max builtins or a clamp-named helper.
+func clamped(info *types.Info, operand ast.Expr) bool {
+	call, ok := operand.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if _, isBuiltin := info.Uses[fun].(*types.Builtin); isBuiltin && (fun.Name == "min" || fun.Name == "max") {
+			return true
+		}
+		return clampName.MatchString(fun.Name)
+	case *ast.SelectorExpr:
+		return clampName.MatchString(fun.Sel.Name)
+	}
+	return false
+}
+
+// masked reports whether the operand is structurally bounded:
+// x & constant or x >> constant.
+func masked(operand ast.Expr) bool {
+	be, ok := operand.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch be.Op {
+	case token.AND, token.SHR:
+		return true
+	}
+	return false
+}
+
+func isInteger(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0 && b.Kind() != types.Uintptr
+}
+
+// is64Bit recognizes the explicitly 64-bit integer types — the fabric
+// coordinate representations. Plain int/uint are exempt by design (see
+// the package comment).
+func is64Bit(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Int64 || b.Kind() == types.Uint64)
+}
+
+func isConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+func typeName(t types.Type) string {
+	return shortID(types.TypeString(t, nil))
+}
+
+func chain(head, rest string) string {
+	if rest == "" {
+		return head
+	}
+	if i := strings.Index(rest, " → "); i >= 0 && strings.Count(rest, " → ") >= 1 {
+		rest = rest[:i] + " → …"
+	}
+	return head + " → " + rest
+}
+
+var pathSeg = regexp.MustCompile(`[\w.~-]+/`)
+
+func shortID(id string) string {
+	return pathSeg.ReplaceAllString(id, "")
+}

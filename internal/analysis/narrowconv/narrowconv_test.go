@@ -1,0 +1,19 @@
+package narrowconv_test
+
+import (
+	"testing"
+
+	"stitchroute/internal/analysis/analyzertest"
+	"stitchroute/internal/analysis/narrowconv"
+)
+
+// TestModule drives the fixture module where the overflow-prone product
+// is two cross-package hops below the narrowing conversion (pack → brg
+// → geom): only the call-graph summary connects them.
+func TestModule(t *testing.T) {
+	analyzertest.RunModule(t, narrowconv.Analyzer,
+		"./testdata/mod/geom",
+		"./testdata/mod/brg",
+		"./testdata/mod/pack",
+	)
+}

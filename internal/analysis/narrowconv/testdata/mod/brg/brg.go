@@ -1,0 +1,15 @@
+// Package brg forwards geom's results: it contains no arithmetic of
+// its own, so only a call-graph summary can see the product behind it.
+package brg
+
+import "stitchroute/internal/analysis/narrowconv/testdata/mod/geom"
+
+// Area forwards the unchecked product one more hop.
+func Area(w, h int64) int64 {
+	return geom.RawArea(w, h)
+}
+
+// Width forwards a sum: safe to narrow (well, as safe as any int64).
+func Width(a, b int64) int64 {
+	return geom.Span(a, b)
+}

@@ -1,0 +1,13 @@
+// Package geom holds the raw arithmetic: the unchecked product lives
+// here, two packages below the conversion that narrows it.
+package geom
+
+// RawArea multiplies two fabric extents without any overflow check.
+func RawArea(w, h int64) int64 {
+	return w * h
+}
+
+// Span is plain addition: not flagged as a product.
+func Span(a, b int64) int64 {
+	return a + b
+}

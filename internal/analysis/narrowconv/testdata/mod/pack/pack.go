@@ -1,0 +1,69 @@
+// Package pack narrows coordinates into packed slots. The product
+// behind brg.Area is two cross-package hops away (pack → brg → geom):
+// nothing in this file multiplies, so an intra-package analysis sees an
+// innocent conversion.
+package pack
+
+import "stitchroute/internal/analysis/narrowconv/testdata/mod/brg"
+
+type cell struct {
+	area int32
+	x    int16
+}
+
+func store(c *cell, w, h int64) {
+	c.area = int32(brg.Area(w, h)) // want `narrowing conversion int64 → int32 of a value that derives from an unchecked product \(via brg\.Area → geom\.RawArea\)`
+}
+
+func direct(c *cell, x int64) {
+	c.x = int16(x) // want `unchecked narrowing conversion int64 → int16 may silently truncate`
+}
+
+// guarded: the comparison above the conversion counts as a range check.
+func guarded(c *cell, x int64) {
+	if x > 32767 || x < -32768 {
+		return
+	}
+	c.x = int16(x)
+}
+
+// constant conversions that compile are representable by definition.
+func constant(c *cell) {
+	c.x = int16(1200)
+}
+
+// the min builtin bounds the operand structurally.
+func viaMin(c *cell, x int64) {
+	c.x = int16(min(x, 32000))
+}
+
+// a clamp-named helper is trusted to bound its result.
+func viaClamp(c *cell, x int64) {
+	c.area = int32(clampCoord(x, -1<<31, 1<<31-1))
+}
+
+func clampCoord(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// masking bounds the value structurally.
+func masked(c *cell, x int64) {
+	c.x = int16(x & 0x7fff)
+}
+
+// widening is never a problem.
+func widen(x int16) int64 {
+	return int64(x)
+}
+
+// narrowing a forwarded sum is still narrowing — flagged, but without
+// product provenance.
+func sum(c *cell, a, b int64) {
+	c.area = int32(brg.Width(a, b)) // want `unchecked narrowing conversion int64 → int32 may silently truncate`
+}

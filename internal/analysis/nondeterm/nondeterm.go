@@ -41,65 +41,112 @@ import (
 	"strings"
 
 	"stitchroute/internal/analysis"
+	"stitchroute/internal/analysis/callgraph"
 	"stitchroute/internal/analysis/cfg"
 	"stitchroute/internal/analysis/dataflow"
+	"stitchroute/internal/analysis/load"
 )
 
 // Analyzer flags nondeterministic values flowing into routing state.
+// Under the driver it runs in module mode: taint summaries are computed
+// bottom-up over the whole-module call graph, so a wall-clock read two
+// cross-package hops away still taints the value at the sink. The
+// per-package Run remains as the fixture-harness fallback with
+// intra-package summaries only.
 var Analyzer = &analysis.Analyzer{
 	Name: "nondeterm",
 	Doc: "track nondeterministic values (wall clock, global RNG, map order, select order, pointer text) through dataflow into routing state\n\n" +
-		"Byte-identical reroutes are a hard invariant; this analyzer follows taint through assignment chains and intra-package helper calls, which the syntactic checks cannot.",
+		"Byte-identical reroutes are a hard invariant; this analyzer follows taint through assignment chains and helper calls — across package boundaries via call-graph summaries — which the syntactic checks cannot.",
 	Packages: []string{
 		"internal/global", "internal/detail", "internal/core",
 		"internal/steiner", "internal/track", "internal/plan",
 		"internal/fracture", "internal/stencil", "internal/eco",
 	},
-	Run: run,
+	Run:       run,
+	RunModule: runModule,
+}
+
+// unit bundles what the checks need from either pass flavor.
+type unit struct {
+	fset    *token.FileSet
+	info    *types.Info
+	reportf func(token.Pos, string, ...interface{})
 }
 
 // telemetryName matches field names that hold timing or statistics:
 // legitimate homes for wall-clock values.
 var telemetryName = regexp.MustCompile(`(?i)(time|elapsed|duration|seed|stamp|start|wall|bench|stat)`)
 
-func run(pass *analysis.Pass) (interface{}, error) {
-	conf := dataflow.TaintConfig{
-		Info:       pass.TypesInfo,
-		SourceCall: sourceClassifier(pass),
-		SelectRecv: markMultiSelects(pass.Files),
+// taintConf builds the package-specific taint configuration; the caller
+// decides which summary set (intra-package or module-wide) to attach.
+func taintConf(info *types.Info, files []*ast.File) dataflow.TaintConfig {
+	return dataflow.TaintConfig{
+		Info:       info,
+		SourceCall: sourceClassifier(info),
+		SelectRecv: markMultiSelects(files),
 		ExemptWrite: func(lhs ast.Expr) bool {
 			// A write into a telemetry field is a sanctioned sink; it
 			// must not weak-update the enclosing struct, or one Times
 			// write would taint every value later derived from it.
 			sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
-			return ok && telemetryField(pass.TypesInfo, sel)
+			return ok && telemetryField(info, sel)
 		},
 	}
-	conf.Summaries = dataflow.ComputeSummaries(pass.Files, conf)
+}
 
-	for _, file := range pass.Files {
+func run(pass *analysis.Pass) (interface{}, error) {
+	conf := taintConf(pass.TypesInfo, pass.Files)
+	conf.Summaries = dataflow.ComputeSummaries(pass.Files, conf)
+	u := &unit{fset: pass.Fset, info: pass.TypesInfo, reportf: pass.Reportf}
+	checkFiles(u, conf, pass.Files)
+	return nil, nil
+}
+
+// runModule is the interprocedural mode: one summary per function in the
+// whole module, computed bottom-up over the call graph, then the same
+// per-function sink checks — now able to see that a value returned by a
+// helper two packages away carries wall-clock or RNG taint.
+func runModule(mp *analysis.ModulePass) error {
+	sums := callgraph.ModuleTaintSummaries(mp.Graph, func(pkg *load.Package) dataflow.TaintConfig {
+		return taintConf(pkg.TypesInfo, pkg.Files)
+	})
+	for _, pkg := range mp.Packages {
+		if !mp.Match(pkg.PkgPath) {
+			continue
+		}
+		conf := taintConf(pkg.TypesInfo, pkg.Files)
+		conf.Summaries = sums
+		u := &unit{fset: mp.Fset, info: pkg.TypesInfo, reportf: mp.Reportf}
+		checkFiles(u, conf, pkg.Files)
+	}
+	return nil
+}
+
+// checkFiles runs the per-function taint solve + sink checks over every
+// declaration in files.
+func checkFiles(u *unit, conf dataflow.TaintConfig, files []*ast.File) {
+	for _, file := range files {
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			checkBody(pass, conf, fd.Body)
+			checkBody(u, conf, fd.Body)
 			// Function literals get their own graphs: their bodies are
 			// not part of the enclosing CFG. Captured variables start
 			// clean (conservatively under-tainted; sources inside the
 			// literal are still tracked).
 			ast.Inspect(fd.Body, func(n ast.Node) bool {
 				if fl, ok := n.(*ast.FuncLit); ok {
-					checkBody(pass, conf, fl.Body)
+					checkBody(u, conf, fl.Body)
 				}
 				return true
 			})
 		}
 	}
-	return nil, nil
 }
 
-func checkBody(pass *analysis.Pass, conf dataflow.TaintConfig, body *ast.BlockStmt) {
+func checkBody(u *unit, conf dataflow.TaintConfig, body *ast.BlockStmt) {
 	p := dataflow.Problem[dataflow.Fact]{
 		Graph:    cfg.New(body),
 		Entry:    dataflow.Fact{},
@@ -110,7 +157,7 @@ func checkBody(pass *analysis.Pass, conf dataflow.TaintConfig, body *ast.BlockSt
 	}
 	sol := dataflow.Solve(p)
 	dataflow.ForEachNode(p, sol, func(n ast.Node, before dataflow.Fact) {
-		checkNode(pass, conf, n, before)
+		checkNode(u, conf, n, before)
 	})
 }
 
@@ -118,7 +165,7 @@ func checkBody(pass *analysis.Pass, conf dataflow.TaintConfig, body *ast.BlockSt
 // range bodies are skipped: their statements live in other blocks (range)
 // or other graphs (literals) and must not be double-visited with the
 // wrong fact.
-func checkNode(pass *analysis.Pass, conf dataflow.TaintConfig, node ast.Node, before dataflow.Fact) {
+func checkNode(u *unit, conf dataflow.TaintConfig, node ast.Node, before dataflow.Fact) {
 	var rangeBody *ast.BlockStmt
 	if rng, ok := node.(*ast.RangeStmt); ok {
 		rangeBody = rng.Body
@@ -135,13 +182,13 @@ func checkNode(pass *analysis.Pass, conf dataflow.TaintConfig, node ast.Node, be
 		}
 		switch n := n.(type) {
 		case *ast.AssignStmt:
-			checkAssignSinks(pass, conf, n, before)
+			checkAssignSinks(u, conf, n, before)
 		case *ast.SendStmt:
 			if t := conf.EvalExpr(before, n.Value); t.Kind != 0 {
-				report(pass, n.Pos(), "value sent on channel", t)
+				report(u, n.Pos(), "value sent on channel", t)
 			}
 		case *ast.CallExpr:
-			checkPushSink(pass, conf, n, before)
+			checkPushSink(u, conf, n, before)
 		}
 		return true
 	})
@@ -150,7 +197,7 @@ func checkNode(pass *analysis.Pass, conf dataflow.TaintConfig, node ast.Node, be
 // checkAssignSinks flags tainted values written into persistent state:
 // struct fields, slice/array elements, and pointer targets. Plain local
 // variables are propagation, not sinks.
-func checkAssignSinks(pass *analysis.Pass, conf dataflow.TaintConfig, n *ast.AssignStmt, before dataflow.Fact) {
+func checkAssignSinks(u *unit, conf dataflow.TaintConfig, n *ast.AssignStmt, before dataflow.Fact) {
 	rhs := make([]dataflow.Taint, len(n.Lhs))
 	switch {
 	case len(n.Rhs) == len(n.Lhs):
@@ -193,21 +240,21 @@ func checkAssignSinks(pass *analysis.Pass, conf dataflow.TaintConfig, n *ast.Ass
 					}
 				}
 			}
-			report(pass, n.Pos(), "element of "+types.ExprString(target.X), t)
+			report(u, n.Pos(), "element of "+types.ExprString(target.X), t)
 		case *ast.SelectorExpr:
 			if telemetryField(conf.Info, target) {
 				continue
 			}
-			report(pass, n.Pos(), "field "+types.ExprString(target), t)
+			report(u, n.Pos(), "field "+types.ExprString(target), t)
 		case *ast.StarExpr:
-			report(pass, n.Pos(), "target of "+types.ExprString(target), t)
+			report(u, n.Pos(), "target of "+types.ExprString(target), t)
 		}
 	}
 }
 
 // checkPushSink flags tainted heap-push arguments: the pop order (and
 // every tie-break downstream) then differs between runs.
-func checkPushSink(pass *analysis.Pass, conf dataflow.TaintConfig, call *ast.CallExpr, before dataflow.Fact) {
+func checkPushSink(u *unit, conf dataflow.TaintConfig, call *ast.CallExpr, before dataflow.Fact) {
 	name := ""
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:
@@ -220,13 +267,13 @@ func checkPushSink(pass *analysis.Pass, conf dataflow.TaintConfig, call *ast.Cal
 	}
 	for _, a := range call.Args {
 		if t := conf.EvalExpr(before, a); t.Kind != 0 {
-			report(pass, call.Pos(), "heap push argument", t)
+			report(u, call.Pos(), "heap push argument", t)
 			return
 		}
 	}
 }
 
-func report(pass *analysis.Pass, pos token.Pos, sink string, t dataflow.Taint) {
+func report(u *unit, pos token.Pos, sink string, t dataflow.Taint) {
 	kind := "nondeterministic"
 	switch {
 	case t.Kind&dataflow.Value != 0:
@@ -240,10 +287,10 @@ func report(pass *analysis.Pass, pos token.Pos, sink string, t dataflow.Taint) {
 	}
 	where := ""
 	if t.Pos.IsValid() {
-		p := pass.Fset.Position(t.Pos)
+		p := u.fset.Position(t.Pos)
 		where = " at line " + itoa(p.Line)
 	}
-	pass.Reportf(pos, "%s value reaches %s: tainted by %s%s; reroutes stop being byte-identical", kind, sink, src, where)
+	u.reportf(pos, "%s value reaches %s: tainted by %s%s; reroutes stop being byte-identical", kind, sink, src, where)
 }
 
 func itoa(n int) string {
@@ -303,7 +350,7 @@ func isIntegerType(t types.Type) bool {
 }
 
 // sourceClassifier builds the TaintConfig source hook for this package.
-func sourceClassifier(pass *analysis.Pass) func(*ast.CallExpr) (dataflow.Taint, bool) {
+func sourceClassifier(info *types.Info) func(*ast.CallExpr) (dataflow.Taint, bool) {
 	return func(call *ast.CallExpr) (dataflow.Taint, bool) {
 		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 		if !ok {
@@ -313,7 +360,7 @@ func sourceClassifier(pass *analysis.Pass) func(*ast.CallExpr) (dataflow.Taint, 
 		if !ok {
 			return dataflow.Taint{}, false
 		}
-		pkgName, ok := pass.TypesInfo.ObjectOf(id).(*types.PkgName)
+		pkgName, ok := info.ObjectOf(id).(*types.PkgName)
 		if !ok {
 			return dataflow.Taint{}, false
 		}
@@ -332,7 +379,7 @@ func sourceClassifier(pass *analysis.Pass) func(*ast.CallExpr) (dataflow.Taint, 
 				return dataflow.Taint{}, false
 			case "NewSource", "NewPCG", "NewChaCha8":
 				// Constant seed ⇒ reproducible stream.
-				if allConstArgs(pass.TypesInfo, call) {
+				if allConstArgs(info, call) {
 					return dataflow.Taint{}, false
 				}
 				return dataflow.Taint{Kind: dataflow.Value, Why: "rand." + name + " with non-constant seed", Pos: call.Pos()}, true

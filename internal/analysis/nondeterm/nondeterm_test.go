@@ -10,3 +10,14 @@ import (
 func TestAnalyzer(t *testing.T) {
 	analyzertest.Run(t, "../testdata", nondeterm.Analyzer, "nondeterm")
 }
+
+// TestModule exercises the interprocedural mode: the wall-clock source
+// sits two cross-package hops from the sink (sink → mid → tick), beyond
+// what intra-package summaries can reach.
+func TestModule(t *testing.T) {
+	analyzertest.RunModule(t, nondeterm.Analyzer,
+		"./testdata/mod/tick",
+		"./testdata/mod/mid",
+		"./testdata/mod/sink",
+	)
+}

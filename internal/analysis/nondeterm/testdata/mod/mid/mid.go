@@ -1,0 +1,23 @@
+// Package mid forwards values from tick without touching any
+// nondeterministic API itself — an intra-package analysis of the sink
+// package sees nothing suspicious about calling mid.
+package mid
+
+import "stitchroute/internal/analysis/nondeterm/testdata/mod/tick"
+
+// Wrapped forwards the wall-clock read one more hop.
+func Wrapped() int64 {
+	v := tick.Stamp()
+	return v
+}
+
+// Clean forwards a deterministic value.
+func Clean() int64 {
+	return tick.Fixed()
+}
+
+// Scaled mixes a parameter with a clock read: tainted regardless of the
+// argument.
+func Scaled(k int64) int64 {
+	return k * tick.Stamp()
+}

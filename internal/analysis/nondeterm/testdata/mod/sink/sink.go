@@ -1,0 +1,29 @@
+// Package sink writes helper results into routing state. The taint
+// source is two cross-package hops away (sink → mid → tick), which
+// intra-package summaries provably cannot see: every call here is to a
+// function whose body lives in another package.
+package sink
+
+import "stitchroute/internal/analysis/nondeterm/testdata/mod/mid"
+
+type route struct {
+	cost int64
+}
+
+func assign(r *route) {
+	r.cost = mid.Wrapped() // want `run-dependent value reaches field r\.cost: tainted by time\.Now`
+}
+
+func assignClean(r *route) {
+	r.cost = mid.Clean()
+}
+
+func assignScaled(r *route) {
+	r.cost = mid.Scaled(3) // want `run-dependent value reaches field r\.cost`
+}
+
+func assignLocal(r *route) {
+	v := mid.Wrapped()
+	w := v + 1
+	r.cost = w // want `run-dependent value reaches field r\.cost`
+}

@@ -1,0 +1,15 @@
+// Package tick is the bottom of the two-hop chain: it reads the wall
+// clock directly.
+package tick
+
+import "time"
+
+// Stamp returns a run-dependent value.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Fixed is deterministic.
+func Fixed() int64 {
+	return 7
+}
