@@ -96,8 +96,14 @@ bench-eco-json: ## regenerate BENCH_eco.json (incremental ECO stage)
 
 # One-iteration benchmark smoke: proves the worker-count benchmarks (and
 # their cross-worker routes-hash assertion) still run; takes seconds.
-bench-smoke: ## run BenchmarkDetailWorkers once per worker count
+# The second line reruns Workers 1 and 8 under the race detector — the
+# benchmark shares one reference hash across sub-benchmarks, so this is
+# the speculative scheduler's cross-worker hash-equality gate with the
+# concurrency instrumented, on the golden circuit rather than the
+# harness grids race-fast covers.
+bench-smoke: ## run BenchmarkDetailWorkers once per worker count (+ 1 vs 8 under -race)
 	$(GO) test -run '^$$' -bench BenchmarkDetailWorkers -benchtime 1x ./internal/detail/
+	$(GO) test -race -run '^$$' -bench 'BenchmarkDetailWorkers/(1|8)$$' -benchtime 1x ./internal/detail/
 
 # Regenerate the paper's tables on the fast subset (use CIRCUITS=all for
 # the full 14-circuit suite; that takes ~15 minutes).

@@ -22,6 +22,7 @@ type ecoReport struct {
 	GOOS         string       `json:"goos"`
 	GOARCH       string       `json:"goarch"`
 	NumCPU       int          `json:"numCPU"`
+	GOMAXPROCS   int          `json:"gomaxprocs"`
 	RunsPerPoint int          `json:"runsPerPoint"`
 	Methodology  string       `json:"methodology"`
 	Circuits     []ecoCircuit `json:"circuits"`
@@ -84,6 +85,7 @@ func runECO(circuitsFlag string, runs int, out string) int {
 		GOOS:         runtime.GOOS,
 		GOARCH:       runtime.GOARCH,
 		NumCPU:       runtime.NumCPU(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
 		RunsPerPoint: runs,
 		Methodology:  ecoMethodology,
 	}

@@ -51,11 +51,16 @@ import (
 
 // report is the top-level JSON document.
 type report struct {
-	Generated    string          `json:"generated"`
-	GoVersion    string          `json:"goVersion"`
-	GOOS         string          `json:"goos"`
-	GOARCH       string          `json:"goarch"`
+	Generated string `json:"generated"`
+	GoVersion string `json:"goVersion"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// NumCPU and GOMAXPROCS are the host provenance: parallelSpeedup is
+	// only meaningful relative to the cores the run actually had. On a
+	// single-CPU host a speculative scheduler cannot go faster than
+	// sequential, and the report says so rather than hiding it.
 	NumCPU       int             `json:"numCPU"`
+	GOMAXPROCS   int             `json:"gomaxprocs"`
 	RunsPerPoint int             `json:"runsPerPoint"`
 	Methodology  string          `json:"methodology"`
 	BaselineNote string          `json:"baselineNote,omitempty"`
@@ -68,12 +73,16 @@ type circuitReport struct {
 	RoutesHash string  `json:"routesHash"`
 	Points     []point `json:"points"`
 	// ParallelSpeedup is detail time at the first worker count over the
-	// last (typically Workers=1 over Workers=4). On a single-CPU host
-	// this is ~1.0 by construction; see Methodology.
+	// last (typically Workers=1 over the highest count). It scales with
+	// the host's cores (numCPU/gomaxprocs above): on a single-CPU host
+	// speculation adds overhead without parallel execution, so the ratio
+	// is ≤ 1.0 there; see Methodology.
 	ParallelSpeedup float64 `json:"parallelSpeedup"`
 	// SeedDetailSeconds is the externally measured seed-binary baseline
-	// (see BaselineNote); SpeedupVsSeed divides it by the last point's
-	// detail time. Present only when -baseline names this circuit.
+	// (see BaselineNote); SpeedupVsSeed divides it by the best point's
+	// detail time — on a single-CPU host that is Workers=1, so the seed
+	// comparison never mixes in speculation overhead the seed binary
+	// never paid. Present only when -baseline names this circuit.
 	SeedDetailSeconds float64 `json:"seedDetailSeconds,omitempty"`
 	SpeedupVsSeed     float64 `json:"speedupVsSeed,omitempty"`
 }
@@ -85,6 +94,21 @@ type point struct {
 	DetailConnects   int     `json:"detailConnects"`
 	DetailExpansions int64   `json:"detailExpansions"`
 	FailedNets       int     `json:"failedNets"`
+	// ExpansionsPerSecond is detailExpansions over the best detail wall
+	// time — the throughput figure the scheduler is optimizing.
+	ExpansionsPerSecond float64 `json:"expansionsPerSecond"`
+	// Speculative-scheduler telemetry from the best run at this worker
+	// count (all zero at Workers=1, which routes sequentially).
+	// speculated counts net attempts routed against the frozen snapshot,
+	// committed those accepted by the deterministic commit loop,
+	// conflicts those rejected because an earlier commit touched their
+	// read footprint, replays the re-queued reroutes that followed, and
+	// laneNets the nets that needed the sequential lane (negotiation).
+	Speculated int `json:"speculated,omitempty"`
+	Committed  int `json:"committed,omitempty"`
+	Conflicts  int `json:"conflicts,omitempty"`
+	Replays    int `json:"replays,omitempty"`
+	LaneNets   int `json:"laneNets,omitempty"`
 }
 
 // fractureReport is the top-level JSON document for -stage fracture.
@@ -94,6 +118,7 @@ type fractureReport struct {
 	GOOS         string            `json:"goos"`
 	GOARCH       string            `json:"goarch"`
 	NumCPU       int               `json:"numCPU"`
+	GOMAXPROCS   int               `json:"gomaxprocs"`
 	RunsPerPoint int               `json:"runsPerPoint"`
 	Methodology  string            `json:"methodology"`
 	Circuits     []fractureCircuit `json:"circuits"`
@@ -124,11 +149,15 @@ type fracturePoint struct {
 const methodology = "Per point: the full stitch-aware router runs -runs times on a freshly " +
 	"generated circuit and the fastest detail-stage wall time is kept (best-of-N). " +
 	"All runs of a circuit must produce byte-identical routed geometry (routesHash) " +
-	"or the report fails. parallelSpeedup compares the first and last worker counts " +
-	"on this binary; on a single-CPU host it is ~1.0 because the deterministic batch " +
-	"scheduler cannot overlap work without cores, and the wall-clock win over the seed " +
-	"(speedupVsSeed) comes from the per-worker search arenas and allocation-free " +
-	"scratch the parallel refactor introduced."
+	"or the report fails — the speculative scheduler routes ready nets concurrently " +
+	"against a frozen grid snapshot and a deterministic commit loop accepts or replays " +
+	"each attempt in net order, so every worker count reproduces the sequential result " +
+	"exactly (the per-point speculated/conflicts/replays/laneNets fields show how much " +
+	"rework that cost). parallelSpeedup compares the first and last worker counts on " +
+	"this binary and is bounded by the host's cores (numCPU/gomaxprocs): on a " +
+	"single-CPU host speculation cannot overlap work, so the ratio is at or below 1.0 " +
+	"there, and the wall-clock win over the seed (speedupVsSeed) comes from the " +
+	"per-worker search arenas and allocation-free scratch instead."
 
 const fractureMethodology = "Per circuit: the stitch-aware router produces routed geometry once " +
 	"(untimed), then each fracturing mode (rect, lshape) runs -runs times on that geometry " +
@@ -191,6 +220,7 @@ func run() int {
 		GOOS:         runtime.GOOS,
 		GOARCH:       runtime.GOARCH,
 		NumCPU:       runtime.NumCPU(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
 		RunsPerPoint: *runs,
 		Methodology:  methodology,
 		BaselineNote: *baselineNote,
@@ -205,7 +235,13 @@ func run() int {
 		}
 		if secs, ok := baselines[name]; ok {
 			cr.SeedDetailSeconds = secs
-			cr.SpeedupVsSeed = round3(secs / cr.Points[len(cr.Points)-1].DetailSeconds)
+			bestSecs := cr.Points[0].DetailSeconds
+			for _, p := range cr.Points[1:] {
+				if p.DetailSeconds < bestSecs {
+					bestSecs = p.DetailSeconds
+				}
+			}
+			cr.SpeedupVsSeed = round3(secs / bestSecs)
 		}
 		rep.Circuits = append(rep.Circuits, *cr)
 		log.Printf("%s done", name)
@@ -248,6 +284,7 @@ func runFracture(circuitsFlag string, runs int, out string) int {
 		GOOS:         runtime.GOOS,
 		GOARCH:       runtime.GOARCH,
 		NumCPU:       runtime.NumCPU(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
 		RunsPerPoint: runs,
 		Methodology:  fractureMethodology,
 	}
@@ -364,6 +401,11 @@ func measureCircuit(name string, workerCounts []int, runs int) (*circuitReport, 
 				DetailConnects:   res.DetailConnects,
 				DetailExpansions: res.DetailExpansions,
 				FailedNets:       res.FailedNets,
+				Speculated:       res.DetailSched.Speculated,
+				Committed:        res.DetailSched.Committed,
+				Conflicts:        res.DetailSched.Conflicts,
+				Replays:          res.DetailSched.Replays,
+				LaneNets:         res.DetailSched.LaneNets,
 			}
 			if best[wi] == nil || p.DetailSeconds < best[wi].DetailSeconds {
 				cp := p
@@ -372,6 +414,9 @@ func measureCircuit(name string, workerCounts []int, runs int) (*circuitReport, 
 		}
 	}
 	for _, b := range best {
+		if b.DetailSeconds > 0 {
+			b.ExpansionsPerSecond = round3(float64(b.DetailExpansions) / b.DetailSeconds)
+		}
 		b.DetailSeconds = round3(b.DetailSeconds)
 		b.TotalSeconds = round3(b.TotalSeconds)
 		cr.Points = append(cr.Points, *b)

@@ -33,7 +33,7 @@ func run() int {
 	var (
 		circuit = flag.String("circuit", "S9234", "benchmark circuit name (see cmd/benchgen -list)")
 		inFile  = flag.String("in", "", "fracture a circuit from an nlio text file instead of a benchmark")
-		workers = flag.Int("workers", 0, "detailed-routing workers (0 = GOMAXPROCS)")
+		workers = flag.Int("workers", 0, "detailed-routing workers (0 = auto: NumCPU; capped at 256)")
 		doSten  = flag.Bool("stencil", false, "also plan a CP stencil from the L-shape shot library")
 		jsonOut = flag.Bool("json", false, "print the statistics as JSON (machine-readable)")
 	)

@@ -47,7 +47,7 @@ func run() int {
 		doPlace  = flag.Bool("place", false, "run stitch-aware placement refinement before routing")
 		mode     = flag.String("mode", "stitch", "router mode: stitch or baseline")
 		trk      = flag.String("track", "", "override track assignment: conventional, ilp, or graph")
-		workers  = flag.Int("workers", 0, "detailed-routing workers (0 = GOMAXPROCS, 1 = sequential); results are identical for every value")
+		workers  = flag.Int("workers", 0, "detailed-routing workers (0 = auto: NumCPU; 1 = sequential; capped at 256); results are identical for every value")
 		verbose  = flag.Bool("v", false, "print per-stage detail")
 		outFile  = flag.String("routes", "", "write the routed geometry to this file (nlio routes format)")
 		jsonOut  = flag.Bool("json", false, "print the result summary as JSON (machine-readable)")

@@ -102,6 +102,10 @@ type Result struct {
 	RippedNets, FailedNets int
 	DetailConnects         int
 	DetailExpansions       int64
+	// DetailSched is the speculative scheduler's telemetry (rounds,
+	// speculated/committed/conflicted attempts, replays, per-worker busy
+	// time). All-zero for sequential (Workers<=1) runs.
+	DetailSched detail.SchedStats
 
 	Times StageTimes
 
@@ -204,6 +208,10 @@ func RouteContext(ctx context.Context, c *netlist.Circuit, cfg Config) (*Result,
 	// Stage 3: detailed routing (second bottom-up pass).
 	t0 = time.Now()
 	dr := detail.NewRouter(f, cfg.Detail)
+	// The global router's congestion map partitions speculative rounds:
+	// nets over the same congested tiles are not attempted concurrently.
+	// Advisory only — routes are byte-identical with or without it.
+	dr.SetCongestion(gr.Congestion())
 	dres, err := dr.RunContext(ctx, c, res.Plans)
 	if err != nil {
 		return nil, cancelErr(err)
@@ -213,6 +221,7 @@ func RouteContext(ctx context.Context, c *netlist.Circuit, cfg Config) (*Result,
 	res.FailedNets = dres.Failed
 	res.DetailConnects = dres.Connects
 	res.DetailExpansions = dres.Expansions
+	res.DetailSched = dres.Sched
 	res.Times.Detail = time.Since(t0)
 
 	res.Report = drc.Check(c, res.Routes)

@@ -34,7 +34,7 @@ func TestRouteNetSteadyStateAllocs(t *testing.T) {
 		// Undo the route so the next iteration searches the same
 		// problem: clear occupancy, then reslice the commit buffers to
 		// keep their capacity.
-		r.clearNet(task)
+		r.clearNet(nil, task)
 		task.wires = task.wires[:0]
 		task.vias = task.vias[:0]
 	}

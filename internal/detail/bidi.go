@@ -1,0 +1,342 @@
+package detail
+
+// Bidirectional A* (Config.Bidi). Two frontiers — forward from the
+// source component, backward from the target component — expand in
+// lockstep inside the same window, each with its own node arena and
+// heap, and meet in the middle. The move costs of eq. (10) are
+// symmetric (x/y move costs depend only on the layer and the shared
+// column, via costs only on the column), so the search graph is
+// undirected and the backward search explores the same edge weights the
+// forward one would.
+//
+// Meeting rule: whenever one direction improves a node the other
+// direction has already reached, the concatenated cost dF(v) + dB(v) is
+// a candidate path; μ tracks the best candidate and its meet node.
+// Termination: with both per-direction heuristics admissible and
+// consistent, once the chosen frontier's minimum f-value reaches μ no
+// unexpanded node of that frontier can lie on a cheaper path, and every
+// undiscovered s–t path crosses each frontier — so μ is optimal and the
+// search stops. Within-tie meet choices can differ from the
+// unidirectional search's tie-breaks, which is exactly why Bidi is an
+// opt-in mode (see Config).
+//
+// Like astar, the function allocates nothing in steady state: both node
+// arenas, both heaps, and both heuristic tables live in the searchCtx.
+
+import (
+	"math"
+
+	"stitchroute/internal/geom"
+)
+
+// bidiAstar searches the window from both ends using the arena sc.
+// Returns the source-to-target path on success.
+func (r *Router) bidiAstar(sc *searchCtx, t *routeTask, src, targets []cell, win geom.Rect) ([]cell, bool) {
+	sc.connects++
+	W := win.W()
+	H := win.H()
+	L := r.L
+	n := W * H * L
+	sc.grow(n)
+	sc.growB(n)
+	sc.curStamp++
+	if sc.curStamp > 0x7fff {
+		// Same epoch-wrap reset as astar, over both direction arenas.
+		for i := range sc.nodes {
+			sc.nodes[i] = nodeState{}
+		}
+		for i := range sc.nodesB {
+			sc.nodesB[i] = nodeState{}
+		}
+		sc.curStamp = 1
+	}
+	stamp := int16(sc.curStamp)
+	id := int32(t.net.ID)
+	f := r.f
+	cfg := &r.cfg
+
+	lidx := func(c cell) int { return (c.l*H+(c.y-win.Y0))*W + (c.x - win.X0) }
+	inWin := func(x, y int) bool { return x >= win.X0 && x <= win.X1 && y >= win.Y0 && y <= win.Y1 }
+	nodesF, nodesB := sc.nodes, sc.nodesB
+
+	// Per-direction heuristic tables: the forward search aims at the
+	// target bounding box, the backward search at the source box.
+	tb := cellBBox(targets)
+	sb := cellBBox(src)
+	if len(sc.hx) < W {
+		sc.hx = make([]int32, W)
+	}
+	if len(sc.hy) < H {
+		sc.hy = make([]int32, H)
+	}
+	if len(sc.hxB) < W {
+		sc.hxB = make([]int32, W)
+	}
+	if len(sc.hyB) < H {
+		sc.hyB = make([]int32, H)
+	}
+	for wx := 0; wx < W; wx++ {
+		x := wx + win.X0
+		df, db := 0, 0
+		if x < tb.X0 {
+			df = tb.X0 - x
+		} else if x > tb.X1 {
+			df = x - tb.X1
+		}
+		if x < sb.X0 {
+			db = sb.X0 - x
+		} else if x > sb.X1 {
+			db = x - sb.X1
+		}
+		sc.hx[wx] = int32(df)
+		sc.hxB[wx] = int32(db)
+	}
+	for wy := 0; wy < H; wy++ {
+		y := wy + win.Y0
+		df, db := 0, 0
+		if y < tb.Y0 {
+			df = tb.Y0 - y
+		} else if y > tb.Y1 {
+			df = y - tb.Y1
+		}
+		if y < sb.Y0 {
+			db = sb.Y0 - y
+		} else if y > sb.Y1 {
+			db = y - sb.Y1
+		}
+		sc.hy[wy] = int32(df)
+		sc.hyB[wy] = int32(db)
+	}
+	hxF, hyF, hxB, hyB := sc.hx, sc.hy, sc.hxB, sc.hyB
+
+	// Per-layer axis move costs, shared by both directions (symmetric).
+	if len(sc.costXl) < L {
+		sc.costXl = make([]float64, L)
+		sc.costYl = make([]float64, L)
+	}
+	for l := 0; l < L; l++ {
+		preferred := f.LayerDir(l + 1)
+		cx, cy := cfg.Alpha, cfg.Alpha
+		if preferred != geom.Horizontal {
+			cx *= cfg.WrongWay
+		}
+		if preferred != geom.Vertical {
+			cy *= cfg.WrongWay
+		}
+		sc.costXl[l] = cx
+		sc.costYl[l] = cy
+	}
+	costXl, costYl := sc.costXl, sc.costYl
+
+	packOK := W <= 1<<12 && H <= 1<<12 && L <= 1<<8
+	pack := func(x, y, l int) uint32 {
+		if !packOK {
+			return 0
+		}
+		return uint32(x-win.X0) | uint32(y-win.Y0)<<12 | uint32(l)<<24
+	}
+
+	pqF, pqB := &sc.heap, &sc.heapB
+	pqF.reset()
+	pqB.reset()
+
+	mu := math.Inf(1)
+	var meet cell
+	found := false
+	// tryMeet records a candidate path through a node both directions
+	// have reached. Strict improvement keeps the meet choice
+	// deterministic under the fixed relaxation order.
+	tryMeet := func(i, x, y, l int) {
+		if nodesF[i].stamp == stamp && nodesB[i].stamp == stamp {
+			if cand := nodesF[i].dist + nodesB[i].dist; cand < mu-1e-12 {
+				mu = cand
+				meet = cell{x, y, l}
+				found = true
+			}
+		}
+	}
+	// visit relaxes window cell i for one direction.
+	visit := func(fwd bool, i, x, y, l int, d float64, mv int8) {
+		nodes, pq, hx, hy := nodesF, pqF, hxF, hyF
+		if !fwd {
+			nodes, pq, hx, hy = nodesB, pqB, hxB, hyB
+		}
+		nd := &nodes[i]
+		if nd.stamp != stamp || d < nd.dist-1e-12 {
+			nd.stamp = stamp
+			nd.dist = d
+			nd.prevMv = mv
+			pq.push(i, pack(x, y, l), d+cfg.Alpha*float64(hx[x-win.X0]+hy[y-win.Y0]))
+			tryMeet(i, x, y, l)
+		}
+	}
+	// Seed the backward frontier first so forward seeding can already
+	// meet it (a source cell adjacent to — or identical to — a target).
+	for _, c := range targets {
+		if inWin(c.x, c.y) {
+			visit(false, lidx(c), c.x, c.y, c.l, 0, mvNone)
+		}
+	}
+	if pqB.len() == 0 {
+		return nil, false
+	}
+	for _, c := range src {
+		if inWin(c.x, c.y) {
+			visit(true, lidx(c), c.x, c.y, c.l, 0, mvNone)
+		}
+	}
+
+	pinCells := t.pinCells
+	colFlags := r.colFlags
+	occ := r.occ
+	costZCol := r.costZCol
+	X, XY := r.X, r.X*r.Y
+	id1 := id + 1
+	free := func(g int) bool { o := occ[g]; return o == 0 || o == id1 }
+
+	expansions := 0
+	for pqF.len() > 0 || pqB.len() > 0 {
+		// Expand the frontier with the smaller minimum f (forward on
+		// ties) — a deterministic alternation that keeps both searches
+		// balanced without depending on node counts.
+		fwd := pqF.len() > 0
+		if fwd && pqB.len() > 0 && pqB.e[0].prio < pqF.e[0].prio {
+			fwd = false
+		}
+		pq, nodes, hx, hy := pqF, nodesF, hxF, hyF
+		if !fwd {
+			pq, nodes, hx, hy = pqB, nodesB, hxB, hyB
+		}
+		i, pos, fval := pq.pop()
+		var x, y, l int
+		if packOK {
+			x = int(pos&0xfff) + win.X0
+			y = int(pos>>12&0xfff) + win.Y0
+			l = int(pos >> 24)
+		} else {
+			x = i%W + win.X0
+			y = (i/W)%H + win.Y0
+			l = i / (W * H)
+		}
+		nd := &nodes[i]
+		hv := cfg.Alpha * float64(hx[x-win.X0]+hy[y-win.Y0])
+		if nd.stamp != stamp || fval-hv > nd.dist+1e-9 {
+			continue
+		}
+		// Termination: the chosen frontier's minimum f has reached μ, so
+		// no remaining node of this frontier — and a fortiori none of
+		// the other, larger-f frontier when it was the smaller one — can
+		// improve on the recorded meet.
+		if found && fval >= mu-1e-12 {
+			break
+		}
+		// ECO act: both frontiers' pops read occupancy at neighbours.
+		if t.sact != nil {
+			ab := (y>>actTileShift)*r.atw + x>>actTileShift
+			t.sact[ab>>6] |= 1 << (uint(ab) & 63)
+		}
+		expansions++
+		sc.expansions++
+		if expansions > cfg.MaxExpansions {
+			break
+		}
+		d := nd.dist
+		flags := colFlags[x]
+		gi := (l*r.Y+y)*X + x
+
+		costX := costXl[l]
+		if x+1 <= win.X1 && free(gi+1) {
+			visit(fwd, i+1, x+1, y, l, d+costX, mvXPos)
+		}
+		if x-1 >= win.X0 && free(gi-1) {
+			visit(fwd, i-1, x-1, y, l, d+costX, mvXNeg)
+		}
+		if flags&colStitch == 0 {
+			costY := costYl[l]
+			if cfg.StitchAware && flags&colEscape != 0 {
+				costY += cfg.Gamma
+			}
+			if y+1 <= win.Y1 && free(gi+X) {
+				visit(fwd, i+W, x, y+1, l, d+costY, mvYPos)
+			}
+			if y-1 >= win.Y0 && free(gi-X) {
+				visit(fwd, i-W, x, y-1, l, d+costY, mvYNeg)
+			}
+		}
+		if flags&colStitch == 0 || pinCells.has(x, y) {
+			costZ := costZCol[x]
+			if l+1 < L && free(gi+XY) {
+				visit(fwd, i+W*H, x, y, l+1, d+costZ, mvZPos)
+			}
+			if l-1 >= 0 && free(gi-XY) {
+				visit(fwd, i-W*H, x, y, l-1, d+costZ, mvZNeg)
+			}
+		}
+	}
+	if !found {
+		return nil, false
+	}
+
+	// Reconstruction. Both directions record the move taken into a cell
+	// from its predecessor (which lies toward that direction's seeds),
+	// so undoing forward moves from the meet walks to a source cell, and
+	// undoing backward moves walks to a target cell.
+	rev := sc.rev[:0]
+	c := meet
+	for {
+		rev = append(rev, c)
+		mv := nodesF[lidx(c)].prevMv
+		if mv == mvNone {
+			break
+		}
+		switch mv {
+		case mvXPos:
+			c.x--
+		case mvXNeg:
+			c.x++
+		case mvYPos:
+			c.y--
+		case mvYNeg:
+			c.y++
+		case mvZPos:
+			c.l--
+		case mvZNeg:
+			c.l++
+		}
+		if len(rev) > 4*(n+4) {
+			sc.rev = rev
+			return nil, false // corrupt backtrace; fail safe
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	c = meet
+	for {
+		mv := nodesB[lidx(c)].prevMv
+		if mv == mvNone {
+			break
+		}
+		switch mv {
+		case mvXPos:
+			c.x--
+		case mvXNeg:
+			c.x++
+		case mvYPos:
+			c.y--
+		case mvYNeg:
+			c.y++
+		case mvZPos:
+			c.l--
+		case mvZNeg:
+			c.l++
+		}
+		rev = append(rev, c)
+		if len(rev) > 4*(n+4) {
+			sc.rev = rev
+			return nil, false
+		}
+	}
+	sc.rev = rev
+	return rev, true
+}

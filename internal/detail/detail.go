@@ -53,14 +53,51 @@ type Config struct {
 	// reroute them (bounded rip-up negotiation). Off by default; the
 	// recorded experiment tables use the paper's plain rip-up.
 	Negotiate bool
+	// Bidi replaces every connection search with the bidirectional A*
+	// (bidi.go): a forward search from the source component and a
+	// backward search from the target run in lockstep and meet in the
+	// middle. Off by default: within cost ties the meeting point can
+	// pick a different optimal path than the unidirectional search, and
+	// the recorded experiment artifacts use the unidirectional router.
+	// Like every search it is deterministic and worker-count-invariant.
+	Bidi bool
+	// Pattern tries the L/Z pattern fast path (fastpath.go) before the
+	// full search when a connection joins two single-cell components —
+	// the 2-pin-net case — mirroring the global router's Config.Pattern.
+	// Off by default for the same artifact-stability reason as Bidi.
+	Pattern bool
 	// Workers bounds the number of concurrent detailed-routing workers.
-	// 0 means GOMAXPROCS; 1 forces the plain sequential router. Every
-	// value produces byte-identical routes: parallel batches only ever
-	// route nets whose declared search regions are pairwise disjoint,
-	// and anything that falls outside that proof drains through a
-	// strictly ordered sequential lane (see sched.go and
+	// 0 means "auto" and resolves to runtime.NumCPU (see ResolveWorkers);
+	// 1 forces the plain sequential router. Values above NumCPU are
+	// allowed — extra workers cost only idle goroutines, which the
+	// cross-worker equivalence tests exploit on small hosts — and clamp
+	// at maxWorkers. Every value produces byte-identical routes: workers
+	// route speculatively against a read snapshot of the committed grid,
+	// and a strictly ordered commit loop accepts only attempts whose
+	// read footprint no earlier commit touched (see sched.go and
 	// docs/PERFORMANCE.md for the determinism argument).
 	Workers int
+}
+
+// maxWorkers caps resolved Config.Workers values: beyond a small
+// multiple of any real host's core count extra workers only add
+// goroutine-scheduling overhead to the speculation phase.
+const maxWorkers = 256
+
+// ResolveWorkers maps a Config.Workers value to the worker count the
+// router actually uses: values <= 0 ("auto") resolve to runtime.NumCPU
+// — deliberately not GOMAXPROCS, so a capped GOMAXPROCS cannot silently
+// degrade "auto" to a single worker — values above maxWorkers clamp,
+// and everything else passes through. meblroute, the facade, and the
+// server all funnel through this one resolution.
+func ResolveWorkers(w int) int {
+	if w <= 0 {
+		return runtime.NumCPU()
+	}
+	if w > maxWorkers {
+		return maxWorkers
+	}
+	return w
 }
 
 // DefaultConfig returns the paper's detailed-routing parameters.
@@ -85,6 +122,13 @@ type Result struct {
 	// Search statistics.
 	Connects   int   // A* connection searches run
 	Expansions int64 // total A* node expansions
+
+	// Sched is the speculative scheduler's telemetry (sched.go). Purely
+	// observational: it reports how the work was scheduled, never what
+	// was routed — routes are identical for every Workers value. Zero
+	// for sequential runs except PatternRoutes, which counts for every
+	// scheduler.
+	Sched SchedStats
 
 	// ECO recording (memo.go), indexed like Routes. Acts is each net's
 	// activity rect: the union of its pin bbox, every planned-wire
@@ -138,11 +182,17 @@ type Router struct {
 	// statistics); arenas[0] doubles as the sequential router's scratch.
 	arenas []*searchCtx
 
+	// cong is the optional global-router congestion map (SetCongestion):
+	// a speculation-partitioning hint only, never consulted by any
+	// search, so it cannot affect routes.
+	cong *plan.Congestion
+
 	// search statistics accumulated across the run, merged from accepted
-	// batch attempts and sequential-lane work only, so the totals always
-	// equal what a Workers=1 run reports.
+	// speculative attempts and sequential-lane work only, so the totals
+	// always equal what a Workers=1 run reports.
 	connects   int
 	expansions int64
+	patterns   int // pattern fast-path hits (subset of connects)
 }
 
 // NewRouter allocates the occupancy grid for the fabric.
@@ -196,6 +246,40 @@ func (r *Router) cellFree(x, y, l int, id int32) bool {
 	return o == 0 || o == id+1
 }
 
+// setOcc writes one occupancy cell through the arena's write overlay
+// when a speculative attempt is active (ovBegin), and directly to the
+// shared grid otherwise. Speculation never mutates r.occ: all writes
+// land in the overlay and are applied by commitAttempt only if the
+// deterministic commit loop accepts the attempt.
+//
+// The A* availability check deliberately does NOT read the overlay: a
+// net's own writes are all 0↔id+1 transitions on cells already free to
+// itself, so they are invisible to its own free() predicate, and the
+// shared grid is frozen during the parallel phase. Only the two
+// overlay-exact readers below (getOcc callers: releaseEscapes and
+// recordFreedPins) can observe a speculative write.
+func (r *Router) setOcc(sc *searchCtx, i int, v int32) {
+	if sc != nil && sc.ovOn {
+		if sc.ovStamp[i] != sc.ovEpoch {
+			sc.ovStamp[i] = sc.ovEpoch
+			sc.ovLog = append(sc.ovLog, int32(i))
+		}
+		sc.ovVal[i] = v
+		return
+	}
+	r.occ[i] = v
+}
+
+// getOcc reads one occupancy cell overlay-exactly: the speculative
+// attempt's own pending write if there is one, the shared grid
+// otherwise. See setOcc for when the overlay is active.
+func (r *Router) getOcc(sc *searchCtx, i int) int32 {
+	if sc != nil && sc.ovOn && sc.ovStamp[i] == sc.ovEpoch {
+		return sc.ovVal[i]
+	}
+	return r.occ[i]
+}
+
 // Run routes every net. plans must be indexed like c.Nets; nil entries are
 // treated as unplanned local nets.
 func (r *Router) Run(c *netlist.Circuit, plans []*plan.NetPlan) *Result {
@@ -204,25 +288,31 @@ func (r *Router) Run(c *netlist.Circuit, plans []*plan.NetPlan) *Result {
 }
 
 // RunContext is Run with cancellation: ctx is checked at the top of the
-// per-net routing loop (per batch when Workers > 1), so a cancelled run
-// returns after at most one more net's (or batch's) worth of A* work. On
-// cancellation it returns the partial result (nets not reached are
-// recorded as unrouted) together with ctx's error.
+// per-net routing loop (per speculation round when Workers > 1), so a
+// cancelled run returns after at most one more net's (or round's) worth
+// of A* work. On cancellation it returns the partial result (nets not
+// reached are recorded as unrouted) together with ctx's error.
 func (r *Router) RunContext(ctx context.Context, c *netlist.Circuit, plans []*plan.NetPlan) (*Result, error) {
 	res, nets, order, record := r.prepare(c, plans)
-	workers := r.cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers := ResolveWorkers(r.cfg.Workers)
 	var ctxErr error
 	if workers > 1 && len(order) > 1 {
-		ctxErr = r.runBatches(ctx, order, nets, res, record, workers)
+		ctxErr = r.runSpeculative(ctx, order, nets, res, record, workers)
 	} else {
 		ctxErr = r.runSequential(ctx, order, nets, res, record)
 	}
 	r.finish(res, nets)
 	return res, ctxErr
 }
+
+// SetCongestion hands the router the global router's congestion map
+// (global.Router.Congestion). It is a pure scheduling hint: the
+// speculative scheduler avoids speculating two nets into the same
+// congested tile neighbourhood in one round, cutting the conflict rate
+// on dense circuits. It never influences any route — equivalence with
+// the sequential router holds with or without it — which is why it is
+// not part of Config (ECO config comparison must not see it).
+func (r *Router) SetCongestion(cg *plan.Congestion) { r.cong = cg }
 
 // prepare runs everything that precedes the per-net routing loop: task
 // construction, pin + escape reservation, planned-wire materialization,
@@ -342,6 +432,7 @@ func (r *Router) finish(res *Result, nets []*routeTask) {
 	}
 	res.Connects = r.connects
 	res.Expansions = r.expansions
+	res.Sched.PatternRoutes = r.patterns
 	r.collectECO(res, nets)
 }
 
@@ -361,11 +452,13 @@ func (r *Router) collectECO(res *Result, nets []*routeTask) {
 
 // recordFreedPins notes which of the net's pin cells it does not own
 // after routing: cells another net held at reserve time, or reservations
-// a rip-up's clearNet released and no final wire re-covered.
-func (r *Router) recordFreedPins(t *routeTask) {
+// a rip-up's clearNet released and no final wire re-covered. The read
+// must be overlay-exact (getOcc): under speculation a rip-up's release
+// lives only in the overlay.
+func (r *Router) recordFreedPins(sc *searchCtx, t *routeTask) {
 	id := int32(t.net.ID) + 1
 	for _, p := range t.net.Pins {
-		if r.occ[r.idx(p.X, p.Y, p.Layer-1)] != id {
+		if r.getOcc(sc, r.idx(p.X, p.Y, p.Layer-1)) != id {
 			t.freedPins = append(t.freedPins, Cell{X: p.X, Y: p.Y, L: p.Layer - 1})
 		}
 	}
@@ -388,43 +481,55 @@ func (r *Router) runSequential(ctx context.Context, order, nets []*routeTask, re
 	return nil
 }
 
-// routeOne is the full sequential loop body for one net: first attempt,
-// rip-up and direct reroute on failure, optional negotiation, escape
-// release, and result recording. Its arena's statistics delta is folded
-// into the Router totals — sequential work always counts.
+// routeBody is the search-only part of the per-net loop body: first
+// attempt, then rip-up and direct reroute on failure. It is shared
+// verbatim between the sequential lane (overlay off, writes hit the
+// grid) and a speculative attempt (overlay on, writes buffered) — the
+// determinism argument needs both paths to run the same code against
+// the same reads.
+func (r *Router) routeBody(sc *searchCtx, t *routeTask) (ok, ripped bool) {
+	if r.routeNet(sc, t, r.f.Bounds()) == netRouted {
+		r.trimNet(sc, t)
+		return true, false
+	}
+	// Rip up the planned geometry and route the net directly.
+	r.clearNet(sc, t)
+	t.wires = nil
+	t.vias = nil
+	if r.routeNet(sc, t, r.f.Bounds()) == netRouted {
+		r.trimNet(sc, t)
+		return true, true
+	}
+	r.clearNet(sc, t)
+	t.wires = nil
+	t.vias = nil
+	return false, true
+}
+
+// routeOne is the full sequential loop body for one net: routeBody,
+// optional negotiation, escape release, and result recording. Its
+// arena's statistics delta is folded into the Router totals —
+// sequential work always counts.
 func (r *Router) routeOne(sc *searchCtx, t *routeTask, nets []*routeTask, res *Result, record func(*routeTask, bool)) {
-	c0, e0 := sc.connects, sc.expansions
-	ok := r.routeNet(sc, t, r.f.Bounds()) == netRouted
-	if !ok {
-		// Rip up the planned geometry and route the net directly.
-		r.clearNet(t)
-		t.wires = nil
-		t.vias = nil
+	c0, e0, p0 := sc.connects, sc.expansions, sc.patterns
+	ok, ripped := r.routeBody(sc, t)
+	if ripped {
 		res.Ripped++
 		t.ripped = true
-		ok = r.routeNet(sc, t, r.f.Bounds()) == netRouted
-		if !ok {
-			r.clearNet(t)
-			t.wires = nil
-			t.vias = nil
-			if r.cfg.Negotiate {
-				var affected []*routeTask
-				ok, affected = r.negotiate(sc, t, nets)
-				for _, v := range affected {
-					record(v, len(v.wires) > 0)
-				}
-			}
-		} else {
-			r.trimNet(sc, t)
-		}
-	} else {
-		r.trimNet(sc, t)
 	}
-	r.releaseEscapes(t)
-	r.recordFreedPins(t)
+	if !ok && r.cfg.Negotiate {
+		var affected []*routeTask
+		ok, affected = r.negotiate(sc, t, nets)
+		for _, v := range affected {
+			record(v, len(v.wires) > 0)
+		}
+	}
+	r.releaseEscapes(sc, t)
+	r.recordFreedPins(sc, t)
 	record(t, ok)
 	r.connects += sc.connects - c0
 	r.expansions += sc.expansions - e0
+	r.patterns += sc.patterns - p0
 }
 
 // routeTask is the per-net routing state.
@@ -459,8 +564,12 @@ type routeTask struct {
 }
 
 // releaseEscapes frees reserved pin-escape cells the routed net did not
-// end up covering with metal, returning them to the routing pool.
-func (r *Router) releaseEscapes(t *routeTask) {
+// end up covering with metal, returning them to the routing pool. Both
+// the ownership read and the release must go through the overlay
+// (getOcc/setOcc): under speculation a rip-up may already have cleared
+// the cell in the overlay, and the release itself must stay buffered
+// until commit.
+func (r *Router) releaseEscapes(sc *searchCtx, t *routeTask) {
 	if len(t.escapes) == 0 {
 		return
 	}
@@ -469,8 +578,8 @@ func (r *Router) releaseEscapes(t *routeTask) {
 		forEachCell(w, func(c cell) { covered[c] = true })
 	}
 	for _, c := range t.escapes {
-		if !covered[c] && r.occ[r.idx(c.x, c.y, c.l)] == int32(t.net.ID)+1 {
-			r.occ[r.idx(c.x, c.y, c.l)] = 0
+		if !covered[c] && r.getOcc(sc, r.idx(c.x, c.y, c.l)) == int32(t.net.ID)+1 {
+			r.setOcc(sc, r.idx(c.x, c.y, c.l), 0)
 		}
 	}
 	t.escapes = nil
@@ -595,17 +704,18 @@ func clipSegment(w geom.Segment, f *grid.Fabric) geom.Segment {
 	return w
 }
 
-// clearNet removes all of the net's geometry from the occupancy grid.
-func (r *Router) clearNet(t *routeTask) {
+// clearNet removes all of the net's geometry from the occupancy grid
+// (buffered in the overlay under speculation; see setOcc).
+func (r *Router) clearNet(sc *searchCtx, t *routeTask) {
 	for _, w := range t.wires {
 		l := w.Layer - 1
 		if w.Orient == geom.Horizontal {
 			for x := w.Span.Lo; x <= w.Span.Hi; x++ {
-				r.occ[r.idx(x, w.Fixed, l)] = 0
+				r.setOcc(sc, r.idx(x, w.Fixed, l), 0)
 			}
 		} else {
 			for y := w.Span.Lo; y <= w.Span.Hi; y++ {
-				r.occ[r.idx(w.Fixed, y, l)] = 0
+				r.setOcc(sc, r.idx(w.Fixed, y, l), 0)
 			}
 		}
 	}
@@ -811,7 +921,7 @@ func (r *Router) commitPath(sc *searchCtx, t *routeTask, path []cell) {
 		//lint:ignore hotalloc the committed wire list is the route's output, not scratch: it outlives the search, so it cannot live in the per-search arena
 		t.wires = append(t.wires, w)
 		r.markAct(t.wact, w.Bounds())
-		r.markWire(w, id)
+		r.markWire(sc, w, id)
 		forEachCell(w, func(c cell) { metal[r.idx(c.x, c.y, c.l)].stamp = stamp })
 	}
 	for i := 0; i+1 < len(path); {
@@ -858,15 +968,15 @@ func sign(v int) int {
 	return 0
 }
 
-func (r *Router) markWire(w geom.Segment, id int32) {
+func (r *Router) markWire(sc *searchCtx, w geom.Segment, id int32) {
 	l := w.Layer - 1
 	if w.Orient == geom.Horizontal {
 		for x := w.Span.Lo; x <= w.Span.Hi; x++ {
-			r.occ[r.idx(x, w.Fixed, l)] = id + 1
+			r.setOcc(sc, r.idx(x, w.Fixed, l), id+1)
 		}
 	} else {
 		for y := w.Span.Lo; y <= w.Span.Hi; y++ {
-			r.occ[r.idx(w.Fixed, y, l)] = id + 1
+			r.setOcc(sc, r.idx(w.Fixed, y, l), id+1)
 		}
 	}
 }

@@ -1,0 +1,218 @@
+package detail
+
+// Pattern-route fast path (Config.Pattern). For a single-cell-to-
+// single-cell connection — the common case once multi-pin nets have been
+// reduced to component joins — most optimal routes are an L or a Z on
+// one routing layer with via stacks at the ends, the same shape
+// vocabulary the global router's pattern stage enumerates
+// (internal/global/pattern.go). Enumerating those few shapes against
+// the occupancy grid and taking the cheapest legal one costs a handful
+// of cell probes, versus thousands of heap operations for a full window
+// search, and never misses: on failure connect falls through to the
+// regular (or bidirectional) A*.
+//
+// Every candidate uses the exact move costs of eq. (10) — per-layer
+// preferred-direction costs, the Gamma escape penalty, per-column via
+// costs — and the exact legality rules (no y-moves on stitching
+// columns, vias on stitching columns only at pins, cells free or owned
+// by the net), so a hit is a route the A* could have produced; it is
+// just not guaranteed to be the global optimum, which is why Pattern is
+// an opt-in mode (see Config).
+//
+// Like the searches, the fast path allocates nothing in steady state:
+// both candidate buffers live in the searchCtx arena.
+
+import (
+	"math"
+
+	"stitchroute/internal/geom"
+)
+
+// Candidate shapes. patXY/patYX are the two L bend orders; patZX/patZY
+// are Zs with the jog at the midpoint of the long axis.
+const (
+	patXY = iota // x-leg, then y-leg
+	patYX        // y-leg, then x-leg
+	patZX        // x to mid, y-leg at mid, x to target
+	patZY        // y to mid, x-leg at mid, y to target
+)
+
+// patternRoute tries the pattern shapes between the single source cell a
+// and the single target cell b, returning the cheapest legal candidate
+// as a cell path (aliasing the arena, like astar's). The read footprint
+// — every cell any candidate probes lies in the a–b bounding box — is
+// recorded in t.act even on a miss, so ECO memoization and speculative
+// conflict detection see the probes the fast path made.
+func (r *Router) patternRoute(sc *searchCtx, t *routeTask, a, b cell) ([]cell, bool) {
+	box := geom.Rect{X0: a.x, Y0: a.y, X1: a.x, Y1: a.y}
+	if b.x < box.X0 {
+		box.X0 = b.x
+	}
+	if b.x > box.X1 {
+		box.X1 = b.x
+	}
+	if b.y < box.Y0 {
+		box.Y0 = b.y
+	}
+	if b.y > box.Y1 {
+		box.Y1 = b.y
+	}
+	r.markAct(t.act, box)
+
+	best := math.Inf(1)
+	found := false
+	keep := func(cost float64, ok bool) {
+		if ok && cost < best-1e-12 {
+			best = cost
+			sc.patA, sc.patBest = sc.patBest, sc.patA
+			found = true
+		}
+	}
+	if a.x == b.x && a.y == b.y {
+		// Pure via stack; any mode with the target's layer degenerates
+		// to it.
+		keep(r.patBuild(sc, t, a, b, b.l, patXY, 0))
+	} else {
+		for l := 0; l < r.L; l++ {
+			keep(r.patBuild(sc, t, a, b, l, patXY, 0))
+			keep(r.patBuild(sc, t, a, b, l, patYX, 0))
+		}
+		if dx := a.x - b.x; dx > 1 || dx < -1 {
+			mid := (a.x + b.x) / 2
+			for l := 0; l < r.L; l++ {
+				keep(r.patBuild(sc, t, a, b, l, patZX, mid))
+			}
+		}
+		if dy := a.y - b.y; dy > 1 || dy < -1 {
+			mid := (a.y + b.y) / 2
+			for l := 0; l < r.L; l++ {
+				keep(r.patBuild(sc, t, a, b, l, patZY, mid))
+			}
+		}
+	}
+	if !found {
+		return nil, false
+	}
+	sc.connects++
+	sc.patterns++
+	return sc.patBest, true
+}
+
+// patBuild walks one candidate shape from a to b with its x/y legs on
+// layer l, appending each traversed cell to sc.patA and accumulating
+// the exact eq. (10) cost. Returns (cost, true) iff every step is
+// legal.
+func (r *Router) patBuild(sc *searchCtx, t *routeTask, a, b cell, l, mode, mid int) (float64, bool) {
+	sc.patA = append(sc.patA[:0], a)
+	cur := a
+	cost := 0.0
+	if !r.patZ(sc, t, &cur, l, &cost) {
+		return 0, false
+	}
+	ok := false
+	switch mode {
+	case patXY:
+		ok = r.patX(sc, t, &cur, b.x, &cost) && r.patY(sc, t, &cur, b.y, &cost)
+	case patYX:
+		ok = r.patY(sc, t, &cur, b.y, &cost) && r.patX(sc, t, &cur, b.x, &cost)
+	case patZX:
+		ok = r.patX(sc, t, &cur, mid, &cost) && r.patY(sc, t, &cur, b.y, &cost) &&
+			r.patX(sc, t, &cur, b.x, &cost)
+	case patZY:
+		ok = r.patY(sc, t, &cur, mid, &cost) && r.patX(sc, t, &cur, b.x, &cost) &&
+			r.patY(sc, t, &cur, b.y, &cost)
+	}
+	if !ok {
+		return 0, false
+	}
+	if !r.patZ(sc, t, &cur, b.l, &cost) {
+		return 0, false
+	}
+	return cost, true
+}
+
+// patX extends the candidate along x to x1 on cur's layer.
+func (r *Router) patX(sc *searchCtx, t *routeTask, cur *cell, x1 int, cost *float64) bool {
+	if cur.x == x1 {
+		return true
+	}
+	cx := r.cfg.Alpha
+	if r.f.LayerDir(cur.l+1) != geom.Horizontal {
+		cx *= r.cfg.WrongWay
+	}
+	step := 1
+	if x1 < cur.x {
+		step = -1
+	}
+	id1 := int32(t.net.ID) + 1
+	for cur.x != x1 {
+		nx := cur.x + step
+		if o := r.occ[r.idx(nx, cur.y, cur.l)]; o != 0 && o != id1 {
+			return false
+		}
+		cur.x = nx
+		*cost += cx
+		sc.patA = append(sc.patA, *cur)
+	}
+	return true
+}
+
+// patY extends the candidate along y to y1 on cur's layer. The whole
+// run shares cur's column, so one stitching-column check covers it.
+func (r *Router) patY(sc *searchCtx, t *routeTask, cur *cell, y1 int, cost *float64) bool {
+	if cur.y == y1 {
+		return true
+	}
+	flags := r.colFlags[cur.x]
+	if flags&colStitch != 0 {
+		return false
+	}
+	cy := r.cfg.Alpha
+	if r.f.LayerDir(cur.l+1) != geom.Vertical {
+		cy *= r.cfg.WrongWay
+	}
+	if r.cfg.StitchAware && flags&colEscape != 0 {
+		cy += r.cfg.Gamma
+	}
+	step := 1
+	if y1 < cur.y {
+		step = -1
+	}
+	id1 := int32(t.net.ID) + 1
+	for cur.y != y1 {
+		ny := cur.y + step
+		if o := r.occ[r.idx(cur.x, ny, cur.l)]; o != 0 && o != id1 {
+			return false
+		}
+		cur.y = ny
+		*cost += cy
+		sc.patA = append(sc.patA, *cur)
+	}
+	return true
+}
+
+// patZ extends the candidate's via stack at cur's (x, y) to layer l1.
+func (r *Router) patZ(sc *searchCtx, t *routeTask, cur *cell, l1 int, cost *float64) bool {
+	if cur.l == l1 {
+		return true
+	}
+	if r.colFlags[cur.x]&colStitch != 0 && !t.pinCells.has(cur.x, cur.y) {
+		return false
+	}
+	cz := r.costZCol[cur.x]
+	step := 1
+	if l1 < cur.l {
+		step = -1
+	}
+	id1 := int32(t.net.ID) + 1
+	for cur.l != l1 {
+		nl := cur.l + step
+		if o := r.occ[r.idx(cur.x, cur.y, nl)]; o != 0 && o != id1 {
+			return false
+		}
+		cur.l = nl
+		*cost += cz
+		sc.patA = append(sc.patA, *cur)
+	}
+	return true
+}

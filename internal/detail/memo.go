@@ -224,11 +224,11 @@ func (r *Router) canReplay(t *routeTask, pr plan.NetRoute) bool {
 // release unused escapes exactly like the real path does.
 func (r *Router) replayNet(t *routeTask, pr plan.NetRoute, pw []uint64, freed []Cell) {
 	id := int32(t.net.ID)
-	r.clearNet(t)
+	r.clearNet(nil, t)
 	t.wires = append([]geom.Segment(nil), pr.Wires...)
 	t.vias = append([]plan.Via(nil), pr.Vias...)
 	for _, w := range t.wires {
-		r.markWire(w, id)
+		r.markWire(nil, w, id)
 	}
 	for _, p := range t.net.Pins {
 		c := Cell{X: p.X, Y: p.Y, L: p.Layer - 1}
@@ -256,7 +256,7 @@ func (r *Router) replayNet(t *routeTask, pr plan.NetRoute, pw []uint64, freed []
 			r.occ[i] = 0
 		}
 	}
-	r.releaseEscapes(t)
+	r.releaseEscapes(nil, t)
 	t.freedPins = append(t.freedPins[:0], freed...)
 	orBits(t.wact, pw)
 }

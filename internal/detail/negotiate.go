@@ -64,9 +64,12 @@ func (r *Router) negotiate(sc *searchCtx, t *routeTask, tasks []*routeTask) (boo
 		affected = append(affected, v.task)
 	}
 
-	// Evict, place the failed net, reroute the victims.
+	// Evict, place the failed net, reroute the victims. Negotiation runs
+	// only on the sequential lane (the scheduler never speculates it —
+	// it mutates other nets' tasks), so sc's overlay is off and these
+	// writes hit the grid directly.
 	for _, v := range victims {
-		r.clearNet(v.task)
+		r.clearNet(sc, v.task)
 		v.task.wires = nil
 		v.task.vias = nil
 	}
@@ -76,7 +79,7 @@ func (r *Router) negotiate(sc *searchCtx, t *routeTask, tasks []*routeTask) (boo
 				if r.routeNet(sc, v.task, r.f.Bounds()) == netRouted {
 					r.trimNet(sc, v.task)
 				} else {
-					r.clearNet(v.task)
+					r.clearNet(sc, v.task)
 					v.task.wires = nil
 					v.task.vias = nil
 				}
@@ -84,7 +87,7 @@ func (r *Router) negotiate(sc *searchCtx, t *routeTask, tasks []*routeTask) (boo
 		}
 	}
 	if r.routeNet(sc, t, r.f.Bounds()) != netRouted {
-		r.clearNet(t)
+		r.clearNet(sc, t)
 		t.wires = nil
 		t.vias = nil
 		restore()

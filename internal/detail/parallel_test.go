@@ -1,11 +1,12 @@
 package detail_test
 
-// Parallel-vs-sequential equivalence tests for the batch scheduler
-// (sched.go): Workers=1 and Workers=8 must produce byte-identical routed
-// geometry — at the detail-router level (pure A*, no plans) and through
-// the full pipeline on seeded harness circuits. Run these under the race
-// detector (`make race-fast`) to also certify the disjoint-region
-// concurrency argument.
+// Parallel-vs-sequential equivalence tests for the speculative
+// scheduler (sched.go): Workers=1 and Workers=8 must produce
+// byte-identical routed geometry — at the detail-router level (pure A*,
+// no plans) and through the full pipeline on seeded harness circuits.
+// Run these under the race detector (`make race-fast`) to also certify
+// the frozen-grid/overlay concurrency argument; spec_test.go adds the
+// high-congestion battery that forces the conflict-replay path.
 
 import (
 	"context"

@@ -68,7 +68,7 @@ func (r *Router) RunPatch(ctx context.Context, c *netlist.Circuit, plans []*plan
 		}
 		kr := p.Keep[id]
 		for _, w := range kr.Wires {
-			r.markWire(w, int32(id))
+			r.markWire(nil, w, int32(id))
 		}
 		freed := p.FreedPins[id]
 		for _, pin := range t.net.Pins {

@@ -1,217 +1,521 @@
 package detail
 
-// Deterministic parallel detailed routing.
+// Speculative parallel detailed routing with deterministic conflict
+// replay.
 //
-// The scheduler walks the stitch-aware net order and greedily forms a
-// batch: the longest prefix (capped at maxBatch) of not-yet-routed nets
-// whose declared search regions are pairwise disjoint. A net's declared
-// region is the bounding box of everything it currently owns — pins,
-// materialized planned wires, reserved escape cells — expanded by the
-// largest connect retry margin (maxRetryMargin) and clipped to the chip.
+// The scheduler keeps the pending nets in the stitch-aware order and
+// repeats rounds of speculate → commit until the list drains:
 //
-// Why in-batch order cannot matter: a first routing attempt only ever
-// reads and writes occupancy cells inside its search windows; connect
-// aborts an attempt (netEscaped) before running any window that is not
-// contained in the declared region, so an attempt's entire footprint is
-// inside its region. Disjoint regions therefore mean no attempt can
-// observe another in-flight attempt, and every attempt sees exactly the
-// occupancy a sequential run would have shown it — by induction, every
-// accepted attempt commits exactly the geometry the sequential router
-// would have committed.
+//  1. Window selection picks a bounded window of pending nets to
+//     speculate this round, partitioned by the global router's
+//     congestion map: two nets whose expected working regions overlap
+//     inside a congested neighbourhood are not speculated together
+//     (one of them would almost surely conflict and be thrown away).
+//  2. Speculation routes every window net concurrently. Each worker
+//     owns an arena; the attempt runs the exact sequential per-net body
+//     (routeBody: first attempt, rip-up, direct reroute, then escape
+//     release and freed-pin recording) against the committed occupancy
+//     grid, with every occupancy write buffered in the arena's overlay
+//     (setOcc in detail.go). The shared grid is frozen for the whole
+//     phase, so attempts read a consistent snapshot and never see each
+//     other.
+//  3. Commit walks the pending list in order. The head-most net's
+//     attempt is accepted, its buffered writes are applied, and its
+//     write tiles are added to the round's dirty set; each subsequent
+//     attempt is accepted only if its read footprint does not intersect
+//     the dirty set. The first net that cannot be accepted — a read
+//     conflict, or an attempt that needs the sequential lane — stops
+//     the commit walk; it and everything behind it replay in a later
+//     round. Attempts that survive behind the stop point stay cached
+//     and are revalidated against the final dirty set, so a round's
+//     work is only discarded where a commit actually invalidated it.
 //
-// Anything outside that proof drains through a strictly ordered
-// sequential lane: when a batch member fails its attempt (A* failure that
-// needs rip-up/negotiation, or a window escape), that net and every later
-// batch member are rolled back to their pre-batch state, the failed net
-// runs the full sequential body (unbounded windows, rip-up semantics
-// unchanged), and batching resumes after it. Rolled-back members are
-// re-attempted in a later batch against the then-current occupancy — the
-// same state a sequential run would show them. Statistics from discarded
-// attempts are dropped, so Connects/Expansions also match Workers=1.
+// Why the output is byte-identical to sequential routing for every
+// Workers value — by induction over the commit sequence: assume the
+// grid and every task's state equal the sequential run's just before
+// the k-th committed net (true for k = 0: both equal the post-prepare
+// state). The k-th accepted attempt read only cells inside its recorded
+// read footprint — the activity bitset (pin boxes, materialize
+// candidates, pattern boxes), the search-popped tiles dilated by one
+// tile (a popped cell's expansion reads only its face neighbours), and
+// its own write tiles — and the acceptance test proved no earlier
+// commit wrote any of those tiles since the attempt's snapshot. Every
+// cell the attempt read therefore held its sequential value, the
+// attempt ran the sequential body on sequentially-correct inputs, and
+// committing its buffered writes reproduces the sequential grid and
+// task state for k+1. Accepted attempts cannot clobber each other
+// within a round either: an attempt's write tiles are part of its read
+// footprint, so disjointness-from-dirty covers writes too.
 //
-// Batch formation depends only on net order and geometry — never on the
-// worker count or goroutine scheduling — so Workers=2 and Workers=64
-// take the identical sequence of batches and produce byte-identical
-// routes (asserted by the harness's parallel-equivalence property).
+// Progress is guaranteed: the round's dirty set is empty when the
+// commit walk starts, so the head of the pending list — which window
+// selection always speculates (it is the first net scanned, when the
+// active set is still empty) — always commits or drains through the
+// lane. Every round retires at least one net; there is no livelock.
+//
+// The sequential lane (arena 0) handles what speculation must not:
+// negotiation mutates other nets' tasks and is not captured by the
+// overlay, so an attempt that would negotiate is discarded and its net
+// runs the full sequential body against the real grid, after every
+// later cached attempt is invalidated.
+//
+// Statistics from discarded attempts are dropped and accepted attempts
+// fold the exact per-attempt deltas, so Connects/Expansions match a
+// Workers=1 run; scheduler telemetry (SchedStats) reports how the work
+// was scheduled and is the only worker-count-dependent output.
 
 import (
 	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"stitchroute/internal/geom"
 	"stitchroute/internal/plan"
 )
 
-// maxBatch caps one batch. The cap is a fixed constant (independent of
-// the worker count, keeping batch formation worker-count-invariant) that
-// bounds how much accepted work one sequential-lane fallback can roll
-// back.
-const maxBatch = 64
+// specCongestionThreshold is the congestion-map level at or above which
+// a tile neighbourhood counts as congested for window partitioning.
+const specCongestionThreshold = 0.75
 
-// attempt is one net's speculative routing state within a batch.
-type attempt struct {
-	t      *routeTask
-	region geom.Rect
-	// pre-batch snapshots for rollback
-	preWires []geom.Segment
-	preVias  []plan.Via
-	// outcome
-	status     routeStatus
-	connects   int
-	expansions int64
+// maxCongestionSkips bounds how many rounds the congestion partition
+// may defer one net before admitting it regardless. Without the bound a
+// chip whose whole congestion map sits above the threshold would
+// serialize every overlapping net pair one per round.
+const maxCongestionSkips = 2
+
+// SchedStats is the speculative scheduler's telemetry. It describes
+// scheduling, never routing: routes, Connects, and Expansions are
+// byte-identical for every Workers value, while these counters (and
+// wall-clock WorkerTime) legitimately vary with the worker count.
+type SchedStats struct {
+	// Rounds is the number of speculate→commit rounds run.
+	Rounds int
+	// Speculated counts speculative attempts launched; Committed the
+	// attempts accepted by the in-order commit walk.
+	Speculated int
+	Committed  int
+	// Conflicts counts attempts discarded because a committed net wrote
+	// into their read footprint; Replays counts re-speculations of nets
+	// that already had at least one discarded attempt.
+	Conflicts int
+	Replays   int
+	// LaneNets counts nets routed on the strictly ordered sequential
+	// lane (single-net rounds and negotiation fallbacks).
+	LaneNets int
+	// CongestionSkips counts window admissions deferred by the
+	// congestion partition (the net speculated in a later round).
+	CongestionSkips int
+	// PatternRoutes counts connections resolved by the L/Z pattern fast
+	// path (fastpath.go); it is filled for every scheduler, sequential
+	// included, and is worker-count-invariant.
+	PatternRoutes int
+	// WorkerTime is wall-clock busy time per speculation worker.
+	WorkerTime []time.Duration
 }
 
-// taskRegion declares the region a first routing attempt for t may
-// touch: the bounding box of the net's pins and current geometry,
-// expanded by the largest retry margin and clipped to the chip. Escape
-// cells share their pin's (x, y), so the pin box covers them.
+// gridWrite is one buffered occupancy write of a speculative attempt.
+type gridWrite struct {
+	idx, val int32
+}
+
+// specAttempt is the outcome of one speculative routing attempt: the
+// task snapshot taken before the attempt (for discard), the buffered
+// grid writes (for commit), and the read/write tile footprints the
+// commit walk tests for conflicts.
+type specAttempt struct {
+	ok        bool // routeBody connected every component
+	ripped    bool // planned geometry was ripped up
+	needsLane bool // failed with negotiation enabled: lane-only work
+
+	// Arena-statistics deltas of this attempt, folded into the Router
+	// totals only on acceptance.
+	connects   int
+	expansions int64
+	patterns   int
+
+	// Pre-attempt task snapshot. Deep copies: trimNet edits wire spans
+	// in place and commitPath appends, so slice headers alone would
+	// alias mutated backing arrays.
+	preWires []geom.Segment
+	preVias  []plan.Via
+	preEsc   []cell
+	preAct   []uint64
+	preWact  []uint64
+	preSact  []uint64
+	preFreed []Cell
+
+	// writes is the overlay log: every occupancy cell the attempt wrote
+	// (first-write order) with its final value. wtiles is the same
+	// write set as an actTile bitset; reads is the attempt's full read
+	// footprint (activity ∪ dilated search pops ∪ write footprint).
+	writes []gridWrite
+	wtiles []uint64
+	reads  []uint64
+}
+
+// specState is one pending net's scheduling state.
+type specState struct {
+	t *routeTask
+	// att is the net's cached attempt, valid against the current
+	// committed grid; nil when the net needs (re-)speculation.
+	att *specAttempt
+	// region is the net's expected working region (pins ∪ materialized
+	// geometry, expanded by the first-attempt retry margin); congested
+	// marks regions that touch a congested tile of the global congestion
+	// map. Both are window-partitioning hints only.
+	region    geom.Rect
+	congested bool
+	// tried marks nets that have been speculated at least once, so
+	// re-speculations count as replays.
+	tried bool
+	// skips counts rounds the congestion partition deferred this net;
+	// past maxCongestionSkips the partition stops deferring it, so a
+	// globally congested chip degrades to plain speculation instead of
+	// serializing behind the partition.
+	skips int
+}
+
+// taskRegion is the region a net's routing is expected to work in: the
+// bounding box of its pins and current geometry, expanded by the
+// first-attempt retry margin and clipped to the chip. Unlike the
+// regions of the old prefix-batch scheduler this is a heuristic, not a
+// proof obligation — conflicts are detected exactly from read/write
+// footprints — so a search that widens beyond it (a retry, a rip-up)
+// costs at most a replay, never correctness. The first-attempt margin
+// keeps the regions tight enough that the partition still distinguishes
+// nets on small chips, where the widest retry margin would cover
+// everything.
 func (r *Router) taskRegion(t *routeTask) geom.Rect {
 	b := t.pinBBox()
 	for _, w := range t.wires {
 		b = b.Union(w.Bounds())
 	}
-	return b.Expand(maxRetryMargin).Intersect(r.f.Bounds())
+	return b.Expand(retryMargins[0]).Intersect(r.f.Bounds())
 }
 
-// formBatch returns the longest disjoint-region prefix of pending
-// (capped at maxBatch), with pre-batch snapshots taken.
-func (r *Router) formBatch(pending []*routeTask) []*attempt {
-	batch := make([]*attempt, 0, min(maxBatch, len(pending)))
-	for _, t := range pending {
-		if len(batch) == maxBatch {
-			break
-		}
-		reg := r.taskRegion(t)
-		conflict := false
-		for _, a := range batch {
-			if a.region.Overlaps(reg) {
-				conflict = true
-				break
+// regionCongested reports whether any congestion-map tile overlapping
+// the region is at or above the partition threshold.
+func (r *Router) regionCongested(reg geom.Rect) bool {
+	cg := r.cong
+	if cg == nil || cg.Pitch <= 0 || len(cg.Level) == 0 {
+		return false
+	}
+	tx0, ty0 := reg.X0/cg.Pitch, reg.Y0/cg.Pitch
+	tx1, ty1 := reg.X1/cg.Pitch, reg.Y1/cg.Pitch
+	if tx0 < 0 {
+		tx0 = 0
+	}
+	if ty0 < 0 {
+		ty0 = 0
+	}
+	if tx1 >= cg.TW {
+		tx1 = cg.TW - 1
+	}
+	if ty1 >= cg.TH {
+		ty1 = cg.TH - 1
+	}
+	for ty := ty0; ty <= ty1; ty++ {
+		for tx := tx0; tx <= tx1; tx++ {
+			if cg.Level[ty*cg.TW+tx] >= specCongestionThreshold {
+				return true
 			}
 		}
-		if conflict {
-			break // prefix rule: the batch ends at the first overlap
-		}
-		batch = append(batch, &attempt{
-			t:        t,
-			region:   reg,
-			preWires: append([]geom.Segment(nil), t.wires...),
-			preVias:  append([]plan.Via(nil), t.vias...),
-		})
 	}
-	return batch
+	return false
 }
 
-// attemptNet runs one net's speculative first attempt inside its declared
-// region, recording the outcome and the arena-statistics delta.
-func (r *Router) attemptNet(sc *searchCtx, a *attempt) {
-	c0, e0 := sc.connects, sc.expansions
-	a.status = r.routeNet(sc, a.t, a.region)
-	if a.status == netRouted {
-		r.trimNet(sc, a.t)
+// speculate runs one net's full per-net body against the committed grid
+// with every occupancy write buffered in sc's overlay, and returns the
+// attempt with its snapshots, buffered writes, and footprints. It never
+// mutates the shared grid.
+func (r *Router) speculate(sc *searchCtx, t *routeTask) *specAttempt {
+	att := &specAttempt{
+		preWires: append([]geom.Segment(nil), t.wires...),
+		preVias:  append([]plan.Via(nil), t.vias...),
+		preEsc:   append([]cell(nil), t.escapes...),
+		preAct:   append([]uint64(nil), t.act...),
+		preWact:  append([]uint64(nil), t.wact...),
+		preSact:  append([]uint64(nil), t.sact...),
+		preFreed: append([]Cell(nil), t.freedPins...),
 	}
-	a.connects = sc.connects - c0
-	a.expansions = sc.expansions - e0
+	c0, e0, p0 := sc.connects, sc.expansions, sc.patterns
+	sc.ovBegin(len(r.occ))
+	att.ok, att.ripped = r.routeBody(sc, t)
+	if !att.ok && r.cfg.Negotiate {
+		// Negotiation would mutate other nets' tasks; the lane handles
+		// the whole body (routeBody included) against the real grid.
+		att.needsLane = true
+	} else {
+		r.releaseEscapes(sc, t)
+		r.recordFreedPins(sc, t)
+	}
+	sc.ovEnd()
+	att.connects = sc.connects - c0
+	att.expansions = sc.expansions - e0
+	att.patterns = sc.patterns - p0
+
+	att.writes = make([]gridWrite, len(sc.ovLog))
+	att.wtiles = make([]uint64, r.awords)
+	for i, gi := range sc.ovLog {
+		att.writes[i] = gridWrite{idx: gi, val: sc.ovVal[gi]}
+		x := int(gi) % r.X
+		y := (int(gi) / r.X) % r.Y
+		ab := (y>>actTileShift)*r.atw + x>>actTileShift
+		att.wtiles[ab>>6] |= 1 << (uint(ab) & 63)
+	}
+	att.reads = make([]uint64, r.awords)
+	copy(att.reads, t.act)
+	r.foldAct(att.reads, t.sact)
+	orBits(att.reads, t.wact)
+	orBits(att.reads, att.wtiles)
+	return att
 }
 
-// rollback restores a task to its pre-batch state: the attempt's commits
-// are erased from the occupancy grid, the snapshot geometry is re-marked,
-// and the pin/escape reservations are restored. Sound because the
-// attempt only ever wrote cells inside the task's declared region, and
-// it never freed or overwrote cells owned by other nets.
-func (r *Router) rollback(a *attempt) {
-	t := a.t
-	r.clearNet(t)
-	t.wires = a.preWires
-	t.vias = a.preVias
-	id := int32(t.net.ID)
-	for _, w := range t.wires {
-		r.markWire(w, id)
-	}
-	for _, p := range t.net.Pins {
-		if i := r.idx(p.X, p.Y, p.Layer-1); r.occ[i] == 0 {
-			r.occ[i] = id + 1
-		}
-	}
-	for _, c := range t.escapes {
-		if i := r.idx(c.x, c.y, c.l); r.occ[i] == 0 {
-			r.occ[i] = id + 1
-		}
-	}
+// discardAttempt restores the task to its pre-attempt state. The shared
+// grid needs no restoration — the attempt never wrote it.
+func (r *Router) discardAttempt(t *routeTask, att *specAttempt) {
+	t.wires = att.preWires
+	t.vias = att.preVias
+	t.escapes = att.preEsc
+	copy(t.act, att.preAct)
+	copy(t.wact, att.preWact)
+	copy(t.sact, att.preSact)
+	t.freedPins = att.preFreed
 }
 
-// runBatches is the parallel net loop. Cancellation is honored at batch
-// granularity: ctx is checked before each batch (and each sequential-lane
-// net); nets not reached are recorded as unrouted.
-func (r *Router) runBatches(ctx context.Context, order, nets []*routeTask, res *Result, record func(*routeTask, bool), workers int) error {
+// commitAttempt applies an accepted attempt: buffered writes to the
+// grid, rip-up accounting, result recording, and the attempt's exact
+// statistics deltas — the same effects the sequential body would have
+// had at this position in the net order.
+func (r *Router) commitAttempt(t *routeTask, att *specAttempt, res *Result, record func(*routeTask, bool)) {
+	for _, w := range att.writes {
+		r.occ[w.idx] = w.val
+	}
+	if att.ripped {
+		res.Ripped++
+		t.ripped = true
+	}
+	record(t, att.ok)
+	r.connects += att.connects
+	r.expansions += att.expansions
+	r.patterns += att.patterns
+}
+
+// runSpeculative is the parallel net loop: rounds of window selection,
+// concurrent speculation, and in-order commit with conflict replay (see
+// the package comment for the determinism argument). Cancellation is
+// honored at round granularity; nets not reached are recorded as
+// unrouted, exactly like the sequential loop.
+func (r *Router) runSpeculative(ctx context.Context, order, nets []*routeTask, res *Result, record func(*routeTask, bool), workers int) error {
 	// Allocate every arena up front: r.arenas is not goroutine-safe.
 	laneSC := r.arena(0)
 	for w := 0; w < workers; w++ {
 		r.arena(w + 1)
 	}
-	pos := 0
-	for pos < len(order) {
+	st := &res.Sched
+
+	pend := make([]*specState, len(order))
+	for i, t := range order {
+		s := &specState{t: t, region: r.taskRegion(t)}
+		s.congested = r.regionCongested(s.region)
+		pend[i] = s
+	}
+
+	// The window budget scales with the worker count (more workers keep
+	// more speculation in flight) within fixed bounds, and adapts to the
+	// observed conflict rate: rounds that throw most of their attempts
+	// away halve the next window (down to 2, keeping the head plus one
+	// speculation in flight), and rounds that commit most of theirs
+	// double it back. On a heavily contended chip the scheduler thus
+	// converges to near-sequential speculation instead of burning CPU on
+	// attempts that cannot commit. The budget affects only which nets
+	// are speculated when — never what any attempt computes or the
+	// commit order — so neither the worker-count dependence nor the
+	// adaptation breaks cross-worker equivalence.
+	maxBudget := 4 * workers
+	if maxBudget < 8 {
+		maxBudget = 8
+	}
+	if maxBudget > 128 {
+		maxBudget = 128
+	}
+	budget := maxBudget
+	maxScan := 4 * maxBudget
+
+	roundDirty := make([]uint64, r.awords)
+	var work, active []*specState
+
+	for len(pend) > 0 {
 		if err := ctx.Err(); err != nil {
-			for _, rest := range order[pos:] {
-				record(rest, false)
+			// Restore every cached attempt's task state, then record the
+			// nets not reached as unrouted and stop.
+			for _, s := range pend {
+				if s.att != nil {
+					r.discardAttempt(s.t, s.att)
+					s.att = nil
+				}
+			}
+			for _, s := range pend {
+				record(s.t, false)
 			}
 			return err
 		}
-		batch := r.formBatch(order[pos:])
-		if len(batch) == 1 {
-			// Nothing to overlap with: route it on the lane directly.
-			r.routeOne(laneSC, batch[0].t, nets, res, record)
-			pos++
+		st.Rounds++
+
+		// Window selection: admit pending nets in order until the budget
+		// fills, skipping nets whose region overlaps an already-admitted
+		// net's region when either side is congested. The head is always
+		// admitted (the active set is empty when it is scanned), which is
+		// what guarantees per-round progress.
+		work = work[:0]
+		active = active[:0]
+		cached := 0
+		for i, s := range pend {
+			if i >= maxScan || len(work)+cached >= budget {
+				break
+			}
+			if s.att != nil {
+				cached++
+				active = append(active, s)
+				continue
+			}
+			skip := false
+			if s.skips < maxCongestionSkips {
+				for _, a := range active {
+					if (s.congested || a.congested) && s.region.Overlaps(a.region) {
+						skip = true
+						break
+					}
+				}
+			}
+			if skip {
+				s.skips++
+				st.CongestionSkips++
+				continue
+			}
+			active = append(active, s)
+			work = append(work, s)
+		}
+
+		// Single-net fast path: one new attempt and nothing cached means
+		// the head would commit unconditionally — route it on the lane
+		// and skip the overlay round-trip.
+		if len(work) == 1 && cached == 0 && work[0] == pend[0] {
+			r.routeOne(laneSC, pend[0].t, nets, res, record)
+			st.LaneNets++
+			pend = pend[1:]
 			continue
 		}
 
-		// Speculative phase: workers pull attempts off a shared counter.
-		// Assignment order is scheduling-dependent, results are not — the
-		// attempts touch pairwise-disjoint state.
-		var next int64
-		var wg sync.WaitGroup
-		nw := min(workers, len(batch))
-		for w := 0; w < nw; w++ {
-			sc := r.arenas[w+1]
-			wg.Add(1)
-			go func(sc *searchCtx) {
-				defer wg.Done()
-				for {
-					i := int(atomic.AddInt64(&next, 1)) - 1
-					if i >= len(batch) {
-						return
-					}
-					r.attemptNet(sc, batch[i])
+		// Speculation phase: workers pull attempts off a shared counter.
+		// Assignment order is scheduling-dependent, results are not — an
+		// attempt depends only on the frozen grid and its own task.
+		if len(work) > 0 {
+			st.Speculated += len(work)
+			for _, s := range work {
+				if s.tried {
+					st.Replays++
 				}
-			}(sc)
-		}
-		wg.Wait()
-
-		// Commit phase: accept the successful prefix in net order.
-		acc := 0
-		for acc < len(batch) && batch[acc].status == netRouted {
-			a := batch[acc]
-			r.releaseEscapes(a.t)
-			r.recordFreedPins(a.t)
-			record(a.t, true)
-			r.connects += a.connects
-			r.expansions += a.expansions
-			acc++
-		}
-		pos += acc
-		if acc < len(batch) {
-			// The first failed net drains through the sequential lane with
-			// full rip-up semantics. Its unbounded windows may touch state
-			// the later members' attempts were proven against, so those
-			// attempts are discarded too (in reverse order; rollbacks only
-			// touch their own disjoint regions, so order is cosmetic).
-			for i := len(batch) - 1; i >= acc; i-- {
-				r.rollback(batch[i])
+				s.tried = true
 			}
-			r.routeOne(laneSC, batch[acc].t, nets, res, record)
-			pos++
+			nw := workers
+			if nw > len(work) {
+				nw = len(work)
+			}
+			var next int64
+			var wg sync.WaitGroup
+			for w := 0; w < nw; w++ {
+				sc := r.arenas[w+1]
+				wg.Add(1)
+				go func(sc *searchCtx) {
+					defer wg.Done()
+					t0 := time.Now()
+					for {
+						k := int(atomic.AddInt64(&next, 1)) - 1
+						if k >= len(work) {
+							break
+						}
+						work[k].att = r.speculate(sc, work[k].t)
+					}
+					sc.busyTime += time.Since(t0)
+				}(sc)
+			}
+			wg.Wait()
 		}
+
+		// Commit phase: accept attempts in net order while their read
+		// footprints stay clear of this round's committed writes.
+		for i := range roundDirty {
+			roundDirty[i] = 0
+		}
+		laneRan := false
+		roundCommitted := 0
+		for len(pend) > 0 {
+			s := pend[0]
+			if s.att == nil {
+				break // not speculated this round (window bound)
+			}
+			if bitsIntersect(s.att.reads, roundDirty) {
+				st.Conflicts++
+				r.discardAttempt(s.t, s.att)
+				s.att = nil
+				break // replay next round against the updated grid
+			}
+			if s.att.needsLane {
+				// Negotiation writes the grid directly and edits other
+				// nets' tasks: invalidate every cached attempt, then run
+				// the full sequential body on the lane.
+				r.discardAttempt(s.t, s.att)
+				s.att = nil
+				for _, o := range pend[1:] {
+					if o.att != nil {
+						r.discardAttempt(o.t, o.att)
+						o.att = nil
+					}
+				}
+				r.routeOne(laneSC, s.t, nets, res, record)
+				st.LaneNets++
+				pend = pend[1:]
+				laneRan = true
+				break
+			}
+			r.commitAttempt(s.t, s.att, res, record)
+			orBits(roundDirty, s.att.wtiles)
+			s.att = nil
+			pend = pend[1:]
+			st.Committed++
+			roundCommitted++
+		}
+
+		// Revalidate surviving cached attempts against this round's
+		// writes; survivors commit in a later round without re-routing.
+		if !laneRan {
+			for _, s := range pend {
+				if s.att != nil && bitsIntersect(s.att.reads, roundDirty) {
+					st.Conflicts++
+					r.discardAttempt(s.t, s.att)
+					s.att = nil
+				}
+			}
+		}
+
+		// Adapt the window to this round's commit rate.
+		if len(work) > 0 {
+			if 2*roundCommitted >= len(work) {
+				if budget *= 2; budget > maxBudget {
+					budget = maxBudget
+				}
+			} else {
+				if budget /= 2; budget < 2 {
+					budget = 2
+				}
+			}
+		}
+	}
+
+	for w := 0; w < workers; w++ {
+		res.Sched.WorkerTime = append(res.Sched.WorkerTime, r.arenas[w+1].busyTime)
 	}
 	return nil
 }

@@ -1,0 +1,168 @@
+package detail_test
+
+// Tests for the speculative scheduler's satellite surfaces: worker-count
+// resolution, scheduler telemetry, the high-congestion replay path, and
+// the opt-in algorithmic fast paths (bidirectional A*, pattern routing).
+// The byte-identity core is covered by parallel_test.go; these tests pin
+// the contracts around it.
+
+import (
+	"runtime"
+	"testing"
+
+	"stitchroute/internal/core"
+	"stitchroute/internal/detail"
+	"stitchroute/internal/drc"
+	"stitchroute/internal/harness"
+)
+
+// TestResolveWorkers pins the "auto" rule: non-positive means NumCPU,
+// absurd values clamp, everything in between passes through.
+func TestResolveWorkers(t *testing.T) {
+	ncpu := runtime.NumCPU()
+	cases := []struct{ in, want int }{
+		{0, ncpu},
+		{-1, ncpu},
+		{1, 1},
+		{5, 5},
+		{256, 256},
+		{1 << 20, 256},
+	}
+	for _, c := range cases {
+		if got := detail.ResolveWorkers(c.in); got != c.want {
+			t.Errorf("ResolveWorkers(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// TestCongestedWorkersEquivalence runs the full pipeline on the
+// high-congestion harness grid across Workers ∈ {1, 2, 4, 8} and asserts
+// byte-identical routed geometry and identical search statistics. On
+// these circuits speculative attempts collide, so the assertion at the
+// bottom — that the scheduler observed at least one conflict or replay
+// somewhere in the battery — certifies the equivalence held *through*
+// the replay machinery, not around it.
+func TestCongestedWorkersEquivalence(t *testing.T) {
+	conflicts := 0
+	for _, spec := range harness.CongestedGrid() {
+		spec := spec
+		spec.Seed = 13
+		t.Run(spec.String(), func(t *testing.T) {
+			route := func(workers int) (*core.Result, string) {
+				cfg := core.StitchAware()
+				cfg.Detail.Workers = workers
+				res, err := core.Route(harness.Generate(spec), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res, routesHash(t, res.Routes)
+			}
+			seq, seqHash := route(1)
+			for _, workers := range []int{2, 4, 8} {
+				par, parHash := route(workers)
+				if parHash != seqHash {
+					t.Errorf("Workers=%d diverged from Workers=1: %s vs %s", workers, parHash[:12], seqHash[:12])
+				}
+				if seq.DetailConnects != par.DetailConnects || seq.DetailExpansions != par.DetailExpansions {
+					t.Errorf("Workers=%d stats diverged: %d/%d vs %d/%d connects/expansions",
+						workers, par.DetailConnects, par.DetailExpansions, seq.DetailConnects, seq.DetailExpansions)
+				}
+				if seq.FailedNets != par.FailedNets || seq.RippedNets != par.RippedNets {
+					t.Errorf("Workers=%d failure accounting diverged: failed=%d ripped=%d vs failed=%d ripped=%d",
+						workers, par.FailedNets, par.RippedNets, seq.FailedNets, seq.RippedNets)
+				}
+				conflicts += par.DetailSched.Conflicts + par.DetailSched.Replays
+			}
+		})
+	}
+	if !t.Failed() && conflicts == 0 {
+		t.Error("no conflicts or replays across the congested battery: the replay path was never exercised")
+	}
+}
+
+// TestSchedTelemetry checks the accounting identities of one speculative
+// run: every net retires exactly once (committed or lane-routed), and
+// the per-worker busy-time vector matches the worker count.
+func TestSchedTelemetry(t *testing.T) {
+	spec := harness.CongestedGrid()[0]
+	spec.Seed = 5
+	c := harness.Generate(spec)
+	cfg := detail.DefaultConfig(true)
+	const workers = 4
+	res := runDetail(c, nil, cfg, workers)
+
+	sd := res.Sched
+	if sd.Rounds == 0 || sd.Speculated == 0 {
+		t.Fatalf("speculative run reported no scheduling: %+v", sd)
+	}
+	if sd.Committed+sd.LaneNets != len(c.Nets) {
+		t.Errorf("committed (%d) + lane (%d) != nets (%d)", sd.Committed, sd.LaneNets, len(c.Nets))
+	}
+	if sd.Committed > sd.Speculated {
+		t.Errorf("committed (%d) exceeds speculated (%d)", sd.Committed, sd.Speculated)
+	}
+	if len(sd.WorkerTime) != workers {
+		t.Errorf("WorkerTime has %d entries, want %d", len(sd.WorkerTime), workers)
+	}
+
+	// A sequential run reports no scheduling activity but the same routes.
+	seq := runDetail(harness.Generate(spec), nil, cfg, 1)
+	if seq.Sched.Speculated != 0 || seq.Sched.Rounds != 0 {
+		t.Errorf("sequential run reported speculation: %+v", seq.Sched)
+	}
+	if routesHash(t, seq.Routes) != routesHash(t, res.Routes) {
+		t.Error("telemetry circuit diverged between Workers=1 and Workers=4")
+	}
+}
+
+// fastPathEquivalence routes the circuit with the given config across
+// worker counts, asserting determinism (same config → same hash),
+// worker invariance, and clean stitch DRC (no off-pin via violations,
+// no vertical wires on stitching lines).
+func fastPathEquivalence(t *testing.T, spec harness.GenSpec, cfg detail.Config) *detail.Result {
+	t.Helper()
+	c := harness.Generate(spec)
+	ref := runDetail(c, nil, cfg, 1)
+	refHash := routesHash(t, ref.Routes)
+	if again := runDetail(harness.Generate(spec), nil, cfg, 1); routesHash(t, again.Routes) != refHash {
+		t.Error("two identical sequential runs diverged")
+	}
+	for _, workers := range []int{2, 8} {
+		got := runDetail(harness.Generate(spec), nil, cfg, workers)
+		if h := routesHash(t, got.Routes); h != refHash {
+			t.Errorf("Workers=%d diverged from Workers=1: %s vs %s", workers, h[:12], refHash[:12])
+		}
+	}
+	rep := drc.Check(c, ref.Routes)
+	if rep.RoutedNets == 0 {
+		t.Error("no nets routed")
+	}
+	if rep.ViaViolationsOffPin != 0 || rep.VertRouteViolations != 0 {
+		t.Errorf("stitch DRC violations: %d off-pin vias, %d vertical stitch wires",
+			rep.ViaViolationsOffPin, rep.VertRouteViolations)
+	}
+	return ref
+}
+
+// TestBidiWorkersEquivalence: the bidirectional A* is deterministic,
+// worker-invariant, and stitch-legal.
+func TestBidiWorkersEquivalence(t *testing.T) {
+	spec := harness.ShortGrid()[0]
+	spec.Seed = 17
+	cfg := detail.DefaultConfig(true)
+	cfg.Bidi = true
+	fastPathEquivalence(t, spec, cfg)
+}
+
+// TestPatternWorkersEquivalence: the L/Z pattern fast path is
+// deterministic, worker-invariant, stitch-legal, and actually fires.
+func TestPatternWorkersEquivalence(t *testing.T) {
+	spec := harness.ShortGrid()[0]
+	spec.Seed = 17
+	cfg := detail.DefaultConfig(true)
+	cfg.Pattern = true
+	res := fastPathEquivalence(t, spec, cfg)
+	if res.Sched.PatternRoutes == 0 {
+		t.Error("pattern fast path never fired on a lightly congested circuit")
+	}
+}

@@ -43,7 +43,7 @@ func (r *Router) trimNet(sc *searchCtx, t *routeTask) {
 		mark(v.X, v.Y, v.Layer)
 	}
 
-	free := func(c cell) { r.occ[r.idx(c.x, c.y, c.l)] = 0 }
+	free := func(c cell) { r.setOcc(sc, r.idx(c.x, c.y, c.l), 0) }
 
 	changed := true
 	for changed {
@@ -90,7 +90,7 @@ func (r *Router) trimNet(sc *searchCtx, t *routeTask) {
 	// Re-mark remaining cells (freeing above may have cleared shared cells
 	// that surviving wires still cover).
 	for _, w := range t.wires {
-		r.markWire(w, id)
+		r.markWire(sc, w, id)
 	}
 	for _, v := range t.vias {
 		_ = v // vias occupy no routing cell beyond their wires

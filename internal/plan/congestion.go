@@ -1,0 +1,36 @@
+package plan
+
+// Congestion is a per-tile utilization snapshot exported by the global
+// router and consumed by the detailed router's speculative scheduler as
+// a partitioning hint: nets whose expected working regions overlap a
+// congested tile are not speculated in the same round, because their
+// searches are likely to contend for the same tracks and one of the two
+// attempts would be thrown away. It is advisory only — it never changes
+// what any net's route looks like, only which round the scheduler
+// attempts it in — so it rides outside the detail Config (an ECO replay
+// compares configs for reuse safety and must not see it; see
+// detail.Router.SetCongestion).
+type Congestion struct {
+	// TW, TH are the tile grid dimensions.
+	TW, TH int
+	// Pitch is the tile side length in tracks: track (x, y) lies in
+	// tile (x/Pitch, y/Pitch).
+	Pitch int
+	// Level is the row-major (ty*TW + tx) per-tile utilization: the
+	// maximum demand/capacity ratio over the tile's boundary edges and
+	// its line-end budget. 1.0 means at capacity.
+	Level []float64
+}
+
+// At returns the utilization of the tile containing track (x, y), or 0
+// when the snapshot is absent or the point is outside the tile grid.
+func (c *Congestion) At(x, y int) float64 {
+	if c == nil || c.Pitch <= 0 {
+		return 0
+	}
+	tx, ty := x/c.Pitch, y/c.Pitch
+	if tx < 0 || tx >= c.TW || ty < 0 || ty >= c.TH {
+		return 0
+	}
+	return c.Level[ty*c.TW+tx]
+}

@@ -91,7 +91,7 @@ func (s *Server) runJob(j *Job) {
 		if j.key != "" {
 			s.cache.put(j.key, res)
 		}
-		s.metrics.addStages(res.Times)
+		s.metrics.addRun(res)
 	case j.cancelRequested && cancelled:
 		j.state = StateCancelled
 		j.errMsg = "cancelled by request"
