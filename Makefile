@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint stitchvet lint-fix lint-audit lint-fixtures test test-short race race-fast serve bench bench-json bench-fracture-json bench-eco-json bench-smoke tables figures coverage fuzz fuzz-eco soak fracture-golden eco-golden clean help
+.PHONY: all build vet lint stitchvet lint-fix lint-audit lint-bench lint-fixtures test test-short race race-fast serve bench bench-json bench-fracture-json bench-eco-json bench-smoke tables figures coverage fuzz fuzz-eco soak fracture-golden eco-golden clean help
 
 all: build vet test ## build + vet + full tests
 
@@ -17,10 +17,12 @@ vet: ## go vet over the whole repo
 # linter (cmd/stitchvet, see docs/LINTING.md): four syntactic analyzers
 # (mapiterorder, ctxflow, lockdiscipline, floateq), three flow-sensitive
 # ones built on the CFG + dataflow engine (nondeterm, hotalloc,
-# leakcheck), and three interprocedural ones built on the whole-module
-# call graph (lockorder, narrowconv, errflow). It exits nonzero on any
-# unsuppressed diagnostic. staticcheck runs too when installed (CI
-# installs a pinned version; the offline dev container may not have it).
+# leakcheck), and five interprocedural ones built on the whole-module
+# call graph (lockorder, narrowconv, errflow, confine, racecheck). It
+# exits nonzero on any unsuppressed diagnostic. Runs against the on-disk
+# findings cache in .stitchvet-cache: an unchanged tree replays instantly.
+# staticcheck runs too when installed (CI installs a pinned version; the
+# offline dev container may not have it).
 lint: vet stitchvet ## vet + stitchvet + staticcheck (if installed)
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		echo "staticcheck ./..."; staticcheck ./...; \
@@ -28,9 +30,9 @@ lint: vet stitchvet ## vet + stitchvet + staticcheck (if installed)
 		echo "lint: staticcheck not installed; skipped (CI runs it pinned)"; \
 	fi
 
-stitchvet: ## build and run the repo's invariant linter
+stitchvet: ## build and run the repo's invariant linter (cached)
 	$(GO) build -o bin/stitchvet ./cmd/stitchvet
-	./bin/stitchvet ./...
+	./bin/stitchvet -cache .stitchvet-cache ./...
 
 # Applies every suggested fix carried by an unsuppressed finding
 # (atomic per-file edits + gofmt), then the driver re-analyzes; the
@@ -40,14 +42,21 @@ lint-fix: ## apply stitchvet suggested fixes, then verify a clean re-run
 	./bin/stitchvet -fix ./...
 	./bin/stitchvet ./...
 
-lint-audit: ## check every //lint:ignore directive for name + reason hygiene
+lint-audit: ## check every //lint:ignore directive for name, reason, and staleness
 	$(GO) build -o bin/stitchvet ./cmd/stitchvet
 	./bin/stitchvet -audit
 
-# The analyzers' own regression suite: fixture expectations for all ten
-# analyzers, the CFG builder's structural tests, the dataflow lattice and
-# call-summary unit tests, the call-graph tests, and the driver's
-# suppression/JSON/SARIF/fix/audit semantics.
+# Regenerate the checked-in incremental-lint benchmark report: cold
+# analysis vs best-of-N warm cache replay vs -diff against HEAD, with the
+# warm>=5x, diff-only-changed, and byte-identical-findings gates wired in
+# as hard failures (see docs/LINTING.md).
+lint-bench: ## regenerate BENCH_lint.json (incremental analysis driver)
+	$(GO) run ./cmd/benchjson -stage lint -runs $(BENCH_RUNS) -out BENCH_lint.json
+
+# The analyzers' own regression suite: fixture expectations for all
+# twelve analyzers, the CFG builder's structural tests, the dataflow
+# lattice and call-summary unit tests, the call-graph tests, and the
+# driver's suppression/JSON/SARIF/fix/audit/cache/diff semantics.
 lint-fixtures: ## test the analyzers themselves (fixtures, CFG, dataflow)
 	$(GO) test ./internal/analysis/...
 
@@ -159,9 +168,9 @@ SOAK_SEEDS ?= 25
 soak: ## multi-seed end-to-end correctness soak
 	$(GO) run ./cmd/routecheck -seeds $(SOAK_SEEDS)
 
-clean: ## remove generated figures, coverage, and lint binaries
+clean: ## remove generated figures, coverage, lint binaries, and lint cache
 	rm -f fig15.svg fig16a.svg fig16b.svg cover.out
-	rm -rf bin
+	rm -rf bin .stitchvet-cache
 
 help: ## list targets with their descriptions
 	@awk -F':.*## ' '/^[a-zA-Z_-]+:.*## / {printf "  %-12s %s\n", $$1, $$2}' $(MAKEFILE_LIST)

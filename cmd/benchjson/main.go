@@ -16,6 +16,13 @@
 //     reroute of the edited circuit — ms/edit, ECO-vs-cold speedup,
 //     and the hash-equality gate (the replay route hash must match the
 //     cold rehash). BENCH_eco.json is the checked-in copy.
+//   - lint: the incremental stitchvet driver over the whole module with
+//     a fresh cache — cold analysis, best-of-N warm replay, and a -diff
+//     run against -diff-ref. The run fails unless warm replayed without
+//     listing a package, warm was at least 5x faster than cold, -diff
+//     analyzed exactly the changed packages, and all three paths
+//     produced byte-identical findings. BENCH_lint.json is the
+//     checked-in copy. Run it from the module root.
 //
 // Every measured point runs -runs times and keeps the fastest wall
 // time (best-of-N absorbs scheduler noise on shared machines). The
@@ -25,7 +32,7 @@
 //
 // Usage:
 //
-//	benchjson [-stage detail|fracture|eco] [-circuits Primary1,S5378,S9234]
+//	benchjson [-stage detail|fracture|eco|lint] [-circuits Primary1,S5378,S9234]
 //	          [-workers 1,4] [-runs 5]
 //	          [-baseline Primary1=0.18,S5378=0.63,S9234=0.55] [-baseline-note ...]
 //	          [-out BENCH_detail.json]
@@ -175,7 +182,8 @@ func main() {
 
 func run() int {
 	var (
-		stage        = flag.String("stage", "detail", "pipeline stage to measure: detail, fracture, or eco")
+		stage        = flag.String("stage", "detail", "pipeline stage to measure: detail, fracture, eco, or lint")
+		diffRef      = flag.String("diff-ref", "HEAD", "git ref the lint stage's -diff path is measured against")
 		circuitsFlag = flag.String("circuits", "Primary1,S5378,S9234", "comma-separated benchmark circuits")
 		workersFlag  = flag.String("workers", "1,4", "comma-separated detailed-routing worker counts (detail stage)")
 		runs         = flag.Int("runs", 5, "runs per measured point; fastest is kept")
@@ -194,8 +202,10 @@ func run() int {
 		return runFracture(*circuitsFlag, *runs, *out)
 	case "eco":
 		return runECO(*circuitsFlag, *runs, *out)
+	case "lint":
+		return runLint(*runs, *diffRef, *out)
 	default:
-		log.Printf("unknown -stage %q (want detail, fracture, or eco)", *stage)
+		log.Printf("unknown -stage %q (want detail, fracture, eco, or lint)", *stage)
 		return 2
 	}
 

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	stitchvet [-only name,name] [-json|-sarif] [-fix] [-audit] [-v] [packages...]
+//	stitchvet [-only name,name] [-cache dir] [-diff ref] [-jobs n] [-json|-sarif] [-fix] [-audit] [-v] [packages...]
 //
 // Packages default to ./.... Exit status is 1 if any unsuppressed
 // diagnostic is reported, 2 on driver errors. With -json, diagnostics
@@ -14,14 +14,21 @@
 // along with what each analyzer guards and how to suppress a false
 // positive with //lint:ignore.
 //
+// -cache dir enables the on-disk findings cache: a warm re-run with no
+// source changes replays findings without loading or type-checking a
+// single package, and -diff ref re-analyzes only the packages with .go
+// changes since the git ref, serving the rest from the cache. Findings
+// are byte-identical across cold, warm, and diff paths. -jobs bounds
+// per-package analysis parallelism (default GOMAXPROCS).
+//
 // -fix applies each finding's suggested fix (where the analyzer attached
 // one), formats the touched files, and re-analyzes: the exit status
 // reflects what is left AFTER the fixes.
 //
 // -audit walks the tree and fails on any //lint:ignore directive that
-// has no reason text or names an unknown analyzer: a suppression without
-// a recorded justification is a future bug report with the evidence
-// deleted.
+// has no reason text or names an unknown analyzer, then runs a fresh
+// analysis and fails on any directive that no finding matched: a stale
+// suppression is a future bug report with the evidence deleted.
 package main
 
 import (
@@ -30,32 +37,11 @@ import (
 	"os"
 	"strings"
 
-	"stitchroute/internal/analysis"
-	"stitchroute/internal/analysis/ctxflow"
 	"stitchroute/internal/analysis/driver"
-	"stitchroute/internal/analysis/errflow"
-	"stitchroute/internal/analysis/floateq"
-	"stitchroute/internal/analysis/hotalloc"
-	"stitchroute/internal/analysis/leakcheck"
-	"stitchroute/internal/analysis/lockdiscipline"
-	"stitchroute/internal/analysis/lockorder"
-	"stitchroute/internal/analysis/mapiterorder"
-	"stitchroute/internal/analysis/narrowconv"
-	"stitchroute/internal/analysis/nondeterm"
+	"stitchroute/internal/analysis/registry"
 )
 
-var analyzers = []*analysis.Analyzer{
-	ctxflow.Analyzer,
-	errflow.Analyzer,
-	floateq.Analyzer,
-	hotalloc.Analyzer,
-	leakcheck.Analyzer,
-	lockdiscipline.Analyzer,
-	lockorder.Analyzer,
-	mapiterorder.Analyzer,
-	narrowconv.Analyzer,
-	nondeterm.Analyzer,
-}
+var analyzers = registry.All()
 
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
@@ -63,10 +49,14 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit one JSON object per diagnostic line (see docs/LINTING.md)")
 	sarifOut := flag.Bool("sarif", false, "emit a SARIF 2.1.0 document (for CI annotation)")
 	fix := flag.Bool("fix", false, "apply suggested fixes, gofmt the touched files, and re-analyze")
-	audit := flag.Bool("audit", false, "audit //lint:ignore directives for missing reasons and unknown analyzers, then exit")
+	audit := flag.Bool("audit", false, "audit //lint:ignore directives (missing reasons, unknown analyzers, stale suppressions), then exit")
+	fingerprint := flag.Bool("fingerprint", false, "print the analyzer-set cache fingerprint and exit (CI keys its cache on it)")
+	cacheDir := flag.String("cache", "", "findings cache directory (enables warm replay and -diff)")
+	diffRef := flag.String("diff", "", "git ref: re-analyze only packages changed since it (requires -cache)")
+	jobs := flag.Int("jobs", 0, "max packages analyzed in parallel (0 = GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "print each package as it is checked")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: stitchvet [-only name,name] [-json|-sarif] [-fix] [-audit] [-v] [packages...]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: stitchvet [-only name,name] [-cache dir] [-diff ref] [-jobs n] [-json|-sarif] [-fix] [-audit] [-v] [packages...]\n\nAnalyzers:\n")
 		for _, a := range analyzers {
 			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, firstLine(a.Doc))
 		}
@@ -79,6 +69,15 @@ func main() {
 		}
 		return
 	}
+	if *fingerprint {
+		fmt.Println(registry.Fingerprint())
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
 
 	if *audit {
 		valid := map[string]bool{}
@@ -90,18 +89,27 @@ func main() {
 			fmt.Fprintln(os.Stderr, "stitchvet:", err)
 			os.Exit(2)
 		}
-		if n > 0 {
-			fmt.Fprintf(os.Stderr, "stitchvet: %d unjustified suppression(s)\n", n)
+		stale, err := driver.StaleIgnores(analyzers, patterns, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stitchvet:", err)
+			os.Exit(2)
+		}
+		if n+stale > 0 {
+			fmt.Fprintf(os.Stderr, "stitchvet: %d unjustified and %d stale suppression(s)\n", n, stale)
 			os.Exit(1)
 		}
 		return
 	}
 
-	patterns := flag.Args()
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
+	opts := driver.Options{
+		Verbose:  *verbose,
+		JSON:     *jsonOut,
+		SARIF:    *sarifOut,
+		Fix:      *fix,
+		CacheDir: *cacheDir,
+		Diff:     *diffRef,
+		Jobs:     *jobs,
 	}
-	opts := driver.Options{Verbose: *verbose, JSON: *jsonOut, SARIF: *sarifOut, Fix: *fix}
 	if *only != "" {
 		opts.Only = strings.Split(*only, ",")
 	}

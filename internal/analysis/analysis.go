@@ -33,6 +33,12 @@ type Analyzer struct {
 	// summary, the rest explains the invariant it enforces.
 	Doc string
 
+	// Version is bumped whenever the analyzer's behaviour changes in a
+	// way that can alter its diagnostics. It feeds the driver's cache
+	// fingerprint: a stale on-disk finding set keyed under an old
+	// version can never be replayed for a newer analyzer.
+	Version int
+
 	// Packages optionally restricts which packages the driver runs
 	// this analyzer on (for module analyzers: which packages it
 	// *reports* in — summaries are still computed module-wide). Each

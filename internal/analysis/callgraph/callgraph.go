@@ -25,9 +25,14 @@
 //     tracked through local single-name assignments resolve to the
 //     underlying function — if a variable is assigned several callables
 //     every one becomes an edge;
-//   - interface method calls, calls through parameters, struct fields,
-//     channels, or maps do not resolve (no edge). Analyzers must treat an
-//     unresolved call as an unknown callee, not as a no-op.
+//   - interface method calls resolve only through bounded
+//     devirtualization: when the interface is declared in the module and
+//     exactly one named concrete type in the module implements it (T and
+//     *T counting as one), a call through the interface resolves to that
+//     type's method. Any other interface call — and calls through
+//     parameters, struct fields, channels, or maps — does not resolve (no
+//     edge). Analyzers must treat an unresolved call as an unknown
+//     callee, not as a no-op.
 //
 // A `go` statement's callee is NOT an edge: the body runs on another
 // goroutine, outside the caller's lock set and error scope. The launched
@@ -83,6 +88,9 @@ type Node struct {
 type Spawn struct {
 	Callee *Node
 	Pos    token.Pos
+	// Stmt is the go statement itself, for analyzers that need to
+	// inspect the spawn site (argument expressions, enclosing loop).
+	Stmt *ast.GoStmt
 }
 
 // Body returns the function's body block.
@@ -118,6 +126,12 @@ type Graph struct {
 	SCCs [][]*Node
 
 	byLit map[*ast.FuncLit]*Node
+
+	// devirt maps a module-declared interface method's FuncID
+	// ("(pkg.I).M") to the unique in-module concrete method implementing
+	// it, when exactly one named type in the module satisfies the
+	// interface. See buildDevirt.
+	devirt map[string]*Node
 }
 
 // FuncID returns the canonical module-wide identity of fn, or "" when fn
@@ -208,6 +222,10 @@ func Build(pkgs []*load.Package) *Graph {
 		}
 	}
 
+	// Pass 1.5: index single-implementation interfaces so pass 2 can
+	// devirtualize calls through them.
+	g.buildDevirt(pkgs)
+
 	// Pass 2: resolve call sites and build edges. A declaration and its
 	// nested literals are walked as one tree with a shared view of
 	// which locals hold which callables, so a closure calling a
@@ -239,6 +257,129 @@ func (g *Graph) addLits(pkg *load.Package, baseID string, root ast.Node) []*Node
 		return true // nested literals get their own nodes too
 	})
 	return created
+}
+
+// pathQualifier renders types with full package paths, making signature
+// strings comparable across the loader's per-package type-check
+// universes (the same declared type is a different *types.Named object in
+// its defining package and at import sites, so types.Implements cannot be
+// used directly).
+func pathQualifier(p *types.Package) string { return p.Path() }
+
+// buildDevirt performs bounded devirtualization indexing: for every
+// interface declared in a first-party package, if exactly one named
+// concrete type in the module implements it (T and *T counted once,
+// matched structurally by path-qualified method signatures), each
+// interface method maps to that type's method node. Calls through
+// multi-implementation or externally-declared interfaces stay unresolved
+// — external implementers are invisible here, so only module-local
+// single-implementation interfaces are safe to connect.
+func (g *Graph) buildDevirt(pkgs []*load.Package) {
+	g.devirt = make(map[string]*Node)
+
+	type methodSet struct {
+		named *types.Named
+		sigs  map[string]string // method name -> qualified signature
+		funcs map[string]*types.Func
+	}
+	var ifaces, concretes []*methodSet
+	for _, pkg := range pkgs {
+		if pkg.Types == nil {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() { // Names is sorted: deterministic
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || named.TypeParams().Len() > 0 {
+				continue
+			}
+			ms := &methodSet{named: named, sigs: map[string]string{}, funcs: map[string]*types.Func{}}
+			if it, isIface := named.Underlying().(*types.Interface); isIface {
+				if it.NumMethods() == 0 {
+					continue
+				}
+				for i := 0; i < it.NumMethods(); i++ {
+					m := it.Method(i)
+					ms.sigs[m.Name()] = types.TypeString(m.Type(), pathQualifier)
+					ms.funcs[m.Name()] = m
+				}
+				ifaces = append(ifaces, ms)
+				continue
+			}
+			// The pointer method set is the superset; a value receiver
+			// still satisfies through *T.
+			mset := types.NewMethodSet(types.NewPointer(named))
+			for i := 0; i < mset.Len(); i++ {
+				fn, ok := mset.At(i).Obj().(*types.Func)
+				if !ok {
+					continue
+				}
+				ms.sigs[fn.Name()] = types.TypeString(fn.Type(), pathQualifier)
+				ms.funcs[fn.Name()] = fn
+			}
+			if len(ms.sigs) > 0 {
+				concretes = append(concretes, ms)
+			}
+		}
+	}
+
+	implements := func(c, i *methodSet) bool {
+		for name, sig := range i.sigs {
+			if c.sigs[name] != sig {
+				return false
+			}
+		}
+		return true
+	}
+	poisoned := make(map[string]bool)
+	for _, i := range ifaces {
+		var impl *methodSet
+		for _, c := range concretes {
+			if !implements(c, i) {
+				continue
+			}
+			if impl != nil {
+				impl = nil
+				break // second implementation: stay conservative
+			}
+			impl = c
+		}
+		if impl == nil {
+			continue
+		}
+		for name, im := range i.funcs {
+			id := FuncID(im)
+			if id == "" || poisoned[id] {
+				continue
+			}
+			node := g.NodeOf(impl.funcs[name])
+			if node == nil {
+				continue
+			}
+			// Two interfaces can share a method object through embedding;
+			// if their unique implementations disagree, the method is not
+			// devirtualizable.
+			if prev, seen := g.devirt[id]; seen && prev != node {
+				poisoned[id] = true
+				delete(g.devirt, id)
+				continue
+			}
+			g.devirt[id] = node
+		}
+	}
+}
+
+// resolve maps a *types.Func to its node, falling back to the
+// devirtualized target for single-implementation interface methods.
+func (g *Graph) resolve(fn *types.Func) *Node {
+	if n := g.NodeOf(fn); n != nil {
+		return n
+	}
+	return g.devirt[FuncID(fn)]
 }
 
 // callTargets tracks, per top-level declaration walk, the callable
@@ -282,7 +423,7 @@ func resolveTree(g *Graph, root *Node) {
 				}
 			case *ast.GoStmt:
 				if callee := resolveCallee(g, info, targets, x.Call); callee != nil {
-					cur.Spawns = append(cur.Spawns, Spawn{Callee: callee, Pos: x.Pos()})
+					cur.Spawns = append(cur.Spawns, Spawn{Callee: callee, Pos: x.Pos(), Stmt: x})
 				}
 				// Arguments are evaluated in the caller; the call itself
 				// is not an edge. A literal launched directly still gets
@@ -333,7 +474,7 @@ func valueTarget(g *Graph, info *types.Info, e ast.Expr) *Node {
 		}
 	case *ast.SelectorExpr:
 		if fn, ok := info.Uses[e.Sel].(*types.Func); ok {
-			return g.NodeOf(fn) // method value or qualified function
+			return g.resolve(fn) // method value or qualified function
 		}
 	}
 	return nil
@@ -362,7 +503,9 @@ func resolveCallee(g *Graph, info *types.Info, targets callTargets, call *ast.Ca
 		}
 	case *ast.SelectorExpr:
 		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
-			return g.NodeOf(fn)
+			// resolve falls back to the devirtualized target when fn is
+			// a single-implementation interface method.
+			return g.resolve(fn)
 		}
 		// Index expressions (generic instantiation f[T](...)) keep the
 		// *types.Func in Uses of the underlying ident.

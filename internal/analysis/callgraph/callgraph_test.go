@@ -142,6 +142,48 @@ func TestFuncIDForms(t *testing.T) {
 	}
 }
 
+// TestDevirtualization checks bounded interface resolution: a call
+// through a single-implementation module interface resolves to the
+// concrete method, while a two-implementation interface stays
+// unresolved.
+func TestDevirtualization(t *testing.T) {
+	pkgs, err := load.Packages("./testdata/mod/iface")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	for _, p := range pkgs {
+		if len(p.TypeErrors) > 0 {
+			t.Fatalf("fixture %s does not type-check: %v", p.PkgPath, p.TypeErrors[0])
+		}
+	}
+	g := Build(pkgs)
+	const base = "stitchroute/internal/analysis/callgraph/testdata/mod/iface"
+
+	drive := g.Nodes[base+".Drive"]
+	if drive == nil {
+		t.Fatalf("no node for Drive;\n%s", g.DebugString())
+	}
+	found := false
+	for _, c := range drive.Callees {
+		if c.ID == "(*"+base+".onlyImpl).Put" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Drive must devirtualize to (*iface.onlyImpl).Put\ngraph:\n%s", g.DebugString())
+	}
+
+	multi := g.Nodes[base+".DriveMulti"]
+	if multi == nil {
+		t.Fatalf("no node for DriveMulti")
+	}
+	for _, c := range multi.Callees {
+		if strings.Contains(c.ID, "impl") {
+			t.Errorf("DriveMulti resolved a two-implementation interface call to %s", c.ID)
+		}
+	}
+}
+
 func nodeList(g *Graph) string {
 	var ids []string
 	for id := range g.Nodes {

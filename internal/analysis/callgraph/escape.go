@@ -1,0 +1,695 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// EscapeSummary describes, for one function, how its parameters relate
+// to shared memory — the facts the concurrency-soundness analyzers
+// (confine, racecheck) need about callees.
+//
+// Parameter indexing: for methods the receiver is index 0 and declared
+// parameters follow; for plain functions and literals parameters start
+// at 0.
+type EscapeSummary struct {
+	// Escaping[i] reports that parameter i's reference may reach a
+	// shared sink: a package-level variable, a field of another object,
+	// a channel send, or a goroutine spawned by the function (directly
+	// or through a resolved callee). Flowing into the function's own
+	// return value is deliberately NOT an escape — the value stays in
+	// the calling goroutine; ToReturn tracks that separately.
+	Escaping []bool
+	// Mutated[i] reports that the memory parameter i points to may be
+	// written through it (field store, element store, pointer store, or
+	// a resolved callee doing the same).
+	Mutated []bool
+	// ToReturn[i] reports that parameter i's reference may alias the
+	// function's return value — returned directly, or stored into a
+	// local that is returned.
+	ToReturn []bool
+	// Fresh reports that every return statement yields a freshly
+	// allocated value (composite literal, new, make, or a call to
+	// another Fresh function): the result's allocation identity is new
+	// on every call. Interior fields may still reference arguments —
+	// ToReturn tracks that separately.
+	Fresh bool
+}
+
+// EscapeSummaries computes an EscapeSummary for every node with a body,
+// bottom-up over the SCC condensation so callee facts are final (or
+// fixpointed within a recursive component) before callers consume them.
+func EscapeSummaries(g *Graph) map[string]*EscapeSummary {
+	sums := make(map[string]*EscapeSummary)
+	for _, scc := range g.SCCs {
+		for pass := 0; pass <= len(scc); pass++ {
+			changed := false
+			for _, n := range scc {
+				if n.Body() == nil {
+					continue
+				}
+				s := summarizeEscape(n, sums)
+				if !equalEscape(sums[n.ID], s) {
+					sums[n.ID] = s
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+	// Devirtualized interface methods alias their unique implementation
+	// (mirrors ModuleTaintSummaries): most call sites resolve through
+	// Sites, but callers indexing by the interface method's ID get the
+	// implementation's facts too.
+	for ifaceID, node := range g.devirt {
+		if s, ok := sums[node.ID]; ok {
+			sums[ifaceID] = s
+		}
+	}
+	return sums
+}
+
+func equalEscape(a, b *EscapeSummary) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Fresh != b.Fresh {
+		return false
+	}
+	eq := func(x, y []bool) bool {
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return eq(a.Escaping, b.Escaping) && eq(a.Mutated, b.Mutated) && eq(a.ToReturn, b.ToReturn)
+}
+
+// ParamObjects returns the node's parameter objects in summary index
+// order (receiver first for methods). Nil entries mark unnamed or blank
+// parameters.
+func ParamObjects(n *Node) []*types.Var {
+	info := n.Pkg.TypesInfo
+	var out []*types.Var
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			if len(f.Names) == 0 {
+				out = append(out, nil)
+				continue
+			}
+			for _, name := range f.Names {
+				v, _ := info.Defs[name].(*types.Var)
+				out = append(out, v)
+			}
+		}
+	}
+	if n.Decl != nil {
+		addFields(n.Decl.Recv)
+		addFields(n.Decl.Type.Params)
+	} else if n.Lit != nil {
+		addFields(n.Lit.Type.Params)
+	}
+	return out
+}
+
+// IsRefCarrying reports whether values of type t can carry a reference
+// to mutable memory: handing such a value to another goroutine aliases
+// state. Strings are immutable and basic types are copies, so both are
+// value-like; structs and arrays inherit from their elements.
+func IsRefCarrying(t types.Type) bool {
+	return isRefCarrying(t, 0)
+}
+
+func isRefCarrying(t types.Type, depth int) bool {
+	if t == nil || depth > 8 {
+		return true // unknown: assume the worst
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return false
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if isRefCarrying(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+		return false
+	case *types.Array:
+		return isRefCarrying(u.Elem(), depth+1)
+	}
+	return true
+}
+
+// RefTracker resolves by-reference uses of a tracked set of variables
+// inside one function, consulting callee escape summaries so that a
+// call's result only aliases the arguments the callee actually threads
+// to its return value.
+type RefTracker struct {
+	Node *Node
+	Sums map[string]*EscapeSummary
+	// Tracked maps each watched variable (and any whole-value alias of
+	// it) to a caller-chosen index.
+	Tracked map[types.Object]int
+}
+
+func (rt *RefTracker) info() *types.Info { return rt.Node.Pkg.TypesInfo }
+
+// IndexOf resolves e to a tracked variable's index when e denotes the
+// variable itself (possibly &v, *v, or parenthesized).
+func (rt *RefTracker) IndexOf(e ast.Expr) (int, bool) { return rt.indexOf(e) }
+
+func (rt *RefTracker) indexOf(e ast.Expr) (int, bool) {
+	if e == nil {
+		return 0, false
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := rt.info().ObjectOf(e); obj != nil {
+			if i, ok := rt.Tracked[obj]; ok {
+				return i, true
+			}
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return rt.indexOf(e.X)
+		}
+	case *ast.StarExpr:
+		return rt.indexOf(e.X)
+	}
+	return 0, false
+}
+
+// BaseIdent returns the leftmost identifier of a chain of selections,
+// indexes, dereferences, and slicings, or nil.
+func BaseIdent(e ast.Expr) *ast.Ident { return baseIdent(e) }
+
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// baseIdentExpr adapts baseIdent to an expression suitable for indexOf.
+func baseIdentExpr(e ast.Expr) ast.Expr {
+	if e == nil {
+		return nil
+	}
+	if id := baseIdent(e); id != nil {
+		return id
+	}
+	return nil
+}
+
+// Uses returns the indexes of tracked variables whose references can
+// flow out through expr's value. A use is by reference unless
+// selection/indexing reaches a value-like type first: p.count is an int
+// copy, p.buf still aliases the arena.
+func (rt *RefTracker) Uses(expr ast.Expr) []int {
+	var out []int
+	seen := map[int]bool{}
+	add := func(i int) {
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	addIfRef := func(e ast.Expr, i int) {
+		if t := rt.info().TypeOf(e); t == nil || IsRefCarrying(t) {
+			add(i)
+		}
+	}
+	var visit func(e ast.Expr)
+	visit = func(e ast.Expr) {
+		e = ast.Unparen(e)
+		if e == nil {
+			return
+		}
+		if i, ok := rt.indexOf(e); ok {
+			addIfRef(e, i)
+			return
+		}
+		switch x := e.(type) {
+		case *ast.FuncLit:
+			return // its own node; captures are handled at spawn sites
+		case *ast.SelectorExpr:
+			if i, ok := rt.indexOf(baseIdentExpr(x)); ok {
+				addIfRef(x, i)
+				return
+			}
+			visit(x.X)
+		case *ast.IndexExpr:
+			if i, ok := rt.indexOf(baseIdentExpr(x.X)); ok {
+				addIfRef(x, i)
+			} else {
+				visit(x.X)
+			}
+			visit(x.Index)
+		case *ast.SliceExpr:
+			visit(x.X)
+		case *ast.CallExpr:
+			// A value-typed result is a copy regardless of arguments.
+			if t := rt.info().TypeOf(x); t != nil && !IsRefCarrying(t) {
+				return
+			}
+			if callee := rt.Node.Sites[x]; callee != nil {
+				if sum := rt.Sums[callee.ID]; sum != nil {
+					// The callee says exactly which arguments can alias
+					// its result.
+					for j, a := range EffectiveArgs(x, callee) {
+						if a != nil && j < len(sum.ToReturn) && sum.ToReturn[j] {
+							visit(a)
+						}
+					}
+					return
+				}
+			}
+			// Unknown callee (builtins like append included): assume
+			// the result may alias any reference argument.
+			for _, a := range x.Args {
+				visit(a)
+			}
+			visit(x.Fun)
+		case *ast.UnaryExpr:
+			visit(x.X)
+		case *ast.StarExpr:
+			visit(x.X)
+		case *ast.CompositeLit:
+			for _, el := range x.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					visit(kv.Value)
+					continue
+				}
+				visit(el)
+			}
+		case *ast.KeyValueExpr:
+			visit(x.Value)
+		case *ast.BinaryExpr:
+			visit(x.X)
+			visit(x.Y)
+		case *ast.TypeAssertExpr:
+			visit(x.X)
+		}
+	}
+	visit(expr)
+	return out
+}
+
+// EffectiveArgs lays out a call's arguments in summary index order: for
+// method calls the receiver expression occupies index 0. Nil entries
+// mark slots with no recoverable expression.
+func EffectiveArgs(call *ast.CallExpr, callee *Node) []ast.Expr {
+	var out []ast.Expr
+	if callee != nil && callee.Decl != nil && callee.Decl.Recv != nil {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			out = append(out, sel.X)
+		} else {
+			out = append(out, nil)
+		}
+	}
+	for _, a := range call.Args {
+		out = append(out, a)
+	}
+	return out
+}
+
+// FreshExpr reports whether e evaluates to a freshly allocated value or
+// a pure copy: composite literals, new, make, calls to functions whose
+// summary is Fresh, and value-typed expressions.
+func (rt *RefTracker) FreshExpr(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if e == nil {
+		return false
+	}
+	info := rt.info()
+	switch x := e.(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.Ident:
+		if x.Name == "nil" || x.Name == "true" || x.Name == "false" {
+			return true
+		}
+		// A local whose every assignment was fresh would need flow
+		// tracking; only value-like locals are accepted.
+		if t := info.TypeOf(x); t != nil && !IsRefCarrying(t) {
+			return true
+		}
+		return false
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+				return true
+			}
+		}
+		return false
+	case *ast.CompositeLit:
+		// Freshness is about allocation identity, not deep ownership: a
+		// composite literal is a new object even when some field holds
+		// a shared reference (that aliasing is what Uses/ToReturn
+		// track).
+		return true
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+			switch id.Name {
+			case "new", "make":
+				if obj := info.Uses[id]; obj == nil || obj.Parent() == types.Universe {
+					return true
+				}
+			}
+		}
+		if callee := rt.Node.Sites[x]; callee != nil {
+			if sum := rt.Sums[callee.ID]; sum != nil && sum.Fresh {
+				return true
+			}
+		}
+		if t := info.TypeOf(x); t != nil && !IsRefCarrying(t) {
+			return true // value-typed result: a copy either way
+		}
+		return false
+	case *ast.BinaryExpr:
+		return true // arithmetic/comparison: value result
+	}
+	if t := info.TypeOf(e); t != nil && !IsRefCarrying(t) {
+		return true
+	}
+	return false
+}
+
+// escWalker accumulates one function's summary.
+type escWalker struct {
+	rt  *RefTracker
+	out *EscapeSummary
+	// carriers maps a local variable to the set of parameter indexes
+	// whose references were stored into it (att.sc = sc): returning the
+	// local then returns those parameters too.
+	carriers map[types.Object]map[int]bool
+}
+
+func summarizeEscape(n *Node, sums map[string]*EscapeSummary) *EscapeSummary {
+	params := ParamObjects(n)
+	rt := &RefTracker{Node: n, Sums: sums, Tracked: make(map[types.Object]int, len(params))}
+	for i, p := range params {
+		if p != nil && IsRefCarrying(p.Type()) {
+			rt.Tracked[p] = i
+		}
+	}
+	w := &escWalker{
+		rt: rt,
+		out: &EscapeSummary{
+			Escaping: make([]bool, len(params)),
+			Mutated:  make([]bool, len(params)),
+			ToReturn: make([]bool, len(params)),
+		},
+		carriers: map[types.Object]map[int]bool{},
+	}
+
+	// Two passes: the first discovers whole-value aliases (x := p), the
+	// second classifies uses with the alias set complete. One alias
+	// round covers the x := p; sink(x) idiom the analyzers care about.
+	w.collectAliases(n.Body())
+	w.classify(n.Body())
+	w.out.Fresh = w.freshReturns(n)
+	return w.out
+}
+
+func (w *escWalker) info() *types.Info { return w.rt.info() }
+
+func (w *escWalker) collectAliases(body *ast.BlockStmt) {
+	ast.Inspect(body, func(nd ast.Node) bool {
+		as, ok := nd.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			pi, isParam := w.rt.indexOf(as.Rhs[i])
+			if !isParam {
+				continue
+			}
+			if obj := w.info().ObjectOf(id); obj != nil {
+				if _, exists := w.rt.Tracked[obj]; !exists {
+					w.rt.Tracked[obj] = pi
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (w *escWalker) markEscape(e ast.Expr) {
+	for _, i := range w.rt.Uses(e) {
+		w.out.Escaping[i] = true
+	}
+}
+
+func (w *escWalker) classify(body *ast.BlockStmt) {
+	ast.Inspect(body, func(nd ast.Node) bool {
+		switch nd := nd.(type) {
+		case *ast.SendStmt:
+			w.markEscape(nd.Value)
+		case *ast.GoStmt:
+			// Everything a spawned call can see escapes this goroutine:
+			// arguments, and captures of a directly spawned literal.
+			for _, a := range nd.Call.Args {
+				w.markEscape(a)
+			}
+			if lit, ok := ast.Unparen(nd.Call.Fun).(*ast.FuncLit); ok {
+				w.markCaptured(lit)
+			} else {
+				w.markEscape(nd.Call.Fun)
+			}
+		case *ast.AssignStmt:
+			w.classifyAssign(nd)
+		case *ast.IncDecStmt:
+			if pi, ok := w.rt.indexOf(baseOfStore(nd.X)); ok {
+				w.out.Mutated[pi] = true
+			}
+		case *ast.ReturnStmt:
+			for _, r := range nd.Results {
+				for _, i := range w.rt.Uses(r) {
+					w.out.ToReturn[i] = true
+				}
+				// A returned local that carries stored params returns
+				// them too.
+				if id := baseIdent(r); id != nil {
+					if set, ok := w.carriers[w.info().ObjectOf(id)]; ok {
+						for i := range set {
+							w.out.ToReturn[i] = true
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			w.classifyCall(nd)
+		}
+		return true
+	})
+}
+
+// BaseOfStore returns the base expression whose memory an lvalue writes
+// through, or nil for a plain identifier (which rebinds, not mutates).
+func BaseOfStore(lhs ast.Expr) ast.Expr { return baseOfStore(lhs) }
+
+func baseOfStore(lhs ast.Expr) ast.Expr {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return baseIdentExpr(l.(ast.Expr))
+	}
+	return nil
+}
+
+// markCaptured marks every tracked variable the literal captures as
+// escaping (used for spawned literals only — a literal running in the
+// same goroutine does not publish its captures).
+func (w *escWalker) markCaptured(lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(nd ast.Node) bool {
+		id, ok := nd.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := w.info().ObjectOf(id); obj != nil {
+			if i, tracked := w.rt.Tracked[obj]; tracked {
+				w.out.Escaping[i] = true
+			}
+		}
+		return true
+	})
+}
+
+func (w *escWalker) classifyAssign(as *ast.AssignStmt) {
+	for i, lhs := range as.Lhs {
+		var rhs ast.Expr
+		if len(as.Rhs) == len(as.Lhs) {
+			rhs = as.Rhs[i]
+		} else if len(as.Rhs) == 1 {
+			rhs = as.Rhs[0]
+		}
+		lhs = ast.Unparen(lhs)
+
+		// Mutation: a store through a tracked variable's memory (plain
+		// rebinding of the identifier is not).
+		if pi, ok := w.rt.indexOf(baseOfStore(lhs)); ok {
+			w.out.Mutated[pi] = true
+		}
+
+		if rhs == nil {
+			continue
+		}
+		// Escape: the RHS reference lands somewhere that outlives the
+		// frame — a global, or a field/element of memory that is not
+		// the tracked variable's own.
+		switch l := lhs.(type) {
+		case *ast.Ident:
+			if obj := w.info().ObjectOf(l); obj != nil {
+				if v, isVar := obj.(*types.Var); isVar && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+					w.markEscape(rhs) // package-level variable
+				}
+			}
+		case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+			basePi, baseIsTracked := w.rt.indexOf(baseIdentExpr(l.(ast.Expr)))
+			for _, ri := range w.rt.Uses(rhs) {
+				if baseIsTracked && basePi == ri {
+					continue // p.f = p.buf: self-store, still confined
+				}
+				base := baseIdent(l.(ast.Expr))
+				if base == nil {
+					w.out.Escaping[ri] = true
+					continue
+				}
+				obj := w.info().ObjectOf(base)
+				v, isVar := obj.(*types.Var)
+				if !isVar {
+					w.out.Escaping[ri] = true
+					continue
+				}
+				switch {
+				case v.Pkg() != nil && v.Parent() == v.Pkg().Scope():
+					w.out.Escaping[ri] = true // global's field/element
+				case baseIsTracked, v.IsField():
+					// Another parameter's memory, or a bare field write
+					// (method body, implicit receiver): shared from the
+					// caller's perspective.
+					w.out.Escaping[ri] = true
+				default:
+					// A store into a purely local structure stays
+					// in-frame — unless the local is later returned.
+					set := w.carriers[v]
+					if set == nil {
+						set = map[int]bool{}
+						w.carriers[v] = set
+					}
+					set[ri] = true
+				}
+			}
+		}
+	}
+}
+
+func (w *escWalker) classifyCall(call *ast.CallExpr) {
+	// Resolve the callee through the graph; unresolved callees are
+	// treated as neither escaping nor mutating (documented trade-off:
+	// the analyzers prefer silence to a flood of unknown-callee
+	// reports).
+	callee := w.rt.Node.Sites[call]
+	if callee == nil {
+		return
+	}
+	sum := w.rt.Sums[callee.ID]
+	if sum == nil {
+		return
+	}
+	for j, a := range EffectiveArgs(call, callee) {
+		if a == nil {
+			continue
+		}
+		uses := w.rt.Uses(a)
+		if len(uses) == 0 {
+			continue
+		}
+		if j < len(sum.Escaping) && sum.Escaping[j] {
+			for _, u := range uses {
+				w.out.Escaping[u] = true
+			}
+		}
+		if j < len(sum.Mutated) && sum.Mutated[j] {
+			for _, u := range uses {
+				w.out.Mutated[u] = true
+			}
+		}
+	}
+}
+
+// freshReturns reports whether every return yields freshly allocated
+// values.
+func (w *escWalker) freshReturns(n *Node) bool {
+	var results *ast.FieldList
+	if n.Decl != nil {
+		results = n.Decl.Type.Results
+	} else if n.Lit != nil {
+		results = n.Lit.Type.Results
+	}
+	if results == nil || len(results.List) == 0 {
+		return false
+	}
+	fresh := true
+	sawReturn := false
+	ast.Inspect(n.Body(), func(nd ast.Node) bool {
+		if !fresh {
+			return false
+		}
+		if _, isLit := nd.(*ast.FuncLit); isLit {
+			return false
+		}
+		ret, ok := nd.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		sawReturn = true
+		if len(ret.Results) == 0 {
+			fresh = false // named results would need flow tracking
+			return true
+		}
+		for _, r := range ret.Results {
+			if !w.rt.FreshExpr(r) {
+				fresh = false
+			}
+		}
+		return true
+	})
+	return fresh && sawReturn
+}

@@ -30,6 +30,16 @@ func ModuleTaintSummaries(g *Graph, confFor func(*load.Package) dataflow.TaintCo
 		return c
 	}
 
+	// Devirtualized interface methods alias their unique implementation:
+	// a call site looks the summary up under the interface method's ID
+	// ("(pkg.I).M"), so the implementation's summary is published under
+	// that ID too. The SCC order already accounts for the devirtualized
+	// edges, so aliases are final before any caller consults them.
+	aliases := map[string][]string{}
+	for ifaceID, node := range g.devirt {
+		aliases[node.ID] = append(aliases[node.ID], ifaceID)
+	}
+
 	summarize := func(n *Node) bool {
 		sum := dataflow.Summarize(n.Decl, cfg.New(n.Decl.Body), conf(n.Pkg))
 		old := sums.GetID(n.ID)
@@ -37,6 +47,9 @@ func ModuleTaintSummaries(g *Graph, confFor func(*load.Package) dataflow.TaintCo
 			return false
 		}
 		sums.SetID(n.ID, sum)
+		for _, id := range aliases[n.ID] {
+			sums.SetID(id, sum)
+		}
 		return true
 	}
 

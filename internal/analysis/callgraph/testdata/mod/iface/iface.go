@@ -1,0 +1,42 @@
+// Package iface exercises bounded devirtualization: Sink is an interface
+// with exactly one concrete implementation in the module, so calls
+// through it resolve; Multi has two, so calls through it must not.
+package iface
+
+// Sink has exactly one implementation (onlyImpl).
+type Sink interface {
+	Put(v int) int
+}
+
+type onlyImpl struct{ total int }
+
+func (s *onlyImpl) Put(v int) int {
+	s.total += v
+	return s.total
+}
+
+// New returns the unique Sink.
+func New() Sink { return &onlyImpl{} }
+
+// Drive calls through the interface; only devirtualization can connect
+// Drive -> (*iface.onlyImpl).Put.
+func Drive(s Sink) int { return s.Put(7) }
+
+// Multi has two implementations; calls through it stay unresolved.
+type Multi interface {
+	Val() int
+}
+
+type implA struct{}
+
+func (implA) Val() int { return 1 }
+
+type implB struct{}
+
+func (implB) Val() int { return 2 }
+
+// DriveMulti must produce no edge to either implementation.
+func DriveMulti(m Multi) int { return m.Val() }
+
+// use keeps both Multi implementations referenced.
+func use() (Multi, Multi) { return implA{}, implB{} }

@@ -311,3 +311,95 @@ b4 range.after -> b1
 		t.Errorf("range.after must not be InLoop, got %v", in)
 	}
 }
+
+// TestSelectMixedSendRecv: a send case and a receive case build the same
+// shape; a case ending in return bypasses select.after entirely.
+func TestSelectMixedSendRecv(t *testing.T) {
+	g := build(t, "var a chan int\nvar done chan int\nselect {\ncase a <- 1:\n\tx := 1\n\t_ = x\ncase <-done:\n\treturn\n}\n_ = a")
+	expect(t, g, `
+b0 entry -> b3 b4
+b1 exit
+b2 select.after -> b1
+b3 select.case -> b2
+b4 select.case -> b1
+`)
+	// The send comm statement belongs to its case block: comm + two body
+	// statements.
+	if n := len(g.Blocks[3].Nodes); n != 3 {
+		t.Errorf("send case nodes = %d, want 3 (comm, assign, use)", n)
+	}
+}
+
+// TestSelectDefault: the default clause gets its own block kind, and the
+// head still has no direct edge to select.after — exactly one arm runs.
+func TestSelectDefault(t *testing.T) {
+	g := build(t, "var c chan int\nselect {\ncase v := <-c:\n\t_ = v\ndefault:\n\t_ = 0\n}")
+	expect(t, g, `
+b0 entry -> b3 b4
+b1 exit
+b2 select.after -> b1
+b3 select.case -> b2
+b4 select.default -> b2
+`)
+}
+
+// TestSelectNested: a select inside a case body — the inner after block
+// feeds the outer one, and each head branches only to its own arms.
+func TestSelectNested(t *testing.T) {
+	g := build(t, "var a, b chan int\nselect {\ncase <-a:\n\tselect {\n\tcase <-b:\n\tdefault:\n\t}\ndefault:\n}")
+	expect(t, g, `
+b0 entry -> b3 b7
+b1 exit
+b2 select.after -> b1
+b3 select.case -> b5 b6
+b4 select.after -> b2
+b5 select.case -> b4
+b6 select.default -> b4
+b7 select.default -> b2
+`)
+}
+
+// TestSelectInLoopLabeledBreak: `break outer` from a select case must
+// target the loop's after block, not the select's; the default arm loops
+// back through the head.
+func TestSelectInLoopLabeledBreak(t *testing.T) {
+	g := build(t, "var c chan int\nouter:\nfor {\n\tselect {\n\tcase <-c:\n\t\tbreak outer\n\tdefault:\n\t}\n}\n_ = c")
+	expect(t, g, `
+b0 entry -> b2
+b1 exit
+b2 label.outer -> b3
+b3 for.head -> b4
+b4 for.body -> b7 b8
+b5 for.after -> b1
+b6 select.after -> b3
+b7 select.case -> b5
+b8 select.default -> b6
+`)
+}
+
+// TestSelectEmpty: `select {}` blocks forever, so everything after it is
+// unreachable from the entry.
+func TestSelectEmpty(t *testing.T) {
+	g := build(t, "x := 1\nselect {}\nx = 2\n_ = x")
+	got := g.DebugString()
+	if !strings.Contains(got, "select.after") {
+		t.Fatalf("missing select.after block:\n%s", got)
+	}
+	// No path from entry may reach the exit: the empty select never
+	// proceeds.
+	reached := map[*Block]bool{}
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if reached[b] {
+			return
+		}
+		reached[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry)
+	if reached[g.Exit] {
+		t.Errorf("exit reachable across an empty select:\n%s", got)
+	}
+}

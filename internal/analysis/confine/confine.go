@@ -1,0 +1,885 @@
+// Package confine defines a goroutine-confinement escape analyzer.
+//
+// The router's parallel stages hand each worker goroutine private
+// scratch — searchCtx arenas, write overlays, stamped visit tables —
+// allocated once per worker and reused across loop iterations. The
+// speed of that pattern comes from never publishing the scratch: the
+// moment a reference to it flows into a results channel, a shared
+// struct field, or a closure captured by a later spawn, some other
+// goroutine aliases memory the worker keeps overwriting, and results
+// silently decay as iterations proceed.
+//
+// The analyzer enforces two confinement rules over the call graph's
+// Spawns edges, using interprocedural escape summaries (see
+// callgraph.EscapeSummaries) so a leak through a callee is caught at
+// the call site:
+//
+// Rule 1 (worker interior): inside a spawned goroutine, a value with a
+// fresh per-goroutine allocation (a local built from &T{}/new/make or a
+// Fresh callee, or a parameter every spawn site passes a fresh argument
+// for) that is mutated by the goroutine must not escape from a loop
+// deeper than its allocation: a channel send, a store to shared memory,
+// a publishing callee, or capture by a nested spawn inside the loop
+// hands out one reference per iteration to scratch that is reused on
+// the next.
+//
+// Rule 2 (spawner side): a fresh local handed to a goroutine that
+// mutates it must be per-spawn: allocating it outside the spawn loop
+// shares one allocation between all workers; handing it to two spawns,
+// or additionally publishing it to shared memory, aliases memory a
+// goroutine is writing.
+//
+// Per-iteration allocations sent exactly once are ownership transfer
+// and stay clean, as does handing read-only configuration to many
+// goroutines (no mutation, no finding). Unresolved callees are treated
+// as non-escaping — the analyzer prefers silence to unknown-callee
+// noise; the callgraph's devirtualization keeps single-implementation
+// interface calls resolved.
+package confine
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"stitchroute/internal/analysis"
+	"stitchroute/internal/analysis/callgraph"
+)
+
+// Analyzer flags worker-goroutine scratch escaping its goroutine.
+var Analyzer = &analysis.Analyzer{
+	Name:    "confine",
+	Version: 1,
+	Doc: "flag goroutine-confined scratch (arenas, overlays, per-worker buffers) escaping via channels, shared fields, publishing callees, or later spawns\n\n" +
+		"A worker's reused allocation that leaks by reference is aliased by other goroutines while the worker keeps overwriting it; per-iteration handoffs and read-only sharing stay clean.",
+	RunModule: runModule,
+}
+
+func runModule(mp *analysis.ModulePass) error {
+	g := mp.Graph
+	sums := callgraph.EscapeSummaries(g)
+
+	// Deterministic node order: reports must not depend on map
+	// iteration.
+	ids := make([]string, 0, len(g.Nodes))
+	for id := range g.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	// Spawn sites per callee, for parameter candidacy in Rule 1.
+	sites := map[*callgraph.Node][]spawnSite{}
+	for _, id := range ids {
+		n := g.Nodes[id]
+		for _, sp := range n.Spawns {
+			if sp.Stmt != nil {
+				sites[sp.Callee] = append(sites[sp.Callee], spawnSite{spawner: n, stmt: sp.Stmt})
+			}
+		}
+	}
+
+	for _, id := range ids {
+		n := g.Nodes[id]
+		if n.Body() == nil {
+			continue
+		}
+		if len(sites[n]) > 0 {
+			checkWorker(mp, g, sums, n, sites[n])
+		}
+		if len(n.Spawns) > 0 {
+			checkSpawner(mp, g, sums, n)
+		}
+	}
+	return nil
+}
+
+type spawnSite struct {
+	spawner *callgraph.Node
+	stmt    *ast.GoStmt
+}
+
+// candidate is one confinement-tracked allocation.
+type candidate struct {
+	obj     *types.Var
+	depth   int // loop depth of the allocation (params: 0)
+	pos     token.Pos
+	mutated bool
+	// reported dedupes Rule 1 findings per escape kind.
+	reported map[string]bool
+}
+
+// walker carries the per-function state shared by both rules.
+type walker struct {
+	mp    *analysis.ModulePass
+	g     *callgraph.Graph
+	rt    *callgraph.RefTracker
+	node  *callgraph.Node
+	cands []*candidate
+	// body span: objects declared outside it are shared with the
+	// spawner (captured variables, non-candidate parameters, receiver).
+	bodyPos, bodyEnd token.Pos
+}
+
+func newWalker(mp *analysis.ModulePass, g *callgraph.Graph, sums map[string]*callgraph.EscapeSummary, n *callgraph.Node) *walker {
+	body := n.Body()
+	return &walker{
+		mp:      mp,
+		g:       g,
+		rt:      &callgraph.RefTracker{Node: n, Sums: sums, Tracked: map[types.Object]int{}},
+		node:    n,
+		bodyPos: body.Pos(),
+		bodyEnd: body.End(),
+	}
+}
+
+func (w *walker) addCandidate(obj *types.Var, depth int, pos token.Pos) *candidate {
+	c := &candidate{obj: obj, depth: depth, pos: pos, reported: map[string]bool{}}
+	w.rt.Tracked[obj] = len(w.cands)
+	w.cands = append(w.cands, c)
+	return c
+}
+
+func (w *walker) line(pos token.Pos) int { return w.mp.Fset.Position(pos).Line }
+
+// collect walks the body once, registering fresh locals as candidates
+// and derived locals (path := arena.solve(t), v := arena) as aliases of
+// the candidate their value references.
+func (w *walker) collect() {
+	walkDepth(w.node.Body(), 0, func(nd ast.Node, depth int) {
+		switch nd := nd.(type) {
+		case *ast.AssignStmt:
+			// Only definitions introduce candidates or aliases: a plain
+			// `=` to an existing variable (lastArena = a) is a store —
+			// possibly an escape — not a new name for the value.
+			if nd.Tok != token.DEFINE || len(nd.Lhs) != len(nd.Rhs) {
+				return
+			}
+			for i, lhs := range nd.Lhs {
+				w.collectDef(lhs, nd.Rhs[i], depth)
+			}
+		case *ast.DeclStmt:
+			gd, ok := nd.Decl.(*ast.GenDecl)
+			if !ok {
+				return
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != len(vs.Names) {
+					continue
+				}
+				for i, name := range vs.Names {
+					w.collectDef(name, vs.Values[i], depth)
+				}
+			}
+		}
+	})
+}
+
+func (w *walker) collectDef(lhs, rhs ast.Expr, depth int) {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj, ok := w.node.Pkg.TypesInfo.ObjectOf(id).(*types.Var)
+	if !ok || !callgraph.IsRefCarrying(obj.Type()) {
+		return
+	}
+	if _, tracked := w.rt.Tracked[obj]; tracked {
+		return
+	}
+	// Alias before freshness: a fresh composite whose payload
+	// references a candidate (res := &Result{Buf: arena.buf}) is still
+	// the arena's memory.
+	if uses := w.rt.Uses(rhs); len(uses) == 1 {
+		w.rt.Tracked[obj] = uses[0]
+		return
+	}
+	if w.rt.FreshExpr(rhs) {
+		w.addCandidate(obj, depth, id.Pos())
+	}
+}
+
+// walkDepth visits every node in the body with its enclosing loop depth
+// relative to the body. Nested function literal bodies are NOT entered:
+// their statements belong to the literal's own call-graph node (spawn
+// sites still see the go statement itself, and capture effects are
+// resolved through capturesObj/mutatesCaptured).
+func walkDepth(body *ast.BlockStmt, base int, f func(ast.Node, int)) {
+	depth := base
+	var visit func(ast.Node) bool
+	visit = func(nd ast.Node) bool {
+		switch s := nd.(type) {
+		case *ast.ForStmt:
+			f(nd, depth)
+			if s.Init != nil {
+				ast.Inspect(s.Init, visit)
+			}
+			if s.Cond != nil {
+				ast.Inspect(s.Cond, visit)
+			}
+			if s.Post != nil {
+				ast.Inspect(s.Post, visit)
+			}
+			depth++
+			ast.Inspect(s.Body, visit)
+			depth--
+			return false
+		case *ast.RangeStmt:
+			f(nd, depth)
+			ast.Inspect(s.X, visit)
+			depth++
+			ast.Inspect(s.Body, visit)
+			depth--
+			return false
+		case *ast.FuncLit:
+			f(nd, depth)
+			return false
+		case nil:
+			return true
+		}
+		f(nd, depth)
+		return true
+	}
+	ast.Inspect(body, visit)
+}
+
+// markMutations records which candidates the function writes through —
+// directly or via a callee's Mutated parameter.
+func (w *walker) markMutations() {
+	sums := w.rt.Sums
+	ast.Inspect(w.node.Body(), func(nd ast.Node) bool {
+		switch nd := nd.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range nd.Lhs {
+				if i, ok := w.rt.IndexOf(callgraph.BaseOfStore(lhs)); ok {
+					w.cands[i].mutated = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if i, ok := w.rt.IndexOf(callgraph.BaseOfStore(nd.X)); ok {
+				w.cands[i].mutated = true
+			}
+		case *ast.CallExpr:
+			callee := w.node.Sites[nd]
+			if callee == nil {
+				return true
+			}
+			sum := sums[callee.ID]
+			if sum == nil {
+				return true
+			}
+			for j, a := range callgraph.EffectiveArgs(nd, callee) {
+				if a == nil || j >= len(sum.Mutated) || !sum.Mutated[j] {
+					continue
+				}
+				if id := callgraph.BaseIdent(a); id != nil {
+					if i, ok := w.rt.IndexOf(id); ok {
+						w.cands[i].mutated = true
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// sharedBase reports whether a store through base publishes to memory
+// the spawner (or other goroutines) can reach: a package-level
+// variable, a struct field, or anything declared outside this
+// function's body — captured variables, non-candidate parameters, the
+// receiver.
+func (w *walker) sharedBase(base *ast.Ident) bool {
+	if base == nil {
+		return false
+	}
+	obj := w.node.Pkg.TypesInfo.ObjectOf(base)
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	if _, tracked := w.rt.Tracked[obj]; tracked {
+		return false // candidate or alias: goroutine-private
+	}
+	if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return true
+	}
+	if v.IsField() {
+		return true
+	}
+	return v.Pos() < w.bodyPos || v.Pos() > w.bodyEnd
+}
+
+// escapeRec is one potential Rule 1 violation, resolved after mutation
+// facts are complete.
+type escapeRec struct {
+	cand  int
+	depth int
+	pos   token.Pos
+	kind  string
+	via   string
+}
+
+// checkWorker applies Rule 1 to a spawned goroutine's body.
+func checkWorker(mp *analysis.ModulePass, g *callgraph.Graph, sums map[string]*callgraph.EscapeSummary, n *callgraph.Node, spawnedAt []spawnSite) {
+	w := newWalker(mp, g, sums, n)
+
+	// Parameters are per-goroutine scratch when every spawn site passes
+	// a freshly allocated argument (the sched-style `go worker(sc)`
+	// with sc := newSearchCtx()).
+	params := callgraph.ParamObjects(n)
+	for j, p := range params {
+		if p == nil || !callgraph.IsRefCarrying(p.Type()) {
+			continue
+		}
+		freshEverywhere := true
+		for _, site := range spawnedAt {
+			args := callgraph.EffectiveArgs(site.stmt.Call, n)
+			if j >= len(args) || args[j] == nil || !freshAtSpawner(site.spawner, sums, args[j]) {
+				freshEverywhere = false
+				break
+			}
+		}
+		if freshEverywhere {
+			w.addCandidate(p, 0, p.Pos())
+		}
+	}
+
+	// A literal that captures a spawner-fresh local allocated at the
+	// spawn's own loop depth owns that allocation: the spawner made it
+	// for this goroutine (`a := newArena(); go func() { ...a... }()`).
+	// A capture allocated OUTSIDE the spawn loop is shared between
+	// workers — that is Rule 2's finding, not a confined candidate.
+	if n.Lit != nil && len(spawnedAt) == 1 {
+		sp := spawnedAt[0]
+		for _, v := range capturedVars(n.Lit, n.Pkg.TypesInfo) {
+			if _, dup := w.rt.Tracked[v]; dup {
+				continue
+			}
+			if freshLocalObj(sp.spawner, sums, v) && sameDepthAsSpawn(sp.spawner, v, sp.stmt) {
+				w.addCandidate(v, 0, v.Pos())
+			}
+		}
+	}
+
+	w.collect()
+	w.markMutations()
+
+	var recs []escapeRec
+	record := func(uses []int, depth int, pos token.Pos, kind, via string) {
+		for _, i := range uses {
+			recs = append(recs, escapeRec{cand: i, depth: depth, pos: pos, kind: kind, via: via})
+		}
+	}
+
+	walkDepth(n.Body(), 0, func(nd ast.Node, depth int) {
+		switch nd := nd.(type) {
+		case *ast.SendStmt:
+			record(w.rt.Uses(nd.Value), depth, nd.Arrow, "send", "")
+		case *ast.AssignStmt:
+			for i, lhs := range nd.Lhs {
+				var rhs ast.Expr
+				if len(nd.Rhs) == len(nd.Lhs) {
+					rhs = nd.Rhs[i]
+				} else if len(nd.Rhs) == 1 {
+					rhs = nd.Rhs[0]
+				}
+				if rhs == nil {
+					continue
+				}
+				base := storeTargetBase(lhs)
+				if base == nil || !w.sharedBase(base) {
+					continue
+				}
+				record(w.rt.Uses(rhs), depth, nd.Pos(), "store", base.Name)
+			}
+		case *ast.CallExpr:
+			callee := n.Sites[nd]
+			if callee == nil {
+				return
+			}
+			sum := sums[callee.ID]
+			if sum == nil {
+				return
+			}
+			for j, a := range callgraph.EffectiveArgs(nd, callee) {
+				if a == nil || j >= len(sum.Escaping) || !sum.Escaping[j] {
+					continue
+				}
+				record(w.rt.Uses(a), depth, a.Pos(), "call", shortID(callee.ID))
+			}
+		case *ast.GoStmt:
+			for _, a := range nd.Call.Args {
+				record(w.rt.Uses(a), depth, nd.Pos(), "respawn", "")
+			}
+			if lit, ok := ast.Unparen(nd.Call.Fun).(*ast.FuncLit); ok {
+				for i, c := range w.cands {
+					if capturesObj(lit, n.Pkg.TypesInfo, c.obj) {
+						recs = append(recs, escapeRec{cand: i, depth: depth, pos: nd.Pos(), kind: "respawn"})
+					}
+				}
+			}
+		}
+	})
+
+	for _, r := range recs {
+		c := w.cands[r.cand]
+		if !c.mutated || r.depth <= c.depth || c.reported[r.kind] {
+			continue
+		}
+		if !mp.Match(n.Pkg.PkgPath) {
+			continue
+		}
+		c.reported[r.kind] = true
+		name := c.obj.Name()
+		alloc := w.line(c.pos)
+		switch r.kind {
+		case "send":
+			mp.Reportf(r.pos, "goroutine-confined %s leaks by reference through a channel send inside the worker loop: it is allocated once per goroutine (line %d) and mutated across iterations, so every receiver aliases scratch this goroutine keeps reusing", name, alloc)
+		case "store":
+			mp.Reportf(r.pos, "goroutine-confined %s escapes into shared memory through %s inside the worker loop: it is allocated once per goroutine (line %d) and mutated across iterations, so other goroutines alias scratch this one keeps reusing", name, r.via, alloc)
+		case "call":
+			mp.Reportf(r.pos, "goroutine-confined %s escapes through %s, which publishes its argument, inside the worker loop: it is allocated once per goroutine (line %d) and mutated across iterations", name, r.via, alloc)
+		case "respawn":
+			mp.Reportf(r.pos, "goroutine-confined %s is handed to a goroutine spawned inside the worker loop: it is allocated once (line %d) and mutated across iterations, so successive spawns share live scratch", name, alloc)
+		}
+	}
+}
+
+// checkSpawner applies Rule 2 to a function that launches goroutines.
+func checkSpawner(mp *analysis.ModulePass, g *callgraph.Graph, sums map[string]*callgraph.EscapeSummary, n *callgraph.Node) {
+	w := newWalker(mp, g, sums, n)
+	w.collect()
+
+	spawnByStmt := map[*ast.GoStmt]*callgraph.Node{}
+	for _, sp := range n.Spawns {
+		if sp.Stmt != nil {
+			spawnByStmt[sp.Stmt] = sp.Callee
+		}
+	}
+
+	type handoff struct {
+		stmt    *ast.GoStmt
+		depth   int
+		mutated bool
+	}
+	type pub struct {
+		pos  token.Pos
+		kind string
+		via  string
+	}
+	hand := map[int][]handoff{}
+	pubs := map[int][]pub{}
+	info := n.Pkg.TypesInfo
+
+	walkDepth(n.Body(), 0, func(nd ast.Node, depth int) {
+		switch nd := nd.(type) {
+		case *ast.GoStmt:
+			callee := spawnByStmt[nd]
+			var sum *callgraph.EscapeSummary
+			if callee != nil {
+				sum = sums[callee.ID]
+			}
+			for j, a := range callgraph.EffectiveArgs(nd.Call, callee) {
+				if a == nil {
+					continue
+				}
+				mut := sum != nil && j < len(sum.Mutated) && sum.Mutated[j]
+				for _, i := range w.rt.Uses(a) {
+					hand[i] = append(hand[i], handoff{stmt: nd, depth: depth, mutated: mut})
+				}
+			}
+			if lit, ok := ast.Unparen(nd.Call.Fun).(*ast.FuncLit); ok {
+				for i, c := range w.cands {
+					if !capturesObj(lit, info, c.obj) {
+						continue
+					}
+					hand[i] = append(hand[i], handoff{stmt: nd, depth: depth, mutated: capturedMutated(callee, sums, lit, info, c.obj)})
+				}
+			}
+		case *ast.SendStmt:
+			for _, i := range w.rt.Uses(nd.Value) {
+				pubs[i] = append(pubs[i], pub{pos: nd.Arrow, kind: "send"})
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range nd.Lhs {
+				var rhs ast.Expr
+				if len(nd.Rhs) == len(nd.Lhs) {
+					rhs = nd.Rhs[i]
+				} else if len(nd.Rhs) == 1 {
+					rhs = nd.Rhs[0]
+				}
+				if rhs == nil {
+					continue
+				}
+				base := storeTargetBase(lhs)
+				if base == nil || !w.sharedBase(base) {
+					continue
+				}
+				for _, u := range w.rt.Uses(rhs) {
+					pubs[u] = append(pubs[u], pub{pos: nd.Pos(), kind: "store", via: base.Name})
+				}
+			}
+		case *ast.CallExpr:
+			callee := n.Sites[nd]
+			if callee == nil {
+				return
+			}
+			sum := sums[callee.ID]
+			if sum == nil {
+				return
+			}
+			for j, a := range callgraph.EffectiveArgs(nd, callee) {
+				if a == nil || j >= len(sum.Escaping) || !sum.Escaping[j] {
+					continue
+				}
+				for _, u := range w.rt.Uses(a) {
+					pubs[u] = append(pubs[u], pub{pos: a.Pos(), kind: "call", via: shortID(callee.ID)})
+				}
+			}
+		}
+	})
+
+	if !mp.Match(n.Pkg.PkgPath) {
+		return
+	}
+	for i, c := range w.cands {
+		hs := hand[i]
+		if len(hs) == 0 {
+			continue
+		}
+		anyMut := false
+		for _, h := range hs {
+			if h.mutated {
+				anyMut = true
+			}
+		}
+		if !anyMut {
+			continue // read-only sharing (configuration) is fine
+		}
+		name := c.obj.Name()
+		// One allocation feeding a loop of spawns: all workers share it.
+		// Only when the spawner drops the value after spawning — scratch
+		// has no other owner. A value the spawner keeps using (a server
+		// handed to its worker pool, a result slice read after the join)
+		// is deliberately shared state, synchronized by other means.
+		for _, h := range hs {
+			if h.depth > c.depth && !usedAfterLoop(n, c.obj, h.stmt) {
+				mp.Reportf(h.stmt.Pos(), "per-worker scratch %s is allocated once outside the spawn loop (line %d) but every goroutine spawned here mutates it: workers share one allocation; allocate it per spawn", name, w.line(c.pos))
+				break
+			}
+		}
+		// The same allocation handed to two distinct spawns.
+		for k := 1; k < len(hs); k++ {
+			if hs[k].stmt != hs[0].stmt {
+				mp.Reportf(hs[k].stmt.Pos(), "scratch %s is handed to a second goroutine (first spawned at line %d) and mutated: the two goroutines race on one allocation", name, w.line(hs[0].stmt.Pos()))
+				break
+			}
+		}
+		// Handed to a goroutine and also published.
+		if ps := pubs[i]; len(ps) > 0 {
+			p := ps[0]
+			switch p.kind {
+			case "send":
+				mp.Reportf(p.pos, "scratch %s is handed to the goroutine spawned at line %d and also sent on a channel: the receiver aliases memory that goroutine mutates", name, w.line(hs[0].stmt.Pos()))
+			case "store":
+				mp.Reportf(p.pos, "scratch %s is handed to the goroutine spawned at line %d and also stored into shared memory through %s: other code aliases memory that goroutine mutates", name, w.line(hs[0].stmt.Pos()), p.via)
+			case "call":
+				mp.Reportf(p.pos, "scratch %s is handed to the goroutine spawned at line %d and also published by %s: other code aliases memory that goroutine mutates", name, w.line(hs[0].stmt.Pos()), p.via)
+			}
+		}
+	}
+}
+
+// storeTargetBase returns the base identifier of an lvalue that writes
+// through memory (v.f, v[i], *v, chains thereof); plain identifier
+// stores return the identifier itself when it rebinds a variable that
+// others may reach (package-level), else nil.
+func storeTargetBase(lhs ast.Expr) *ast.Ident {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return callgraph.BaseIdent(l.(ast.Expr))
+	case *ast.Ident:
+		return l
+	}
+	return nil
+}
+
+// capturesObj reports whether the literal's body references obj.
+func capturesObj(lit *ast.FuncLit, info *types.Info, obj types.Object) bool {
+	found := false
+	ast.Inspect(lit.Body, func(nd ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := nd.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// mutatesCaptured reports whether the literal writes through a captured
+// variable's memory. Element stores indexed by a literal-local variable
+// (work[k].att = ...) are the partition-by-index idiom — each goroutine
+// owns its slots — and do not count.
+func mutatesCaptured(lit *ast.FuncLit, info *types.Info, obj types.Object) bool {
+	found := false
+	writes := func(lhs ast.Expr) bool {
+		if base := callgraph.BaseIdent(callgraph.BaseOfStore(lhs)); base == nil || info.ObjectOf(base) != obj {
+			return false
+		}
+		return !partitionedStore(lhs, info, lit)
+	}
+	ast.Inspect(lit.Body, func(nd ast.Node) bool {
+		if found {
+			return false
+		}
+		switch nd := nd.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range nd.Lhs {
+				if writes(lhs) {
+					found = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if writes(nd.X) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// capturedMutated reports whether the spawned literal writes through
+// the captured variable — directly (non-partitioned stores) or via a
+// resolved callee that mutates the corresponding argument.
+func capturedMutated(litNode *callgraph.Node, sums map[string]*callgraph.EscapeSummary, lit *ast.FuncLit, info *types.Info, obj types.Object) bool {
+	if mutatesCaptured(lit, info, obj) {
+		return true
+	}
+	if litNode == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(nd ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := nd.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := litNode.Sites[call]
+		if callee == nil {
+			return true
+		}
+		sum := sums[callee.ID]
+		if sum == nil {
+			return true
+		}
+		for j, a := range callgraph.EffectiveArgs(call, callee) {
+			if a == nil || j >= len(sum.Mutated) || !sum.Mutated[j] {
+				continue
+			}
+			if id := callgraph.BaseIdent(a); id != nil && info.ObjectOf(id) == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// partitionedStore reports whether the lvalue indexes through a
+// variable declared inside the literal (a goroutine-local index):
+// distinct workers write distinct slots.
+func partitionedStore(lhs ast.Expr, info *types.Info, lit *ast.FuncLit) bool {
+	part := false
+	ast.Inspect(lhs, func(nd ast.Node) bool {
+		ix, ok := nd.(*ast.IndexExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(ix.Index).(*ast.Ident); ok {
+			// Goroutine-local means declared anywhere in the literal:
+			// the body (k := atomic.AddInt64(...)) or its parameter
+			// list (go func(i int, …) { results[i] = … }(i, …)).
+			if obj := info.ObjectOf(id); obj != nil && obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+				part = true
+				return false
+			}
+		}
+		return true
+	})
+	return part
+}
+
+// freshAtSpawner reports whether the spawn-site argument denotes a
+// freshly allocated value: a fresh expression, or an identifier whose
+// single assignment in the spawner is fresh.
+func freshAtSpawner(spawner *callgraph.Node, sums map[string]*callgraph.EscapeSummary, arg ast.Expr) bool {
+	rt := &callgraph.RefTracker{Node: spawner, Sums: sums, Tracked: map[types.Object]int{}}
+	if rt.FreshExpr(arg) {
+		return true
+	}
+	id, ok := ast.Unparen(arg).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return freshLocalObj(spawner, sums, spawner.Pkg.TypesInfo.ObjectOf(id))
+}
+
+// freshLocalObj reports whether obj is a local of the spawner whose
+// single assignment is a fresh allocation.
+func freshLocalObj(spawner *callgraph.Node, sums map[string]*callgraph.EscapeSummary, obj types.Object) bool {
+	if obj == nil || spawner.Body() == nil {
+		return false
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return false // package-level: shared by definition
+	}
+	rt := &callgraph.RefTracker{Node: spawner, Sums: sums, Tracked: map[types.Object]int{}}
+	fresh, rebound := false, false
+	ast.Inspect(spawner.Body(), func(nd ast.Node) bool {
+		switch nd := nd.(type) {
+		case *ast.AssignStmt:
+			if len(nd.Lhs) != len(nd.Rhs) {
+				return true
+			}
+			for i, lhs := range nd.Lhs {
+				lid, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || spawner.Pkg.TypesInfo.ObjectOf(lid) != obj {
+					continue
+				}
+				if rt.FreshExpr(nd.Rhs[i]) {
+					fresh = true
+				} else {
+					rebound = true
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range nd.Names {
+				if spawner.Pkg.TypesInfo.ObjectOf(name) != obj || i >= len(nd.Values) {
+					continue
+				}
+				if rt.FreshExpr(nd.Values[i]) {
+					fresh = true
+				} else {
+					rebound = true
+				}
+			}
+		}
+		return true
+	})
+	return fresh && !rebound
+}
+
+// capturedVars returns the variables the literal references that are
+// declared outside its body, in first-occurrence order (deterministic
+// report order depends on it). Fields and package-level variables are
+// excluded: they are shared by definition and can never be confined.
+func capturedVars(lit *ast.FuncLit, info *types.Info) []*types.Var {
+	var out []*types.Var
+	seen := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(nd ast.Node) bool {
+		id, ok := nd.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.ObjectOf(id)
+		v, isVar := obj.(*types.Var)
+		if !isVar || seen[obj] || v.IsField() {
+			return true
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return true
+		}
+		if v.Pos() >= lit.Body.Pos() && v.Pos() <= lit.Body.End() {
+			return true // literal-local
+		}
+		seen[obj] = true
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// sameDepthAsSpawn reports whether obj's defining assignment in the
+// spawner sits at the same loop depth as the go statement: the
+// allocation is made per spawn, not shared across a spawn loop.
+func sameDepthAsSpawn(spawner *callgraph.Node, obj types.Object, gs *ast.GoStmt) bool {
+	defDepth, spawnDepth := -1, -1
+	walkDepth(spawner.Body(), 0, func(nd ast.Node, depth int) {
+		switch nd := nd.(type) {
+		case *ast.GoStmt:
+			if nd == gs {
+				spawnDepth = depth
+			}
+		case *ast.Ident:
+			if defDepth < 0 && spawner.Pkg.TypesInfo.Defs[nd] == obj {
+				defDepth = depth
+			}
+		}
+	})
+	return defDepth >= 0 && defDepth == spawnDepth
+}
+
+// shortID strips package path prefixes from a callgraph FuncID for
+// message readability, mirroring lockorder's rendering.
+func shortID(id string) string {
+	out := make([]byte, 0, len(id))
+	seg := make([]byte, 0, 32)
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch c {
+		case '/':
+			seg = seg[:0]
+		case '(', ')', '*', '.', '$':
+			out = append(out, seg...)
+			out = append(out, c)
+			seg = seg[:0]
+		default:
+			seg = append(seg, c)
+		}
+	}
+	return string(append(out, seg...))
+}
+
+// usedAfterLoop reports whether obj is referenced in the spawner after
+// the spawn loop containing goStmt ends: returned, stored, or passed on,
+// i.e. the spawner retains ownership rather than dropping the value once
+// the workers have it.
+func usedAfterLoop(n *callgraph.Node, obj *types.Var, goStmt *ast.GoStmt) bool {
+	body := n.Body()
+	loopEnd := token.NoPos
+	ast.Inspect(body, func(nd ast.Node) bool {
+		switch l := nd.(type) {
+		case *ast.FuncLit:
+			return l.Pos() <= goStmt.Pos() && goStmt.Pos() < l.End()
+		case *ast.ForStmt, *ast.RangeStmt:
+			if nd.Pos() <= goStmt.Pos() && goStmt.Pos() < nd.End() {
+				loopEnd = nd.End() // outer seen first; innermost wins
+			}
+		}
+		return true
+	})
+	if !loopEnd.IsValid() {
+		return false
+	}
+	used := false
+	info := n.Pkg.TypesInfo
+	ast.Inspect(body, func(nd ast.Node) bool {
+		if id, ok := nd.(*ast.Ident); ok && id.Pos() >= loopEnd && info.ObjectOf(id) == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}

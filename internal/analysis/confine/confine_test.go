@@ -1,0 +1,22 @@
+package confine_test
+
+import (
+	"testing"
+
+	"stitchroute/internal/analysis/analyzertest"
+	"stitchroute/internal/analysis/confine"
+)
+
+// TestModule runs the confinement analysis over both fixture packages in
+// one call graph: worker holds the must-flag escapes (arena leaking by
+// reference through a results channel, shared-field stores, spawn-loop
+// sharing, double handoff, publish-after-handoff); clean holds the
+// idiomatic patterns that must stay silent (the speculative-scheduler
+// pool with per-spawn arenas and copied-out results, per-iteration
+// ownership transfer, read-only fan-out).
+func TestModule(t *testing.T) {
+	analyzertest.RunModule(t, confine.Analyzer,
+		"./testdata/mod/worker",
+		"./testdata/mod/clean",
+	)
+}

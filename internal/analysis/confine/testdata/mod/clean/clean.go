@@ -1,0 +1,111 @@
+// Package clean holds confine's must-not-flag fixtures: the idiomatic
+// worker-pool patterns the analyzer must stay silent on — per-spawn
+// arenas with copied-out results (the speculative scheduler shape),
+// per-iteration ownership transfer, and read-only fan-out.
+package clean
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type Task struct{ ID, N int }
+
+type Result struct {
+	ID   int
+	Path []int
+}
+
+type arena struct {
+	cells []int
+	tag   int
+}
+
+func newArena() *arena { return &arena{cells: make([]int, 64)} }
+
+func (a *arena) solve(t Task) []int {
+	a.tag++
+	for i := range a.cells {
+		a.cells[i] = t.N + i
+	}
+	return a.cells[:t.N&63]
+}
+
+// Pool is the speculative-scheduler shape: a per-spawn arena passed as
+// the worker's parameter, an atomic work counter, results copied out of
+// the scratch before landing in the shared slice, and slots partitioned
+// by a goroutine-local index. Nothing here may be flagged.
+func Pool(tasks []Task) []Result {
+	work := make([]Result, len(tasks))
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		sc := newArena()
+		go func(sc *arena) {
+			defer wg.Done()
+			for {
+				k := atomic.AddInt64(&next, 1) - 1
+				if int(k) >= len(tasks) {
+					return
+				}
+				p := sc.solve(tasks[k])
+				out := make([]int, len(p))
+				copy(out, p)
+				work[k] = Result{ID: tasks[k].ID, Path: out}
+			}
+		}(sc)
+	}
+	wg.Wait()
+	return work
+}
+
+func fill(r *Result) {
+	for i := range r.Path {
+		r.Path[i] = i
+	}
+}
+
+// Stream sends a per-iteration allocation exactly once: ownership
+// transfer, not a leak — the worker never touches r again.
+func Stream(tasks <-chan Task, results chan<- *Result, done <-chan struct{}) {
+	go func() {
+		for {
+			select {
+			case t, ok := <-tasks:
+				if !ok {
+					return
+				}
+				r := &Result{ID: t.ID, Path: make([]int, t.N&63)}
+				fill(r)
+				results <- r
+			case <-done:
+				return
+			}
+		}
+	}()
+}
+
+type config struct {
+	scale  int
+	limits []int
+}
+
+func weigh(c *config, t Task) int { return t.N * c.scale }
+
+// Broadcast hands one config to every worker, but nobody mutates it:
+// read-only sharing is fine.
+func Broadcast(tasks []Task, out chan<- int) {
+	cfg := &config{scale: 2, limits: make([]int, 8)}
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(lo int) {
+			defer wg.Done()
+			for _, t := range tasks[lo:] {
+				out <- weigh(cfg, t)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,118 @@
+// Package worker holds confine's must-flag fixtures: worker-goroutine
+// scratch escaping by reference through every sink the analyzer models.
+package worker
+
+import "sync"
+
+type Task struct{ ID, N int }
+
+type Result struct {
+	ID   int
+	Path []int
+}
+
+// arena is the per-worker scratch shape: a reusable cell buffer plus a
+// stamp, exactly the searchCtx pattern.
+type arena struct {
+	cells []int
+	tag   int
+}
+
+func newArena() *arena { return &arena{cells: make([]int, 64)} }
+
+// solve reuses the arena's cells and returns a slice aliasing them —
+// the interprocedural link (ToReturn on the receiver) the leak rides.
+func (a *arena) solve(t Task) []int {
+	a.tag++
+	for i := range a.cells {
+		a.cells[i] = t.N + i
+	}
+	return a.cells[:t.N&63]
+}
+
+// Mine leaks the arena by reference through the results channel: p
+// aliases a.cells, so by the time a consumer reads one Result the
+// worker has already overwritten the cells for the next task.
+func Mine(tasks <-chan Task, results chan<- Result) {
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a := newArena()
+			for t := range tasks {
+				p := a.solve(t)
+				results <- Result{ID: t.ID, Path: p} // want `goroutine-confined a leaks by reference through a channel send`
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+type hub struct {
+	mu   sync.Mutex
+	last []int
+}
+
+// Drain stores the arena-backed slice into a shared struct field each
+// iteration: every reader of h.last aliases live scratch.
+func (h *hub) Drain(tasks <-chan Task, done chan<- struct{}) {
+	go func() {
+		a := newArena()
+		for t := range tasks {
+			p := a.solve(t)
+			h.mu.Lock()
+			h.last = p // want `goroutine-confined a escapes into shared memory through h`
+			h.mu.Unlock()
+		}
+		done <- struct{}{}
+	}()
+}
+
+// SharedScratch allocates one arena outside the spawn loop: all four
+// workers mutate the same cells concurrently.
+func SharedScratch(tasks []Task) {
+	a := newArena()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() { // want `per-worker scratch a is allocated once outside the spawn loop`
+			defer wg.Done()
+			for _, t := range tasks {
+				a.solve(t)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// DoubleHand gives the same arena to two goroutines that both mutate
+// it.
+func DoubleHand(tasks []Task) {
+	a := newArena()
+	done := make(chan struct{}, 2)
+	go func() {
+		a.solve(tasks[0])
+		done <- struct{}{}
+	}()
+	go func() { // want `scratch a is handed to a second goroutine`
+		a.solve(tasks[1])
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+}
+
+var lastArena *arena
+
+// HandAndPublish hands the arena to a worker and simultaneously parks
+// it in a package-level variable.
+func HandAndPublish(tasks []Task, done chan struct{}) {
+	a := newArena()
+	go func() {
+		a.solve(tasks[0])
+		done <- struct{}{}
+	}()
+	lastArena = a // want `scratch a is handed to the goroutine spawned at line \d+ and also stored into shared memory`
+	<-done
+}

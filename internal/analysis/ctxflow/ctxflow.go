@@ -28,7 +28,8 @@ import (
 
 // Analyzer flags severed context propagation in ctx-taking functions.
 var Analyzer = &analysis.Analyzer{
-	Name: "ctxflow",
+	Name:    "ctxflow",
+	Version: 1,
 	Doc: "flag ctx-taking functions that detach from their context\n\n" +
 		"Functions that accept a context.Context must thread it: calling context.Background()/TODO(), or calling Foo when FooContext exists, silently breaks cancellation of long reroutes.",
 	Run: run,

@@ -1,0 +1,342 @@
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"stitchroute/internal/analysis"
+	"stitchroute/internal/analysis/load"
+)
+
+// cacheSchema is baked into every cache key; bump it whenever the wire
+// format or the keying discipline changes so stale trees self-invalidate.
+const cacheSchema = "stitchvet-cache-v1"
+
+// cache is the driver's on-disk finding store. Every entry is a JSON file
+// whose name embeds a content hash of everything that could change the
+// findings it holds — the Go toolchain version, the selected analyzers'
+// name@version fingerprint, and the source bytes (directly, or
+// transitively through per-package keys). A hit can therefore be replayed
+// verbatim: there is no invalidation logic, only keys that stop matching.
+//
+// Three entry kinds exist:
+//
+//   - run entries ("r-"): the complete sorted diagnostic list of one full
+//     invocation, keyed by a hash of the whole source tree. A warm rerun
+//     on an unchanged tree replays from here without even invoking go
+//     list.
+//   - package entries ("p-"): one package's per-package-analyzer
+//     diagnostics (malformed-directive findings included, suppression
+//     applied), keyed by the package's content plus its first-party
+//     dependency keys.
+//   - module entries ("m-"): the whole-module interprocedural findings,
+//     keyed by every package key at once — module analyses are
+//     whole-module by nature, so their findings are too.
+//
+// File paths inside entries are stored relative to the module root and
+// re-absolutized on load, so the cache survives a checkout moving.
+type cache struct {
+	dir  string
+	root string // module root (directory holding go.mod)
+
+	fpAll string // fingerprint over all selected analyzers
+	fpPkg string // ... over the per-package subset
+	fpMod string // ... over the module subset
+}
+
+// fingerprint hashes the selected analyzers' identities and versions
+// together with the toolchain and cache schema. Any analyzer behaviour
+// change that bumps Version lands in a fresh key space.
+func fingerprint(analyzers []*analysis.Analyzer) string {
+	ids := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		ids[i] = fmt.Sprintf("%s@%d", a.Name, a.Version)
+	}
+	sort.Strings(ids)
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%s", cacheSchema, runtime.Version(), strings.Join(ids, ","))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Fingerprint exposes the analyzer-set fingerprint for cache keying
+// outside the driver (CI keys its actions/cache on it so a new or
+// re-versioned analyzer starts cold).
+func Fingerprint(analyzers []*analysis.Analyzer) string {
+	return fingerprint(analyzers)
+}
+
+// findModuleRoot walks up from dir to the directory containing go.mod.
+func findModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func openCache(dir string, analyzers []*analysis.Analyzer) (*cache, error) {
+	root, err := findModuleRoot(".")
+	if err != nil {
+		return nil, err
+	}
+	if !filepath.IsAbs(dir) {
+		dir = filepath.Join(root, dir)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var perPkg, module []*analysis.Analyzer
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			module = append(module, a)
+		} else if a.Run != nil {
+			perPkg = append(perPkg, a)
+		}
+	}
+	return &cache{
+		dir:   dir,
+		root:  root,
+		fpAll: fingerprint(analyzers),
+		fpPkg: fingerprint(perPkg),
+		fpMod: fingerprint(module),
+	}, nil
+}
+
+// storedDiag is the wire form of one cached diagnostic. Suggested fixes
+// are deliberately not stored (token positions do not survive a reload),
+// which is why -fix mode bypasses the cache entirely.
+type storedDiag struct {
+	Analyzer   string `json:"analyzer"`
+	File       string `json:"file"` // relative to the module root
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed,omitempty"`
+}
+
+// get loads one cache entry, re-absolutizing file paths. Any error — a
+// missing file, truncated JSON, a schema drift — reads as a miss.
+func (c *cache) get(name string) ([]Diagnostic, bool) {
+	data, err := os.ReadFile(filepath.Join(c.dir, name+".json"))
+	if err != nil {
+		return nil, false
+	}
+	var stored []storedDiag
+	if err := json.Unmarshal(data, &stored); err != nil {
+		return nil, false
+	}
+	diags := make([]Diagnostic, len(stored))
+	for i, s := range stored {
+		diags[i] = Diagnostic{
+			Analyzer:   s.Analyzer,
+			Message:    s.Message,
+			Suppressed: s.Suppressed,
+		}
+		diags[i].Pos.Filename = filepath.Join(c.root, filepath.FromSlash(s.File))
+		diags[i].Pos.Line = s.Line
+		diags[i].Pos.Column = s.Col
+	}
+	return diags, true
+}
+
+// put stores one cache entry atomically (temp file + rename). Failures
+// are swallowed: a cache that cannot be written only costs speed.
+func (c *cache) put(name string, diags []Diagnostic) {
+	stored := make([]storedDiag, len(diags))
+	for i, d := range diags {
+		file := d.Pos.Filename
+		if rel, err := filepath.Rel(c.root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = filepath.ToSlash(rel)
+		}
+		stored[i] = storedDiag{
+			Analyzer:   d.Analyzer,
+			File:       file,
+			Line:       d.Pos.Line,
+			Col:        d.Pos.Column,
+			Message:    d.Message,
+			Suppressed: d.Suppressed,
+		}
+	}
+	data, err := json.Marshal(stored)
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, ".entry-*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(c.dir, name+".json")); err != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+func hashInto(h io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = io.Copy(h, f)
+	return err
+}
+
+// skipTreeDir lists directory names the tree hash (and go list ./...)
+// never descends into.
+func skipTreeDir(name string) bool {
+	switch name {
+	case ".git", "testdata", "vendor", "bin", "node_modules":
+		return true
+	}
+	return strings.HasPrefix(name, ".")
+}
+
+// treeHash digests every buildable .go file under the module root (plus
+// go.mod), in the deterministic lexical order of WalkDir. It is the run
+// entry's key material: any edit, addition, or deletion of a source file
+// changes the hash, so a run replay is sound by construction. Test files
+// and testdata are excluded because the analysis never loads them.
+func (c *cache) treeHash() (string, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00", cacheSchema)
+	if err := hashInto(h, filepath.Join(c.root, "go.mod")); err != nil {
+		return "", err
+	}
+	err := filepath.WalkDir(c.root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path != c.root && skipTreeDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			if abs, aerr := filepath.Abs(path); aerr == nil && abs == c.dir {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		name := d.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		rel, rerr := filepath.Rel(c.root, path)
+		if rerr != nil {
+			return rerr
+		}
+		fmt.Fprintf(h, "\x00%s\x00", filepath.ToSlash(rel))
+		return hashInto(h, path)
+	})
+	if err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// runKey keys a whole-invocation replay entry: tree content, analyzer
+// fingerprint, the patterns being linted, and where they are resolved
+// from (patterns are cwd-relative).
+func (c *cache) runKey(treeHash string, patterns []string) string {
+	cwd, _ := filepath.Abs(".")
+	rel, err := filepath.Rel(c.root, cwd)
+	if err != nil {
+		rel = cwd
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "run\x00%s\x00%s\x00%s\x00%s", c.fpAll, treeHash, filepath.ToSlash(rel), strings.Join(patterns, "\x00"))
+	return "r-" + hex.EncodeToString(h.Sum(nil))
+}
+
+// pkgKeys computes the content key of every listed package: its own
+// source bytes plus — transitively, through the import DAG — the keys of
+// its first-party dependencies, so an API change deep in the module
+// invalidates every package whose type-checking could see it.
+func (c *cache) pkgKeys(metas []*load.Meta) (map[string]string, error) {
+	byPath := make(map[string]*load.Meta, len(metas))
+	for _, m := range metas {
+		byPath[m.PkgPath] = m
+	}
+	keys := make(map[string]string, len(metas))
+	var visit func(m *load.Meta) (string, error)
+	visit = func(m *load.Meta) (string, error) {
+		if k, ok := keys[m.PkgPath]; ok {
+			return k, nil
+		}
+		keys[m.PkgPath] = "" // cycle guard; go forbids import cycles anyway
+		h := sha256.New()
+		fmt.Fprintf(h, "pkg\x00%s\x00%s\x00", c.fpPkg, m.PkgPath)
+		for _, f := range m.GoFiles {
+			fmt.Fprintf(h, "\x00%s\x00", filepath.Base(f))
+			if err := hashInto(h, f); err != nil {
+				return "", err
+			}
+		}
+		for _, dep := range m.Imports {
+			dm, ok := byPath[dep]
+			if !ok {
+				// A first-party dependency outside the listed set (a
+				// narrowed pattern): fold in its name only; the run is
+				// conservative because go list rebuilt its export data.
+				fmt.Fprintf(h, "\x00dep:%s\x00", dep)
+				continue
+			}
+			dk, err := visit(dm)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(h, "\x00dep:%s=%s\x00", dep, dk)
+		}
+		k := hex.EncodeToString(h.Sum(nil))
+		keys[m.PkgPath] = k
+		return k, nil
+	}
+	for _, m := range metas {
+		if _, err := visit(m); err != nil {
+			return nil, err
+		}
+	}
+	return keys, nil
+}
+
+// pkgEntry names the per-package cache entry; the sanitized import path
+// prefix keeps the cache directory human-navigable.
+func pkgEntry(pkgPath, key string) string {
+	san := strings.NewReplacer("/", "_", ".", "_").Replace(pkgPath)
+	return "p-" + san + "-" + key[:24]
+}
+
+// moduleEntry names the whole-module findings entry, keyed over every
+// package key in the load.
+func (c *cache) moduleEntry(metas []*load.Meta, keys map[string]string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "mod\x00%s\x00", c.fpMod)
+	for _, m := range metas {
+		fmt.Fprintf(h, "%s=%s\x00", m.PkgPath, keys[m.PkgPath])
+	}
+	return "m-" + hex.EncodeToString(h.Sum(nil))[:40]
+}

@@ -1,0 +1,54 @@
+package driver
+
+import (
+	"bytes"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"stitchroute/internal/analysis/load"
+)
+
+// gitDiffFiles lists the paths (relative to the repository root) of files
+// changed between ref and the worktree. It is a variable so tests can
+// substitute a synthetic change set without arranging git history.
+var gitDiffFiles = func(root, ref string) ([]string, error) {
+	cmd := exec.Command("git", "-C", root, "diff", "--name-only", ref)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("git diff --name-only %s: %v\n%s", ref, err, stderr.String())
+	}
+	var files []string
+	for _, line := range strings.Split(string(out), "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			files = append(files, line)
+		}
+	}
+	return files, nil
+}
+
+// changedPackages maps a git change set onto the listed packages: a
+// package is changed when any changed .go file sits in its directory.
+// Files outside every listed package (docs, testdata, tooling) do not
+// force re-analysis; content-addressed package keys keep that sound —
+// if such a file could have affected findings, the keys would miss.
+func changedPackages(root string, files []string, metas []*load.Meta) map[string]bool {
+	byDir := make(map[string]string, len(metas))
+	for _, m := range metas {
+		byDir[filepath.Clean(m.Dir)] = m.PkgPath
+	}
+	changed := make(map[string]bool)
+	for _, f := range files {
+		if !strings.HasSuffix(f, ".go") || strings.HasSuffix(f, "_test.go") {
+			continue
+		}
+		dir := filepath.Clean(filepath.Join(root, filepath.FromSlash(filepath.Dir(f))))
+		if pkg, ok := byDir[dir]; ok {
+			changed[pkg] = true
+		}
+	}
+	return changed
+}

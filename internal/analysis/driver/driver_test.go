@@ -11,6 +11,7 @@ import (
 	"stitchroute/internal/analysis"
 	"stitchroute/internal/analysis/errflow"
 	"stitchroute/internal/analysis/floateq"
+	"stitchroute/internal/analysis/racecheck"
 )
 
 // TestSuppression runs the real driver (go list + type-check + analyzer +
@@ -244,5 +245,151 @@ func TestAuditIgnores(t *testing.T) {
 		if strings.Contains(got, absent) {
 			t.Errorf("healthy directive flagged: %q in\n%s", absent, got)
 		}
+	}
+}
+
+// incrAnalyzers is the analyzer set the incremental-driver tests run: one
+// per-package analyzer with real findings on the fixtures and one
+// whole-module analyzer (no goroutines in the fixtures, so it stays
+// silent) to exercise the module cache entry alongside the package ones.
+func incrAnalyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{floateq.Analyzer, racecheck.Analyzer}
+}
+
+var incrPatterns = []string{"./testdata/ignoredemo", "./testdata/mod/fixdemo"}
+
+// TestCacheWarmReplay is the warm-path contract: a cold run populates the
+// cache, and an immediately repeated run replays the whole invocation —
+// byte-identical output, same count — without listing a single package.
+func TestCacheWarmReplay(t *testing.T) {
+	cacheDir := t.TempDir()
+
+	var cold bytes.Buffer
+	var coldStats Stats
+	nCold, err := Run(incrAnalyzers(), incrPatterns, &cold, Options{CacheDir: cacheDir, Stats: &coldStats})
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	if coldStats.RunReplayed {
+		t.Error("cold run claims replay")
+	}
+	if coldStats.Packages != 2 || coldStats.Analyzed != 2 || coldStats.CachedPackages != 0 {
+		t.Errorf("cold stats = %+v, want 2 packages, 2 analyzed, 0 cached", coldStats)
+	}
+	if nCold == 0 {
+		t.Fatal("fixture produced no findings; the byte-equality check below would be vacuous")
+	}
+
+	var warm bytes.Buffer
+	var warmStats Stats
+	nWarm, err := Run(incrAnalyzers(), incrPatterns, &warm, Options{CacheDir: cacheDir, Stats: &warmStats})
+	if err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	if !warmStats.RunReplayed {
+		t.Errorf("warm run did not replay: %+v", warmStats)
+	}
+	if warmStats.Packages != 0 {
+		t.Errorf("warm run listed %d packages; replay must skip go list", warmStats.Packages)
+	}
+	if nWarm != nCold {
+		t.Errorf("warm count %d != cold count %d", nWarm, nCold)
+	}
+	if !bytes.Equal(cold.Bytes(), warm.Bytes()) {
+		t.Errorf("warm output differs from cold.\n--- cold ---\n%s\n--- warm ---\n%s", cold.String(), warm.String())
+	}
+}
+
+// TestDiffOnlyChanged pins the -diff contract: with a synthetic git
+// change set touching one fixture package, only that package re-analyzes;
+// the other is served from per-package cache entries, the module findings
+// replay, and the output stays byte-identical to the cold run.
+func TestDiffOnlyChanged(t *testing.T) {
+	cacheDir := t.TempDir()
+
+	var cold bytes.Buffer
+	nCold, err := Run(incrAnalyzers(), incrPatterns, &cold, Options{CacheDir: cacheDir})
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+
+	orig := gitDiffFiles
+	defer func() { gitDiffFiles = orig }()
+	gitDiffFiles = func(root, ref string) ([]string, error) {
+		if ref != "fakeref" {
+			t.Errorf("gitDiffFiles called with ref %q, want fakeref", ref)
+		}
+		return []string{
+			"internal/analysis/driver/testdata/ignoredemo/a.go",
+			"docs/LINTING.md", // non-.go changes never force re-analysis
+		}, nil
+	}
+
+	var diff bytes.Buffer
+	var st Stats
+	n, err := Run(incrAnalyzers(), incrPatterns, &diff, Options{CacheDir: cacheDir, Diff: "fakeref", Stats: &st})
+	if err != nil {
+		t.Fatalf("diff run: %v", err)
+	}
+	if st.RunReplayed {
+		t.Error("-diff must not take the whole-run replay path")
+	}
+	if st.ChangedPackages != 1 {
+		t.Errorf("ChangedPackages = %d, want 1", st.ChangedPackages)
+	}
+	if st.Analyzed != 1 || st.CachedPackages != 1 {
+		t.Errorf("stats = %+v, want 1 analyzed + 1 cached", st)
+	}
+	if !st.ModuleFromCache {
+		t.Error("unchanged package keys must replay the module findings")
+	}
+	if n != nCold || !bytes.Equal(cold.Bytes(), diff.Bytes()) {
+		t.Errorf("diff output differs from cold (%d vs %d findings).\n--- cold ---\n%s\n--- diff ---\n%s",
+			nCold, n, cold.String(), diff.String())
+	}
+}
+
+// TestDiffRequiresCache: -diff without a cache directory is a driver
+// error, not a silent full run.
+func TestDiffRequiresCache(t *testing.T) {
+	var out bytes.Buffer
+	_, err := Run(incrAnalyzers(), incrPatterns, &out, Options{Diff: "HEAD"})
+	if err == nil || !strings.Contains(err.Error(), "-diff requires the findings cache") {
+		t.Fatalf("want -diff-requires-cache error, got %v", err)
+	}
+}
+
+// TestFingerprintInvalidates: bumping an analyzer's Version moves every
+// cache key, so behaviour changes start cold by construction.
+func TestFingerprintInvalidates(t *testing.T) {
+	mk := func(v int) *analysis.Analyzer {
+		return &analysis.Analyzer{Name: "probe", Version: v}
+	}
+	if fingerprint([]*analysis.Analyzer{mk(1)}) == fingerprint([]*analysis.Analyzer{mk(2)}) {
+		t.Error("fingerprint ignores Analyzer.Version")
+	}
+	if fingerprint([]*analysis.Analyzer{mk(1)}) != fingerprint([]*analysis.Analyzer{mk(1)}) {
+		t.Error("fingerprint is not deterministic")
+	}
+}
+
+// TestStaleIgnores drives the staledemo fixture: the directive whose
+// finding still fires stays silent; the one waiving a finding that no
+// longer exists is reported with its file, line, and analyzer spec.
+func TestStaleIgnores(t *testing.T) {
+	var out bytes.Buffer
+	n, err := StaleIgnores([]*analysis.Analyzer{floateq.Analyzer}, []string{"./testdata/staledemo"}, &out)
+	if err != nil {
+		t.Fatalf("StaleIgnores: %v", err)
+	}
+	if n != 1 {
+		t.Errorf("got %d stale directives, want 1:\n%s", n, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "stale.go:12:2: stale //lint:ignore floateq: no matching finding fires here") {
+		t.Errorf("missing stale report:\n%s", got)
+	}
+	if strings.Contains(got, "stale.go:7") {
+		t.Errorf("healthy directive flagged as stale:\n%s", got)
 	}
 }

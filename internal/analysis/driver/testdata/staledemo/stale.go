@@ -1,0 +1,14 @@
+// Package staledemo is the stale-suppression fixture: one //lint:ignore
+// whose finding still fires (healthy, stays silent in the audit) and one
+// whose finding no longer exists (stale, must be reported).
+package staledemo
+
+func Used(a, b float64) bool {
+	//lint:ignore floateq fixture: the comparison below keeps this directive alive
+	return a == b
+}
+
+func Stale(a, b int) bool {
+	//lint:ignore floateq fixture: integer comparison never triggers floateq
+	return a == b
+}

@@ -46,7 +46,8 @@ import (
 // Analyzer reports discarded, shadowed, and goroutine-dropped errors,
 // with suggested fixes for the discard case.
 var Analyzer = &analysis.Analyzer{
-	Name: "errflow",
+	Name:    "errflow",
+	Version: 1,
 	Doc: "report silently discarded errors, shadowed error variables, and errors dropped at goroutine boundaries, using whole-module may-error summaries\n\n" +
 		"A swallowed error turns a failed run into a silently wrong one; the summary-based check knows which helpers can actually fail, across packages.",
 	RunModule: runModule,

@@ -43,7 +43,8 @@ var ArenaTypes = map[string]bool{"searchCtx": true, "cellHeap": true}
 
 // Analyzer flags heap allocations on the per-net search hot path.
 var Analyzer = &analysis.Analyzer{
-	Name: "hotalloc",
+	Name:    "hotalloc",
+	Version: 1,
 	Doc: "flag make/new/append-growth/closure/boxing allocations reachable inside the per-net search loops\n\n" +
 		"The PR 4 arenas make the steady-state search allocation-free; this analyzer walks the call graph from routeNet and keeps it that way.",
 	Packages: []string{"internal/detail", "internal/fracture", "internal/stencil", "internal/eco"},

@@ -7,6 +7,13 @@
 // data for every dependency, then parses the target packages' sources
 // itself and type-checks them with the standard library's gc-export-data
 // importer. The result is full types.Info at a fraction of the machinery.
+//
+// Loading is split in two so the incremental driver can schedule work:
+// List enumerates package metadata (files, first-party imports, export
+// data) without touching any source, and a Loader parses + type-checks
+// arbitrary subsets of the listed packages — in parallel, since the
+// shared token.FileSet and the gc export-data reader are the only shared
+// state and both are guarded.
 package load
 
 import (
@@ -22,8 +29,11 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
+	"sync"
+	"sync/atomic"
 )
 
 // Package is one parsed and type-checked package.
@@ -42,6 +52,21 @@ type Package struct {
 	TypeErrors []error
 }
 
+// Meta is one listed (but not yet loaded) first-party package: enough
+// metadata for the driver to hash its inputs and order the import DAG
+// without parsing a single source file.
+type Meta struct {
+	PkgPath string
+	Name    string
+	Dir     string
+	// GoFiles are the package's compiled sources as absolute paths
+	// (GoFiles + CgoFiles from go list, in list order).
+	GoFiles []string
+	// Imports holds the import paths of first-party dependencies only;
+	// standard-library imports are covered by the toolchain version.
+	Imports []string
+}
+
 // listedPackage mirrors the subset of `go list -json` output we consume.
 type listedPackage struct {
 	ImportPath string
@@ -50,6 +75,7 @@ type listedPackage struct {
 	Export     string
 	GoFiles    []string
 	CgoFiles   []string
+	Imports    []string
 	DepOnly    bool
 	Standard   bool
 	Incomplete bool
@@ -58,7 +84,7 @@ type listedPackage struct {
 
 func goList(dir string, patterns []string) ([]*listedPackage, error) {
 	args := []string{"list", "-e", "-export", "-deps",
-		"-json=ImportPath,Name,Dir,Export,GoFiles,CgoFiles,DepOnly,Standard,Incomplete,Error"}
+		"-json=ImportPath,Name,Dir,Export,GoFiles,CgoFiles,Imports,DepOnly,Standard,Incomplete,Error"}
 	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -83,8 +109,12 @@ func goList(dir string, patterns []string) ([]*listedPackage, error) {
 }
 
 // exportImporter resolves imports from the export-data files produced by
-// `go list -export`, via the standard gc importer.
+// `go list -export`, via the standard gc importer. The gc importer keeps
+// an internal package map that is not documented concurrency-safe, so
+// Import is serialized; type-checking proper still overlaps across
+// goroutines.
 type exportImporter struct {
+	mu      sync.Mutex
 	base    types.Importer
 	exports map[string]string
 }
@@ -102,45 +132,127 @@ func newExportImporter(fset *token.FileSet, exports map[string]string) *exportIm
 }
 
 func (i *exportImporter) Import(path string) (*types.Package, error) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
 	return i.base.Import(path)
+}
+
+// List enumerates the first-party packages matching the go-list patterns
+// without loading them, returning the metas sorted by import path plus
+// the export-data map covering every dependency (the input LoadMetas
+// needs to resolve imports).
+func List(patterns ...string) ([]*Meta, map[string]string, error) {
+	listed, err := goList("", patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	exports := make(map[string]string)
+	firstParty := make(map[string]bool)
+	var targets []*listedPackage
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard {
+			firstParty[p.ImportPath] = true
+		}
+		if p.DepOnly || p.Name == "" {
+			continue
+		}
+		if p.Error != nil {
+			return nil, nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		targets = append(targets, p)
+	}
+	sort.Slice(targets, func(a, b int) bool { return targets[a].ImportPath < targets[b].ImportPath })
+
+	var metas []*Meta
+	for _, t := range targets {
+		m := &Meta{PkgPath: t.ImportPath, Name: t.Name, Dir: t.Dir}
+		for _, f := range append(append([]string(nil), t.GoFiles...), t.CgoFiles...) {
+			if !filepath.IsAbs(f) {
+				f = filepath.Join(t.Dir, f)
+			}
+			m.GoFiles = append(m.GoFiles, f)
+		}
+		for _, imp := range t.Imports {
+			if firstParty[imp] {
+				m.Imports = append(m.Imports, imp)
+			}
+		}
+		sort.Strings(m.Imports)
+		metas = append(metas, m)
+	}
+	return metas, exports, nil
+}
+
+// Loader parses and type-checks listed packages on demand. All packages
+// loaded through one Loader share a single FileSet (so positions from any
+// of them resolve uniformly) and one export-data importer (so each
+// dependency's export data is read once, however many Load calls happen).
+type Loader struct {
+	fset *token.FileSet
+	imp  *exportImporter
+}
+
+// NewLoader returns a Loader resolving imports from the export-data map
+// produced by List.
+func NewLoader(exports map[string]string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{fset: fset, imp: newExportImporter(fset, exports)}
+}
+
+// Fset returns the FileSet shared by every package this Loader loads.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Load parses and type-checks the given listed packages in parallel
+// (bounded by GOMAXPROCS). The result order matches the input order.
+func (l *Loader) Load(metas []*Meta) ([]*Package, error) {
+	fset, imp := l.fset, l.imp
+	out := make([]*Package, len(metas))
+	errs := make([]error, len(metas))
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(metas) {
+		workers = len(metas)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1) - 1)
+				if i >= len(metas) {
+					return
+				}
+				m := metas[i]
+				out[i], errs[i] = check(fset, imp, m.PkgPath, m.Dir, m.GoFiles)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // Packages loads every package matching the go-list patterns (typically
 // "./..."), parsed with comments and fully type-checked. Packages are
 // returned sorted by import path so drivers are deterministic.
 func Packages(patterns ...string) ([]*Package, error) {
-	listed, err := goList("", patterns)
+	metas, exports, err := List(patterns...)
 	if err != nil {
 		return nil, err
 	}
-	exports := make(map[string]string)
-	var targets []*listedPackage
-	for _, p := range listed {
-		if p.Export != "" {
-			exports[p.ImportPath] = p.Export
-		}
-		if p.DepOnly || p.Name == "" {
-			continue
-		}
-		if p.Error != nil {
-			return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
-		}
-		targets = append(targets, p)
-	}
-	sort.Slice(targets, func(a, b int) bool { return targets[a].ImportPath < targets[b].ImportPath })
-
-	fset := token.NewFileSet()
-	imp := newExportImporter(fset, exports)
-	var out []*Package
-	for _, t := range targets {
-		files := append(append([]string(nil), t.GoFiles...), t.CgoFiles...)
-		pkg, err := check(fset, imp, t.ImportPath, t.Dir, files)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, pkg)
-	}
-	return out, nil
+	return NewLoader(exports).Load(metas)
 }
 
 // Dir loads the single package rooted at dir (every non-test .go file in
@@ -206,7 +318,10 @@ func Dir(dir string) (*Package, error) {
 func check(fset *token.FileSet, imp types.Importer, pkgPath, dir string, fileNames []string) (*Package, error) {
 	var asts []*ast.File
 	for _, name := range fileNames {
-		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, err
 		}

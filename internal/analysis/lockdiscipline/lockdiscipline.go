@@ -36,7 +36,8 @@ import (
 // Analyzer flags blocking or channel operations inside mutex critical
 // sections.
 var Analyzer = &analysis.Analyzer{
-	Name: "lockdiscipline",
+	Name:    "lockdiscipline",
+	Version: 1,
 	Doc: "flag channel operations, blocking calls, and HTTP writes while a sync.Mutex/RWMutex is held\n\n" +
 		"Critical sections must be small and non-blocking; channel sends/closes under a lock must be deliberate and documented (the PR 1 submit/Shutdown race class).",
 	Run: run,

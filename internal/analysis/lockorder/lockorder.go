@@ -59,7 +59,8 @@ import (
 // re-acquisition, and blocking operations reached through callees under
 // a held lock.
 var Analyzer = &analysis.Analyzer{
-	Name: "lockorder",
+	Name:    "lockorder",
+	Version: 1,
 	Doc: "build the module-wide lock acquisition order graph over the call graph; report order cycles, call-chain re-acquisition, and blocking calls while a lock is held\n\n" +
 		"Deadlocks assemble themselves from acquisitions in different packages; only a whole-module view connects them.",
 	RunModule: runModule,

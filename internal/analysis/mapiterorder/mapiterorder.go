@@ -22,7 +22,8 @@ import (
 
 // Analyzer flags nondeterministic accumulation from map iteration.
 var Analyzer = &analysis.Analyzer{
-	Name: "mapiterorder",
+	Name:    "mapiterorder",
+	Version: 1,
 	Doc: "flag order-sensitive accumulation (append/heap-push/channel-send) inside range-over-map loops\n\n" +
 		"Map iteration order is nondeterministic; accumulating into ordered state from it makes routing output irreproducible unless the result is sorted afterwards.",
 	Packages: []string{

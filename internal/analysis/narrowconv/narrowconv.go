@@ -47,7 +47,8 @@ import (
 // Analyzer flags unchecked narrowing conversions of fabric coordinates
 // into packed state, with cross-package product provenance.
 var Analyzer = &analysis.Analyzer{
-	Name: "narrowconv",
+	Name:    "narrowconv",
+	Version: 1,
 	Doc: "flag unchecked narrowing integer conversions into packed arena state; track overflow-prone products through the call graph\n\n" +
 		"Packed grids and trapezoid records store int64 coordinates in narrow slots; an unguarded conversion wraps silently for large fabrics.",
 	Packages: []string{

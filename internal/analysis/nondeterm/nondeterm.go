@@ -54,7 +54,8 @@ import (
 // per-package Run remains as the fixture-harness fallback with
 // intra-package summaries only.
 var Analyzer = &analysis.Analyzer{
-	Name: "nondeterm",
+	Name:    "nondeterm",
+	Version: 1,
 	Doc: "track nondeterministic values (wall clock, global RNG, map order, select order, pointer text) through dataflow into routing state\n\n" +
 		"Byte-identical reroutes are a hard invariant; this analyzer follows taint through assignment chains and helper calls — across package boundaries via call-graph summaries — which the syntactic checks cannot.",
 	Packages: []string{

@@ -21,3 +21,11 @@ func TestModule(t *testing.T) {
 		"./testdata/mod/sink",
 	)
 }
+
+// TestModuleDevirtualized: the taint source hides behind an interface
+// with a single in-module implementation. The finding exists only
+// because the call graph devirtualizes the call — an unresolved
+// interface call would sever the chain.
+func TestModuleDevirtualized(t *testing.T) {
+	analyzertest.RunModule(t, nondeterm.Analyzer, "./testdata/mod/ifacehop")
+}

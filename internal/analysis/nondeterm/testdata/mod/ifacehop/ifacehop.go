@@ -1,0 +1,29 @@
+// Package ifacehop hides the taint source behind an interface with a
+// single in-module implementation: only callgraph devirtualization can
+// connect the sink to the wall-clock read. Without it the call through
+// Clock is an unknown callee and the write below would (wrongly) pass.
+package ifacehop
+
+import "time"
+
+// Clock has exactly one implementation in the module.
+type Clock interface {
+	Reading() int64
+}
+
+type wallClock struct{}
+
+func (wallClock) Reading() int64 {
+	return time.Now().UnixNano()
+}
+
+// New returns the unique Clock implementation.
+func New() Clock { return wallClock{} }
+
+type route struct {
+	cost int64
+}
+
+func assignThroughIface(r *route, c Clock) {
+	r.cost = c.Reading() // want `run-dependent value reaches field r\.cost`
+}

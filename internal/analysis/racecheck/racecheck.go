@@ -1,0 +1,984 @@
+// Package racecheck defines a module-wide analyzer that reports static
+// data races around goroutine spawn sites: unsynchronized write/write
+// and write/read pairs on memory reachable from two goroutines at once.
+//
+// The analysis is scoped to one spawner function at a time — the
+// function (or function literal) that contains the `go` statements —
+// because that is where the evidence lives: which values the spawned
+// bodies capture, which WaitGroup they signal, which channel they send
+// on, and what the spawner touches while they run. Three access pairs
+// are examined:
+//
+//   - sibling instances of one spawn inside a loop (`for … { go f() }`
+//     launches many copies of the same body; a write in the body races
+//     with the same write in every other instance);
+//   - two distinct spawns that overlap (neither is joined before the
+//     other starts);
+//   - the spawner itself against a live goroutine: an access after the
+//     `go` statement but before the matching join.
+//
+// Happens-before is recovered from the two join idioms the codebase
+// uses: `wg.Wait()` joins every live goroutine that calls Done (or
+// defers it) on the same WaitGroup object, and a channel receive joins
+// every live goroutine that sends on or closes the same channel object.
+// Spawner accesses after a join cannot race with the joined goroutines.
+//
+// Only direct writes in a goroutine's own body count (stores, x++,
+// x += …); writes buried in callees are deliberately out of scope — the
+// one-level evidence keeps every report explainable by pointing at two
+// statements. Five idioms are recognized as synchronization, not races:
+//
+//   - both accesses hold a common lock (lock identity is the variable
+//     object, or object+field for a struct-held mutex — the same
+//     instance, not merely the same type; a lock declared inside the
+//     spawn's loop or body is per-instance and shares nothing);
+//   - both accesses run inside sync.Once.Do callbacks on the same Once
+//     instance — Do executes at most once and every return
+//     happens-after that execution;
+//   - either access goes through sync/atomic;
+//   - both are element writes through a goroutine-local index (the
+//     `work[k]` partitioning pattern: each instance owns the slots its
+//     private counter hands it);
+//   - the shared root is declared inside the spawn's enclosing loop, so
+//     each iteration hands the goroutine a distinct instance.
+//
+// Reads pair only against writes, a slice-header read (len, range, the
+// base of an index) does not conflict with element writes, and each
+// (root, pair-kind) is reported once per spawner with both spawn sites
+// cross-referenced.
+package racecheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"stitchroute/internal/analysis"
+	"stitchroute/internal/analysis/callgraph"
+)
+
+// Analyzer reports unsynchronized concurrent accesses around goroutine
+// spawn sites.
+var Analyzer = &analysis.Analyzer{
+	Name:    "racecheck",
+	Version: 1,
+	Doc: "report static data races: write/write and write/read pairs on memory reachable from two goroutines with no common lock, atomic, or join ordering the accesses\n\n" +
+		"Evidence is kept local to one spawner function: the spawn sites, the joins, and the two racing statements are all named in the report.",
+	RunModule: runModule,
+}
+
+// key names a memory root or a lock instance: a variable object plus an
+// optional field selected on it ((s, "mu") for s.mu, (wg, "") for a
+// plain variable). Object identity distinguishes instances, which a
+// type-based identity cannot.
+type key struct {
+	obj   types.Object
+	field string
+}
+
+func (k key) String() string {
+	if k.field == "" {
+		return k.obj.Name()
+	}
+	return k.obj.Name() + "." + k.field
+}
+
+// access records one touch of a candidate shared root.
+type access struct {
+	root   key
+	write  bool
+	atomic bool  // via sync/atomic: exempt from pairing
+	elem   bool  // through an index or dereference: element memory, not the header
+	part   bool  // element access whose index is goroutine-local (partitioned slots)
+	locks  []key // lock instances held at the access
+	pos    token.Pos
+	live   []int // spawner side only: spawn indices live at this point
+}
+
+// spawnInfo is one `go` statement of the spawner under analysis.
+type spawnInfo struct {
+	idx              int
+	stmt             *ast.GoStmt
+	loopPos, loopEnd token.Pos    // innermost enclosing loop, NoPos when none
+	wgs              map[key]bool // WaitGroups the goroutine calls Done on
+	chans            map[key]bool // channels the goroutine sends on or closes
+	accesses         []access
+	joinedAt         token.Pos // position of the spawner-side join, NoPos if never joined
+}
+
+func (s *spawnInfo) inLoop() bool { return s.loopPos.IsValid() }
+
+func runModule(mp *analysis.ModulePass) error {
+	ids := make([]string, 0, len(mp.Graph.Nodes))
+	for id := range mp.Graph.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		n := mp.Graph.Nodes[id]
+		if n.Body() == nil || len(n.Spawns) == 0 {
+			continue
+		}
+		checkSpawner(mp, n)
+	}
+	return nil
+}
+
+func checkSpawner(mp *analysis.ModulePass, n *callgraph.Node) {
+	body := n.Body()
+	var spawns []*spawnInfo
+	spawnAt := map[*ast.GoStmt]*spawnInfo{}
+	for _, sp := range n.Spawns {
+		if sp.Stmt == nil || sp.Callee == nil || sp.Callee.Body() == nil {
+			continue
+		}
+		si := &spawnInfo{
+			idx:      len(spawns),
+			stmt:     sp.Stmt,
+			wgs:      map[key]bool{},
+			chans:    map[key]bool{},
+			joinedAt: token.NoPos,
+		}
+		si.loopPos, si.loopEnd = enclosingLoop(body, sp.Stmt.Pos())
+		collectGoroutine(si, n, sp.Callee)
+		spawns = append(spawns, si)
+		spawnAt[sp.Stmt] = si
+	}
+	if len(spawns) == 0 {
+		return
+	}
+
+	sw := &walker{
+		info:    n.Pkg.TypesInfo,
+		bodyPos: body.Pos(),
+		bodyEnd: body.End(),
+		spawnAt: spawnAt,
+		live:    map[int]bool{},
+		spawns:  spawns,
+	}
+	sw.stmts(body.List, nil)
+
+	reportRaces(mp, n, spawns, sw.out)
+}
+
+// collectGoroutine walks one spawned body, collecting its accesses to
+// candidate shared roots plus the WaitGroup/channel signals it emits.
+// Parameters passed at the spawn site are mapped back to the spawner's
+// variables when the argument is a plain identifier, so `go f(sc)` and a
+// captured `sc` describe the same root.
+func collectGoroutine(si *spawnInfo, spawner, callee *callgraph.Node) {
+	body := callee.Body()
+	params := callgraph.ParamObjects(callee)
+	args := callgraph.EffectiveArgs(si.stmt.Call, callee)
+	paramSet := map[types.Object]bool{}
+	paramMap := map[types.Object]key{}
+	for j, p := range params {
+		if p == nil {
+			continue
+		}
+		paramSet[p] = true
+		if j >= len(args) || args[j] == nil {
+			continue
+		}
+		a := ast.Unparen(args[j])
+		if u, ok := a.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			a = ast.Unparen(u.X)
+		}
+		if id, ok := a.(*ast.Ident); ok {
+			if v, ok := spawner.Pkg.TypesInfo.ObjectOf(id).(*types.Var); ok && !v.IsField() {
+				paramMap[p] = key{obj: v}
+			}
+		}
+	}
+	gw := &walker{
+		info:      callee.Pkg.TypesInfo,
+		bodyPos:   body.Pos(),
+		bodyEnd:   body.End(),
+		localSpan: true,
+		paramSet:  paramSet,
+		paramMap:  paramMap,
+		si:        si,
+	}
+	gw.stmts(body.List, nil)
+	si.accesses = gw.out
+}
+
+// enclosingLoop returns the span of the innermost for/range statement of
+// body that contains pos (NoPos when none). Function literal bodies are
+// not entered: their statements belong to other call-graph nodes.
+func enclosingLoop(body *ast.BlockStmt, pos token.Pos) (token.Pos, token.Pos) {
+	lp, le := token.NoPos, token.NoPos
+	ast.Inspect(body, func(nd ast.Node) bool {
+		switch nd := nd.(type) {
+		case *ast.FuncLit:
+			return nd.Pos() <= pos && pos < nd.End()
+		case *ast.ForStmt, *ast.RangeStmt:
+			if nd.Pos() <= pos && pos < nd.End() {
+				lp, le = nd.Pos(), nd.End() // outer seen first; innermost wins
+			}
+		}
+		return true
+	})
+	return lp, le
+}
+
+// ---- the access walker ----
+
+// walker threads a lockset through one body in source order. In
+// goroutine mode (si != nil) it emits the body's accesses and collects
+// its Done/send signals; in spawner mode it additionally maintains the
+// live-spawn set, records joins, and tags each access with the snapshot
+// of live spawns.
+type walker struct {
+	info             *types.Info
+	bodyPos, bodyEnd token.Pos
+	localSpan        bool // declarations inside the span are goroutine-local
+	paramSet         map[types.Object]bool
+	paramMap         map[types.Object]key
+	si               *spawnInfo // goroutine mode sink
+
+	// Spawner mode:
+	spawnAt map[*ast.GoStmt]*spawnInfo
+	live    map[int]bool
+	spawns  []*spawnInfo
+
+	out []access
+}
+
+func (w *walker) spawnerMode() bool { return w.spawnAt != nil }
+
+func (w *walker) emit(a access) {
+	if w.spawnerMode() {
+		if len(w.live) == 0 {
+			return // nothing to race with yet (or everything joined)
+		}
+		a.live = make([]int, 0, len(w.live))
+		for i := range w.live {
+			a.live = append(a.live, i)
+		}
+		sort.Ints(a.live)
+	}
+	w.out = append(w.out, a)
+}
+
+// join retires every live spawn matching the predicate, recording where.
+func (w *walker) join(pos token.Pos, match func(*spawnInfo) bool) {
+	if !w.spawnerMode() {
+		return
+	}
+	for i := range w.live {
+		if match(w.spawns[i]) {
+			w.spawns[i].joinedAt = pos
+			delete(w.live, i)
+		}
+	}
+}
+
+func snapshot(held []key) []key { return append([]key(nil), held...) }
+
+func (w *walker) stmts(list []ast.Stmt, held []key) []key {
+	for _, s := range list {
+		held = w.stmt(s, held)
+	}
+	return held
+}
+
+func (w *walker) stmt(stmt ast.Stmt, held []key) []key {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		return w.scan(s.X, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			held = w.scan(e, held)
+		}
+		for _, lhs := range s.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name == "_" {
+				continue
+			}
+			if r, elem, part, ok := w.rootOf(lhs); ok {
+				w.emit(access{root: r, write: true, elem: elem, part: part, locks: snapshot(held), pos: lhs.Pos()})
+			}
+			// Index/selector sub-expressions of the target are reads.
+			switch l := ast.Unparen(lhs).(type) {
+			case *ast.IndexExpr:
+				held = w.scan(l.Index, held)
+			}
+		}
+		return held
+	case *ast.IncDecStmt:
+		if r, elem, part, ok := w.rootOf(s.X); ok {
+			w.emit(access{root: r, write: true, elem: elem, part: part, locks: snapshot(held), pos: s.X.Pos()})
+		}
+		return held
+	case *ast.SendStmt:
+		held = w.scan(s.Value, held)
+		if w.si != nil {
+			if k, ok := w.syncKeyOf(s.Chan); ok {
+				w.si.chans[k] = true
+			}
+		}
+		return held
+	case *ast.DeferStmt:
+		// Deferred Done/close still signal; deferred Unlock keeps the
+		// lock held to function end (conservative: fewer reports).
+		if w.si != nil {
+			if name, k, ok := w.wgOp(s.Call); ok && name == "Done" {
+				w.si.wgs[k] = true
+			}
+			if k, ok := w.closeTarget(s.Call); ok {
+				w.si.chans[k] = true
+			}
+		}
+		for _, a := range s.Call.Args {
+			held = w.scan(a, held)
+		}
+		return held
+	case *ast.GoStmt:
+		// Spawn-site argument reads happen on the spawner's goroutine,
+		// concurrent with every *other* live spawn.
+		for _, a := range s.Call.Args {
+			held = w.scan(a, held)
+		}
+		if w.spawnerMode() {
+			if si := w.spawnAt[s]; si != nil {
+				w.live[si.idx] = true
+			}
+		}
+		return held
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			held = w.scan(e, held)
+		}
+		return held
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						held = w.scan(v, held)
+					}
+				}
+			}
+		}
+		return held
+	case *ast.BlockStmt:
+		return w.stmts(s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		held = w.scan(s.Cond, held)
+		w.stmts(s.Body.List, snapshot(held))
+		if s.Else != nil {
+			w.stmt(s.Else, snapshot(held))
+		}
+		return held
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			held = w.scan(s.Cond, held)
+		}
+		w.stmts(s.Body.List, snapshot(held))
+		if s.Post != nil {
+			w.stmt(s.Post, snapshot(held))
+		}
+		return held
+	case *ast.RangeStmt:
+		held = w.scan(s.X, held)
+		if t := w.info.TypeOf(s.X); t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				// Ranging a channel drains it to close: a join.
+				if k, ok := w.syncKeyOf(s.X); ok {
+					w.join(s.Pos(), func(si *spawnInfo) bool { return si.chans[k] })
+				}
+			}
+		}
+		w.stmts(s.Body.List, snapshot(held))
+		return held
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			held = w.scan(s.Tag, held)
+		}
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, snapshot(held))
+			}
+		}
+		return held
+	case *ast.TypeSwitchStmt:
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, snapshot(held))
+			}
+		}
+		return held
+	case *ast.SelectStmt:
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				h := snapshot(held)
+				if cc.Comm != nil {
+					h = w.stmt(cc.Comm, h)
+				}
+				w.stmts(cc.Body, h)
+			}
+		}
+		return held
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, held)
+	}
+	return held
+}
+
+// scan visits one expression, classifying sync operations and emitting
+// reads of candidate roots. Function literal bodies are skipped: they
+// are other call-graph nodes.
+func (w *walker) scan(expr ast.Expr, held []key) []key {
+	switch e := ast.Unparen(expr).(type) {
+	case nil:
+		return held
+	case *ast.FuncLit:
+		return held
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		if r, elem, part, ok := w.rootOf(e); ok {
+			w.emit(access{root: r, elem: elem, part: part, locks: snapshot(held), pos: e.Pos()})
+		}
+		// Sub-expressions that are not covered by the root.
+		switch e := e.(type) {
+		case *ast.SelectorExpr:
+			if _, _, _, ok := w.rootOf(e); !ok {
+				held = w.scan(e.X, held)
+			}
+		case *ast.IndexExpr:
+			if _, _, _, ok := w.rootOf(e); !ok {
+				held = w.scan(e.X, held)
+			}
+			held = w.scan(e.Index, held)
+		case *ast.StarExpr:
+			if _, _, _, ok := w.rootOf(e); !ok {
+				held = w.scan(e.X, held)
+			}
+		}
+		return held
+	case *ast.UnaryExpr:
+		if e.Op == token.ARROW {
+			// A receive joins every live sender on this channel.
+			if k, ok := w.syncKeyOf(e.X); ok {
+				w.join(e.Pos(), func(si *spawnInfo) bool { return si.chans[k] })
+			}
+			return held
+		}
+		if e.Op == token.AND {
+			return held // taking an address is not a memory access
+		}
+		return w.scan(e.X, held)
+	case *ast.CallExpr:
+		return w.call(e, held)
+	case *ast.BinaryExpr:
+		held = w.scan(e.X, held)
+		return w.scan(e.Y, held)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				held = w.scan(kv.Value, held)
+				continue
+			}
+			held = w.scan(el, held)
+		}
+		return held
+	case *ast.TypeAssertExpr:
+		return w.scan(e.X, held)
+	case *ast.SliceExpr:
+		held = w.scan(e.X, held)
+		for _, ix := range []ast.Expr{e.Low, e.High, e.Max} {
+			if ix != nil {
+				held = w.scan(ix, held)
+			}
+		}
+		return held
+	case *ast.IndexListExpr:
+		return w.scan(e.X, held)
+	}
+	return held
+}
+
+func (w *walker) call(call *ast.CallExpr, held []key) []key {
+	// Lock discipline.
+	if op, k, ok := w.lockOp(call); ok {
+		switch op {
+		case "acquire":
+			return append(snapshot(held), k)
+		case "release":
+			for i := len(held) - 1; i >= 0; i-- {
+				if held[i] == k {
+					return append(held[:i:i], held[i+1:]...)
+				}
+			}
+		}
+		return held
+	}
+	// WaitGroup protocol.
+	if name, k, ok := w.wgOp(call); ok {
+		switch {
+		case name == "Done" && w.si != nil:
+			w.si.wgs[k] = true
+		case name == "Wait" && w.spawnerMode():
+			w.join(call.Pos(), func(si *spawnInfo) bool { return si.wgs[k] })
+		}
+		return held
+	}
+	// close(ch) signals like a send.
+	if k, ok := w.closeTarget(call); ok {
+		if w.si != nil {
+			w.si.chans[k] = true
+		}
+		return held
+	}
+	// sync.Once.Do: the callback runs at most once and every Do return
+	// happens-after that single execution, so accesses inside the
+	// callback are ordered across every goroutine sharing the Once
+	// instance. Model the instance as a lock held around the callback.
+	if sel, fname, recvType := w.syncMethod(call); sel != nil && recvType == "Once" && fname == "Do" && len(call.Args) == 1 {
+		if k, kOK := w.syncKeyOf(sel.X); kOK {
+			if lit, isLit := ast.Unparen(call.Args[0]).(*ast.FuncLit); isLit {
+				w.stmts(lit.Body.List, append(snapshot(held), k))
+				return held
+			}
+		}
+	}
+	// sync/atomic: the &addr argument is an atomic access, exempt from
+	// pairing.
+	if w.isAtomic(call) {
+		for _, a := range call.Args {
+			if u, ok := ast.Unparen(a).(*ast.UnaryExpr); ok && u.Op == token.AND {
+				if r, elem, part, okRoot := w.rootOf(u.X); okRoot {
+					w.emit(access{root: r, write: true, atomic: true, elem: elem, part: part, locks: snapshot(held), pos: a.Pos()})
+				}
+				continue
+			}
+			held = w.scan(a, held)
+		}
+		return held
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if w.isAtomicRecv(sel) {
+			// Methods on atomic.Int64 & co: the receiver is the cell.
+			if r, elem, part, okRoot := w.rootOf(sel.X); okRoot {
+				w.emit(access{root: r, write: true, atomic: true, elem: elem, part: part, locks: snapshot(held), pos: sel.X.Pos()})
+			}
+		} else {
+			held = w.scan(sel.X, held) // method receiver is read
+		}
+	} else {
+		held = w.scan(call.Fun, held) // func-valued variable is read
+	}
+	for _, a := range call.Args {
+		held = w.scan(a, held)
+	}
+	return held
+}
+
+// ---- root and sync-object identification ----
+
+// rootOf resolves an lvalue/rvalue expression to a candidate shared
+// root. In goroutine mode the base must be captured, package-level, or a
+// parameter mapped back to a spawner variable; locals stay invisible.
+func (w *walker) rootOf(e ast.Expr) (k key, elem, part bool, ok bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return w.rootOfIdent(e)
+	case *ast.SelectorExpr:
+		k, elem, part, ok = w.rootOf(e.X)
+		if !ok {
+			return key{}, false, false, false
+		}
+		if !elem {
+			if k.field == "" {
+				k.field = e.Sel.Name
+			} else {
+				k.field += "." + e.Sel.Name
+			}
+		}
+		return k, elem, part, true
+	case *ast.IndexExpr:
+		k, _, _, ok = w.rootOf(e.X)
+		if !ok {
+			return key{}, false, false, false
+		}
+		return k, true, w.indexLocal(e.Index), true
+	case *ast.StarExpr:
+		k, _, _, ok = w.rootOf(e.X)
+		if !ok {
+			return key{}, false, false, false
+		}
+		return k, true, false, true
+	}
+	return key{}, false, false, false
+}
+
+func (w *walker) rootOfIdent(id *ast.Ident) (key, bool, bool, bool) {
+	v, isVar := w.info.ObjectOf(id).(*types.Var)
+	if !isVar || v.IsField() {
+		return key{}, false, false, false
+	}
+	if w.paramSet[v] {
+		mapped, hasMapping := w.paramMap[v]
+		if !hasMapping {
+			return key{}, false, false, false // unmapped parameter: instance-local
+		}
+		return mapped, false, false, true
+	}
+	if w.localSpan && v.Pos() >= w.bodyPos && v.Pos() < w.bodyEnd {
+		return key{}, false, false, false // declared inside the goroutine
+	}
+	return key{obj: v}, false, false, true
+}
+
+// indexLocal reports whether an index expression is computed from
+// goroutine-local state only (locals, parameters, constants): element
+// writes it selects are partitioned between instances.
+func (w *walker) indexLocal(e ast.Expr) bool {
+	if !w.localSpan {
+		return false // spawner side: no partitioning argument applies
+	}
+	sawIdent := false
+	local := true
+	ast.Inspect(e, func(nd ast.Node) bool {
+		id, isIdent := nd.(*ast.Ident)
+		if !isIdent {
+			return true
+		}
+		switch obj := w.info.ObjectOf(id).(type) {
+		case *types.Const, *types.TypeName, *types.Builtin, *types.Func, nil:
+			return true
+		case *types.Var:
+			sawIdent = true
+			if !w.paramSet[obj] && !(obj.Pos() >= w.bodyPos && obj.Pos() < w.bodyEnd) {
+				local = false
+			}
+		default:
+			local = false
+		}
+		return true
+	})
+	return sawIdent && local
+}
+
+// syncKeyOf names a lock/WaitGroup/channel operand by object identity,
+// mapped through goroutine parameters like data roots.
+func (w *walker) syncKeyOf(e ast.Expr) (key, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		k, _, _, ok := w.rootOfIdent(e)
+		if !ok {
+			// Sync objects declared inside the goroutine are still
+			// identities (they just cannot match the spawner's).
+			if v, isVar := w.info.ObjectOf(e).(*types.Var); isVar && !v.IsField() {
+				return key{obj: v}, true
+			}
+			return key{}, false
+		}
+		return k, true
+	case *ast.SelectorExpr:
+		base, ok := w.syncKeyOf(e.X)
+		if !ok {
+			return key{}, false
+		}
+		if base.field == "" {
+			base.field = e.Sel.Name
+		} else {
+			base.field += "." + e.Sel.Name
+		}
+		return base, true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return w.syncKeyOf(e.X)
+		}
+	}
+	return key{}, false
+}
+
+// lockOp recognizes sync.Mutex/RWMutex Lock/RLock/Unlock/RUnlock with an
+// identifiable operand.
+func (w *walker) lockOp(call *ast.CallExpr) (op string, k key, ok bool) {
+	sel, name, recvType := w.syncMethod(call)
+	if sel == nil {
+		return "", key{}, false
+	}
+	switch recvType {
+	case "Mutex", "RWMutex":
+	default:
+		return "", key{}, false
+	}
+	k, kOK := w.syncKeyOf(sel.X)
+	if !kOK {
+		return "", key{}, false
+	}
+	switch name {
+	case "Lock", "RLock":
+		return "acquire", k, true
+	case "Unlock", "RUnlock":
+		return "release", k, true
+	}
+	return "", key{}, false
+}
+
+// wgOp recognizes sync.WaitGroup Add/Done/Wait.
+func (w *walker) wgOp(call *ast.CallExpr) (name string, k key, ok bool) {
+	sel, fname, recvType := w.syncMethod(call)
+	if sel == nil || recvType != "WaitGroup" {
+		return "", key{}, false
+	}
+	k, kOK := w.syncKeyOf(sel.X)
+	if !kOK {
+		return "", key{}, false
+	}
+	return fname, k, true
+}
+
+// syncMethod unpacks a method call on a sync.* receiver.
+func (w *walker) syncMethod(call *ast.CallExpr) (*ast.SelectorExpr, string, string) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", ""
+	}
+	f, isFunc := w.info.Uses[sel.Sel].(*types.Func)
+	if !isFunc || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return nil, "", ""
+	}
+	sig, isSig := f.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil {
+		return nil, "", ""
+	}
+	t := sig.Recv().Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return nil, "", ""
+	}
+	return sel, f.Name(), named.Obj().Name()
+}
+
+func (w *walker) closeTarget(call *ast.CallExpr) (key, bool) {
+	id, isIdent := ast.Unparen(call.Fun).(*ast.Ident)
+	if !isIdent || len(call.Args) != 1 {
+		return key{}, false
+	}
+	if _, isBuiltin := w.info.Uses[id].(*types.Builtin); !isBuiltin || id.Name != "close" {
+		return key{}, false
+	}
+	return w.syncKeyOf(call.Args[0])
+}
+
+// isAtomic reports a call to a sync/atomic package function.
+func (w *walker) isAtomic(call *ast.CallExpr) bool {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return false
+	}
+	f, isFunc := w.info.Uses[sel.Sel].(*types.Func)
+	return isFunc && f.Pkg() != nil && f.Pkg().Path() == "sync/atomic" && f.Type().(*types.Signature).Recv() == nil
+}
+
+// isAtomicRecv reports a method call on one of the sync/atomic cell
+// types (atomic.Int64, atomic.Value, …).
+func (w *walker) isAtomicRecv(sel *ast.SelectorExpr) bool {
+	f, isFunc := w.info.Uses[sel.Sel].(*types.Func)
+	if !isFunc || f.Pkg() == nil || f.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, isSig := f.Type().(*types.Signature)
+	return isSig && sig.Recv() != nil
+}
+
+// ---- pairing and reporting ----
+
+func reportRaces(mp *analysis.ModulePass, n *callgraph.Node, spawns []*spawnInfo, spawnerAcc []access) {
+	if !mp.Match(n.Pkg.PkgPath) {
+		return
+	}
+	line := func(p token.Pos) int { return mp.Fset.Position(p).Line }
+	seen := map[string]bool{}
+	once := func(root key, class string) bool {
+		dk := root.String() + "|" + class
+		if seen[dk] {
+			return false
+		}
+		seen[dk] = true
+		return true
+	}
+
+	// Goroutine vs goroutine: sibling instances and overlapping spawns.
+	for i := range spawns {
+		for j := i; j < len(spawns); j++ {
+			if i == j && !spawns[i].inLoop() {
+				continue
+			}
+			if i != j && !overlap(spawns[i], spawns[j]) {
+				continue
+			}
+			for _, a := range spawns[i].accesses {
+				for _, b := range spawns[j].accesses {
+					if !a.write && !b.write {
+						continue
+					}
+					if i == j && instanceLocal(spawns[i], a.root) {
+						continue
+					}
+					av, bv := a, b
+					if i == j {
+						// Sibling instances each own a fresh copy of any
+						// lock declared inside the spawn's loop or body:
+						// holding one orders nothing between instances.
+						av.locks = sharedLocks(spawns[i], a.locks)
+						bv.locks = sharedLocks(spawns[i], b.locks)
+					}
+					if !conflict(av, bv) {
+						continue
+					}
+					if i == j {
+						if !once(a.root, "sibling") {
+							continue
+						}
+						wa := a
+						if !wa.write {
+							wa = b
+						}
+						mp.Reportf(wa.pos, "data race: %s is written concurrently by every instance of the goroutine spawned at line %d: the instances share one variable and hold no common lock",
+							wa.root, line(spawns[i].stmt.Pos()))
+						continue
+					}
+					if !once(a.root, "pair") {
+						continue
+					}
+					wa, other := a, b
+					verb := "written"
+					if !other.write {
+						verb = "read"
+					}
+					if !wa.write {
+						wa, other = b, a
+						verb = "read"
+					}
+					mp.Reportf(wa.pos, "data race: %s is written by this goroutine (spawned at line %d) and %s by the goroutine spawned at line %d with no common lock or join ordering the accesses",
+						wa.root, line(spawns[i].stmt.Pos()), verb, line(spawns[j].stmt.Pos()))
+				}
+			}
+		}
+	}
+
+	// Spawner vs live goroutine.
+	for _, sa := range spawnerAcc {
+		for _, li := range sa.live {
+			si := spawns[li]
+			if instanceLocal(si, sa.root) {
+				continue // per-iteration instance: each spawn got its own
+			}
+			for _, ga := range si.accesses {
+				if !conflict(sa, ga) {
+					continue
+				}
+				if !once(sa.root, "spawner") {
+					continue
+				}
+				if ga.write {
+					verb := "written"
+					if !sa.write {
+						verb = "read"
+					}
+					mp.Reportf(sa.pos, "data race: %s is %s here while the goroutine spawned at line %d is still running and writes it: no wg.Wait, channel receive, or common lock orders the accesses",
+						sa.root, verb, line(si.stmt.Pos()))
+				} else {
+					mp.Reportf(sa.pos, "data race: %s is written here while the goroutine spawned at line %d is still running and reads it: no wg.Wait, channel receive, or common lock orders the accesses",
+						sa.root, line(si.stmt.Pos()))
+				}
+			}
+		}
+	}
+}
+
+// overlap reports whether two distinct spawns can run concurrently:
+// the earlier one is not joined before the later one starts.
+func overlap(a, b *spawnInfo) bool {
+	first, second := a, b
+	if b.stmt.Pos() < a.stmt.Pos() {
+		first, second = b, a
+	}
+	return !first.joinedAt.IsValid() || first.joinedAt > second.stmt.Pos()
+}
+
+// instanceLocal reports whether root is declared inside the spawn's
+// enclosing loop: each iteration hands the goroutine a fresh instance,
+// so instances of this spawn do not share it.
+func instanceLocal(si *spawnInfo, root key) bool {
+	return si.inLoop() && root.obj.Pos() >= si.loopPos && root.obj.Pos() < si.loopEnd
+}
+
+// sharedLocks filters a lockset down to instances sibling goroutines can
+// actually share — locks captured from outside the spawn's loop.
+func sharedLocks(si *spawnInfo, locks []key) []key {
+	out := locks[:0:0]
+	for _, k := range locks {
+		if !instanceLocal(si, k) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// conflict decides whether two accesses to the same root can race.
+func conflict(a, b access) bool {
+	if a.atomic || b.atomic {
+		return false
+	}
+	if !a.write && !b.write {
+		return false
+	}
+	if !sameRoot(a, b) {
+		return false
+	}
+	for _, la := range a.locks {
+		for _, lb := range b.locks {
+			if la == lb {
+				return false
+			}
+		}
+	}
+	switch {
+	case a.elem && b.elem:
+		if a.part && b.part {
+			return false // both partitioned by instance-local indices
+		}
+	case a.elem != b.elem:
+		// Element access vs whole-variable access: only a whole-variable
+		// write (rebinding the slice/pointer) conflicts with element
+		// memory; a header read (len, range) does not.
+		whole := a
+		if a.elem {
+			whole = b
+		}
+		if !whole.write {
+			return false
+		}
+	}
+	return true
+}
+
+func sameRoot(a, b access) bool {
+	if a.root.obj != b.root.obj {
+		return false
+	}
+	if a.root.field == b.root.field {
+		return true
+	}
+	// A whole-variable write (x = …) conflicts with any field of x.
+	return (a.write && a.root.field == "" && !a.elem) ||
+		(b.write && b.root.field == "" && !b.elem)
+}

@@ -1,0 +1,21 @@
+package racecheck_test
+
+import (
+	"testing"
+
+	"stitchroute/internal/analysis/analyzertest"
+	"stitchroute/internal/analysis/racecheck"
+)
+
+// TestModule runs racecheck over both fixture packages in one call
+// graph: race holds the must-flag pairs (sibling write/write, two
+// overlapping spawns, a one-sided lock, a spawner read before the
+// join); syncok holds the idioms that must stay silent (atomic counter
+// with partitioned slots, a common lock, channel joins, read-only
+// fan-out, per-spawn instances).
+func TestModule(t *testing.T) {
+	analyzertest.RunModule(t, racecheck.Analyzer,
+		"./testdata/mod/race",
+		"./testdata/mod/syncok",
+	)
+}

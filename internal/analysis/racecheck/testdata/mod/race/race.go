@@ -1,0 +1,105 @@
+// Package race holds racecheck's must-flag fixtures: every pairing the
+// analyzer models — sibling instances of a loop spawn, two overlapping
+// spawns, a one-sided lock, and the spawner touching shared state
+// before the join.
+package race
+
+import "sync"
+
+// Tally spawns four identical workers that all increment the same
+// captured counter with no lock: the canonical write/write race.
+func Tally(n int) int {
+	c := 0
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				c++ // want `data race: c is written concurrently by every instance of the goroutine spawned at line \d+`
+			}
+		}()
+	}
+	wg.Wait()
+	return c
+}
+
+type stats struct{ hits, total int }
+
+// Split runs two distinct goroutines that write the same field of a
+// shared struct; neither is joined before the other starts.
+func Split(a, b []int, s *stats, done chan struct{}) {
+	go func() {
+		for range a {
+			s.hits++ // want `data race: s.hits is written by this goroutine \(spawned at line \d+\) and written by the goroutine spawned at line \d+`
+		}
+		done <- struct{}{}
+	}()
+	go func() {
+		for range b {
+			s.hits++
+		}
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+}
+
+type ledger struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Mixed locks the write in one goroutine but not in the other: the lock
+// only synchronizes accesses that both hold it.
+func Mixed(l *ledger, done chan struct{}) {
+	go func() {
+		l.mu.Lock()
+		l.n++ // want `data race: l.n is written by this goroutine \(spawned at line \d+\) and written by the goroutine spawned at line \d+`
+		l.mu.Unlock()
+		done <- struct{}{}
+	}()
+	go func() {
+		l.n++
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+}
+
+// Peek reads the accumulator before wg.Wait: the goroutine may still be
+// writing when the read happens.
+func Peek(xs []int) int {
+	var sum int
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, x := range xs {
+			sum += x
+		}
+	}()
+	early := sum // want `data race: sum is read here while the goroutine spawned at line \d+ is still running and writes it`
+	wg.Wait()
+	return early + sum
+}
+
+// LocalOnce declares the Once inside the goroutine body: every instance
+// owns a fresh Once, so each callback runs — the Once orders nothing
+// between siblings and the captured counter races.
+func LocalOnce(tasks []int, done chan struct{}) int {
+	var total int
+	for range tasks {
+		go func() {
+			var once sync.Once
+			once.Do(func() {
+				total++ // want `data race: total is written concurrently by every instance of the goroutine spawned at line \d+`
+			})
+			done <- struct{}{}
+		}()
+	}
+	for range tasks {
+		<-done
+	}
+	return total
+}

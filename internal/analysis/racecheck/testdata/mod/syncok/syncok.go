@@ -1,0 +1,145 @@
+// Package syncok holds racecheck's must-not-flag fixtures: the
+// synchronization idioms the codebase actually uses — atomic work
+// counters with partitioned result slots, a common lock on both sides,
+// channel joins, read-only fan-out, per-spawn instances, and
+// once-guarded lazy initialization.
+package syncok
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type Task struct{ ID, N int }
+
+// PoolAtomic is the scheduler/driver shape: workers pull indices off an
+// atomic counter and write disjoint slots; the spawner reads the slice
+// only after wg.Wait.
+func PoolAtomic(tasks []Task) []int {
+	out := make([]int, len(tasks))
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1) - 1)
+				if i >= len(tasks) {
+					return
+				}
+				out[i] = tasks[i].N * 2
+			}
+		}()
+	}
+	wg.Wait()
+	total := 0
+	for _, v := range out {
+		total += v
+	}
+	_ = total
+	return out
+}
+
+type ledger struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Locked increments under the same mutex instance in both goroutines —
+// and in the spawner while they run.
+func Locked(l *ledger, done chan struct{}) {
+	go func() {
+		l.mu.Lock()
+		l.n++
+		l.mu.Unlock()
+		done <- struct{}{}
+	}()
+	go func() {
+		l.mu.Lock()
+		l.n++
+		l.mu.Unlock()
+		done <- struct{}{}
+	}()
+	l.mu.Lock()
+	l.n++
+	l.mu.Unlock()
+	<-done
+	<-done
+}
+
+type result struct{ total int }
+
+// ChanJoin reads the goroutine's result only after receiving the done
+// signal: the send/receive pair is the happens-before edge.
+func ChanJoin(xs []int) int {
+	var res result
+	done := make(chan struct{})
+	go func() {
+		for _, x := range xs {
+			res.total += x
+		}
+		done <- struct{}{}
+	}()
+	<-done
+	return res.total
+}
+
+type config struct{ scale int }
+
+func weigh(c *config, t Task) int { return t.N * c.scale }
+
+// Broadcast shares one config read-only: reads never race with reads.
+func Broadcast(tasks []Task, out chan<- int) {
+	cfg := &config{scale: 2}
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(lo int) {
+			defer wg.Done()
+			for _, t := range tasks[lo:] {
+				out <- weigh(cfg, t)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// PerSpawn hands each goroutine its own buffer allocated inside the
+// spawn loop: instances never share it, and the spawner's next-iteration
+// allocation is a different instance too.
+func PerSpawn(tasks []Task, done chan struct{}) {
+	for i := range tasks {
+		buf := make([]int, 8)
+		go func(b []int, t Task) {
+			b[0] = t.N
+			buf[1] = t.N
+			done <- struct{}{}
+		}(buf, tasks[i])
+	}
+	for range tasks {
+		<-done
+	}
+}
+
+// InitOnce lazily builds a shared table from whichever worker gets
+// there first: sync.Once.Do runs the callback at most once and every
+// Do return happens-after it, so the writes inside the callback are
+// ordered against each other and against the post-join read.
+func InitOnce(tasks []Task, done chan struct{}) int {
+	var once sync.Once
+	var table []int
+	for range tasks {
+		go func() {
+			once.Do(func() {
+				table = make([]int, 4)
+				table[0] = 1
+			})
+			done <- struct{}{}
+		}()
+	}
+	for range tasks {
+		<-done
+	}
+	return table[0]
+}

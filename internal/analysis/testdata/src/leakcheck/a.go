@@ -9,6 +9,7 @@ package leakcheck
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 )
 
 func work() {
@@ -168,4 +169,60 @@ type orphan struct {
 func (o *orphan) start() {
 	o.wg.Add(1)
 	go work() // want `goroutine is never joined`
+}
+
+// arena is per-worker scratch for the speculative-round shape below.
+type arena struct{ busy int }
+
+// specRound is the speculative scheduler's round: a per-round WaitGroup,
+// parameterized worker literals pulling attempt indices off a shared
+// atomic counter (the body's only exit is the counter bound, not a
+// channel), joined by wg.Wait before the commit phase — all inside the
+// scheduler's outer loop. Must not flag: every round reaps its workers.
+func specRound(work []int, arenas []*arena) {
+	for len(work) > 0 {
+		var next int64
+		var wg sync.WaitGroup
+		nw := len(arenas)
+		if nw > len(work) {
+			nw = len(work)
+		}
+		for w := 0; w < nw; w++ {
+			sc := arenas[w]
+			wg.Add(1)
+			go func(sc *arena) {
+				defer wg.Done()
+				for {
+					k := int(atomic.AddInt64(&next, 1)) - 1
+					if k >= len(work) {
+						break
+					}
+					sc.busy += work[k]
+				}
+			}(sc)
+		}
+		wg.Wait()
+		work = work[:len(work)-1]
+	}
+}
+
+// specRoundConditional spawns only when there is work this round; the
+// Wait sits on the same conditional path as the spawns. Must not flag:
+// every CFG path from a spawn reaches the join.
+func specRoundConditional(work []int, arenas []*arena) {
+	for rounds := 0; rounds < 8; rounds++ {
+		if len(work) == 0 {
+			continue
+		}
+		var wg sync.WaitGroup
+		for _, sc := range arenas {
+			wg.Add(1)
+			go func(sc *arena) {
+				defer wg.Done()
+				sc.busy++
+			}(sc)
+		}
+		wg.Wait()
+		work = work[1:]
+	}
 }
